@@ -1,0 +1,88 @@
+//! Tables 17, 18, 20 — the Appendix-F evaluation on the six newly added
+//! datasets: ROC AUC (Table 17) and AP (Table 18) per setting with the
+//! **Average Rank** metric over the four large-scale datasets, plus the
+//! efficiency block (Table 20).
+
+use benchtemp_bench::{run_lp_seed, save_json, Protocol, TableBuilder};
+use benchtemp_core::dataloader::Setting;
+use benchtemp_core::leaderboard::Leaderboard;
+use benchtemp_graph::datasets::BenchDataset;
+use benchtemp_models::zoo::PAPER_MODELS;
+
+fn main() {
+    let protocol = Protocol::from_args();
+    let models = protocol.select_models(&PAPER_MODELS);
+    let datasets = protocol.select_datasets(&BenchDataset::new6());
+
+    let mut auc: Vec<(Setting, TableBuilder)> =
+        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
+    let mut ap: Vec<(Setting, TableBuilder)> =
+        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
+    let mut runtime = TableBuilder::new();
+    let mut rss = TableBuilder::new();
+    let mut state = TableBuilder::new();
+    let mut leaderboard = Leaderboard::new();
+
+    for &dataset in &datasets {
+        for model in &models {
+            let mut per_setting: Vec<Vec<f64>> = vec![Vec::new(); 4];
+            for seed in 0..protocol.seeds as u64 {
+                let run = run_lp_seed(model, dataset, &protocol, seed);
+                eprintln!(
+                    "{model} on {} seed {seed}: trans AUC {:.4}",
+                    dataset.name(),
+                    run.transductive.auc
+                );
+                let ds = dataset.name();
+                for (i, setting) in Setting::all().iter().enumerate() {
+                    let m = run.metrics_for(*setting);
+                    auc[i].1.add(ds, model, m.auc);
+                    ap[i].1.add(ds, model, m.ap);
+                    per_setting[i].push(m.auc);
+                }
+                runtime.add(ds, model, run.efficiency.runtime_per_epoch_secs);
+                rss.add(ds, model, run.efficiency.peak_rss_bytes as f64 / 1e6);
+                state.add(ds, model, run.efficiency.model_state_bytes as f64 / 1e6);
+            }
+            for (i, setting) in Setting::all().iter().enumerate() {
+                leaderboard.push_runs(
+                    model,
+                    dataset.name(),
+                    "link_prediction",
+                    setting.name(),
+                    "AUC",
+                    &per_setting[i],
+                );
+            }
+        }
+    }
+
+    // Average Rank over the large-scale datasets (Table 17's extra metric).
+    let large: Vec<&str> = BenchDataset::large4().iter().map(|d| d.name()).collect();
+    for (setting, table) in &auc {
+        println!(
+            "{}",
+            table.render(&format!("Table 17 ({}) — ROC AUC, new datasets", setting.name()), "Dataset")
+        );
+        let ranks = leaderboard.average_rank(&large, "link_prediction", setting.name(), "AUC");
+        println!("Average Rank ({}, large-scale): {:?}", setting.name(), ranks);
+    }
+    for (setting, table) in &ap {
+        println!(
+            "{}",
+            table.render(&format!("Table 18 ({}) — AP, new datasets", setting.name()), "Dataset")
+        );
+    }
+    println!("{}", runtime.render_plain("Table 20 — Runtime (s/epoch), new datasets", "Dataset"));
+    println!("{}", rss.render_plain("Table 20 — Peak RSS (MB)", "Dataset"));
+    println!("{}", state.render_plain("Table 20 — Model state (MB)", "Dataset"));
+
+    leaderboard.save(&protocol.out_dir.join("leaderboard_new_datasets.json")).expect("save");
+    save_json(&protocol.out_dir, "table17_new_datasets.json", &serde_json::json!({
+        "auc": auc.iter().map(|(s, t)| serde_json::json!({"setting": s.name(), "cells": t.to_entries()})).collect::<Vec<_>>(),
+        "ap": ap.iter().map(|(s, t)| serde_json::json!({"setting": s.name(), "cells": t.to_entries()})).collect::<Vec<_>>(),
+        "table20_runtime": runtime.to_entries(),
+        "table20_rss_mb": rss.to_entries(),
+        "table20_state_mb": state.to_entries(),
+    }));
+}

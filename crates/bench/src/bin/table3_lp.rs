@@ -1,0 +1,96 @@
+//! The main link-prediction benchmark: 7 TGNN models × 15 datasets × 4
+//! settings × N seeds. One set of runs regenerates, exactly as in the
+//! paper where they come from the same jobs:
+//!
+//! * **Table 3** — ROC AUC per setting,
+//! * **Table 10** — AP per setting,
+//! * **Table 4** — runtime/epoch, epochs to convergence, peak RSS, model
+//!   state bytes (GPU-memory analogue),
+//! * **Table 11** — compute-utilization proxy (GPU-utilization analogue),
+//! * **Fig. 7** — inference seconds per 100k edges.
+//!
+//! Timeouts are marked the way the paper marks them ("x" / "—").
+
+use benchtemp_bench::{run_lp_seed, save_json, Protocol, TableBuilder};
+use benchtemp_core::dataloader::Setting;
+use benchtemp_graph::datasets::BenchDataset;
+use benchtemp_models::zoo::PAPER_MODELS;
+
+fn main() {
+    let protocol = Protocol::from_args();
+    let models = protocol.select_models(&PAPER_MODELS);
+    let datasets = protocol.select_datasets(&BenchDataset::all15());
+
+    // (setting → AUC table), (setting → AP table), efficiency tables.
+    let mut auc: Vec<(Setting, TableBuilder)> =
+        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
+    let mut ap: Vec<(Setting, TableBuilder)> =
+        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
+    let mut runtime = TableBuilder::new();
+    let mut epochs = TableBuilder::new();
+    let mut rss = TableBuilder::new();
+    let mut state = TableBuilder::new();
+    let mut util = TableBuilder::new();
+    let mut inference = TableBuilder::new();
+    let mut raw_runs = Vec::new();
+
+    let total_jobs = models.len() * datasets.len() * protocol.seeds;
+    let mut done = 0usize;
+    for &dataset in &datasets {
+        for model in &models {
+            for seed in 0..protocol.seeds as u64 {
+                let run = run_lp_seed(model, dataset, &protocol, seed);
+                done += 1;
+                eprintln!(
+                    "[{done}/{total_jobs}] {model} on {} seed {seed}: trans AUC {:.4}{}",
+                    dataset.name(),
+                    run.transductive.auc,
+                    if run.efficiency.timed_out { " (timeout)" } else { "" }
+                );
+                let ds = dataset.name();
+                for (setting, table) in auc.iter_mut() {
+                    table.add(ds, model, run.metrics_for(*setting).auc);
+                }
+                for (setting, table) in ap.iter_mut() {
+                    table.add(ds, model, run.metrics_for(*setting).ap);
+                }
+                runtime.add(ds, model, run.efficiency.runtime_per_epoch_secs);
+                epochs.add(ds, model, run.efficiency.epochs_to_converge as f64);
+                rss.add(ds, model, run.efficiency.peak_rss_bytes as f64 / 1e6);
+                state.add(ds, model, run.efficiency.model_state_bytes as f64 / 1e6);
+                util.add(ds, model, run.efficiency.compute_utilization * 100.0);
+                inference.add(ds, model, run.efficiency.inference_secs_per_100k);
+                raw_runs.push(run);
+            }
+        }
+    }
+
+    for (setting, table) in &auc {
+        println!("{}", table.render(&format!("Table 3 ({}) — ROC AUC", setting.name()), "Dataset"));
+    }
+    for (setting, table) in &ap {
+        println!("{}", table.render(&format!("Table 10 ({}) — AP", setting.name()), "Dataset"));
+    }
+    println!("{}", runtime.render_plain("Table 4 — Runtime (s/epoch)", "Dataset"));
+    println!("{}", epochs.render_plain("Table 4 — Epochs to convergence", "Dataset"));
+    println!("{}", rss.render_plain("Table 4 — Peak RSS (MB)", "Dataset"));
+    println!("{}", state.render_plain("Table 4 — Model state (MB, GPU-memory analogue)", "Dataset"));
+    println!("{}", util.render("Table 11 — Compute utilization (%)", "Dataset"));
+    println!("{}", inference.render_plain("Fig. 7 — Inference seconds per 100k edges", "Dataset"));
+
+    save_json(&protocol.out_dir, "table3_auc.json", &auc.iter().map(|(s, t)| {
+        serde_json::json!({ "setting": s.name(), "cells": t.to_entries() })
+    }).collect::<Vec<_>>());
+    save_json(&protocol.out_dir, "table10_ap.json", &ap.iter().map(|(s, t)| {
+        serde_json::json!({ "setting": s.name(), "cells": t.to_entries() })
+    }).collect::<Vec<_>>());
+    save_json(&protocol.out_dir, "table4_efficiency.json", &serde_json::json!({
+        "runtime_s_per_epoch": runtime.to_entries(),
+        "epochs": epochs.to_entries(),
+        "peak_rss_mb": rss.to_entries(),
+        "model_state_mb": state.to_entries(),
+        "table11_utilization_pct": util.to_entries(),
+        "fig7_inference_s_per_100k": inference.to_entries(),
+    }));
+    save_json(&protocol.out_dir, "table3_raw_runs.json", &raw_runs);
+}

@@ -1,0 +1,62 @@
+//! Tables 6 & 7 — DataLoader split statistics: nodes/edges per training,
+//! validation, transductive/inductive/New-Old/New-New test sets plus the
+//! unseen-node counts (LP), and the plain chronological NC splits.
+
+use benchtemp_bench::{render_table, save_json, Protocol};
+use benchtemp_core::dataloader::{LinkPredSplit, NodeClassSplit};
+use benchtemp_graph::datasets::BenchDataset;
+
+fn main() {
+    let protocol = Protocol::from_args();
+    let mut stats = Vec::new();
+
+    // ---- Table 6: link-prediction splits ----
+    let headers: Vec<String> = [
+        "Dataset", "Train n/e", "Val n/e", "Test n/e", "Ind-Val n/e", "Ind-Test n/e",
+        "NO-Test n/e", "NN-Test n/e", "Unseen",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for d in protocol.select_datasets(&BenchDataset::all15()) {
+        let g = d.config(protocol.scale, 42).generate();
+        let split = LinkPredSplit::new(&g, 0);
+        let s = split.stats(&g);
+        let ne = |x: &benchtemp_core::dataloader::SetStats| format!("{}/{}", x.nodes, x.edges);
+        rows.push(vec![
+            s.dataset.clone(),
+            ne(&s.training),
+            ne(&s.validation),
+            ne(&s.transductive_test),
+            ne(&s.inductive_validation),
+            ne(&s.inductive_test),
+            ne(&s.new_old_test),
+            ne(&s.new_new_test),
+            s.unseen_nodes.to_string(),
+        ]);
+        stats.push(s);
+    }
+    println!("{}", render_table("Table 6: link-prediction split statistics", &headers, &rows));
+
+    // ---- Table 7: node-classification splits ----
+    let headers: Vec<String> =
+        ["Dataset", "Train n/e", "Val n/e", "Test n/e"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for d in [BenchDataset::Reddit, BenchDataset::Wikipedia, BenchDataset::Mooc] {
+        let g = d.config(protocol.scale, 42).generate();
+        let split = NodeClassSplit::new(&g);
+        let ne = |evs: &[benchtemp_graph::Interaction]| {
+            format!("{}/{}", g.active_nodes(evs).len(), evs.len())
+        };
+        rows.push(vec![
+            d.name().to_string(),
+            ne(&split.train),
+            ne(&split.val),
+            ne(&split.test),
+        ]);
+    }
+    println!("{}", render_table("Table 7: node-classification split statistics", &headers, &rows));
+
+    save_json(&protocol.out_dir, "table6_splits.json", &stats);
+}

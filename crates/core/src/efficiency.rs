@@ -1,0 +1,189 @@
+//! Efficiency metrics (Table 4 / Table 12 / Fig. 7).
+//!
+//! The paper reports runtime/epoch, epochs-to-convergence, peak RAM, GPU
+//! memory, GPU utilization, and inference time. On a CPU-only substrate we
+//! measure the direct analogues (DESIGN.md §1): wall-clock runtime, peak RSS
+//! via `/proc/self/status`, the model's exact state footprint in bytes
+//! (parameters + memory modules + caches — what GPU memory held), and a
+//! compute-utilization proxy (time in dense tensor work vs. time in
+//! sampling/data movement — what drives GPU utilization).
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// Split of a model's working time into dense compute vs. sampling, ticked
+/// by the models themselves around their walk/neighbor sampling and their
+/// forward/backward sections.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ComputeClock {
+    pub dense: Duration,
+    pub sampling: Duration,
+}
+
+impl ComputeClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a dense-compute section.
+    pub fn dense<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.dense += start.elapsed();
+        out
+    }
+
+    /// Time a sampling/data-movement section.
+    pub fn sampling<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.sampling += start.elapsed();
+        out
+    }
+
+    /// Fraction of measured time spent in dense compute — the paper's "GPU
+    /// utilization" analogue. `None` if nothing was measured.
+    pub fn utilization(&self) -> Option<f64> {
+        let total = self.dense + self.sampling;
+        if total.is_zero() {
+            None
+        } else {
+            Some(self.dense.as_secs_f64() / total.as_secs_f64())
+        }
+    }
+
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// One row of the Table 4 efficiency block for a (model, dataset) job.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct EfficiencyReport {
+    /// Mean seconds per training epoch (Table 4 "Runtime").
+    pub runtime_per_epoch_secs: f64,
+    /// Epochs until early stopping fired (Table 4 "Epoch").
+    pub epochs_to_converge: usize,
+    /// Peak resident set size in bytes (Table 4 "RAM").
+    pub peak_rss_bytes: u64,
+    /// Exact model state footprint: parameters + optimizer state + memory
+    /// modules + caches (Table 4 "GPU Memory" analogue).
+    pub model_state_bytes: u64,
+    /// Dense-compute fraction of model time (Table 11 "GPU Utilization"
+    /// analogue); 0 when unmeasured.
+    pub compute_utilization: f64,
+    /// Seconds to score 100,000 edges at inference (Fig. 7).
+    pub inference_secs_per_100k: f64,
+    /// Whether the run hit the configured timeout before converging
+    /// (the paper's "x"/"—" markers).
+    pub timed_out: bool,
+}
+
+/// Peak RSS of this process in bytes (`VmHWM` from `/proc/self/status`).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Simple wall-clock timer for epoch accounting.
+pub struct EpochTimer {
+    start: Instant,
+    epochs: Vec<Duration>,
+}
+
+impl EpochTimer {
+    pub fn new() -> Self {
+        EpochTimer { start: Instant::now(), epochs: Vec::new() }
+    }
+
+    /// Mark the end of an epoch; returns its duration.
+    pub fn lap(&mut self) -> Duration {
+        let d = self.start.elapsed();
+        self.epochs.push(d);
+        self.start = Instant::now();
+        d
+    }
+
+    pub fn mean_epoch_secs(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    pub fn total(&self) -> Duration {
+        self.epochs.iter().sum()
+    }
+}
+
+impl Default for EpochTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Human-readable byte formatting for reports.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1}{}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates_and_reports_utilization() {
+        let mut c = ComputeClock::new();
+        c.dense(|| std::thread::sleep(Duration::from_millis(8)));
+        c.sampling(|| std::thread::sleep(Duration::from_millis(2)));
+        let u = c.utilization().unwrap();
+        assert!(u > 0.5 && u < 1.0, "utilization {u}");
+        c.reset();
+        assert!(c.utilization().is_none());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        assert!(rss > 1024 * 1024, "peak RSS {rss} suspiciously small");
+    }
+
+    #[test]
+    fn epoch_timer_means() {
+        let mut t = EpochTimer::new();
+        std::thread::sleep(Duration::from_millis(5));
+        t.lap();
+        std::thread::sleep(Duration::from_millis(5));
+        t.lap();
+        assert!(t.mean_epoch_secs() >= 0.004);
+        assert_eq!(t.total(), t.epochs.iter().sum());
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512.0B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+}

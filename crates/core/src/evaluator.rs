@@ -1,0 +1,231 @@
+//! The Evaluator module (§3.2.1): ROC AUC and Average Precision for link
+//! prediction / node classification, plus the weighted multi-class metrics
+//! of Appendix G (accuracy, weighted precision/recall/F1).
+
+use serde::Serialize;
+
+/// ROC AUC via the rank statistic (Mann–Whitney U), with midrank tie
+/// handling. `labels[i]` is 1.0 for positive, 0.0 for negative.
+pub fn roc_auc(labels: &[f32], scores: &[f32]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "roc_auc: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5; // undefined; convention: chance level
+    }
+    // Sort indices by score ascending, assign midranks.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; tied block [i..=j] shares the midrank.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// AUC for the common link-prediction layout: positive scores vs negative
+/// scores as two separate slices.
+pub fn roc_auc_pos_neg(pos: &[f32], neg: &[f32]) -> f64 {
+    let mut labels = vec![1.0f32; pos.len()];
+    labels.extend(std::iter::repeat_n(0.0, neg.len()));
+    let mut scores = pos.to_vec();
+    scores.extend_from_slice(neg);
+    roc_auc(&labels, &scores)
+}
+
+/// Average precision: area under the precision-recall curve computed as the
+/// mean of precision@k over positive hits (sklearn's step definition).
+pub fn average_precision(labels: &[f32], scores: &[f32]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "average_precision: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    // Descending by score; stable so ties keep input order.
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hits = 0usize;
+    let mut sum_prec = 0.0f64;
+    for (k, &i) in idx.iter().enumerate() {
+        if labels[i] > 0.5 {
+            hits += 1;
+            sum_prec += hits as f64 / (k + 1) as f64;
+        }
+    }
+    sum_prec / n_pos as f64
+}
+
+/// AP for the positive/negative slice layout.
+pub fn average_precision_pos_neg(pos: &[f32], neg: &[f32]) -> f64 {
+    let mut labels = vec![1.0f32; pos.len()];
+    labels.extend(std::iter::repeat_n(0.0, neg.len()));
+    let mut scores = pos.to_vec();
+    scores.extend_from_slice(neg);
+    average_precision(&labels, &scores)
+}
+
+/// Multi-class classification metrics with support-weighted averaging
+/// (Appendix G formulas).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct MultiClassMetrics {
+    pub accuracy: f64,
+    pub precision_weighted: f64,
+    pub recall_weighted: f64,
+    pub f1_weighted: f64,
+}
+
+/// Compute Appendix-G metrics from predicted and true class ids.
+pub fn multiclass_metrics(
+    predicted: &[usize],
+    truth: &[usize],
+    num_classes: usize,
+) -> MultiClassMetrics {
+    assert_eq!(predicted.len(), truth.len(), "multiclass_metrics: length mismatch");
+    let n = truth.len().max(1) as f64;
+    let mut confusion = vec![0usize; num_classes * num_classes]; // [truth][pred]
+    for (&p, &t) in predicted.iter().zip(truth) {
+        confusion[t * num_classes + p] += 1;
+    }
+    let correct: usize = (0..num_classes).map(|c| confusion[c * num_classes + c]).sum();
+    let mut prec_w = 0.0;
+    let mut rec_w = 0.0;
+    for c in 0..num_classes {
+        let support: usize = (0..num_classes).map(|p| confusion[c * num_classes + p]).sum();
+        if support == 0 {
+            continue;
+        }
+        let tp = confusion[c * num_classes + c] as f64;
+        let pred_c: usize = (0..num_classes).map(|t| confusion[t * num_classes + c]).sum();
+        let precision = if pred_c > 0 { tp / pred_c as f64 } else { 0.0 };
+        let recall = tp / support as f64;
+        prec_w += support as f64 * precision;
+        rec_w += support as f64 * recall;
+    }
+    let precision_weighted = prec_w / n;
+    let recall_weighted = rec_w / n;
+    let f1_weighted = if precision_weighted + recall_weighted > 0.0 {
+        2.0 * precision_weighted * recall_weighted / (precision_weighted + recall_weighted)
+    } else {
+        0.0
+    };
+    MultiClassMetrics { accuracy: correct as f64 / n, precision_weighted, recall_weighted, f1_weighted }
+}
+
+/// Mean and (population) standard deviation over seed runs — the ±std the
+/// paper reports under its 3-run protocol.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let auc = roc_auc(&[1.0, 1.0, 0.0, 0.0], &[0.9, 0.8, 0.2, 0.1]);
+        assert!((auc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let auc = roc_auc(&[1.0, 1.0, 0.0, 0.0], &[0.1, 0.2, 0.8, 0.9]);
+        assert!(auc.abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_tied_scores_give_half() {
+        let auc = roc_auc(&[1.0, 0.0, 1.0, 0.0], &[0.5, 0.5, 0.5, 0.5]);
+        assert!((auc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_matches_hand_computed_example() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs won: (0.8>0.6),
+        // (0.8>0.2), (0.4<0.6 → 0), (0.4>0.2) = 3/4.
+        let auc = roc_auc_pos_neg(&[0.8, 0.4], &[0.6, 0.2]);
+        assert!((auc - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_handles_ties_with_midrank() {
+        // pos {0.5}, neg {0.5}: one tied pair counts 0.5 → AUC 0.5.
+        let auc = roc_auc_pos_neg(&[0.5], &[0.5]);
+        assert!((auc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_single_class_is_half() {
+        assert_eq!(roc_auc(&[1.0, 1.0], &[0.1, 0.9]), 0.5);
+        assert_eq!(roc_auc(&[0.0, 0.0], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn ap_matches_hand_computed_example() {
+        // Descending: 0.9(+), 0.8(−), 0.7(+), 0.6(−).
+        // precision@1 = 1, precision@3 = 2/3 → AP = (1 + 2/3)/2 = 5/6.
+        let ap = average_precision(&[1.0, 0.0, 1.0, 0.0], &[0.9, 0.8, 0.7, 0.6]);
+        assert!((ap - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let ap = average_precision_pos_neg(&[0.9, 0.8], &[0.2, 0.1]);
+        assert!((ap - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform() {
+        let labels = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let scores = [0.9f32, 0.3, 0.6, 0.5, 0.7, 0.1];
+        let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s).exp()).collect();
+        assert!((roc_auc(&labels, &scores) - roc_auc(&labels, &transformed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_perfect_prediction() {
+        let m = multiclass_metrics(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(m.accuracy, 1.0);
+        assert!((m.f1_weighted - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_matches_hand_computed_weighted_metrics() {
+        // truth: [0,0,1,1], pred: [0,1,1,1].
+        // class 0: support 2, tp 1, pred_0 = 1 → prec 1.0, rec 0.5
+        // class 1: support 2, tp 2, pred_1 = 3 → prec 2/3, rec 1.0
+        // weighted prec = (2*1 + 2*2/3)/4 = 5/6; weighted rec = (1 + 2)/4 = 0.75
+        let m = multiclass_metrics(&[0, 1, 1, 1], &[0, 0, 1, 1], 2);
+        assert!((m.accuracy - 0.75).abs() < 1e-9);
+        assert!((m.precision_weighted - 5.0 / 6.0).abs() < 1e-9);
+        assert!((m.recall_weighted - 0.75).abs() < 1e-9);
+        let f1 = 2.0 * (5.0 / 6.0) * 0.75 / (5.0 / 6.0 + 0.75);
+        assert!((m.f1_weighted - f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! The Leaderboard module (§3.2.1): collects per-job results, aggregates
+//! mean ± std over seed runs, ranks models per (dataset, task, setting) with
+//! best/second-best markers, computes the Average-Rank metric of Table 17,
+//! and persists to JSON.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::mean_std;
+
+/// One aggregated leaderboard entry (mean ± std over seeds).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Entry {
+    pub model: String,
+    pub dataset: String,
+    /// e.g. "link_prediction" / "node_classification".
+    pub task: String,
+    /// e.g. "Transductive", "Inductive New-New".
+    pub setting: String,
+    /// e.g. "AUC", "AP".
+    pub metric: String,
+    pub mean: f64,
+    pub std: f64,
+    pub runs: usize,
+}
+
+/// Key for one comparison group: same dataset/task/setting/metric.
+pub type GroupKey = (String, String, String, String);
+
+/// In-memory leaderboard with JSON persistence.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Leaderboard {
+    entries: Vec<Entry>,
+}
+
+impl Leaderboard {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Aggregate raw per-seed values and push one entry.
+    pub fn push_runs(
+        &mut self,
+        model: &str,
+        dataset: &str,
+        task: &str,
+        setting: &str,
+        metric: &str,
+        values: &[f64],
+    ) {
+        let (mean, std) = mean_std(values);
+        self.push(Entry {
+            model: model.into(),
+            dataset: dataset.into(),
+            task: task.into(),
+            setting: setting.into(),
+            metric: metric.into(),
+            mean,
+            std,
+            runs: values.len(),
+        });
+    }
+
+    /// Push a pre-aggregated entry, replacing any previous entry for the
+    /// same (model, dataset, task, setting, metric).
+    pub fn push(&mut self, entry: Entry) {
+        self.entries.retain(|e| {
+            !(e.model == entry.model
+                && e.dataset == entry.dataset
+                && e.task == entry.task
+                && e.setting == entry.setting
+                && e.metric == entry.metric)
+        });
+        self.entries.push(entry);
+    }
+
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries of one comparison group sorted descending by mean.
+    pub fn group(&self, dataset: &str, task: &str, setting: &str, metric: &str) -> Vec<&Entry> {
+        let mut v: Vec<&Entry> = self
+            .entries
+            .iter()
+            .filter(|e| {
+                e.dataset == dataset && e.task == task && e.setting == setting && e.metric == metric
+            })
+            .collect();
+        v.sort_by(|a, b| b.mean.partial_cmp(&a.mean).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Rank of each model (1-based, best = 1) within one group.
+    pub fn ranks(&self, dataset: &str, task: &str, setting: &str, metric: &str) -> Vec<(String, usize)> {
+        self.group(dataset, task, setting, metric)
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (e.model.clone(), i + 1))
+            .collect()
+    }
+
+    /// The Average-Rank metric (Table 17): mean rank of each model across
+    /// the given datasets for one (task, setting, metric). Models missing
+    /// from a dataset's group are skipped in that dataset.
+    pub fn average_rank(
+        &self,
+        datasets: &[&str],
+        task: &str,
+        setting: &str,
+        metric: &str,
+    ) -> Vec<(String, f64)> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for ds in datasets {
+            for (model, rank) in self.ranks(ds, task, setting, metric) {
+                let e = sums.entry(model).or_insert((0.0, 0));
+                e.0 += rank as f64;
+                e.1 += 1;
+            }
+        }
+        let mut out: Vec<(String, f64)> = sums
+            .into_iter()
+            .filter(|(_, (_, n))| *n > 0)
+            .map(|(m, (s, n))| (m, s / n as f64))
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Render one group as the paper renders table cells: best marked
+    /// `**bold**`, second-best `_underlined_` — unless the runner-up gap
+    /// exceeds 0.05 (the paper's "do not highlight" rule).
+    pub fn render_group(&self, dataset: &str, task: &str, setting: &str, metric: &str) -> String {
+        let group = self.group(dataset, task, setting, metric);
+        let best = group.first().map(|e| e.mean).unwrap_or(0.0);
+        let mut out = String::new();
+        for (i, e) in group.iter().enumerate() {
+            let cell = format!("{:.4} ± {:.4}", e.mean, e.std);
+            let marked = match i {
+                0 => format!("**{cell}**"),
+                1 if best - e.mean <= 0.05 => format!("_{cell}_"),
+                _ => cell,
+            };
+            out.push_str(&format!("{:<12} {}\n", e.model, marked));
+        }
+        out
+    }
+
+    /// Persist to pretty JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("serialize leaderboard"))
+    }
+
+    /// Load from JSON; empty leaderboard if the file doesn't exist.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        if !path.exists() {
+            return Ok(Self::new());
+        }
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Leaderboard {
+        let mut lb = Leaderboard::new();
+        for (model, mean) in [("TGN", 0.90), ("CAWN", 0.95), ("JODIE", 0.80)] {
+            lb.push_runs(model, "Reddit", "lp", "Transductive", "AUC", &[mean, mean, mean]);
+        }
+        for (model, mean) in [("TGN", 0.70), ("CAWN", 0.95), ("JODIE", 0.85)] {
+            lb.push_runs(model, "MOOC", "lp", "Transductive", "AUC", &[mean]);
+        }
+        lb
+    }
+
+    #[test]
+    fn group_sorts_descending() {
+        let lb = sample();
+        let g = lb.group("Reddit", "lp", "Transductive", "AUC");
+        let names: Vec<&str> = g.iter().map(|e| e.model.as_str()).collect();
+        assert_eq!(names, vec!["CAWN", "TGN", "JODIE"]);
+    }
+
+    #[test]
+    fn ranks_are_one_based() {
+        let lb = sample();
+        let r = lb.ranks("Reddit", "lp", "Transductive", "AUC");
+        assert_eq!(r[0], ("CAWN".to_string(), 1));
+        assert_eq!(r[2], ("JODIE".to_string(), 3));
+    }
+
+    #[test]
+    fn average_rank_matches_hand_computation() {
+        let lb = sample();
+        let ar = lb.average_rank(&["Reddit", "MOOC"], "lp", "Transductive", "AUC");
+        // CAWN: rank 1 + 1 → 1.0; TGN: 2 + 3 → 2.5; JODIE: 3 + 2 → 2.5
+        assert_eq!(ar[0].0, "CAWN");
+        assert!((ar[0].1 - 1.0).abs() < 1e-9);
+        let tgn = ar.iter().find(|(m, _)| m == "TGN").unwrap();
+        assert!((tgn.1 - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn push_replaces_duplicates() {
+        let mut lb = sample();
+        let before = lb.len();
+        lb.push_runs("TGN", "Reddit", "lp", "Transductive", "AUC", &[0.99]);
+        assert_eq!(lb.len(), before);
+        let g = lb.group("Reddit", "lp", "Transductive", "AUC");
+        assert_eq!(g[0].model, "TGN");
+    }
+
+    #[test]
+    fn render_marks_best_and_second() {
+        let lb = sample();
+        let text = lb.render_group("Reddit", "lp", "Transductive", "AUC");
+        assert!(text.contains("**0.9500"));
+        assert!(text.contains("_0.9000"));
+    }
+
+    #[test]
+    fn render_skips_second_best_when_gap_large() {
+        let mut lb = Leaderboard::new();
+        lb.push_runs("A", "D", "lp", "S", "AUC", &[0.95]);
+        lb.push_runs("B", "D", "lp", "S", "AUC", &[0.80]); // gap 0.15 > 0.05
+        let text = lb.render_group("D", "lp", "S", "AUC");
+        assert!(text.contains("**0.9500"));
+        assert!(!text.contains('_'), "large gap must not be underlined: {text}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let lb = sample();
+        let dir = std::env::temp_dir().join("benchtemp_lb_test");
+        let path = dir.join("leaderboard.json");
+        lb.save(&path).unwrap();
+        let loaded = Leaderboard::load(&path).unwrap();
+        assert_eq!(lb.len(), loaded.len());
+        for (a, b) in lb.entries().iter().zip(loaded.entries()) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.dataset, b.dataset);
+            assert_eq!(a.runs, b.runs);
+            // JSON text round-trip may perturb the last ULP of f64.
+            assert!((a.mean - b.mean).abs() < 1e-12);
+            assert!((a.std - b.std).abs() < 1e-12);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_empty() {
+        let lb = Leaderboard::load(Path::new("/nonexistent/lb.json")).unwrap();
+        assert!(lb.is_empty());
+    }
+
+    #[test]
+    fn mean_std_aggregation() {
+        let mut lb = Leaderboard::new();
+        lb.push_runs("M", "D", "lp", "S", "AUC", &[0.8, 0.9, 1.0]);
+        let e = &lb.entries()[0];
+        assert!((e.mean - 0.9).abs() < 1e-12);
+        assert!(e.std > 0.0);
+        assert_eq!(e.runs, 3);
+    }
+}

@@ -1,0 +1,476 @@
+//! The unified BenchTemp pipeline (Fig. 4): Dataset → DataLoader →
+//! EdgeSampler → Model → EarlyStopMonitor → Evaluator → Leaderboard.
+//!
+//! [`TgnnModel`] is the contract every model in the zoo implements; the
+//! link-prediction and node-classification trainers below drive any
+//! implementor through the paper's protocol (§4.1): BCE + Adam(1e-4),
+//! chronological batches, patience-3 early stopping on validation AP,
+//! fixed-seed evaluation negatives, timeout, and efficiency accounting.
+//!
+//! **Evaluation protocol.** Each epoch consumes the full stream in order —
+//! train (learning), validation (scoring), test (scoring) — so stateful
+//! models carry their memory across the boundary exactly as the reference
+//! implementations do. Test metrics are taken from the epoch with the best
+//! validation AP. The three inductive settings are *filters over the same
+//! scored test stream* (membership masks), matching §3.2.1 where the
+//! inductive test sets are generated from the transductive test set.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use benchtemp_graph::neighbors::NeighborFinder;
+use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_tensor::Matrix;
+
+use crate::dataloader::{LinkPredSplit, NodeClassSplit, Setting};
+use crate::early_stop::EarlyStopMonitor;
+use crate::efficiency::{peak_rss_bytes, ComputeClock, EfficiencyReport, EpochTimer};
+use crate::evaluator::{
+    average_precision_pos_neg, multiclass_metrics, roc_auc, roc_auc_pos_neg, MultiClassMetrics,
+};
+use crate::sampler::{EdgeSampler, NegativeStrategy};
+
+/// Everything a model may read while processing a batch: the graph (features)
+/// and a temporal adjacency view. During training the view covers training
+/// events only; during evaluation it covers the full stream (queries are
+/// always strictly-before-t, so no future leakage either way).
+pub struct StreamContext<'a> {
+    pub graph: &'a TemporalGraph,
+    pub neighbors: &'a NeighborFinder,
+}
+
+/// Table 1 anatomy row.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Anatomy {
+    pub memory: bool,
+    pub attention: bool,
+    pub rnn: bool,
+    pub temp_walk: bool,
+    pub scalability: bool,
+    pub supervision: &'static str,
+}
+
+/// The contract every TGNN implements to run in the pipeline.
+pub trait TgnnModel {
+    fn name(&self) -> &'static str;
+
+    /// Table 1 capability row.
+    fn anatomy(&self) -> Anatomy;
+
+    /// Reset all temporal state (memory, caches) to initial values.
+    /// Parameters are untouched.
+    fn reset_state(&mut self);
+
+    /// One optimization step on a chronological batch with pre-sampled
+    /// negative destinations. Returns the batch loss. Temporal state
+    /// advances past the batch.
+    fn train_batch(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        neg_dsts: &[usize],
+    ) -> f32;
+
+    /// Score the batch's positive edges and the corresponding negative
+    /// edges (higher = more likely). No parameter updates; temporal state
+    /// advances past the batch (the events really happened).
+    fn eval_batch(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        neg_dsts: &[usize],
+    ) -> (Vec<f32>, Vec<f32>);
+
+    /// Dynamic embedding of each event's source node at event time, for the
+    /// node-classification decoder. Temporal state advances past the batch.
+    fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix;
+
+    fn embed_dim(&self) -> usize;
+
+    /// Snapshot / restore trainable parameters (best-epoch restoration).
+    fn snapshot(&self) -> Vec<Matrix>;
+    fn restore(&mut self, snapshot: &[Matrix]);
+
+    /// Exact state footprint in bytes: parameters, optimizer state, memory
+    /// modules, caches (the paper's GPU-memory analogue).
+    fn state_bytes(&self) -> usize;
+
+    /// Dense-vs-sampling time split accumulated since the last call
+    /// (the paper's GPU-utilization analogue). Default: unmeasured.
+    fn take_compute_clock(&mut self) -> ComputeClock {
+        ComputeClock::default()
+    }
+}
+
+/// Training-protocol configuration (§4.1 defaults, scaled).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    pub batch_size: usize,
+    pub max_epochs: usize,
+    pub patience: usize,
+    pub tolerance: f64,
+    /// Wall-clock budget for one job (the paper's 48 h, scaled down).
+    pub timeout: Duration,
+    pub seed: u64,
+    pub neg_strategy: NegativeStrategy,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            batch_size: 200,
+            max_epochs: 50,
+            patience: 3,
+            tolerance: 1e-3,
+            timeout: Duration::from_secs(600),
+            seed: 0,
+            neg_strategy: NegativeStrategy::Random,
+        }
+    }
+}
+
+/// Metrics for one evaluation setting.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SettingMetrics {
+    pub auc: f64,
+    pub ap: f64,
+    pub n_edges: usize,
+}
+
+/// Outcome of one link-prediction job.
+#[derive(Clone, Debug, Serialize)]
+pub struct LinkPredictionRun {
+    pub model: String,
+    pub dataset: String,
+    pub transductive: SettingMetrics,
+    pub inductive: SettingMetrics,
+    pub new_old: SettingMetrics,
+    pub new_new: SettingMetrics,
+    pub best_val_ap: f64,
+    pub epoch_losses: Vec<f32>,
+    pub val_aps: Vec<f64>,
+    pub efficiency: EfficiencyReport,
+}
+
+impl LinkPredictionRun {
+    pub fn metrics_for(&self, setting: Setting) -> SettingMetrics {
+        match setting {
+            Setting::Transductive => self.transductive,
+            Setting::Inductive => self.inductive,
+            Setting::InductiveNewOld => self.new_old,
+            Setting::InductiveNewNew => self.new_new,
+        }
+    }
+}
+
+/// Train and evaluate a model on the link-prediction task, all four
+/// settings at once.
+pub fn train_link_prediction(
+    model: &mut dyn TgnnModel,
+    graph: &TemporalGraph,
+    split: &LinkPredSplit,
+    cfg: &TrainConfig,
+) -> LinkPredictionRun {
+    let train_nf = NeighborFinder::from_events(graph.num_nodes, &split.train);
+    let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
+    let train_ctx = StreamContext { graph, neighbors: &train_nf };
+    let full_ctx = StreamContext { graph, neighbors: &full_nf };
+
+    let mut train_sampler = EdgeSampler::new(graph, &split.train, cfg.neg_strategy, cfg.seed);
+    // Fixed, distinct seeds for validation and test (Appendix B).
+    let mut val_sampler =
+        EdgeSampler::new(graph, &split.train, cfg.neg_strategy, cfg.seed ^ 0x0a1_0001);
+    let mut test_sampler =
+        EdgeSampler::new(graph, &split.train, cfg.neg_strategy, cfg.seed ^ 0x7e57_0002);
+
+    // Membership masks over the transductive test stream for the inductive
+    // filters (computed once; test events are scored in stream order).
+    let inductive_mask: Vec<bool> =
+        split.test.iter().map(|e| split.unseen[e.src] || split.unseen[e.dst]).collect();
+    let new_new_mask: Vec<bool> =
+        split.test.iter().map(|e| split.unseen[e.src] && split.unseen[e.dst]).collect();
+
+    let mut monitor = EarlyStopMonitor::new(cfg.patience, cfg.tolerance);
+    let mut timer = EpochTimer::new();
+    let job_start = Instant::now();
+    let mut timed_out = false;
+
+    let mut epoch_losses = Vec::new();
+    let mut val_aps = Vec::new();
+    let mut best_test_scores: Option<(Vec<f32>, Vec<f32>)> = None;
+    let mut best_snapshot: Option<Vec<Matrix>> = None;
+    let mut clock = ComputeClock::default();
+    let mut inference_secs_per_100k = 0.0;
+
+    for _epoch in 0..cfg.max_epochs {
+        // ---- train ----
+        model.reset_state();
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for batch in split.train.chunks(cfg.batch_size) {
+            let negs = train_sampler.sample_batch(batch);
+            loss_sum += model.train_batch(&train_ctx, batch, &negs) as f64;
+            batches += 1;
+            if job_start.elapsed() > cfg.timeout {
+                timed_out = true;
+                break;
+            }
+        }
+        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+        timer.lap();
+
+        // ---- validation (stream continues; full adjacency view) ----
+        val_sampler.reset();
+        let (vpos, vneg) = score_stream(model, &full_ctx, &split.val, &mut val_sampler, cfg.batch_size);
+        let val_ap = average_precision_pos_neg(&vpos, &vneg);
+        val_aps.push(val_ap);
+
+        // ---- test (stream continues) ----
+        test_sampler.reset();
+        let infer_start = Instant::now();
+        let test_scores =
+            score_stream(model, &full_ctx, &split.test, &mut test_sampler, cfg.batch_size);
+        let infer = infer_start.elapsed().as_secs_f64();
+
+        let improved = monitor.record(val_ap);
+        if improved || best_test_scores.is_none() {
+            best_test_scores = Some(test_scores);
+            best_snapshot = Some(model.snapshot());
+            inference_secs_per_100k =
+                infer / (split.test.len().max(1) as f64 * 2.0) * 100_000.0;
+        }
+        clock = {
+            let c = model.take_compute_clock();
+            ComputeClock { dense: clock.dense + c.dense, sampling: clock.sampling + c.sampling }
+        };
+        if monitor.should_stop() || timed_out {
+            break;
+        }
+    }
+
+    if let Some(snap) = &best_snapshot {
+        model.restore(snap);
+    }
+    let (tpos, tneg) = best_test_scores.unwrap_or_default();
+
+    let subset = |mask: Option<&dyn Fn(usize) -> bool>| -> SettingMetrics {
+        let idx: Vec<usize> = (0..tpos.len())
+            .filter(|&i| mask.map(|m| m(i)).unwrap_or(true))
+            .collect();
+        let pos: Vec<f32> = idx.iter().map(|&i| tpos[i]).collect();
+        let neg: Vec<f32> = idx.iter().map(|&i| tneg[i]).collect();
+        SettingMetrics {
+            auc: roc_auc_pos_neg(&pos, &neg),
+            ap: average_precision_pos_neg(&pos, &neg),
+            n_edges: idx.len(),
+        }
+    };
+    let ind = |i: usize| inductive_mask[i];
+    let nn = |i: usize| new_new_mask[i];
+    let no = |i: usize| inductive_mask[i] && !new_new_mask[i];
+
+    LinkPredictionRun {
+        model: model.name().to_string(),
+        dataset: graph.name.clone(),
+        transductive: subset(None),
+        inductive: subset(Some(&ind)),
+        new_old: subset(Some(&no)),
+        new_new: subset(Some(&nn)),
+        best_val_ap: monitor.best_metric(),
+        epoch_losses,
+        val_aps,
+        efficiency: EfficiencyReport {
+            runtime_per_epoch_secs: timer.mean_epoch_secs(),
+            epochs_to_converge: monitor.best_epoch() + 1,
+            peak_rss_bytes: peak_rss_bytes(),
+            model_state_bytes: model.state_bytes() as u64,
+            compute_utilization: clock.utilization().unwrap_or(0.0),
+            inference_secs_per_100k,
+            timed_out,
+        },
+    }
+}
+
+/// Advance the model through an event window, scoring every edge against a
+/// sampled negative. Returns `(pos_scores, neg_scores)` aligned with the
+/// window's events.
+fn score_stream(
+    model: &mut dyn TgnnModel,
+    ctx: &StreamContext,
+    events: &[Interaction],
+    sampler: &mut EdgeSampler,
+    batch_size: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut pos = Vec::with_capacity(events.len());
+    let mut neg = Vec::with_capacity(events.len());
+    for batch in events.chunks(batch_size) {
+        let negs = sampler.sample_batch(batch);
+        let (p, n) = model.eval_batch(ctx, batch, &negs);
+        debug_assert_eq!(p.len(), batch.len());
+        debug_assert_eq!(n.len(), batch.len());
+        pos.extend(p);
+        neg.extend(n);
+    }
+    (pos, neg)
+}
+
+/// Outcome of one node-classification job.
+#[derive(Clone, Debug, Serialize)]
+pub struct NodeClassificationRun {
+    pub model: String,
+    pub dataset: String,
+    /// Binary test AUC (Table 5 / Table 19).
+    pub auc: f64,
+    /// Appendix-G metrics for multi-class datasets (DGraphFin).
+    pub multiclass: Option<MultiClassMetrics>,
+    pub best_val_metric: f64,
+    pub decoder_epochs: usize,
+    pub efficiency: EfficiencyReport,
+}
+
+/// Node-classification protocol (§3.2.2): freeze the (self-supervised
+/// pre-trained) TGNN, stream the full dataset once collecting dynamic
+/// source-node embeddings per event, then train an MLP decoder on the
+/// chronological 70/15/15 split of those embeddings — the standard protocol
+/// of the TGN/JODIE codebases the paper builds on.
+pub fn train_node_classification(
+    model: &mut dyn TgnnModel,
+    graph: &TemporalGraph,
+    cfg: &TrainConfig,
+) -> NodeClassificationRun {
+    use benchtemp_tensor::{init, nn::Mlp, Adam, Graph, ParamStore};
+
+    let labels = graph.labels.as_ref().expect("node classification needs labels");
+    let split = NodeClassSplit::new(graph);
+    let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
+    let ctx = StreamContext { graph, neighbors: &full_nf };
+
+    // ---- collect embeddings over the full stream (one pass) ----
+    let embed_start = Instant::now();
+    model.reset_state();
+    let dim = model.embed_dim();
+    let mut embeddings = Matrix::zeros(graph.num_events(), dim);
+    let mut row = 0usize;
+    for batch in graph.events.chunks(cfg.batch_size) {
+        let emb = model.embed_events(&ctx, batch);
+        debug_assert_eq!(emb.rows(), batch.len());
+        for r in 0..emb.rows() {
+            embeddings.set_row(row, emb.row(r));
+            row += 1;
+        }
+    }
+    let embed_secs = embed_start.elapsed().as_secs_f64();
+
+    // ---- train the decoder on frozen embeddings ----
+    let num_classes = labels.num_classes;
+    let binary = num_classes == 2;
+    let out_dim = if binary { 1 } else { num_classes };
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(cfg.seed ^ 0xdec0de);
+    let decoder = Mlp::new(&mut store, &mut rng, "nc_decoder", dim, 80, out_dim);
+    let mut adam = Adam::new(1e-3);
+    let mut monitor = EarlyStopMonitor::new(cfg.patience, cfg.tolerance);
+    let mut best_snapshot: Option<Vec<Matrix>> = None;
+    let mut timer = EpochTimer::new();
+
+    let gather = |range: &std::ops::Range<usize>| -> (Vec<usize>, Vec<usize>) {
+        let idx: Vec<usize> = range.clone().collect();
+        let y: Vec<usize> = idx.iter().map(|&i| labels.labels[i] as usize).collect();
+        (idx, y)
+    };
+    let (train_idx, train_y) = gather(&split.train_range);
+    let (val_idx, val_y) = gather(&split.val_range);
+    let (test_idx, test_y) = gather(&split.test_range);
+
+    let score_set = |store: &ParamStore, idx: &[usize]| -> Matrix {
+        let mut g = Graph::new(store);
+        let x = g.input(embeddings.gather_rows(idx));
+        let logits = decoder.forward(&mut g, x);
+        g.value(logits).clone()
+    };
+    let val_metric = |store: &ParamStore| -> f64 {
+        let logits = score_set(store, &val_idx);
+        if binary {
+            let scores: Vec<f32> = (0..logits.rows()).map(|r| logits.get(r, 0)).collect();
+            let ylab: Vec<f32> = val_y.iter().map(|&y| y as f32).collect();
+            roc_auc(&ylab, &scores)
+        } else {
+            let pred: Vec<usize> = (0..logits.rows()).map(|r| argmax(logits.row(r))).collect();
+            multiclass_metrics(&pred, &val_y, num_classes).f1_weighted
+        }
+    };
+
+    let decoder_batch = 512usize;
+    for _epoch in 0..cfg.max_epochs {
+        for chunk in train_idx.chunks(decoder_batch) {
+            let mut g = Graph::new(&store);
+            let x = g.input(embeddings.gather_rows(chunk));
+            let logits = decoder.forward(&mut g, x);
+            let ys: Vec<usize> =
+                chunk.iter().map(|&i| labels.labels[i] as usize).collect();
+            let loss = if binary {
+                let yf: Vec<f32> = ys.iter().map(|&y| y as f32).collect();
+                g.bce_with_logits(logits, &yf)
+            } else {
+                g.softmax_cross_entropy(logits, &ys)
+            };
+            let grads = g.backward(loss);
+            adam.step(&mut store, &grads);
+        }
+        timer.lap();
+        let metric = val_metric(&store);
+        if monitor.record(metric) {
+            best_snapshot = Some(store.snapshot());
+        }
+        if monitor.should_stop() {
+            break;
+        }
+    }
+    if let Some(snap) = &best_snapshot {
+        store.restore(snap);
+    }
+
+    // ---- test ----
+    let logits = score_set(&store, &test_idx);
+    let (auc, multiclass) = if binary {
+        let scores: Vec<f32> = (0..logits.rows()).map(|r| logits.get(r, 0)).collect();
+        let ylab: Vec<f32> = test_y.iter().map(|&y| y as f32).collect();
+        (roc_auc(&ylab, &scores), None)
+    } else {
+        let pred: Vec<usize> = (0..logits.rows()).map(|r| argmax(logits.row(r))).collect();
+        let m = multiclass_metrics(&pred, &test_y, num_classes);
+        (m.accuracy, Some(m))
+    };
+    let _ = train_y; // decoder batches re-derive labels; kept for clarity
+
+    let clock = model.take_compute_clock();
+    NodeClassificationRun {
+        model: model.name().to_string(),
+        dataset: graph.name.clone(),
+        auc,
+        multiclass,
+        best_val_metric: monitor.best_metric(),
+        decoder_epochs: monitor.best_epoch() + 1,
+        efficiency: EfficiencyReport {
+            // Embedding collection dominates NC runtime; amortize over the
+            // decoder epochs actually run, matching "seconds per epoch".
+            runtime_per_epoch_secs: (embed_secs + timer.total().as_secs_f64())
+                / monitor.epochs_seen().max(1) as f64,
+            epochs_to_converge: monitor.best_epoch() + 1,
+            peak_rss_bytes: peak_rss_bytes(),
+            model_state_bytes: (model.state_bytes() + store.heap_bytes()) as u64,
+            compute_utilization: clock.utilization().unwrap_or(0.0),
+            inference_secs_per_100k: embed_secs / graph.num_events().max(1) as f64 * 100_000.0,
+            timed_out: false,
+        },
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

@@ -1,0 +1,118 @@
+//! Ranking metrics beyond AUC/AP: MRR and Hits@K against multiple
+//! negatives per positive edge.
+//!
+//! The paper's Evaluator reports AUC and AP; the community benchmarks it
+//! discusses in Related Work (TGB-style evaluation, and the EdgeBank paper,
+//! reference \[8\]) rank each positive edge against a *set* of negatives. These
+//! metrics make saturation visible (Appendix J's motivation) and are used
+//! by the ablation harnesses.
+
+use serde::Serialize;
+
+/// Ranking metrics for one evaluation pass.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct RankingMetrics {
+    /// Mean reciprocal rank of the positive among its negatives.
+    pub mrr: f64,
+    pub hits_at_1: f64,
+    pub hits_at_3: f64,
+    pub hits_at_10: f64,
+    pub num_queries: usize,
+}
+
+/// Compute MRR / Hits@K. `pos[i]` is the positive edge's score;
+/// `negs[i]` are the scores of that query's negative candidates.
+/// Rank uses "optimistic-pessimistic" midpoint tie handling: rank =
+/// 1 + #better + #tied/2.
+pub fn ranking_metrics(pos: &[f32], negs: &[Vec<f32>]) -> RankingMetrics {
+    assert_eq!(pos.len(), negs.len(), "one negative set per positive");
+    if pos.is_empty() {
+        return RankingMetrics::default();
+    }
+    let mut mrr = 0.0f64;
+    let mut h1 = 0usize;
+    let mut h3 = 0usize;
+    let mut h10 = 0usize;
+    for (&p, neg) in pos.iter().zip(negs) {
+        let better = neg.iter().filter(|&&n| n > p).count();
+        let tied = neg.iter().filter(|&&n| n == p).count();
+        let rank = 1.0 + better as f64 + tied as f64 / 2.0;
+        mrr += 1.0 / rank;
+        if rank <= 1.0 {
+            h1 += 1;
+        }
+        if rank <= 3.0 {
+            h3 += 1;
+        }
+        if rank <= 10.0 {
+            h10 += 1;
+        }
+    }
+    let n = pos.len() as f64;
+    RankingMetrics {
+        mrr: mrr / n,
+        hits_at_1: h1 as f64 / n,
+        hits_at_3: h3 as f64 / n,
+        hits_at_10: h10 as f64 / n,
+        num_queries: pos.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let pos = [0.9f32, 0.8];
+        let negs = vec![vec![0.1, 0.2, 0.3], vec![0.0, 0.1]];
+        let m = ranking_metrics(&pos, &negs);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.hits_at_1, 1.0);
+        assert_eq!(m.num_queries, 2);
+    }
+
+    #[test]
+    fn worst_ranking() {
+        let pos = [0.0f32];
+        let negs = vec![vec![1.0; 9]];
+        let m = ranking_metrics(&pos, &negs);
+        assert!((m.mrr - 0.1).abs() < 1e-12); // rank 10
+        assert_eq!(m.hits_at_1, 0.0);
+        assert_eq!(m.hits_at_3, 0.0);
+        assert_eq!(m.hits_at_10, 1.0);
+    }
+
+    #[test]
+    fn hand_computed_mixed_ranks() {
+        // q0: one better, none tied → rank 2 → rr 0.5, hits@3 yes.
+        // q1: none better → rank 1 → rr 1.0.
+        let pos = [0.5f32, 0.9];
+        let negs = vec![vec![0.7, 0.1], vec![0.2, 0.3]];
+        let m = ranking_metrics(&pos, &negs);
+        assert!((m.mrr - 0.75).abs() < 1e-12);
+        assert_eq!(m.hits_at_1, 0.5);
+        assert_eq!(m.hits_at_3, 1.0);
+    }
+
+    #[test]
+    fn ties_use_midrank() {
+        let pos = [0.5f32];
+        let negs = vec![vec![0.5, 0.5]]; // rank = 1 + 0 + 1 = 2
+        let m = ranking_metrics(&pos, &negs);
+        assert!((m.mrr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_default() {
+        let m = ranking_metrics(&[], &[]);
+        assert_eq!(m.num_queries, 0);
+        assert_eq!(m.mrr, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one negative set per positive")]
+    fn mismatched_lengths_panic() {
+        let _ = ranking_metrics(&[0.5], &[]);
+    }
+}

@@ -1,0 +1,205 @@
+//! The EdgeSampler module (§3.2.1): seeded negative-edge sampling for the
+//! self-supervised link-prediction task, plus the Appendix-J *historical*
+//! and *inductive* negative-sampling strategies.
+//!
+//! Per Appendix B, validation/test samplers run under fixed seeds so results
+//! are reproducible across runs; [`EdgeSampler::reset`] restores the stream.
+
+use rand::Rng;
+
+use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_tensor::init::{self, SeededRng};
+
+/// Negative-sampling strategy (Fig. 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NegativeStrategy {
+    /// Uniform destination among valid endpoints (the standard sampler).
+    Random,
+    /// Destinations of edges observed during training but absent at the
+    /// current step (Appendix J, "sampling negative edges in E_train").
+    Historical,
+    /// Destinations of edges in E_all that were never observed in training
+    /// (Appendix J, "inductive negative sampling").
+    Inductive,
+}
+
+/// Seeded negative-edge sampler over one dataset split.
+pub struct EdgeSampler {
+    seed: u64,
+    rng: SeededRng,
+    strategy: NegativeStrategy,
+    /// Valid destination range: items for bipartite graphs, all nodes else.
+    dst_lo: usize,
+    dst_hi: usize,
+    /// Candidate destination pool for Historical / Inductive strategies.
+    pool: Vec<usize>,
+}
+
+impl EdgeSampler {
+    /// Build a sampler. `train` is the training event set (needed by the
+    /// Historical/Inductive pools; pass the full training split).
+    pub fn new(
+        graph: &TemporalGraph,
+        train: &[Interaction],
+        strategy: NegativeStrategy,
+        seed: u64,
+    ) -> Self {
+        let (dst_lo, dst_hi) = if graph.bipartite {
+            (graph.num_users, graph.num_nodes)
+        } else {
+            (0, graph.num_nodes)
+        };
+        let pool = match strategy {
+            NegativeStrategy::Random => Vec::new(),
+            NegativeStrategy::Historical => {
+                // Distinct destinations seen in training edges.
+                let mut v: Vec<usize> = train.iter().map(|e| e.dst).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            NegativeStrategy::Inductive => {
+                // Destinations of edges in E_all \ E_train.
+                let train_edges: std::collections::HashSet<(usize, usize)> =
+                    train.iter().map(|e| (e.src, e.dst)).collect();
+                let mut v: Vec<usize> = graph
+                    .events
+                    .iter()
+                    .filter(|e| !train_edges.contains(&(e.src, e.dst)))
+                    .map(|e| e.dst)
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        };
+        EdgeSampler { seed, rng: init::rng(seed), strategy, dst_lo, dst_hi, pool }
+    }
+
+    /// Restore the RNG stream to its initial state (fixed-seed evaluation).
+    pub fn reset(&mut self) {
+        self.rng = init::rng(self.seed);
+    }
+
+    pub fn strategy(&self) -> NegativeStrategy {
+        self.strategy
+    }
+
+    /// Sample one negative destination for a positive edge; never returns
+    /// the true destination (when more than one candidate exists).
+    pub fn sample_dst(&mut self, positive: &Interaction) -> usize {
+        for _ in 0..32 {
+            let cand = match self.strategy {
+                NegativeStrategy::Random => self.rng.gen_range(self.dst_lo..self.dst_hi),
+                NegativeStrategy::Historical | NegativeStrategy::Inductive => {
+                    if self.pool.is_empty() {
+                        self.rng.gen_range(self.dst_lo..self.dst_hi)
+                    } else {
+                        self.pool[self.rng.gen_range(0..self.pool.len())]
+                    }
+                }
+            };
+            if cand != positive.dst {
+                return cand;
+            }
+        }
+        // Pathological pool (single candidate == positive): fall back.
+        (positive.dst + 1).rem_euclid(self.dst_hi.max(1))
+    }
+
+    /// Sample one negative destination per positive edge in the batch.
+    pub fn sample_batch(&mut self, batch: &[Interaction]) -> Vec<usize> {
+        batch.iter().map(|e| self.sample_dst(e)).collect()
+    }
+
+    /// Heap bytes held (efficiency accounting: the pools are what make the
+    /// appendix strategies cost memory).
+    pub fn heap_bytes(&self) -> usize {
+        self.pool.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::TemporalGraph;
+
+    fn graph() -> TemporalGraph {
+        GeneratorConfig::small("sampler", 31).generate()
+    }
+
+    #[test]
+    fn random_respects_bipartite_destination_range() {
+        let g = graph();
+        let mut s = EdgeSampler::new(&g, &g.events, NegativeStrategy::Random, 1);
+        let negs = s.sample_batch(&g.events[..200]);
+        assert!(negs.iter().all(|&d| d >= g.num_users && d < g.num_nodes));
+    }
+
+    #[test]
+    fn never_returns_the_positive_destination() {
+        let g = graph();
+        let mut s = EdgeSampler::new(&g, &g.events, NegativeStrategy::Random, 2);
+        for ev in &g.events[..300] {
+            assert_ne!(s.sample_dst(ev), ev.dst);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_reproducible_after_reset() {
+        let g = graph();
+        let mut s = EdgeSampler::new(&g, &g.events, NegativeStrategy::Random, 3);
+        let a = s.sample_batch(&g.events[..50]);
+        s.reset();
+        let b = s.sample_batch(&g.events[..50]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = graph();
+        let mut s1 = EdgeSampler::new(&g, &g.events, NegativeStrategy::Random, 4);
+        let mut s2 = EdgeSampler::new(&g, &g.events, NegativeStrategy::Random, 5);
+        assert_ne!(s1.sample_batch(&g.events[..50]), s2.sample_batch(&g.events[..50]));
+    }
+
+    #[test]
+    fn historical_draws_from_training_destinations() {
+        let g = graph();
+        let train = &g.events[..g.num_events() / 2];
+        let train_dsts: std::collections::HashSet<usize> =
+            train.iter().map(|e| e.dst).collect();
+        let mut s = EdgeSampler::new(&g, train, NegativeStrategy::Historical, 6);
+        let negs = s.sample_batch(&g.events[500..700]);
+        assert!(negs.iter().all(|d| train_dsts.contains(d)));
+    }
+
+    #[test]
+    fn inductive_draws_from_unobserved_edges() {
+        let g = graph();
+        let train = &g.events[..g.num_events() / 2];
+        let train_edges: std::collections::HashSet<(usize, usize)> =
+            train.iter().map(|e| (e.src, e.dst)).collect();
+        let valid: std::collections::HashSet<usize> = g
+            .events
+            .iter()
+            .filter(|e| !train_edges.contains(&(e.src, e.dst)))
+            .map(|e| e.dst)
+            .collect();
+        let mut s = EdgeSampler::new(&g, train, NegativeStrategy::Inductive, 7);
+        let negs = s.sample_batch(&g.events[500..700]);
+        assert!(negs.iter().all(|d| valid.contains(d)));
+    }
+
+    #[test]
+    fn empty_pool_falls_back_to_random() {
+        let g = graph();
+        // Train on everything → E_all \ E_train has no edges.
+        let mut s = EdgeSampler::new(&g, &g.events, NegativeStrategy::Inductive, 8);
+        if s.heap_bytes() == 0 {
+            let negs = s.sample_batch(&g.events[..20]);
+            assert_eq!(negs.len(), 20);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The benchmark dataset presets: the fifteen datasets of Table 2 plus the
+//! six Appendix-F additions (Table 16), realized as generator configurations
+//! matched to the published statistics.
+//!
+//! Every preset accepts a `scale ∈ (0, 1]`: edge counts scale linearly and
+//! node counts by `scale^0.75` (so average degree shrinks more slowly than
+//! size — the density *ordering* across datasets is preserved), with floors
+//! that keep small graphs trainable. `scale = 1.0` reproduces the paper's
+//! published node/edge counts exactly.
+
+use crate::features::FeatureInit;
+use crate::generators::{GeneratorConfig, LabelGenConfig};
+
+/// Published statistics from Table 2 / Table 16 (for reporting and for the
+/// `table2_stats` harness to compare against).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub domain: &'static str,
+    pub bipartite: bool,
+}
+
+/// Label rate used for node-classification presets. The real datasets have
+/// sub-percent positive rates (Reddit: 366/672k), which is untrainable at
+/// reduced scale; we use 5% and document the substitution in EXPERIMENTS.md.
+pub const NC_POSITIVE_RATE: f64 = 0.05;
+
+/// All benchmark datasets (Table 2 + Table 16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchDataset {
+    Reddit,
+    Wikipedia,
+    Mooc,
+    LastFm,
+    Taobao,
+    Enron,
+    SocialEvo,
+    Uci,
+    CollegeMsg,
+    CanParl,
+    Contact,
+    Flights,
+    UnTrade,
+    UsLegis,
+    UnVote,
+    // Appendix F additions:
+    EbaySmall,
+    YouTubeRedditSmall,
+    EbayLarge,
+    DGraphFin,
+    YouTubeRedditLarge,
+    TaobaoLarge,
+}
+
+impl BenchDataset {
+    /// The fifteen main-paper datasets, in Table 2 order.
+    pub fn all15() -> Vec<BenchDataset> {
+        use BenchDataset::*;
+        vec![
+            Reddit, Wikipedia, Mooc, LastFm, Taobao, Enron, SocialEvo, Uci, CollegeMsg,
+            CanParl, Contact, Flights, UnTrade, UsLegis, UnVote,
+        ]
+    }
+
+    /// The six Appendix-F datasets, in Table 16 order.
+    pub fn new6() -> Vec<BenchDataset> {
+        use BenchDataset::*;
+        vec![EbaySmall, YouTubeRedditSmall, EbayLarge, DGraphFin, YouTubeRedditLarge, TaobaoLarge]
+    }
+
+    /// The four "large-scale" datasets used for the Average Rank metric.
+    pub fn large4() -> Vec<BenchDataset> {
+        use BenchDataset::*;
+        vec![EbayLarge, DGraphFin, YouTubeRedditLarge, TaobaoLarge]
+    }
+
+    /// Datasets with node labels available for node classification.
+    pub fn labelled() -> Vec<BenchDataset> {
+        use BenchDataset::*;
+        vec![Reddit, Wikipedia, Mooc, EbaySmall, EbayLarge, DGraphFin]
+    }
+
+    pub fn name(&self) -> &'static str {
+        use BenchDataset::*;
+        match self {
+            Reddit => "Reddit",
+            Wikipedia => "Wikipedia",
+            Mooc => "MOOC",
+            LastFm => "LastFM",
+            Taobao => "Taobao",
+            Enron => "Enron",
+            SocialEvo => "SocialEvo",
+            Uci => "UCI",
+            CollegeMsg => "CollegeMsg",
+            CanParl => "CanParl",
+            Contact => "Contact",
+            Flights => "Flights",
+            UnTrade => "UNTrade",
+            UsLegis => "USLegis",
+            UnVote => "UNVote",
+            EbaySmall => "eBay-Small",
+            YouTubeRedditSmall => "YouTubeReddit-Small",
+            EbayLarge => "eBay-Large",
+            DGraphFin => "DGraphFin",
+            YouTubeRedditLarge => "YouTubeReddit-Large",
+            TaobaoLarge => "Taobao-Large",
+        }
+    }
+
+    /// Published statistics (Table 2 / Table 16).
+    pub fn paper_stats(&self) -> PaperStats {
+        use BenchDataset::*;
+        let (nodes, edges, domain, bipartite) = match self {
+            Reddit => (10_984, 672_447, "Social", true),
+            Wikipedia => (9_227, 157_474, "Social", true),
+            Mooc => (7_144, 411_749, "Interaction", true),
+            LastFm => (1_980, 1_293_103, "Interaction", true),
+            Taobao => (82_566, 77_436, "E-commerce", true),
+            Enron => (184, 125_235, "Social", false),
+            SocialEvo => (74, 2_099_519, "Proximity", false),
+            Uci => (1_899, 59_835, "Social", false),
+            CollegeMsg => (1_899, 59_834, "Social", false),
+            CanParl => (734, 74_478, "Politics", false),
+            Contact => (692, 2_426_279, "Proximity", false),
+            Flights => (13_169, 1_927_145, "Transport", false),
+            UnTrade => (255, 507_497, "Economics", false),
+            UsLegis => (225, 60_396, "Politics", false),
+            UnVote => (201, 1_035_742, "Politics", false),
+            EbaySmall => (38_427, 384_677, "E-commerce", true),
+            YouTubeRedditSmall => (264_443, 297_732, "Social", true),
+            EbayLarge => (1_333_594, 1_119_454, "E-commerce", true),
+            DGraphFin => (3_700_550, 4_300_999, "E-commerce", false),
+            YouTubeRedditLarge => (5_724_111, 4_228_523, "Social", true),
+            TaobaoLarge => (1_630_453, 5_008_745, "E-commerce", true),
+        };
+        PaperStats { nodes, edges, domain, bipartite }
+    }
+
+    /// Edge-feature dimension (Table 8 / Appendix A).
+    pub fn edge_dim(&self) -> usize {
+        use BenchDataset::*;
+        match self {
+            Reddit | Wikipedia | CollegeMsg => 172,
+            Mooc | Taobao | TaobaoLarge => 4,
+            LastFm | SocialEvo => 2,
+            Enron => 32,
+            Uci => 100,
+            CanParl | Contact | Flights | UnTrade | UsLegis | UnVote => 1,
+            EbaySmall | EbayLarge | DGraphFin => 8,
+            YouTubeRedditSmall | YouTubeRedditLarge => 8,
+        }
+    }
+
+    /// Whether this dataset carries node-classification labels, and how many
+    /// classes (Appendix G: DGraphFin has 4).
+    pub fn label_classes(&self) -> Option<usize> {
+        use BenchDataset::*;
+        match self {
+            Reddit | Wikipedia | Mooc | EbaySmall | EbayLarge => Some(2),
+            DGraphFin => Some(4),
+            _ => None,
+        }
+    }
+
+    /// Coarse timestamp quantization levels for large-granularity datasets
+    /// (CanParl is yearly 2006–2019; USLegis timestamps run 0..11; UNVote
+    /// spans 76 yearly roll-call sessions; UNTrade 30 years; Flights daily).
+    fn granularity(&self) -> Option<usize> {
+        use BenchDataset::*;
+        match self {
+            CanParl => Some(14),
+            UsLegis => Some(12),
+            UnVote => Some(76),
+            UnTrade => Some(30),
+            Flights => Some(120),
+            _ => None,
+        }
+    }
+
+    /// Recency bias and window of the recurrence process: large-granularity
+    /// session datasets (parliaments, legislatures) repeat edges within the
+    /// current session, making edge freshness the discriminative temporal
+    /// signal (what NeurTW's NODE component reads, Appendix H).
+    fn recency(&self) -> (f64, usize) {
+        use BenchDataset::*;
+        match self {
+            CanParl | UsLegis | UnVote | UnTrade => (0.9, 60),
+            LastFm | Contact | SocialEvo => (0.7, 300),
+            _ => (0.5, 500),
+        }
+    }
+
+    /// Structural knobs `(recurrence, burstiness, zipf, affinity, communities)`
+    /// chosen to mirror each dataset's published character: density from
+    /// Table 2, recurrence from the domain (music replay / physical
+    /// proximity ≫ e-commerce discovery), burstiness from the Fig. 5
+    /// temporal distributions.
+    fn knobs(&self) -> (f64, f64, f64, f64, usize) {
+        use BenchDataset::*;
+        match self {
+            Reddit => (0.60, 0.40, 0.9, 0.85, 8),
+            Wikipedia => (0.55, 0.40, 0.9, 0.85, 8),
+            Mooc => (0.50, 0.50, 0.8, 0.90, 4),
+            LastFm => (0.85, 0.50, 1.0, 0.90, 6),
+            Taobao => (0.05, 0.30, 1.1, 0.85, 10),
+            Enron => (0.80, 0.50, 0.8, 0.80, 4),
+            SocialEvo => (0.90, 0.60, 0.6, 0.85, 3),
+            Uci => (0.45, 0.45, 0.9, 0.85, 6),
+            CollegeMsg => (0.45, 0.45, 0.9, 0.85, 6),
+            CanParl => (0.30, 0.10, 0.6, 0.90, 4),
+            Contact => (0.85, 0.60, 0.6, 0.90, 4),
+            Flights => (0.70, 0.20, 1.0, 0.80, 8),
+            UnTrade => (0.60, 0.10, 0.7, 0.60, 4),
+            UsLegis => (0.40, 0.10, 0.6, 0.85, 3),
+            UnVote => (0.70, 0.10, 0.5, 0.60, 3),
+            EbaySmall | EbayLarge => (0.25, 0.35, 1.0, 0.85, 10),
+            YouTubeRedditSmall | YouTubeRedditLarge => (0.30, 0.45, 1.0, 0.85, 10),
+            DGraphFin => (0.20, 0.30, 0.9, 0.85, 8),
+            TaobaoLarge => (0.10, 0.30, 1.1, 0.85, 10),
+        }
+    }
+
+    /// User fraction of the node count for bipartite datasets (items are the
+    /// smaller side for Wikipedia/LastFM/MOOC-style catalogues).
+    fn user_fraction(&self) -> f64 {
+        use BenchDataset::*;
+        match self {
+            Wikipedia => 0.89, // 8,227 editors / 1,000 pages
+            LastFm => 0.5,     // 1,000 users / 1,000 songs
+            Mooc => 0.97,      // 7,047 students / 97 course units
+            Reddit => 0.91,    // 10,000 users / 984 subreddits
+            Taobao | TaobaoLarge => 0.66,
+            _ => 0.6,
+        }
+    }
+
+    /// Build the generator configuration at the given scale and seed.
+    pub fn config(&self, scale: f64, seed: u64) -> GeneratorConfig {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let stats = self.paper_stats();
+        let edges = ((stats.edges as f64 * scale).round() as usize).max(400);
+        let nodes = ((stats.nodes as f64 * scale.powf(0.75)).round() as usize).max(24);
+        let (recurrence, burstiness, zipf, affinity, communities) = self.knobs();
+        let (num_users, num_items) = if stats.bipartite {
+            let users = ((nodes as f64 * self.user_fraction()) as usize).max(12);
+            (users, (nodes - users).max(12))
+        } else {
+            (nodes, 0)
+        };
+        let time_span = match self.granularity() {
+            Some(levels) => levels as f64,
+            None => 10_000.0,
+        };
+        GeneratorConfig {
+            name: self.name().to_string(),
+            bipartite: stats.bipartite,
+            num_users,
+            num_items,
+            num_edges: edges,
+            edge_dim: self.edge_dim(),
+            time_span,
+            granularity_levels: self.granularity(),
+            recurrence,
+            recency_bias: self.recency().0,
+            recency_window: self.recency().1,
+            zipf_exponent: zipf,
+            communities,
+            affinity,
+            burstiness,
+            feature_noise: 0.25,
+            label: self.label_classes().map(|classes| {
+                if classes == 2 {
+                    LabelGenConfig::binary(NC_POSITIVE_RATE)
+                } else {
+                    LabelGenConfig { num_classes: classes, rare_rate: 0.08, decay: 0.05 }
+                }
+            }),
+            node_feature_init: FeatureInit::RandomFixed { seed: seed ^ 0x5eed, std: 0.1 },
+            node_dim: crate::features::STANDARD_NODE_DIM,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_main_and_six_new() {
+        assert_eq!(BenchDataset::all15().len(), 15);
+        assert_eq!(BenchDataset::new6().len(), 6);
+        assert_eq!(BenchDataset::large4().len(), 4);
+    }
+
+    #[test]
+    fn labelled_sets_carry_label_config() {
+        for d in BenchDataset::labelled() {
+            assert!(d.label_classes().is_some(), "{} should have labels", d.name());
+            let cfg = d.config(0.01, 1);
+            assert!(cfg.label.is_some());
+        }
+        assert!(BenchDataset::LastFm.label_classes().is_none());
+    }
+
+    #[test]
+    fn dgraphfin_is_four_class() {
+        assert_eq!(BenchDataset::DGraphFin.label_classes(), Some(4));
+    }
+
+    #[test]
+    fn full_scale_matches_paper_counts() {
+        let cfg = BenchDataset::Enron.config(1.0, 1);
+        assert_eq!(cfg.num_edges, 125_235);
+        assert_eq!(cfg.total_nodes(), 184);
+    }
+
+    #[test]
+    fn scaled_configs_generate_valid_graphs() {
+        for d in BenchDataset::all15() {
+            let cfg = d.config(0.002, 42);
+            let g = cfg.generate();
+            assert_eq!(g.validate(), Ok(()), "{} invalid", d.name());
+            assert!(g.num_events() >= 400);
+        }
+    }
+
+    #[test]
+    fn density_ordering_is_preserved() {
+        // SocialEvo must stay far denser than Taobao at any common scale.
+        let social = BenchDataset::SocialEvo.config(0.005, 1).generate();
+        let taobao = BenchDataset::Taobao.config(0.005, 1).generate();
+        let deg = |g: &crate::temporal_graph::TemporalGraph| {
+            g.num_events() as f64 / g.num_nodes as f64
+        };
+        assert!(deg(&social) > 20.0 * deg(&taobao));
+    }
+
+    #[test]
+    fn canparl_has_coarse_granularity() {
+        let g = BenchDataset::CanParl.config(0.01, 1).generate();
+        let mut ts: Vec<f64> = g.events.iter().map(|e| e.t).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.dedup();
+        assert!(ts.len() <= 14);
+    }
+
+    #[test]
+    fn edge_dims_match_table8() {
+        assert_eq!(BenchDataset::Reddit.edge_dim(), 172);
+        assert_eq!(BenchDataset::Mooc.edge_dim(), 4);
+        assert_eq!(BenchDataset::LastFm.edge_dim(), 2);
+        assert_eq!(BenchDataset::Enron.edge_dim(), 32);
+        assert_eq!(BenchDataset::Uci.edge_dim(), 100);
+        assert_eq!(BenchDataset::CanParl.edge_dim(), 1);
+    }
+}

@@ -1,0 +1,515 @@
+//! Synthetic temporal-interaction-stream generator.
+//!
+//! The paper evaluates on proprietary-or-large real datasets we cannot ship
+//! (see DESIGN.md §1). This generator produces interaction streams with the
+//! *structural signals the TGNN families exploit*, so the benchmark exercises
+//! the same code paths and the model-family orderings have a chance to hold:
+//!
+//! * **recurrence** — edges repeat (LastFM/Contact style); memory-based
+//!   models and EdgeBank benefit;
+//! * **preferential attachment** — Zipf-skewed node activity, matching the
+//!   heavy-tailed degree distributions of Table 2;
+//! * **community affinity** — same-community pairs share neighbors, which is
+//!   exactly the joint-neighborhood/motif signal CAWN, NeurTW and NAT read;
+//! * **temporal burstiness & granularity** — session-like gap mixtures and
+//!   coarse timestamp quantization (CanParl's yearly granularity) that the
+//!   time encoders / NODE components respond to;
+//! * **label process** — event labels driven by a hidden decayed risk state
+//!   of the source node (ban/dropout style) for the node-classification task.
+
+use rand::Rng;
+
+use benchtemp_tensor::init::{self, SeededRng};
+use benchtemp_tensor::Matrix;
+
+use crate::features::FeatureInit;
+use crate::temporal_graph::{EventLabels, Interaction, TemporalGraph};
+
+/// Label-process configuration for node-classification datasets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabelGenConfig {
+    pub num_classes: usize,
+    /// Target fraction of events in each non-majority class (binary: the
+    /// positive rate; multi-class: per-class rate for classes `1..`).
+    pub rare_rate: f64,
+    /// Exponential decay applied to the hidden risk state per unit time.
+    pub decay: f64,
+}
+
+impl LabelGenConfig {
+    /// Binary labels (ban/dropout events) at the given positive rate.
+    pub fn binary(rate: f64) -> Self {
+        LabelGenConfig { num_classes: 2, rare_rate: rate, decay: 0.05 }
+    }
+}
+
+/// Full generator configuration. Dataset presets (Table 2 / Table 16) live
+/// in [`crate::datasets`].
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    pub name: String,
+    pub bipartite: bool,
+    pub num_users: usize,
+    /// Item count for bipartite graphs; ignored when homogeneous.
+    pub num_items: usize,
+    pub num_edges: usize,
+    pub edge_dim: usize,
+    /// Total simulated time span.
+    pub time_span: f64,
+    /// Quantize timestamps to this many distinct values (e.g. 14 for a
+    /// yearly parliament network); `None` keeps continuous time.
+    pub granularity_levels: Option<usize>,
+    /// Probability a new event repeats a previously seen edge.
+    pub recurrence: f64,
+    /// When repeating, probability of drawing from the recent window rather
+    /// than uniformly over all history.
+    pub recency_bias: f64,
+    /// Size (in events) of the "recent" window recurrence draws from; small
+    /// windows make edge repetition strongly freshness-dependent (the
+    /// temporal signal time-aware models exploit).
+    pub recency_window: usize,
+    /// Zipf exponent for node-activity skew (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Probability a fresh edge stays within the source's community.
+    pub affinity: f64,
+    /// 0 = homogeneous-rate Poisson gaps; towards 1 = heavy session bursts.
+    pub burstiness: f64,
+    /// Std-dev of per-event feature noise around the community-pair pattern.
+    pub feature_noise: f32,
+    pub label: Option<LabelGenConfig>,
+    pub node_feature_init: FeatureInit,
+    pub node_dim: usize,
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A small, fast default used by tests and examples.
+    pub fn small(name: &str, seed: u64) -> Self {
+        GeneratorConfig {
+            name: name.into(),
+            bipartite: true,
+            num_users: 60,
+            num_items: 40,
+            num_edges: 1500,
+            edge_dim: 8,
+            time_span: 1000.0,
+            granularity_levels: None,
+            recurrence: 0.5,
+            recency_bias: 0.5,
+            recency_window: 500,
+            zipf_exponent: 0.8,
+            communities: 4,
+            affinity: 0.9,
+            burstiness: 0.3,
+            feature_noise: 0.2,
+            label: None,
+            node_feature_init: FeatureInit::default_random(),
+            node_dim: 16,
+            seed,
+        }
+    }
+
+    pub fn total_nodes(&self) -> usize {
+        if self.bipartite {
+            self.num_users + self.num_items
+        } else {
+            self.num_users
+        }
+    }
+
+    /// Generate the temporal graph.
+    pub fn generate(&self) -> TemporalGraph {
+        assert!(self.num_users >= 2, "need at least 2 users");
+        assert!(!self.bipartite || self.num_items >= 2, "need at least 2 items");
+        assert!(self.num_edges >= 1);
+        let mut rng = init::rng(self.seed);
+        let n = self.total_nodes();
+
+        // --- per-node community + activity weights (Zipf with shuffled rank)
+        let communities = assign_communities(n, self.communities.max(1), &mut rng);
+        let user_range = 0..self.num_users;
+        let item_range = if self.bipartite { self.num_users..n } else { 0..n };
+        let user_sampler =
+            WeightedNodeSampler::new(user_range.clone(), &communities, self.zipf_exponent, &mut rng);
+        let item_sampler =
+            WeightedNodeSampler::new(item_range.clone(), &communities, self.zipf_exponent, &mut rng);
+
+        // --- timestamps
+        let times = self.generate_times(&mut rng);
+
+        // --- events
+        let mut history: Vec<(usize, usize)> = Vec::with_capacity(self.num_edges);
+        let mut events = Vec::with_capacity(self.num_edges);
+        for (r, &t) in times.iter().enumerate() {
+            let (src, dst) = if !history.is_empty() && rng.gen_bool(self.recurrence) {
+                // Repeat an existing edge (recency-biased or uniform).
+                let idx = if rng.gen_bool(self.recency_bias) {
+                    let window = history.len().min(self.recency_window.max(1));
+                    history.len() - 1 - rng.gen_range(0..window)
+                } else {
+                    rng.gen_range(0..history.len())
+                };
+                history[idx]
+            } else {
+                let src = user_sampler.sample_any(&mut rng);
+                let dst = if rng.gen_bool(self.affinity) {
+                    item_sampler
+                        .sample_in_community(communities[src], &mut rng)
+                        .unwrap_or_else(|| item_sampler.sample_any(&mut rng))
+                } else {
+                    item_sampler.sample_any(&mut rng)
+                };
+                (src, dst)
+            };
+            let (src, dst) = if !self.bipartite && src == dst {
+                // No self-loops in homogeneous graphs: nudge deterministically.
+                (src, (dst + 1) % n)
+            } else {
+                (src, dst)
+            };
+            history.push((src, dst));
+            events.push(Interaction { src, dst, t, feat_idx: r });
+        }
+
+        // --- edge features: community-pair pattern + periodic time component
+        let edge_features =
+            self.generate_edge_features(&events, &communities, &mut rng);
+
+        // --- labels
+        let labels = self
+            .label
+            .as_ref()
+            .map(|cfg| self.generate_labels(cfg, &events, &edge_features, &mut rng));
+
+        let graph = TemporalGraph {
+            name: self.name.clone(),
+            bipartite: self.bipartite,
+            num_nodes: n,
+            num_users: if self.bipartite { self.num_users } else { n },
+            events,
+            edge_features,
+            node_features: self.node_feature_init.build(n, self.node_dim),
+            labels,
+        };
+        debug_assert_eq!(graph.validate(), Ok(()));
+        graph
+    }
+
+    fn generate_times(&self, rng: &mut SeededRng) -> Vec<f64> {
+        let mut gaps = Vec::with_capacity(self.num_edges);
+        for _ in 0..self.num_edges {
+            // Exponential gap, modulated by burst state.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let mut gap = -u.ln();
+            if self.burstiness > 0.0 {
+                if rng.gen_bool(self.burstiness) {
+                    gap *= 0.05; // inside a session burst
+                } else if rng.gen_bool((self.burstiness * 0.3).min(1.0)) {
+                    gap *= 10.0; // long lull between sessions
+                }
+            }
+            gaps.push(gap);
+        }
+        // Normalize cumulative sum onto [0, time_span].
+        let total: f64 = gaps.iter().sum();
+        let scale = if total > 0.0 { self.time_span / total } else { 0.0 };
+        let mut t = 0.0;
+        let mut times: Vec<f64> = gaps
+            .into_iter()
+            .map(|g| {
+                t += g * scale;
+                t
+            })
+            .collect();
+        if let Some(levels) = self.granularity_levels {
+            let levels = levels.max(1) as f64;
+            for t in &mut times {
+                // Snap to one of `levels` coarse ticks (yearly granularity).
+                *t = (*t / self.time_span * levels).floor().min(levels - 1.0)
+                    * (self.time_span / levels);
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        }
+        times
+    }
+
+    fn generate_edge_features(
+        &self,
+        events: &[Interaction],
+        communities: &[usize],
+        rng: &mut SeededRng,
+    ) -> Matrix {
+        let c = self.communities.max(1);
+        // One pattern vector per (src community, dst community) pair.
+        let patterns = init::randn(c * c, self.edge_dim, 1.0, rng);
+        let mut feats = Matrix::zeros(events.len(), self.edge_dim);
+        let period = self.time_span / 8.0;
+        for (r, ev) in events.iter().enumerate() {
+            let pair = communities[ev.src] * c + communities[ev.dst];
+            let phase = if period > 0.0 {
+                ((ev.t / period) * std::f64::consts::TAU).sin() as f32
+            } else {
+                0.0
+            };
+            let row = feats.row_mut(r);
+            for (d, val) in row.iter_mut().enumerate() {
+                let noise = self.feature_noise * init::standard_normal(rng);
+                let periodic = if d % 3 == 0 { 0.3 * phase } else { 0.0 };
+                *val = patterns.get(pair, d) + periodic + noise;
+            }
+        }
+        feats
+    }
+
+    /// Hidden-state label process: each source node carries a decayed risk
+    /// accumulated from a secret projection of its edge features; the rarest
+    /// quantiles become the rare classes (bans / dropouts / fraud tiers).
+    fn generate_labels(
+        &self,
+        cfg: &LabelGenConfig,
+        events: &[Interaction],
+        edge_features: &Matrix,
+        rng: &mut SeededRng,
+    ) -> EventLabels {
+        assert!(cfg.num_classes >= 2, "need at least 2 classes");
+        let secret = init::randn(1, self.edge_dim, 1.0, rng);
+        let mut risk = vec![0.0f64; self.total_nodes()];
+        let mut last_t = vec![0.0f64; self.total_nodes()];
+        let mut scores = Vec::with_capacity(events.len());
+        for ev in events {
+            let dt = (ev.t - last_t[ev.src]).max(0.0);
+            risk[ev.src] *= (-cfg.decay * dt).exp();
+            let contrib: f32 = edge_features
+                .row(ev.feat_idx)
+                .iter()
+                .zip(secret.row(0))
+                .map(|(&e, &w)| e * w)
+                .sum();
+            risk[ev.src] += contrib as f64;
+            last_t[ev.src] = ev.t;
+            scores.push(risk[ev.src]);
+        }
+        // Thresholds from score quantiles to hit the target class rates.
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rare = cfg.num_classes - 1;
+        let mut thresholds = Vec::with_capacity(rare);
+        for k in 0..rare {
+            let frac = 1.0 - cfg.rare_rate * (rare - k) as f64;
+            let idx = ((sorted.len() as f64 * frac) as usize).min(sorted.len() - 1);
+            thresholds.push(sorted[idx]);
+        }
+        let labels = scores
+            .iter()
+            .map(|&s| {
+                let mut class = 0u32;
+                for (k, &th) in thresholds.iter().enumerate() {
+                    if s >= th {
+                        class = (k + 1) as u32;
+                    }
+                }
+                class
+            })
+            .collect();
+        EventLabels { labels, num_classes: cfg.num_classes }
+    }
+}
+
+/// Round-robin community assignment shuffled by the RNG so communities are
+/// size-balanced but node ids uninformative.
+fn assign_communities(n: usize, c: usize, rng: &mut SeededRng) -> Vec<usize> {
+    let mut comm: Vec<usize> = (0..n).map(|i| i % c).collect();
+    // Fisher–Yates
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        comm.swap(i, j);
+    }
+    comm
+}
+
+/// Zipf-weighted node sampler with per-community sub-samplers.
+struct WeightedNodeSampler {
+    nodes: Vec<usize>,
+    cumulative: Vec<f64>,
+    by_community: Vec<(Vec<usize>, Vec<f64>)>,
+}
+
+impl WeightedNodeSampler {
+    fn new(
+        range: std::ops::Range<usize>,
+        communities: &[usize],
+        zipf: f64,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let nodes: Vec<usize> = range.collect();
+        // Random rank per node so "popular" nodes are seed-dependent.
+        let mut ranks: Vec<usize> = (0..nodes.len()).collect();
+        for i in (1..ranks.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ranks.swap(i, j);
+        }
+        let weights: Vec<f64> =
+            ranks.iter().map(|&r| 1.0 / ((r + 1) as f64).powf(zipf)).collect();
+        let ncomm = communities.iter().copied().max().unwrap_or(0) + 1;
+        let mut by_community: Vec<(Vec<usize>, Vec<f64>)> = vec![(vec![], vec![]); ncomm];
+        for (k, &node) in nodes.iter().enumerate() {
+            let (ns, ws) = &mut by_community[communities[node]];
+            ns.push(node);
+            let prev = ws.last().copied().unwrap_or(0.0);
+            ws.push(prev + weights[k]);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        WeightedNodeSampler { nodes, cumulative, by_community }
+    }
+
+    fn sample_any(&self, rng: &mut SeededRng) -> usize {
+        let total = *self.cumulative.last().expect("empty sampler");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        self.nodes[idx.min(self.nodes.len() - 1)]
+    }
+
+    fn sample_in_community(&self, community: usize, rng: &mut SeededRng) -> Option<usize> {
+        let (ns, ws) = self.by_community.get(community)?;
+        let total = *ws.last()?;
+        if total <= 0.0 {
+            return None;
+        }
+        let x = rng.gen_range(0.0..total);
+        let idx = ws.partition_point(|&c| c <= x);
+        Some(ns[idx.min(ns.len() - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_valid_and_sized() {
+        let g = GeneratorConfig::small("t", 1).generate();
+        assert_eq!(g.validate(), Ok(()));
+        assert_eq!(g.num_events(), 1500);
+        assert_eq!(g.num_nodes, 100);
+        assert_eq!(g.num_users, 60);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = GeneratorConfig::small("t", 7).generate();
+        let b = GeneratorConfig::small("t", 7).generate();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.edge_features, b.edge_features);
+        let c = GeneratorConfig::small("t", 8).generate();
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn recurrence_produces_repeated_edges() {
+        let mut cfg = GeneratorConfig::small("t", 3);
+        cfg.recurrence = 0.8;
+        let g = cfg.generate();
+        let mut set = std::collections::HashSet::new();
+        for ev in &g.events {
+            set.insert((ev.src, ev.dst));
+        }
+        // With 80% recurrence, distinct edges ≪ events.
+        assert!(set.len() < g.num_events() / 2, "{} distinct", set.len());
+    }
+
+    #[test]
+    fn zero_recurrence_spreads_edges() {
+        let mut cfg = GeneratorConfig::small("t", 3);
+        cfg.recurrence = 0.0;
+        let g = cfg.generate();
+        let mut set = std::collections::HashSet::new();
+        for ev in &g.events {
+            set.insert((ev.src, ev.dst));
+        }
+        assert!(set.len() > g.num_events() / 3, "{} distinct", set.len());
+    }
+
+    #[test]
+    fn granularity_quantizes_timestamps() {
+        let mut cfg = GeneratorConfig::small("t", 5);
+        cfg.granularity_levels = Some(14); // CanParl: yearly ticks
+        let g = cfg.generate();
+        let mut distinct: Vec<f64> = g.events.iter().map(|e| e.t).collect();
+        distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        distinct.dedup();
+        assert!(distinct.len() <= 14, "{} distinct timestamps", distinct.len());
+    }
+
+    #[test]
+    fn homogeneous_graph_has_no_self_loops() {
+        let mut cfg = GeneratorConfig::small("t", 9);
+        cfg.bipartite = false;
+        cfg.num_users = 50;
+        let g = cfg.generate();
+        assert_eq!(g.validate(), Ok(()));
+        assert!(g.events.iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn binary_labels_hit_target_rate() {
+        let mut cfg = GeneratorConfig::small("t", 11);
+        cfg.num_edges = 5000;
+        cfg.label = Some(LabelGenConfig::binary(0.1));
+        let g = cfg.generate();
+        let rates = g.labels.unwrap().class_rates();
+        assert!((rates[1] - 0.1).abs() < 0.03, "positive rate {}", rates[1]);
+    }
+
+    #[test]
+    fn multiclass_labels_cover_all_classes() {
+        let mut cfg = GeneratorConfig::small("t", 13);
+        cfg.num_edges = 4000;
+        cfg.label = Some(LabelGenConfig { num_classes: 4, rare_rate: 0.08, decay: 0.05 });
+        let g = cfg.generate();
+        let labels = g.labels.unwrap();
+        let rates = labels.class_rates();
+        assert_eq!(rates.len(), 4);
+        assert!(rates.iter().all(|&r| r > 0.0), "empty class: {rates:?}");
+    }
+
+    #[test]
+    fn community_affinity_concentrates_edges() {
+        // High-affinity config: most fresh edges stay in-community. We can't
+        // observe communities directly, but affinity + recurrence means the
+        // bipartite graph is far from a random bipartite graph: measure via
+        // repeat-neighbor concentration per user.
+        let mut hi = GeneratorConfig::small("t", 17);
+        hi.affinity = 0.95;
+        hi.recurrence = 0.0;
+        let mut lo = hi.clone();
+        lo.affinity = 0.0;
+        let conc = |g: &TemporalGraph| {
+            let mut per_user: Vec<std::collections::HashSet<usize>> =
+                vec![Default::default(); g.num_users];
+            for ev in &g.events {
+                per_user[ev.src].insert(ev.dst);
+            }
+            let used: Vec<_> = per_user.iter().filter(|s| !s.is_empty()).collect();
+            used.iter().map(|s| s.len()).sum::<usize>() as f64 / used.len() as f64
+        };
+        // In-community edges restrict the candidate item pool → fewer
+        // distinct partners per user.
+        assert!(conc(&hi.generate()) < conc(&lo.generate()));
+    }
+
+    #[test]
+    fn timestamps_span_the_configured_range() {
+        let g = GeneratorConfig::small("t", 19).generate();
+        let (lo, hi) = g.time_span();
+        assert!(lo >= 0.0);
+        assert!(hi <= 1000.0 + 1e-6);
+        assert!(hi > 500.0, "stream should fill most of the span, got {hi}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Dataset persistence: the reference BenchTemp ships each benchmark
+//! dataset as a CSV edge list plus feature arrays; this module round-trips
+//! a [`TemporalGraph`] through the same layout so generated datasets can be
+//! shared, inspected, and reloaded without regenerating.
+//!
+//! Layout under a dataset directory:
+//! * `meta.json` — name, bipartite flag, node counts, dims, label classes;
+//! * `edges.csv` — `src,dst,t,feat_idx[,label]` per interaction;
+//! * `edge_features.bin` / `node_features.bin` — little-endian f32 row-major.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use benchtemp_tensor::Matrix;
+
+use crate::temporal_graph::{EventLabels, Interaction, TemporalGraph};
+
+#[derive(Serialize, Deserialize)]
+struct Meta {
+    name: String,
+    bipartite: bool,
+    num_nodes: usize,
+    num_users: usize,
+    num_events: usize,
+    edge_dim: usize,
+    node_dim: usize,
+    label_classes: Option<usize>,
+    format_version: u32,
+}
+
+/// Errors surfaced while loading/saving datasets.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> IoError {
+    IoError::Format(msg.into())
+}
+
+/// Save a dataset into `dir` (created if missing).
+pub fn save_dataset(graph: &TemporalGraph, dir: &Path) -> Result<(), IoError> {
+    graph.validate().map_err(format_err)?;
+    std::fs::create_dir_all(dir)?;
+    let meta = Meta {
+        name: graph.name.clone(),
+        bipartite: graph.bipartite,
+        num_nodes: graph.num_nodes,
+        num_users: graph.num_users,
+        num_events: graph.num_events(),
+        edge_dim: graph.edge_dim(),
+        node_dim: graph.node_dim(),
+        label_classes: graph.labels.as_ref().map(|l| l.num_classes),
+        format_version: 1,
+    };
+    std::fs::write(
+        dir.join("meta.json"),
+        serde_json::to_string_pretty(&meta).expect("serialize meta"),
+    )?;
+
+    let mut edges = BufWriter::new(std::fs::File::create(dir.join("edges.csv"))?);
+    match &graph.labels {
+        Some(labels) => {
+            writeln!(edges, "src,dst,t,feat_idx,label")?;
+            for (ev, &l) in graph.events.iter().zip(&labels.labels) {
+                writeln!(edges, "{},{},{},{},{}", ev.src, ev.dst, ev.t, ev.feat_idx, l)?;
+            }
+        }
+        None => {
+            writeln!(edges, "src,dst,t,feat_idx")?;
+            for ev in &graph.events {
+                writeln!(edges, "{},{},{},{}", ev.src, ev.dst, ev.t, ev.feat_idx)?;
+            }
+        }
+    }
+    edges.flush()?;
+
+    write_matrix(&graph.edge_features, &dir.join("edge_features.bin"))?;
+    write_matrix(&graph.node_features, &dir.join("node_features.bin"))?;
+    Ok(())
+}
+
+/// Load a dataset previously written by [`save_dataset`].
+pub fn load_dataset(dir: &Path) -> Result<TemporalGraph, IoError> {
+    let meta: Meta = serde_json::from_str(&std::fs::read_to_string(dir.join("meta.json"))?)
+        .map_err(|e| format_err(format!("meta.json: {e}")))?;
+    if meta.format_version != 1 {
+        return Err(format_err(format!("unsupported format version {}", meta.format_version)));
+    }
+
+    let file = BufReader::new(std::fs::File::open(dir.join("edges.csv"))?);
+    let mut lines = file.lines();
+    let header = lines.next().ok_or_else(|| format_err("edges.csv is empty"))??;
+    let has_labels = header.trim_end().ends_with(",label");
+    let mut events = Vec::with_capacity(meta.num_events);
+    let mut labels = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let mut field = |name: &str| {
+            cols.next()
+                .ok_or_else(|| format_err(format!("edges.csv line {}: missing {name}", lineno + 2)))
+        };
+        let src: usize = parse(field("src")?, lineno)?;
+        let dst: usize = parse(field("dst")?, lineno)?;
+        let t: f64 = parse(field("t")?, lineno)?;
+        let feat_idx: usize = parse(field("feat_idx")?, lineno)?;
+        events.push(Interaction { src, dst, t, feat_idx });
+        if has_labels {
+            labels.push(parse::<u32>(field("label")?, lineno)?);
+        }
+    }
+    if events.len() != meta.num_events {
+        return Err(format_err(format!(
+            "meta says {} events, edges.csv has {}",
+            meta.num_events,
+            events.len()
+        )));
+    }
+
+    let edge_features =
+        read_matrix(&dir.join("edge_features.bin"), meta.num_events, meta.edge_dim)?;
+    let node_features =
+        read_matrix(&dir.join("node_features.bin"), meta.num_nodes, meta.node_dim)?;
+
+    let graph = TemporalGraph {
+        name: meta.name,
+        bipartite: meta.bipartite,
+        num_nodes: meta.num_nodes,
+        num_users: meta.num_users,
+        events,
+        edge_features,
+        node_features,
+        labels: meta.label_classes.map(|num_classes| EventLabels { labels, num_classes }),
+    };
+    graph.validate().map_err(format_err)?;
+    Ok(graph)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, lineno: usize) -> Result<T, IoError> {
+    s.trim().parse().map_err(|_| {
+        format_err(format!("edges.csv line {}: cannot parse {:?}", lineno + 2, s))
+    })
+}
+
+fn write_matrix(m: &Matrix, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let (rows, cols) = m.shape();
+    w.write_all(&(rows as u64).to_le_bytes())?;
+    w.write_all(&(cols as u64).to_le_bytes())?;
+    for &x in m.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn read_matrix(path: &Path, expect_rows: usize, expect_cols: usize) -> Result<Matrix, IoError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let rows = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let cols = u64::from_le_bytes(u64buf) as usize;
+    if rows != expect_rows || cols != expect_cols {
+        return Err(format_err(format!(
+            "{}: expected {}x{}, file says {}x{}",
+            path.display(),
+            expect_rows,
+            expect_cols,
+            rows,
+            cols
+        )));
+    }
+    let mut bytes = Vec::with_capacity(rows * cols * 4);
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() != rows * cols * 4 {
+        return Err(format_err(format!(
+            "{}: expected {} bytes of f32 data, found {}",
+            path.display(),
+            rows * cols * 4,
+            bytes.len()
+        )));
+    }
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GeneratorConfig, LabelGenConfig};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("benchtemp_io_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_unlabelled() {
+        let g = GeneratorConfig::small("io", 501).generate();
+        let dir = tmpdir("plain");
+        save_dataset(&g, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        assert_eq!(g.name, loaded.name);
+        assert_eq!(g.events, loaded.events);
+        assert_eq!(g.edge_features, loaded.edge_features);
+        assert_eq!(g.node_features, loaded.node_features);
+        assert!(loaded.labels.is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn round_trip_labelled() {
+        let mut cfg = GeneratorConfig::small("io-l", 502);
+        cfg.label = Some(LabelGenConfig::binary(0.1));
+        let g = cfg.generate();
+        let dir = tmpdir("labelled");
+        save_dataset(&g, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        assert_eq!(g.labels, loaded.labels);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn loading_missing_dir_errors() {
+        let err = load_dataset(Path::new("/nonexistent/benchtemp")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+    }
+
+    #[test]
+    fn corrupted_feature_file_is_rejected() {
+        let g = GeneratorConfig::small("io-c", 503).generate();
+        let dir = tmpdir("corrupt");
+        save_dataset(&g, &dir).unwrap();
+        // Truncate the edge features.
+        let path = dir.join("edge_features.bin");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn meta_event_count_mismatch_is_rejected() {
+        let g = GeneratorConfig::small("io-m", 504).generate();
+        let dir = tmpdir("meta");
+        save_dataset(&g, &dir).unwrap();
+        // Drop one CSV line.
+        let csv = std::fs::read_to_string(dir.join("edges.csv")).unwrap();
+        let trimmed: Vec<&str> = csv.lines().collect();
+        std::fs::write(dir.join("edges.csv"), trimmed[..trimmed.len() - 1].join("\n")).unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

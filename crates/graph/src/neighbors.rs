@@ -1,0 +1,292 @@
+//! Time-indexed adjacency: the temporal neighbor finder every sampling-based
+//! model (TGN, TGAT, CAWN, NeurTW, NAT, TeMP) queries.
+//!
+//! Interactions are stored per node sorted by time, so "neighbors strictly
+//! before `t`" is a binary search. Three sampling strategies are provided:
+//! most-recent (TGN default), uniform (TGAT default), and the
+//! temporal-biased sampling of NeurTW with the Appendix-C overflow-safe
+//! weighting (Eq. 2–3) for large-granularity datasets.
+
+use rand::Rng;
+
+use benchtemp_tensor::init::SeededRng;
+
+use crate::temporal_graph::Interaction;
+
+/// One entry in a node's temporal adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NeighborEvent {
+    pub neighbor: usize,
+    pub t: f64,
+    /// Index of the originating interaction in the event stream.
+    pub event_idx: usize,
+}
+
+/// How to pick `k` temporal neighbors from the history before `t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SamplingStrategy {
+    /// The `k` most recent interactions (TGN).
+    MostRecent,
+    /// Uniform over all prior interactions, with replacement (TGAT).
+    Uniform,
+    /// Probability ∝ exp(α·(t′−t)) — recency-biased (NeurTW default).
+    /// Overflows for large |t′−t|; see [`SamplingStrategy::TemporalSafe`].
+    TemporalExp { alpha: f64 },
+    /// The overflow-safe piecewise weighting of Appendix C Eq. 2–3:
+    /// `W = 1` when t′ = t, else `W = 1/(t−t′)` for history (t′ < t).
+    TemporalSafe,
+}
+
+/// Sorted temporal adjacency over a (prefix of a) temporal graph.
+pub struct NeighborFinder {
+    adj: Vec<Vec<NeighborEvent>>,
+}
+
+impl NeighborFinder {
+    /// Build from an event stream; edges are indexed in both directions
+    /// (message passing treats interactions as undirected, as in TGN).
+    pub fn from_events(num_nodes: usize, events: &[Interaction]) -> Self {
+        let mut adj: Vec<Vec<NeighborEvent>> = vec![Vec::new(); num_nodes];
+        for (idx, ev) in events.iter().enumerate() {
+            adj[ev.src].push(NeighborEvent { neighbor: ev.dst, t: ev.t, event_idx: idx });
+            adj[ev.dst].push(NeighborEvent { neighbor: ev.src, t: ev.t, event_idx: idx });
+        }
+        // Events arrive time-sorted, so each list is already sorted; assert
+        // in debug builds rather than paying a sort.
+        #[cfg(debug_assertions)]
+        for list in &adj {
+            debug_assert!(list.windows(2).all(|w| w[0].t <= w[1].t));
+        }
+        NeighborFinder { adj }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Total interactions a node participates in.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj[node].len()
+    }
+
+    /// All interactions of `node` strictly before `t`, time-sorted.
+    pub fn before(&self, node: usize, t: f64) -> &[NeighborEvent] {
+        let list = &self.adj[node];
+        let cut = list.partition_point(|e| e.t < t);
+        &list[..cut]
+    }
+
+    /// The single most recent interaction strictly before `t`.
+    pub fn last_before(&self, node: usize, t: f64) -> Option<NeighborEvent> {
+        self.before(node, t).last().copied()
+    }
+
+    /// Sample up to `k` temporal neighbors of `node` before `t`. Returns
+    /// fewer than `k` (possibly zero) entries when history is short and the
+    /// strategy is `MostRecent`; weighted strategies sample with
+    /// replacement, matching the reference implementations.
+    pub fn sample_before(
+        &self,
+        node: usize,
+        t: f64,
+        k: usize,
+        strategy: SamplingStrategy,
+        rng: &mut SeededRng,
+    ) -> Vec<NeighborEvent> {
+        let hist = self.before(node, t);
+        if hist.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        match strategy {
+            SamplingStrategy::MostRecent => {
+                hist[hist.len().saturating_sub(k)..].to_vec()
+            }
+            SamplingStrategy::Uniform => {
+                (0..k).map(|_| hist[rng.gen_range(0..hist.len())]).collect()
+            }
+            SamplingStrategy::TemporalExp { alpha } => {
+                let weights: Vec<f64> =
+                    hist.iter().map(|e| (alpha * (e.t - t)).exp()).collect();
+                weighted_sample(hist, &weights, k, rng)
+            }
+            SamplingStrategy::TemporalSafe => {
+                let weights: Vec<f64> = hist
+                    .iter()
+                    .map(|e| {
+                        let d = t - e.t;
+                        if d <= 0.0 {
+                            1.0
+                        } else {
+                            1.0 / d
+                        }
+                    })
+                    .collect();
+                weighted_sample(hist, &weights, k, rng)
+            }
+        }
+    }
+
+    /// Heap footprint (efficiency accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.adj
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<NeighborEvent>())
+            .sum::<usize>()
+            + self.adj.capacity() * std::mem::size_of::<Vec<NeighborEvent>>()
+    }
+}
+
+fn weighted_sample(
+    hist: &[NeighborEvent],
+    weights: &[f64],
+    k: usize,
+    rng: &mut SeededRng,
+) -> Vec<NeighborEvent> {
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += if w.is_finite() { w } else { 0.0 };
+        cumulative.push(acc);
+    }
+    if acc <= 0.0 {
+        // Degenerate weights (e.g. exp underflowed everywhere): uniform.
+        return (0..k).map(|_| hist[rng.gen_range(0..hist.len())]).collect();
+    }
+    (0..k)
+        .map(|_| {
+            let x = rng.gen_range(0.0..acc);
+            let idx = cumulative.partition_point(|&c| c <= x);
+            hist[idx.min(hist.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchtemp_tensor::init::rng;
+
+    fn events() -> Vec<Interaction> {
+        vec![
+            Interaction { src: 0, dst: 1, t: 1.0, feat_idx: 0 },
+            Interaction { src: 0, dst: 2, t: 2.0, feat_idx: 1 },
+            Interaction { src: 1, dst: 2, t: 3.0, feat_idx: 2 },
+            Interaction { src: 0, dst: 1, t: 4.0, feat_idx: 3 },
+        ]
+    }
+
+    #[test]
+    fn before_is_strict_and_sorted() {
+        let nf = NeighborFinder::from_events(3, &events());
+        let h = nf.before(0, 4.0);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].neighbor, 1);
+        assert_eq!(h[1].neighbor, 2);
+        // strictness: the t=4.0 event is excluded at t=4.0
+        assert_eq!(nf.before(0, 4.5).len(), 3);
+        assert_eq!(nf.before(0, 1.0).len(), 0);
+    }
+
+    #[test]
+    fn both_directions_indexed() {
+        let nf = NeighborFinder::from_events(3, &events());
+        // node 2 appears only as dst but must still have history.
+        assert_eq!(nf.degree(2), 2);
+        assert_eq!(nf.before(2, 10.0)[0].neighbor, 0);
+    }
+
+    #[test]
+    fn most_recent_takes_tail() {
+        let nf = NeighborFinder::from_events(3, &events());
+        let mut r = rng(1);
+        let s = nf.sample_before(0, 10.0, 2, SamplingStrategy::MostRecent, &mut r);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].t, 2.0);
+        assert_eq!(s[1].t, 4.0);
+    }
+
+    #[test]
+    fn uniform_fills_k_with_replacement() {
+        let nf = NeighborFinder::from_events(3, &events());
+        let mut r = rng(1);
+        let s = nf.sample_before(0, 10.0, 8, SamplingStrategy::Uniform, &mut r);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|e| e.t < 10.0));
+    }
+
+    #[test]
+    fn empty_history_returns_empty() {
+        let nf = NeighborFinder::from_events(4, &events());
+        let mut r = rng(1);
+        assert!(nf
+            .sample_before(3, 10.0, 4, SamplingStrategy::Uniform, &mut r)
+            .is_empty());
+    }
+
+    #[test]
+    fn temporal_exp_prefers_recent() {
+        // Node 0 history at t ∈ {1, 2, 4}; strong recency bias should pick
+        // t = 4 nearly always.
+        let nf = NeighborFinder::from_events(3, &events());
+        let mut r = rng(1);
+        let s = nf.sample_before(0, 5.0, 200, SamplingStrategy::TemporalExp { alpha: 5.0 }, &mut r);
+        let recent = s.iter().filter(|e| e.t == 4.0).count();
+        assert!(recent > 180, "only {recent}/200 picked the recent event");
+    }
+
+    #[test]
+    fn temporal_exp_underflow_falls_back_to_uniform() {
+        // Huge time gaps: exp(α·(t′−t)) underflows to 0 for every candidate
+        // (the overflow/underflow problem Appendix C fixes). Sampling must
+        // still return k entries.
+        let evs = vec![
+            Interaction { src: 0, dst: 1, t: 0.0, feat_idx: 0 },
+            Interaction { src: 0, dst: 2, t: 1.0, feat_idx: 1 },
+        ];
+        let nf = NeighborFinder::from_events(3, &evs);
+        let mut r = rng(1);
+        let s = nf.sample_before(
+            0,
+            1.0e9,
+            10,
+            SamplingStrategy::TemporalExp { alpha: 1.0 },
+            &mut r,
+        );
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn temporal_safe_handles_large_granularity() {
+        // Same huge gaps: the safe weighting still prefers the more recent
+        // event but never under/overflows.
+        let evs = vec![
+            Interaction { src: 0, dst: 1, t: 0.0, feat_idx: 0 },
+            Interaction { src: 0, dst: 2, t: 9.0e8, feat_idx: 1 },
+        ];
+        let nf = NeighborFinder::from_events(3, &evs);
+        let mut r = rng(1);
+        let s = nf.sample_before(0, 1.0e9, 300, SamplingStrategy::TemporalSafe, &mut r);
+        let recent = s.iter().filter(|e| e.t > 0.0).count();
+        assert!(recent > 250, "safe weighting should prefer recent: {recent}/300");
+    }
+
+    #[test]
+    fn matches_naive_scan() {
+        let g = crate::generators::GeneratorConfig::small("nf", 5).generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        for &t in &[0.0, 123.4, 500.0, 1500.0] {
+            for node in 0..g.num_nodes.min(20) {
+                let naive: Vec<usize> = g
+                    .events
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.t < t && (e.src == node || e.dst == node))
+                    .map(|(i, _)| i)
+                    .collect();
+                let fast: Vec<usize> =
+                    nf.before(node, t).iter().map(|e| e.event_idx).collect();
+                assert_eq!(naive, fast, "node {node} t {t}");
+            }
+        }
+    }
+}

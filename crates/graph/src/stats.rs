@@ -1,0 +1,139 @@
+//! Dataset statistics (Table 2 / Table 16) and the temporal edge
+//! distributions of Fig. 5 / Fig. 8 / Fig. 9.
+
+use serde::Serialize;
+
+use crate::temporal_graph::TemporalGraph;
+
+/// Computed statistics for one dataset, mirroring Table 2's columns plus a
+/// few the generators are tuned against.
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetStats {
+    pub name: String,
+    pub num_nodes: usize,
+    pub num_edges: usize,
+    /// `#edges / #nodes` (Table 2's "Avg. Degree").
+    pub avg_degree: f64,
+    /// Distinct (src,dst) pairs over all possible pairs.
+    pub edge_density: f64,
+    pub distinct_edges: usize,
+    /// Fraction of events repeating an earlier (src,dst) pair — the signal
+    /// EdgeBank-style memorization exploits.
+    pub recurrence_ratio: f64,
+    pub time_span: f64,
+    pub distinct_timestamps: usize,
+    pub bipartite: bool,
+}
+
+impl DatasetStats {
+    pub fn compute(g: &TemporalGraph) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut repeats = 0usize;
+        for ev in &g.events {
+            if !seen.insert((ev.src, ev.dst)) {
+                repeats += 1;
+            }
+        }
+        let mut ts: Vec<f64> = g.events.iter().map(|e| e.t).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.dedup();
+        let possible_pairs = if g.bipartite {
+            g.num_users as f64 * (g.num_nodes - g.num_users) as f64
+        } else {
+            let n = g.num_nodes as f64;
+            n * (n - 1.0)
+        };
+        let (lo, hi) = g.time_span();
+        DatasetStats {
+            name: g.name.clone(),
+            num_nodes: g.num_nodes,
+            num_edges: g.num_events(),
+            avg_degree: g.num_events() as f64 / g.num_nodes.max(1) as f64,
+            edge_density: seen.len() as f64 / possible_pairs.max(1.0),
+            distinct_edges: seen.len(),
+            recurrence_ratio: repeats as f64 / g.num_events().max(1) as f64,
+            time_span: hi - lo,
+            distinct_timestamps: ts.len(),
+            bipartite: g.bipartite,
+        }
+    }
+}
+
+/// Temporal edge-count histogram (Fig. 5/8/9): number of events per
+/// equal-width time bin across the full span.
+pub fn temporal_histogram(g: &TemporalGraph, bins: usize) -> Vec<usize> {
+    assert!(bins > 0);
+    let (lo, hi) = g.time_span();
+    let width = (hi - lo).max(f64::MIN_POSITIVE);
+    let mut hist = vec![0usize; bins];
+    for ev in &g.events {
+        let b = (((ev.t - lo) / width) * bins as f64) as usize;
+        hist[b.min(bins - 1)] += 1;
+    }
+    hist
+}
+
+/// Render a histogram as a compact ASCII sparkbar (for harness output).
+pub fn sparkline(hist: &[usize]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = hist.iter().copied().max().unwrap_or(0).max(1);
+    hist.iter()
+        .map(|&h| BARS[(h * (BARS.len() - 1) + max / 2) / max])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GeneratorConfig;
+
+    #[test]
+    fn stats_count_correctly() {
+        let g = GeneratorConfig::small("s", 2).generate();
+        let s = DatasetStats::compute(&g);
+        assert_eq!(s.num_edges, g.num_events());
+        assert_eq!(s.num_nodes, g.num_nodes);
+        assert!(s.avg_degree > 0.0);
+        assert!(s.recurrence_ratio > 0.0 && s.recurrence_ratio < 1.0);
+        assert!(s.edge_density > 0.0 && s.edge_density <= 1.0);
+        assert_eq!(
+            s.distinct_edges + (s.recurrence_ratio * s.num_edges as f64).round() as usize,
+            s.num_edges
+        );
+    }
+
+    #[test]
+    fn histogram_partitions_all_events() {
+        let g = GeneratorConfig::small("s", 3).generate();
+        let h = temporal_histogram(&g, 20);
+        assert_eq!(h.len(), 20);
+        assert_eq!(h.iter().sum::<usize>(), g.num_events());
+    }
+
+    #[test]
+    fn histogram_handles_single_bin() {
+        let g = GeneratorConfig::small("s", 3).generate();
+        let h = temporal_histogram(&g, 1);
+        assert_eq!(h, vec![g.num_events()]);
+    }
+
+    #[test]
+    fn sparkline_length_matches() {
+        let s = sparkline(&[0, 1, 2, 3, 4]);
+        assert_eq!(s.chars().count(), 5);
+    }
+
+    #[test]
+    fn burstiness_shows_in_histogram_variance() {
+        let mut bursty = GeneratorConfig::small("b", 5);
+        bursty.burstiness = 0.7;
+        let mut smooth = bursty.clone();
+        smooth.burstiness = 0.0;
+        let var = |g: &crate::temporal_graph::TemporalGraph| {
+            let h = temporal_histogram(g, 40);
+            let mean = h.iter().sum::<usize>() as f64 / h.len() as f64;
+            h.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / h.len() as f64
+        };
+        assert!(var(&bursty.generate()) > var(&smooth.generate()));
+    }
+}

@@ -1,0 +1,224 @@
+//! The temporal-graph abstraction of §3.1: an ordered sequence of temporal
+//! interactions `I_r = (u_r, i_r, t_r, e_r)`.
+
+use benchtemp_tensor::Matrix;
+
+/// One temporal interaction (edge event). `feat_idx` indexes the graph's
+/// edge-feature matrix so repeated edges can share or differ in features.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interaction {
+    /// Source node (user side for bipartite graphs).
+    pub src: usize,
+    /// Destination node (item side for bipartite graphs).
+    pub dst: usize,
+    /// Event timestamp; the stream is sorted ascending.
+    pub t: f64,
+    /// Row into [`TemporalGraph::edge_features`].
+    pub feat_idx: usize,
+}
+
+/// Per-interaction labels for the node-classification task. In the JODIE
+/// datasets the label marks a *state change of the source node at event
+/// time* (user banned / student drops out), which is why labels attach to
+/// interactions, not static nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventLabels {
+    /// `labels[r]` is the class of the source node of interaction `r`.
+    pub labels: Vec<u32>,
+    pub num_classes: usize,
+}
+
+impl EventLabels {
+    /// Fraction of events carrying each class.
+    pub fn class_rates(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        let n = self.labels.len().max(1) as f64;
+        counts.into_iter().map(|c| c as f64 / n).collect()
+    }
+}
+
+/// A temporal graph: interaction stream plus node/edge features and
+/// optional event labels.
+#[derive(Clone, Debug)]
+pub struct TemporalGraph {
+    pub name: String,
+    /// Heterogeneous (bipartite user–item) vs homogeneous (Table 2).
+    pub bipartite: bool,
+    /// Total node count after §3.1 reindexing; ids are `0..num_nodes`.
+    pub num_nodes: usize,
+    /// For bipartite graphs, users occupy ids `0..num_users` and items
+    /// `num_users..num_nodes`; for homogeneous graphs this equals `num_nodes`.
+    pub num_users: usize,
+    /// Events sorted ascending by `t` (ties keep generation order).
+    pub events: Vec<Interaction>,
+    /// `num_events × edge_dim` feature matrix.
+    pub edge_features: Matrix,
+    /// `num_nodes × node_dim` feature matrix (§3.1 initialization).
+    pub node_features: Matrix,
+    pub labels: Option<EventLabels>,
+}
+
+impl TemporalGraph {
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn edge_dim(&self) -> usize {
+        self.edge_features.cols()
+    }
+
+    pub fn node_dim(&self) -> usize {
+        self.node_features.cols()
+    }
+
+    /// Earliest and latest timestamps, or `(0,0)` if empty.
+    pub fn time_span(&self) -> (f64, f64) {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => (a.t, b.t),
+            _ => (0.0, 0.0),
+        }
+    }
+
+    /// Check the structural invariants the pipeline relies on. Returns a
+    /// description of the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_users > self.num_nodes {
+            return Err(format!(
+                "num_users {} exceeds num_nodes {}",
+                self.num_users, self.num_nodes
+            ));
+        }
+        if self.node_features.rows() != self.num_nodes {
+            return Err(format!(
+                "node_features has {} rows for {} nodes",
+                self.node_features.rows(),
+                self.num_nodes
+            ));
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        for (r, ev) in self.events.iter().enumerate() {
+            if ev.src >= self.num_nodes || ev.dst >= self.num_nodes {
+                return Err(format!("event {r}: node id out of range"));
+            }
+            if self.bipartite && (ev.src >= self.num_users || ev.dst < self.num_users) {
+                return Err(format!(
+                    "event {r}: bipartite violation (src {} dst {} with {} users)",
+                    ev.src, ev.dst, self.num_users
+                ));
+            }
+            if ev.t < last_t {
+                return Err(format!("event {r}: timestamps not sorted"));
+            }
+            last_t = ev.t;
+            if ev.feat_idx >= self.edge_features.rows() {
+                return Err(format!("event {r}: feat_idx out of range"));
+            }
+        }
+        if let Some(l) = &self.labels {
+            if l.labels.len() != self.events.len() {
+                return Err("label count != event count".into());
+            }
+            if l.labels.iter().any(|&c| c as usize >= l.num_classes) {
+                return Err("label class out of range".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Distinct nodes that actually appear in the given event range.
+    pub fn active_nodes(&self, events: &[Interaction]) -> Vec<usize> {
+        let mut seen = vec![false; self.num_nodes];
+        for ev in events {
+            seen[ev.src] = true;
+            seen[ev.dst] = true;
+        }
+        (0..self.num_nodes).filter(|&n| seen[n]).collect()
+    }
+
+    /// Heap footprint of the stored data (efficiency accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<Interaction>()
+            + self.edge_features.heap_bytes()
+            + self.node_features.heap_bytes()
+            + self
+                .labels
+                .as_ref()
+                .map(|l| l.labels.capacity() * std::mem::size_of::<u32>())
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_graph() -> TemporalGraph {
+        TemporalGraph {
+            name: "tiny".into(),
+            bipartite: true,
+            num_nodes: 4,
+            num_users: 2,
+            events: vec![
+                Interaction { src: 0, dst: 2, t: 1.0, feat_idx: 0 },
+                Interaction { src: 1, dst: 3, t: 2.0, feat_idx: 1 },
+                Interaction { src: 0, dst: 3, t: 3.0, feat_idx: 2 },
+            ],
+            edge_features: Matrix::zeros(3, 2),
+            node_features: Matrix::zeros(4, 3),
+            labels: None,
+        }
+    }
+
+    #[test]
+    fn valid_graph_passes_validation() {
+        assert_eq!(tiny_graph().validate(), Ok(()));
+    }
+
+    #[test]
+    fn unsorted_timestamps_fail_validation() {
+        let mut g = tiny_graph();
+        g.events[2].t = 0.5;
+        assert!(g.validate().unwrap_err().contains("sorted"));
+    }
+
+    #[test]
+    fn bipartite_violation_fails_validation() {
+        let mut g = tiny_graph();
+        g.events[0].dst = 1; // user→user edge in a bipartite graph
+        assert!(g.validate().unwrap_err().contains("bipartite"));
+    }
+
+    #[test]
+    fn out_of_range_node_fails_validation() {
+        let mut g = tiny_graph();
+        g.events[0].src = 99;
+        assert!(g.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn active_nodes_reports_touched_nodes_only() {
+        let g = tiny_graph();
+        assert_eq!(g.active_nodes(&g.events[..1]), vec![0, 2]);
+        assert_eq!(g.active_nodes(&g.events), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn label_rates_sum_to_one() {
+        let l = EventLabels { labels: vec![0, 0, 1, 0], num_classes: 2 };
+        let rates = l.class_rates();
+        assert!((rates[0] - 0.75).abs() < 1e-9);
+        assert!((rates.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_span_and_counts() {
+        let g = tiny_graph();
+        assert_eq!(g.time_span(), (1.0, 3.0));
+        assert_eq!(g.num_events(), 3);
+        assert_eq!(g.edge_dim(), 2);
+        assert_eq!(g.node_dim(), 3);
+    }
+}

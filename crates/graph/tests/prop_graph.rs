@@ -1,0 +1,164 @@
+//! Property-based tests on the graph substrate: generator invariants over
+//! random configurations, neighbor-finder correctness vs a naive scan,
+//! reindexing bijectivity, histogram conservation.
+
+use proptest::prelude::*;
+
+use benchtemp_graph::features::FeatureInit;
+use benchtemp_graph::generators::{GeneratorConfig, LabelGenConfig};
+use benchtemp_graph::neighbors::{NeighborFinder, SamplingStrategy};
+use benchtemp_graph::reindex::{reindex_heterogeneous, reindex_homogeneous, RawInteraction};
+use benchtemp_graph::stats::temporal_histogram;
+use benchtemp_tensor::init;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..40,      // users
+        2usize..40,      // items
+        50usize..800,    // edges
+        any::<bool>(),   // bipartite
+        0.0f64..0.95,    // recurrence
+        0.0f64..1.0,     // affinity
+        0.0f64..0.8,     // burstiness
+        1usize..6,       // communities
+        0u64..1000,      // seed
+        prop::option::of(1usize..20), // granularity levels
+    )
+        .prop_map(
+            |(users, items, edges, bipartite, recurrence, affinity, burstiness, comms, seed, gran)| {
+                GeneratorConfig {
+                    name: "prop".into(),
+                    bipartite,
+                    num_users: users.max(2),
+                    num_items: items.max(2),
+                    num_edges: edges,
+                    edge_dim: 4,
+                    time_span: 500.0,
+                    granularity_levels: gran,
+                    recurrence,
+                    recency_bias: 0.5,
+                    recency_window: 500,
+                    zipf_exponent: 0.8,
+                    communities: comms,
+                    affinity,
+                    burstiness,
+                    feature_noise: 0.1,
+                    label: None,
+                    node_feature_init: FeatureInit::Zeros,
+                    node_dim: 4,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated graph satisfies the structural invariants.
+    #[test]
+    fn generated_graphs_are_always_valid(cfg in arb_config()) {
+        let g = cfg.generate();
+        prop_assert_eq!(g.validate(), Ok(()));
+        prop_assert_eq!(g.num_events(), cfg.num_edges);
+        prop_assert_eq!(g.num_nodes, cfg.total_nodes());
+    }
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn generation_is_deterministic(cfg in arb_config()) {
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// `NeighborFinder::before` matches a naive scan for arbitrary queries.
+    #[test]
+    fn neighbor_finder_matches_naive(cfg in arb_config(), t in 0.0f64..600.0, node_sel in 0usize..1000) {
+        let g = cfg.generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        let node = node_sel % g.num_nodes;
+        let naive: Vec<usize> = g.events.iter().enumerate()
+            .filter(|(_, e)| e.t < t && (e.src == node || e.dst == node))
+            .map(|(i, _)| i)
+            .collect();
+        let fast: Vec<usize> = nf.before(node, t).iter().map(|e| e.event_idx).collect();
+        prop_assert_eq!(naive, fast);
+    }
+
+    /// Sampled neighbors always come strictly before the query time.
+    #[test]
+    fn sampling_never_leaks_future(cfg in arb_config(), t in 1.0f64..600.0, seed in 0u64..100) {
+        let g = cfg.generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        let mut rng = init::rng(seed);
+        for strategy in [
+            SamplingStrategy::MostRecent,
+            SamplingStrategy::Uniform,
+            SamplingStrategy::TemporalSafe,
+            SamplingStrategy::TemporalExp { alpha: 0.1 },
+        ] {
+            for node in 0..g.num_nodes.min(5) {
+                let s = nf.sample_before(node, t, 4, strategy, &mut rng);
+                prop_assert!(s.iter().all(|e| e.t < t));
+            }
+        }
+    }
+
+    /// Histogram bins conserve the event count.
+    #[test]
+    fn histogram_conserves_events(cfg in arb_config(), bins in 1usize..100) {
+        let g = cfg.generate();
+        let h = temporal_histogram(&g, bins);
+        prop_assert_eq!(h.iter().sum::<usize>(), g.num_events());
+    }
+
+    /// Heterogeneous reindexing: injective, contiguous, users below items.
+    #[test]
+    fn hetero_reindex_bijective(pairs in prop::collection::vec((0u64..10_000, 0u64..10_000), 1..200)) {
+        let raw: Vec<RawInteraction> = pairs.iter().enumerate()
+            .map(|(i, &(user, item))| RawInteraction { user, item, t: i as f64 })
+            .collect();
+        let rx = reindex_heterogeneous(&raw);
+        let mut seen = vec![false; rx.num_nodes];
+        for &v in rx.user_map.values().chain(rx.item_map.values()) {
+            prop_assert!(!seen[v], "duplicate id {}", v);
+            seen[v] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert!(rx.user_map.values().all(|&v| v < rx.num_users));
+        prop_assert!(rx.item_map.values().all(|&v| v >= rx.num_users));
+        // Round trip: every edge maps back to its raw pair.
+        for (r, &(src, dst)) in raw.iter().zip(&rx.edges) {
+            prop_assert_eq!(rx.user_map[&r.user], src);
+            prop_assert_eq!(rx.item_map[&r.item], dst);
+        }
+    }
+
+    /// Homogeneous reindexing: one shared id space, order-preserving lookups.
+    #[test]
+    fn homo_reindex_consistent(pairs in prop::collection::vec((0u64..500, 0u64..500), 1..200)) {
+        let raw: Vec<RawInteraction> = pairs.iter().enumerate()
+            .map(|(i, &(user, item))| RawInteraction { user, item, t: i as f64 })
+            .collect();
+        let rx = reindex_homogeneous(&raw);
+        prop_assert_eq!(rx.num_users, rx.num_nodes);
+        for (r, &(src, dst)) in raw.iter().zip(&rx.edges) {
+            prop_assert_eq!(rx.user_map[&r.user], src);
+            prop_assert_eq!(rx.user_map[&r.item], dst);
+        }
+    }
+
+    /// Label streams hit their configured class count and rough rate.
+    #[test]
+    fn labels_rate_and_classes(seed in 0u64..50) {
+        let mut cfg = GeneratorConfig::small("prop-l", seed);
+        cfg.num_edges = 2000;
+        cfg.label = Some(LabelGenConfig::binary(0.2));
+        let g = cfg.generate();
+        let labels = g.labels.unwrap();
+        prop_assert_eq!(labels.num_classes, 2);
+        let rate = labels.class_rates()[1];
+        prop_assert!((rate - 0.2).abs() < 0.1, "positive rate {}", rate);
+    }
+}

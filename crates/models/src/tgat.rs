@@ -1,0 +1,266 @@
+//! TGAT (Xu et al., ICLR 2020): multi-layer temporal self-attention over
+//! uniformly sampled temporal neighbors with functional (Bochner)
+//! continuous-time encoding. No memory module — the embedding is recomputed
+//! from the L-hop temporal neighborhood at query time, which is why TGAT's
+//! per-epoch runtime and "GPU memory" exceed the memory-based family
+//! (Table 4) while it trains in fewer epochs.
+//!
+//! The layer stack respects the Appendix-C dimension constraint (Eq. 1):
+//! the attention model dim is divisible by the head count by construction.
+
+use benchtemp_core::efficiency::ComputeClock;
+use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
+use benchtemp_graph::neighbors::SamplingStrategy;
+use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_tensor::init::SeededRng;
+use benchtemp_tensor::nn::{Linear, MergeLayer, MultiHeadAttention, TimeEncode};
+use benchtemp_tensor::{Graph, Matrix, Var};
+
+use crate::common::{pos_neg_targets, BatchView, ModelConfig, ModelCore, NeighborBatch};
+
+struct Weights {
+    feat_proj: Linear,
+    edge_proj: Linear,
+    time_enc: TimeEncode,
+    /// One attention layer per hop (layer 0 is the deepest hop).
+    layers: Vec<MultiHeadAttention>,
+    decoder: MergeLayer,
+    neighbors: usize,
+}
+
+impl Weights {
+    /// TGAT's recursive L-layer temporal attention embedding.
+    #[allow(clippy::too_many_arguments)]
+    fn embed(
+        &self,
+        g: &mut Graph,
+        ctx: &StreamContext,
+        nodes: &[usize],
+        times: &[f64],
+        depth: usize,
+        rng: &mut SeededRng,
+        clock: &mut ComputeClock,
+    ) -> Var {
+        let base = {
+            let f = g.input(ctx.graph.node_features.gather_rows(nodes));
+            self.feat_proj.forward(g, f)
+        };
+        if depth == 0 {
+            return base;
+        }
+        let k = self.neighbors;
+        let nb = clock.sampling(|| {
+            NeighborBatch::sample(ctx, nodes, times, k, SamplingStrategy::Uniform, rng)
+        });
+        let nb_times = nb.event_times(times);
+        // Neighbors' (depth-1) representations at their interaction times.
+        let nb_rep = self.embed(g, ctx, &nb.ids, &nb_times, depth - 1, rng, clock);
+        let nb_edge = {
+            let e = g.input(nb.edge_feats(ctx));
+            self.edge_proj.forward(g, e)
+        };
+        let nb_te = self.time_enc.forward_slice(g, &nb.dts);
+        let keys = g.concat_cols_many(&[nb_rep, nb_edge, nb_te]);
+        let zero_te = self.time_enc.forward_slice(g, &vec![0.0; nodes.len()]);
+        let query = g.concat_cols(base, zero_te);
+        let out = self.layers[depth - 1].forward(g, query, keys, k, &nb.mask);
+        g.add(out, base) // residual
+    }
+}
+
+/// The TGAT model.
+pub struct Tgat {
+    weights: Weights,
+    core: ModelCore,
+    layers: usize,
+    embed_dim: usize,
+}
+
+impl Tgat {
+    pub fn new(cfg: ModelConfig, graph: &TemporalGraph) -> Self {
+        let mut core = ModelCore::new(cfg.lr, cfg.seed);
+        let d = cfg.embed_dim;
+        let td = cfg.time_dim;
+        let ed = 16.min(graph.edge_dim().max(4));
+        let (store, rng) = (&mut core.store, &mut core.rng);
+        let layers = (0..cfg.layers.max(1))
+            .map(|l| {
+                MultiHeadAttention::new(
+                    store,
+                    rng,
+                    &format!("attn{l}"),
+                    d + td,
+                    d + ed + td,
+                    d,
+                    cfg.heads,
+                    d,
+                )
+            })
+            .collect();
+        let weights = Weights {
+            feat_proj: Linear::new(store, rng, "feat_proj", graph.node_dim(), d),
+            edge_proj: Linear::new(store, rng, "edge_proj", graph.edge_dim(), ed),
+            time_enc: TimeEncode::new(store, "time_enc", td),
+            layers,
+            decoder: MergeLayer::new(store, rng, "decoder", d, d, d, 1),
+            neighbors: cfg.neighbors,
+        };
+        Tgat { weights, core, layers: cfg.layers.max(1), embed_dim: d }
+    }
+
+    fn run_batch(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        neg_dsts: &[usize],
+        train: bool,
+    ) -> (f32, Vec<f32>, Vec<f32>, Matrix) {
+        let view = BatchView::new(batch, neg_dsts);
+        let Tgat { weights, core, layers, .. } = self;
+        let depth = *layers;
+        let ModelCore { store, adam, rng, clock } = core;
+        let start = std::time::Instant::now();
+
+        let mut g = Graph::new(store);
+        let src = weights.embed(&mut g, ctx, &view.srcs, &view.times, depth, rng, clock);
+        let dst = weights.embed(&mut g, ctx, &view.dsts, &view.times, depth, rng, clock);
+        let neg = weights.embed(&mut g, ctx, &view.negs, &view.times, depth, rng, clock);
+        let pos_logit = weights.decoder.forward(&mut g, src, dst);
+        let neg_logit = weights.decoder.forward(&mut g, src, neg);
+        let logits = g.concat_rows(pos_logit, neg_logit);
+        let targets = pos_neg_targets(view.len());
+        let loss = g.bce_with_logits(logits, &targets);
+        let loss_val = g.value(loss).scalar();
+        let n = view.len();
+        let lm = g.value(logits).clone();
+        let pos: Vec<f32> = (0..n).map(|r| lm.get(r, 0)).collect();
+        let negs: Vec<f32> = (0..n).map(|r| lm.get(n + r, 0)).collect();
+        let src_mat = g.value(src).clone();
+        let grads = if train { Some(g.backward(loss)) } else { None };
+        drop(g);
+        if let Some(grads) = grads {
+            adam.step(store, &grads);
+        }
+        clock.dense += start.elapsed();
+        (loss_val, pos, negs, src_mat)
+    }
+}
+
+impl TgnnModel for Tgat {
+    fn name(&self) -> &'static str {
+        "TGAT"
+    }
+
+    fn anatomy(&self) -> Anatomy {
+        Anatomy {
+            memory: false,
+            attention: true,
+            rnn: false,
+            temp_walk: false,
+            scalability: false,
+            supervision: "self (semi)-supervised",
+        }
+    }
+
+    fn reset_state(&mut self) {
+        // TGAT is stateless: the temporal neighborhood *is* the state.
+    }
+
+    fn train_batch(&mut self, ctx: &StreamContext, batch: &[Interaction], neg: &[usize]) -> f32 {
+        self.run_batch(ctx, batch, neg, true).0
+    }
+
+    fn eval_batch(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        neg: &[usize],
+    ) -> (Vec<f32>, Vec<f32>) {
+        let (_, pos, negs, _) = self.run_batch(ctx, batch, neg, false);
+        (pos, negs)
+    }
+
+    fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
+        let negs: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+        self.run_batch(ctx, batch, &negs, false).3
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    fn snapshot(&self) -> Vec<Matrix> {
+        self.core.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &[Matrix]) {
+        self.core.restore(snapshot);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.core.param_bytes()
+    }
+
+    fn take_compute_clock(&mut self) -> ComputeClock {
+        let mut c = self.core.take_clock();
+        c.dense = c.dense.saturating_sub(c.sampling);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::NeighborFinder;
+
+    #[test]
+    fn stateless_eval_is_deterministic_given_same_rng_state() {
+        let g = GeneratorConfig::small("tgat", 61).generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let cfg = ModelConfig { embed_dim: 16, time_dim: 8, neighbors: 3, layers: 2, ..Default::default() };
+        let negs: Vec<usize> = g.events[..20].iter().map(|_| g.num_users).collect();
+        let mut m1 = Tgat::new(cfg.clone(), &g);
+        let mut m2 = Tgat::new(cfg, &g);
+        let (p1, n1) = m1.eval_batch(&ctx, &g.events[..20], &negs);
+        let (p2, n2) = m2.eval_batch(&ctx, &g.events[..20], &negs);
+        assert_eq!(p1, p2);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn respects_eq1_divisibility() {
+        // heads must divide the attention model dim; the constructor of the
+        // attention layer enforces Eq. 1.
+        let g = GeneratorConfig::small("tgat2", 62).generate();
+        let cfg = ModelConfig { embed_dim: 48, heads: 2, ..Default::default() };
+        let _ = Tgat::new(cfg, &g); // must not panic
+    }
+
+    #[test]
+    fn embed_events_has_model_dim() {
+        let g = GeneratorConfig::small("tgat3", 63).generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let mut m = Tgat::new(
+            ModelConfig { embed_dim: 24, layers: 1, neighbors: 3, ..Default::default() },
+            &g,
+        );
+        let emb = m.embed_events(&ctx, &g.events[..7]);
+        assert_eq!(emb.shape(), (7, 24));
+    }
+
+    #[test]
+    fn depth_zero_nodes_without_history_still_score() {
+        // The very first batch has no temporal neighbors anywhere: masks are
+        // all false, attention returns base reps, scores stay finite.
+        let g = GeneratorConfig::small("tgat4", 64).generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let mut m = Tgat::new(ModelConfig { embed_dim: 16, layers: 2, neighbors: 3, ..Default::default() }, &g);
+        let negs: Vec<usize> = g.events[..5].iter().map(|_| g.num_users + 1).collect();
+        let (pos, neg) = m.eval_batch(&ctx, &g.events[..5], &negs);
+        assert!(pos.iter().chain(neg.iter()).all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,119 @@
+//! Evaluation-protocol guarantees every model must honour:
+//! * `eval_batch` never changes trainable parameters (no test-time leakage
+//!   into weights);
+//! * temporal state advances during evaluation (the stream really
+//!   happened), and `reset_state` restores the initial scores;
+//! * `embed_events` returns one row per event with the declared dimension.
+
+use benchtemp_core::pipeline::{StreamContext, TgnnModel};
+use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::NeighborFinder;
+use benchtemp_models::common::ModelConfig;
+use benchtemp_models::zoo::{self, ALL_MODELS};
+
+fn setup() -> benchtemp_graph::TemporalGraph {
+    let mut cfg = GeneratorConfig::small("proto", 313);
+    cfg.num_edges = 800;
+    cfg.generate()
+}
+
+fn cfg() -> ModelConfig {
+    ModelConfig { embed_dim: 16, time_dim: 8, neighbors: 3, walks: 2, walk_len: 2, ..Default::default() }
+}
+
+#[test]
+fn eval_never_mutates_parameters() {
+    let g = setup();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    for name in ALL_MODELS {
+        let mut model = zoo::build(name, cfg(), &g);
+        let before = model.snapshot();
+        let negs: Vec<usize> = g.events[..300].iter().map(|_| g.num_users).collect();
+        let _ = model.eval_batch(&ctx, &g.events[..300], &negs);
+        let _ = model.embed_events(&ctx, &g.events[300..400]);
+        let after = model.snapshot();
+        assert_eq!(before.len(), after.len(), "{name}");
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b, a, "{name}: eval must not touch parameters");
+        }
+    }
+}
+
+#[test]
+fn train_does_mutate_parameters() {
+    let g = setup();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    for name in ALL_MODELS {
+        if name == "EdgeBank" {
+            continue; // non-learned by design
+        }
+        let mut model = zoo::build(name, cfg(), &g);
+        let before = model.snapshot();
+        let negs: Vec<usize> = g.events[..100].iter().map(|_| g.num_users).collect();
+        let _ = model.train_batch(&ctx, &g.events[..100], &negs);
+        let after = model.snapshot();
+        assert!(
+            before.iter().zip(&after).any(|(b, a)| b != a),
+            "{name}: training must update some parameter"
+        );
+    }
+}
+
+#[test]
+fn reset_state_restores_initial_scores_for_stateful_models() {
+    let g = setup();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    for name in ["TGN", "JODIE", "NAT", "TeMP", "EdgeBank"] {
+        let mut model = zoo::build(name, cfg(), &g);
+        let batch = &g.events[..50];
+        let negs: Vec<usize> = batch.iter().map(|_| g.num_users + 1).collect();
+        let (first, _) = model.eval_batch(&ctx, batch, &negs);
+        // Consume more stream → state diverges.
+        let negs2: Vec<usize> = g.events[50..400].iter().map(|_| g.num_users).collect();
+        let _ = model.eval_batch(&ctx, &g.events[50..400], &negs2);
+        model.reset_state();
+        let (again, _) = model.eval_batch(&ctx, batch, &negs);
+        assert_eq!(first, again, "{name}: reset_state must restore initial scoring");
+    }
+}
+
+#[test]
+fn embed_events_shape_contract() {
+    let g = setup();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    for name in ALL_MODELS {
+        let mut model = zoo::build(name, cfg(), &g);
+        let emb = model.embed_events(&ctx, &g.events[..13]);
+        assert_eq!(emb.rows(), 13, "{name}");
+        assert_eq!(emb.cols(), model.embed_dim(), "{name}");
+        assert!(emb.as_slice().iter().all(|x| x.is_finite()), "{name}");
+    }
+}
+
+#[test]
+fn scores_are_finite_under_extreme_time_gaps() {
+    // A stream with enormous gaps (overflow territory for naive exp
+    // weighting) must still produce finite scores everywhere.
+    let mut cfg_g = GeneratorConfig::small("gaps", 777);
+    cfg_g.time_span = 1.0e12;
+    cfg_g.num_edges = 600;
+    let g = cfg_g.generate();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    for name in ALL_MODELS {
+        let mut model = zoo::build(name, cfg(), &g);
+        let batch = &g.events[300..360];
+        let negs: Vec<usize> = batch.iter().map(|_| g.num_users).collect();
+        let warm: Vec<usize> = g.events[..300].iter().map(|e| e.dst).collect();
+        let _ = model.eval_batch(&ctx, &g.events[..300], &warm);
+        let (pos, neg) = model.eval_batch(&ctx, batch, &negs);
+        assert!(
+            pos.iter().chain(neg.iter()).all(|s| s.is_finite()),
+            "{name}: non-finite score under extreme Δt"
+        );
+    }
+}

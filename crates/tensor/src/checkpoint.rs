@@ -1,0 +1,166 @@
+//! Model checkpointing: serialize a [`ParamStore`]'s parameter values (and
+//! optionally optimizer moments) to a compact little-endian binary file, so
+//! trained models survive process restarts — the leaderboard workflow's
+//! "train once, evaluate many times" path.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::matrix::Matrix;
+use crate::params::ParamStore;
+
+const MAGIC: &[u8; 8] = b"BTCKPT01";
+
+/// Save parameter values (names + shapes + data) to `path`.
+pub fn save_checkpoint(store: &ParamStore, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u64).to_le_bytes())?;
+    for i in 0..store.len() {
+        let id = crate::params::ParamId(i);
+        let name = store.name(id).as_bytes();
+        w.write_all(&(name.len() as u64).to_le_bytes())?;
+        w.write_all(name)?;
+        let m = store.value(id);
+        let (rows, cols) = m.shape();
+        w.write_all(&(rows as u64).to_le_bytes())?;
+        w.write_all(&(cols as u64).to_le_bytes())?;
+        for &x in m.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Load a checkpoint into an existing store. Parameters are matched **by
+/// name**; every store parameter must be present in the file with a
+/// matching shape (extra file entries are ignored, supporting fine-tune
+/// workflows where heads were added later).
+pub fn load_checkpoint(store: &mut ParamStore, path: &Path) -> std::io::Result<()> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not a BenchTemp checkpoint",
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    let mut loaded: std::collections::HashMap<String, Matrix> =
+        std::collections::HashMap::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut u64buf)?;
+        let name_len = u64::from_le_bytes(u64buf) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        r.read_exact(&mut u64buf)?;
+        let rows = u64::from_le_bytes(u64buf) as usize;
+        r.read_exact(&mut u64buf)?;
+        let cols = u64::from_le_bytes(u64buf) as usize;
+        let mut bytes = vec![0u8; rows * cols * 4];
+        r.read_exact(&mut bytes)?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        loaded.insert(name, Matrix::from_vec(rows, cols, data));
+    }
+
+    for i in 0..store.len() {
+        let id = crate::params::ParamId(i);
+        let name = store.name(id).to_string();
+        let value = loaded.get(&name).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("checkpoint is missing parameter {name:?}"),
+            )
+        })?;
+        if value.shape() != store.value(id).shape() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "parameter {name:?}: checkpoint shape {:?} != model shape {:?}",
+                    value.shape(),
+                    store.value(id).shape()
+                ),
+            ));
+        }
+        *store.value_mut(id) = value.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{self, rng};
+    use crate::nn::Mlp;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("benchtemp_ckpt_{name}_{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_restores_exact_values() {
+        let mut store = ParamStore::new();
+        let mut r = rng(1);
+        let _mlp = Mlp::new(&mut store, &mut r, "m", 8, 16, 2);
+        let before = store.snapshot();
+        let path = tmpfile("rt");
+        save_checkpoint(&store, &path).unwrap();
+
+        // Perturb, then load back.
+        for i in 0..store.len() {
+            let id = crate::params::ParamId(i);
+            store.value_mut(id).as_mut_slice().iter_mut().for_each(|x| *x += 1.0);
+        }
+        load_checkpoint(&mut store, &path).unwrap();
+        let after = store.snapshot();
+        assert_eq!(before, after);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut a = ParamStore::new();
+        a.add("w", init::randn(2, 2, 1.0, &mut rng(1)));
+        let path = tmpfile("shape");
+        save_checkpoint(&a, &path).unwrap();
+
+        let mut b = ParamStore::new();
+        b.add("w", Matrix::zeros(3, 3));
+        let err = load_checkpoint(&mut b, &path).unwrap_err();
+        assert!(err.to_string().contains("shape"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_parameter_is_rejected() {
+        let a = ParamStore::new();
+        let path = tmpfile("missing");
+        save_checkpoint(&a, &path).unwrap();
+        let mut b = ParamStore::new();
+        b.add("needed", Matrix::zeros(1, 1));
+        let err = load_checkpoint(&mut b, &path).unwrap_err();
+        assert!(err.to_string().contains("missing parameter"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmpfile("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let mut store = ParamStore::new();
+        let err = load_checkpoint(&mut store, &path).unwrap_err();
+        assert!(err.to_string().contains("not a BenchTemp checkpoint"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,408 @@
+//! Dense row-major `f32` matrix — the storage type underneath the autograd
+//! tape. Kept deliberately small: BenchTemp's models only need 2-D tensors
+//! (batches of node embeddings), so everything is a matrix.
+
+use std::fmt;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from a flat row-major vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: {} values cannot fill a {}x{} matrix",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from nested slices (row per slice); useful in tests.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "Matrix::from_rows: no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Column vector (n×1) from a slice.
+    pub fn column(values: &[f32]) -> Self {
+        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Row vector (1×n) from a slice.
+    pub fn row_vec(values: &[f32]) -> Self {
+        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "set_row: width mismatch");
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Matrix product `self · rhs` with a blocked inner loop (ikj order) —
+    /// cache-friendly without pulling in a BLAS dependency.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} · {}x{} shapes are incompatible",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materializing the transpose.
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transpose: inner dims {} vs {} differ",
+            self.cols, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose.
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "transpose_matmul: outer dims {} vs {} differ",
+            self.rows, rhs.rows
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let n = rhs.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another same-shape matrix.
+    pub fn zip(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += rhs` elementwise.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * rhs` elementwise (axpy).
+    pub fn add_scaled(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Set every entry to zero (reuse the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Extract a single scalar from a 1×1 matrix.
+    pub fn scalar(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar: matrix is {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Gather the listed rows into a new matrix (repeat indices allowed).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "gather_rows: index {src} out of {} rows", self.rows);
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    pub fn concat_cols(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "concat_cols: row count mismatch");
+        let cols = self.cols + rhs.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Vertical concatenation `[self ; rhs]`.
+    pub fn concat_rows(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "concat_rows: column count mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+    }
+
+    /// Approximate equality for tests.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f32) -> bool {
+        self.shape() == rhs.shape()
+            && self.data.iter().zip(rhs.data.iter()).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Heap bytes held by this matrix (for the efficiency accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[5.0, 5.0], &[2.0, 3.0]]);
+        assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[5.0, 7.0]]));
+    }
+
+    #[test]
+    fn matmul_transpose_equals_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]);
+        assert!(a.matmul_transpose(&b).approx_eq(&a.matmul(&b.transpose()), 1e-6));
+    }
+
+    #[test]
+    fn transpose_matmul_equals_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0], &[8.0], &[9.0]]);
+        assert!(a.transpose_matmul(&b).approx_eq(&a.transpose().matmul(&b), 1e-6));
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(a.matmul(&Matrix::identity(2)).approx_eq(&a, 1e-7));
+        assert!(Matrix::identity(2).matmul(&a).approx_eq(&a, 1e-7));
+    }
+
+    #[test]
+    fn gather_rows_repeats_and_reorders() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, Matrix::from_rows(&[&[3.0, 3.0], &[1.0, 1.0], &[3.0, 3.0]]));
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        assert_eq!(a.concat_cols(&b), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.concat_rows(&b),
+            Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scalar_sum_norm() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.sum(), 7.0);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(Matrix::full(1, 1, 2.5).scalar(), 2.5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Parameter storage and the forward-pass [`Graph`] context.
+//!
+//! Parameters live in a [`ParamStore`] across training steps. Each step
+//! builds a fresh [`Graph`] (a [`Tape`] plus lazy parameter bindings), runs
+//! the forward pass, calls [`Graph::backward`], and hands the harvested
+//! `(ParamId, gradient)` pairs to an optimizer.
+
+use std::ops::{Deref, DerefMut};
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Stable handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Positional index inside the owning store (stable; useful for
+    /// snapshot indexing and reporting).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+pub(crate) struct Param {
+    pub name: String,
+    pub value: Matrix,
+    /// Adam first-moment estimate.
+    pub m: Matrix,
+    /// Adam second-moment estimate.
+    pub v: Matrix,
+}
+
+/// Owns every trainable parameter of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    pub(crate) params: Vec<Param>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; the name is for debugging/reporting only.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Heap bytes held by parameter values + optimizer state.
+    pub fn heap_bytes(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| p.value.heap_bytes() + p.m.heap_bytes() + p.v.heap_bytes())
+            .sum()
+    }
+
+    /// Snapshot all parameter values (used by EarlyStopMonitor best-restore).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restore from a snapshot taken earlier.
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.params.len(), "restore: snapshot size mismatch");
+        for (p, s) in self.params.iter_mut().zip(snapshot) {
+            assert_eq!(p.value.shape(), s.shape(), "restore: shape mismatch for {}", p.name);
+            p.value = s.clone();
+        }
+    }
+}
+
+/// Forward-pass context: a tape plus memoized parameter bindings.
+pub struct Graph<'s> {
+    tape: Tape,
+    store: &'s ParamStore,
+    bound: Vec<Option<Var>>,
+}
+
+impl<'s> Graph<'s> {
+    pub fn new(store: &'s ParamStore) -> Self {
+        Graph { tape: Tape::new(), store, bound: vec![None; store.len()] }
+    }
+
+    /// Bind a parameter onto the tape (once per graph; later calls return
+    /// the same [`Var`] so gradients accumulate correctly).
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.bound[id.0] {
+            return v;
+        }
+        let v = self.tape.leaf(self.store.value(id).clone());
+        self.bound[id.0] = Some(v);
+        v
+    }
+
+    /// Insert a non-trainable input.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.tape.leaf(value)
+    }
+
+    /// Backward pass from a scalar loss; returns gradients for every bound
+    /// parameter (zero matrices for parameters the loss never touched).
+    pub fn backward(&mut self, loss: Var) -> Vec<(ParamId, Matrix)> {
+        let grads = self.tape.backward(loss);
+        let mut out = Vec::new();
+        for (i, slot) in self.bound.iter().enumerate() {
+            if let Some(var) = slot {
+                let shape = self.tape.shape(*var);
+                out.push((ParamId(i), grads.get_or_zero(*var, shape)));
+            }
+        }
+        out
+    }
+}
+
+impl Deref for Graph<'_> {
+    type Target = Tape;
+    fn deref(&self) -> &Tape {
+        &self.tape
+    }
+}
+
+impl DerefMut for Graph<'_> {
+    fn deref_mut(&mut self) -> &mut Tape {
+        &mut self.tape
+    }
+}

@@ -1,0 +1,720 @@
+//! Reverse-mode automatic differentiation on an arena tape.
+//!
+//! A [`Tape`] records every operation as a node; [`Var`] is a copyable handle
+//! into the arena. Calling [`Tape::backward`] seeds the gradient of a scalar
+//! output and walks the tape in reverse, accumulating gradients into every
+//! node. Parameters are ordinary leaves whose gradients are read back by the
+//! optimizer after the backward pass.
+//!
+//! The design trades generality for auditability: each op's backward rule is
+//! a hand-derived match arm, and every rule is checked against finite
+//! differences in the test suite.
+
+use crate::matrix::Matrix;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Operation record; indices refer to parent nodes on the same tape.
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Neg(usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    MatMul(usize, usize),
+    Transpose(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    Exp(usize),
+    Ln(usize),
+    Cos(usize),
+    SoftmaxRows(usize),
+    SumAll(usize),
+    MeanAll(usize),
+    MeanRows(usize),
+    SumRows(usize),
+    RowSums(usize),
+    AddRowBroadcast(usize, usize),
+    MulColBroadcast(usize, usize),
+    ConcatCols(usize, usize),
+    ConcatRows(usize, usize),
+    GatherRows(usize, Vec<usize>),
+    SliceCols(usize, usize, usize),
+    Dropout(usize, Vec<f32>),
+    GroupedAttention {
+        q: usize,
+        k: usize,
+        v: usize,
+        group: usize,
+        scale: f32,
+        /// Saved softmax weights, one `group`-sized block per query row.
+        weights: Vec<f32>,
+    },
+    BceWithLogits { logits: usize, targets: Vec<f32> },
+    SoftmaxCrossEntropy { logits: usize, labels: Vec<usize>, probs: Matrix },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Arena tape for one forward/backward round.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Tape { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of recorded nodes (useful for budgeting in benches).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Insert a constant/input/parameter leaf.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Read a node's value.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    // ---- elementwise & linear-algebra ops ------------------------------
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        self.push(value, Op::Add(a.0, b.0))
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        self.push(value, Op::Sub(a.0, b.0))
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        self.push(value, Op::Mul(a.0, b.0))
+    }
+
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| -x);
+        self.push(value, Op::Neg(a.0))
+    }
+
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|x| s * x);
+        self.push(value, Op::Scale(a.0, s))
+    }
+
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x + s);
+        self.push(value, Op::AddScalar(a.0))
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul(a.0, b.0))
+    }
+
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.transpose();
+        self.push(value, Op::Transpose(a.0))
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(stable_sigmoid);
+        self.push(value, Op::Sigmoid(a.0))
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a.0))
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a.0))
+    }
+
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::exp);
+        self.push(value, Op::Exp(a.0))
+    }
+
+    /// Natural log; inputs are clamped away from zero for stability.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x.max(1e-12).ln());
+        self.push(value, Op::Ln(a.0))
+    }
+
+    pub fn cos(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::cos);
+        self.push(value, Op::Cos(a.0))
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            softmax_into(m.row(r), out.row_mut(r));
+        }
+        self.push(out, Op::SoftmaxRows(a.0))
+    }
+
+    // ---- reductions -----------------------------------------------------
+
+    /// Sum of all entries → 1×1.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.sum();
+        self.push(Matrix::full(1, 1, s), Op::SumAll(a.0))
+    }
+
+    /// Mean of all entries → 1×1.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let s = m.sum() / m.len() as f32;
+        self.push(Matrix::full(1, 1, s), Op::MeanAll(a.0))
+    }
+
+    /// Column means: n×m → 1×m.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(1, m.cols());
+        for r in 0..m.rows() {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(m.row(r)) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / m.rows().max(1) as f32;
+        out.as_mut_slice().iter_mut().for_each(|x| *x *= inv);
+        self.push(out, Op::MeanRows(a.0))
+    }
+
+    /// Column sums: n×m → 1×m.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(1, m.cols());
+        for r in 0..m.rows() {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(m.row(r)) {
+                *o += x;
+            }
+        }
+        self.push(out, Op::SumRows(a.0))
+    }
+
+    /// Per-row sums across columns: n×m → n×1.
+    pub fn row_sums(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(m.rows(), 1);
+        for r in 0..m.rows() {
+            out.set(r, 0, m.row(r).iter().sum());
+        }
+        self.push(out, Op::RowSums(a.0))
+    }
+
+    // ---- broadcasting ----------------------------------------------------
+
+    /// `a (n×m) + b (1×m)` broadcast over rows (bias add).
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(bm.rows(), 1, "add_row_broadcast: b must be 1×m");
+        assert_eq!(am.cols(), bm.cols(), "add_row_broadcast: width mismatch");
+        let mut out = am.clone();
+        for r in 0..out.rows() {
+            for (o, &x) in out.row_mut(r).iter_mut().zip(bm.row(0)) {
+                *o += x;
+            }
+        }
+        self.push(out, Op::AddRowBroadcast(a.0, b.0))
+    }
+
+    /// `a (n×m) * c (n×1)` broadcast over columns (row-wise scaling).
+    pub fn mul_col_broadcast(&mut self, a: Var, c: Var) -> Var {
+        let (am, cm) = (&self.nodes[a.0].value, &self.nodes[c.0].value);
+        assert_eq!(cm.cols(), 1, "mul_col_broadcast: c must be n×1");
+        assert_eq!(am.rows(), cm.rows(), "mul_col_broadcast: height mismatch");
+        let mut out = am.clone();
+        for r in 0..out.rows() {
+            let s = cm.get(r, 0);
+            out.row_mut(r).iter_mut().for_each(|x| *x *= s);
+        }
+        self.push(out, Op::MulColBroadcast(a.0, c.0))
+    }
+
+    // ---- structural ops --------------------------------------------------
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        self.push(value, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Horizontal concatenation of any number of vars.
+    pub fn concat_cols_many(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_cols_many: empty input");
+        let mut acc = vars[0];
+        for &v in &vars[1..] {
+            acc = self.concat_cols(acc, v);
+        }
+        acc
+    }
+
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.concat_rows(&self.nodes[b.0].value);
+        self.push(value, Op::ConcatRows(a.0, b.0))
+    }
+
+    /// Gather rows (embedding lookup); backward scatter-adds.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let value = self.nodes[a.0].value.gather_rows(indices);
+        self.push(value, Op::GatherRows(a.0, indices.to_vec()))
+    }
+
+    /// Column slice `[start, end)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let m = &self.nodes[a.0].value;
+        assert!(start < end && end <= m.cols(), "slice_cols: bad range {start}..{end}");
+        let mut out = Matrix::zeros(m.rows(), end - start);
+        for r in 0..m.rows() {
+            out.row_mut(r).copy_from_slice(&m.row(r)[start..end]);
+        }
+        self.push(out, Op::SliceCols(a.0, start, end))
+    }
+
+    /// Inverted dropout with keep-probability `keep`; `rng01` supplies
+    /// uniform [0,1) samples so the caller controls the RNG stream.
+    pub fn dropout(&mut self, a: Var, keep: f32, rng01: &mut impl FnMut() -> f32) -> Var {
+        assert!(keep > 0.0 && keep <= 1.0, "dropout: keep must be in (0,1]");
+        let m = &self.nodes[a.0].value;
+        let inv = 1.0 / keep;
+        let mask: Vec<f32> =
+            (0..m.len()).map(|_| if rng01() < keep { inv } else { 0.0 }).collect();
+        let mut out = m.clone();
+        for (o, &mk) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *o *= mk;
+        }
+        self.push(out, Op::Dropout(a.0, mask))
+    }
+
+    // ---- fused attention --------------------------------------------------
+
+    /// Fused grouped scaled-dot-product attention.
+    ///
+    /// Query rows attend over fixed-size neighbor groups: `q` is n×d, `k` and
+    /// `v` are (n·group)×d / (n·group)×dv, where rows `i·group .. (i+1)·group`
+    /// of `k`/`v` are the candidates for query `i`. `mask[i*group+j] = false`
+    /// excludes a padded neighbor. Rows whose mask is entirely false produce a
+    /// zero output (and zero gradient), matching "no valid temporal neighbors".
+    pub fn grouped_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        group: usize,
+        mask: &[bool],
+    ) -> Var {
+        let (qm, km, vm) = (&self.nodes[q.0].value, &self.nodes[k.0].value, &self.nodes[v.0].value);
+        let n = qm.rows();
+        let d = qm.cols();
+        assert_eq!(km.rows(), n * group, "grouped_attention: k rows != n*group");
+        assert_eq!(vm.rows(), n * group, "grouped_attention: v rows != n*group");
+        assert_eq!(km.cols(), d, "grouped_attention: k width != q width");
+        assert_eq!(mask.len(), n * group, "grouped_attention: mask length");
+        let scale = 1.0 / (d as f32).sqrt();
+        let dv = vm.cols();
+        let mut weights = vec![0.0f32; n * group];
+        let mut out = Matrix::zeros(n, dv);
+        let mut scores = vec![0.0f32; group];
+        #[allow(clippy::needless_range_loop)] // indices mirror the math
+        for i in 0..n {
+            let q_row = qm.row(i);
+            let mut any = false;
+            for j in 0..group {
+                let idx = i * group + j;
+                if mask[idx] {
+                    any = true;
+                    let k_row = km.row(idx);
+                    let s: f32 = q_row.iter().zip(k_row).map(|(&a, &b)| a * b).sum();
+                    scores[j] = s * scale;
+                } else {
+                    scores[j] = f32::NEG_INFINITY;
+                }
+            }
+            if !any {
+                continue;
+            }
+            softmax_into(&scores, &mut weights[i * group..(i + 1) * group]);
+            let out_row = out.row_mut(i);
+            for j in 0..group {
+                let w = weights[i * group + j];
+                if w == 0.0 {
+                    continue;
+                }
+                for (o, &x) in out_row.iter_mut().zip(vm.row(i * group + j)) {
+                    *o += w * x;
+                }
+            }
+        }
+        self.push(out, Op::GroupedAttention { q: q.0, k: k.0, v: v.0, group, scale, weights })
+    }
+
+    // ---- losses ------------------------------------------------------------
+
+    /// Mean binary cross-entropy with logits; `logits` is n×1.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let lm = &self.nodes[logits.0].value;
+        assert_eq!(lm.cols(), 1, "bce_with_logits: logits must be n×1");
+        assert_eq!(lm.rows(), targets.len(), "bce_with_logits: target count");
+        let mut loss = 0.0f64;
+        for (r, &y) in targets.iter().enumerate() {
+            let x = lm.get(r, 0);
+            // log(1+exp(-|x|)) + max(x,0) - x*y, the numerically stable form.
+            loss += ((-x.abs()).exp().ln_1p() + x.max(0.0) - x * y) as f64;
+        }
+        let value = Matrix::full(1, 1, (loss / targets.len().max(1) as f64) as f32);
+        self.push(value, Op::BceWithLogits { logits: logits.0, targets: targets.to_vec() })
+    }
+
+    /// Mean softmax cross-entropy; `logits` is n×C, `labels[i] ∈ 0..C`.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let lm = &self.nodes[logits.0].value;
+        assert_eq!(lm.rows(), labels.len(), "softmax_cross_entropy: label count");
+        let mut probs = Matrix::zeros(lm.rows(), lm.cols());
+        let mut loss = 0.0f64;
+        for (r, &y) in labels.iter().enumerate() {
+            assert!(y < lm.cols(), "softmax_cross_entropy: label {y} out of range");
+            softmax_into(lm.row(r), probs.row_mut(r));
+            loss += -(probs.get(r, y).max(1e-12).ln()) as f64;
+        }
+        let value = Matrix::full(1, 1, (loss / labels.len().max(1) as f64) as f32);
+        self.push(value, Op::SoftmaxCrossEntropy { logits: logits.0, labels: labels.to_vec(), probs })
+    }
+
+    // ---- backward ------------------------------------------------------------
+
+    /// Run reverse-mode differentiation from a scalar (1×1) output.
+    /// Returns per-node gradients, queryable via [`Gradients::get`].
+    pub fn backward(&mut self, output: Var) -> Gradients {
+        assert_eq!(
+            self.nodes[output.0].value.shape(),
+            (1, 1),
+            "backward: output must be a scalar (1x1) loss"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[output.0] = Some(Matrix::full(1, 1, 1.0));
+
+        for i in (0..=output.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            // Reborrow pattern: compute parent contributions from node i.
+            self.accumulate(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        let node = &self.nodes[i];
+        let mut bump = |idx: usize, delta: Matrix| {
+            match &mut grads[idx] {
+                Some(acc) => acc.add_assign(&delta),
+                slot @ None => *slot = Some(delta),
+            }
+        };
+        match &node.op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                bump(*a, g.clone());
+                bump(*b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                bump(*a, g.clone());
+                bump(*b, g.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                bump(*a, g.zip(&self.nodes[*b].value, |gg, bb| gg * bb));
+                bump(*b, g.zip(&self.nodes[*a].value, |gg, aa| gg * aa));
+            }
+            Op::Neg(a) => bump(*a, g.map(|x| -x)),
+            Op::Scale(a, s) => bump(*a, g.map(|x| x * s)),
+            Op::AddScalar(a) => bump(*a, g.clone()),
+            Op::MatMul(a, b) => {
+                bump(*a, g.matmul_transpose(&self.nodes[*b].value));
+                bump(*b, self.nodes[*a].value.transpose_matmul(g));
+            }
+            Op::Transpose(a) => bump(*a, g.transpose()),
+            Op::Sigmoid(a) => {
+                bump(*a, g.zip(&node.value, |gg, y| gg * y * (1.0 - y)));
+            }
+            Op::Tanh(a) => {
+                bump(*a, g.zip(&node.value, |gg, y| gg * (1.0 - y * y)));
+            }
+            Op::Relu(a) => {
+                bump(*a, g.zip(&self.nodes[*a].value, |gg, x| if x > 0.0 { gg } else { 0.0 }));
+            }
+            Op::Exp(a) => bump(*a, g.zip(&node.value, |gg, y| gg * y)),
+            Op::Ln(a) => {
+                bump(*a, g.zip(&self.nodes[*a].value, |gg, x| gg / x.max(1e-12)));
+            }
+            Op::Cos(a) => {
+                bump(*a, g.zip(&self.nodes[*a].value, |gg, x| -gg * x.sin()));
+            }
+            Op::SoftmaxRows(a) => {
+                let y = &node.value;
+                let mut dx = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f32 =
+                        g.row(r).iter().zip(y.row(r)).map(|(&gg, &yy)| gg * yy).sum();
+                    for c in 0..y.cols() {
+                        dx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                    }
+                }
+                bump(*a, dx);
+            }
+            Op::SumAll(a) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                bump(*a, Matrix::full(r, c, g.scalar()));
+            }
+            Op::MeanAll(a) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                bump(*a, Matrix::full(r, c, g.scalar() / (r * c) as f32));
+            }
+            Op::MeanRows(a) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                let inv = 1.0 / r.max(1) as f32;
+                let mut dx = Matrix::zeros(r, c);
+                for rr in 0..r {
+                    for cc in 0..c {
+                        dx.set(rr, cc, g.get(0, cc) * inv);
+                    }
+                }
+                bump(*a, dx);
+            }
+            Op::SumRows(a) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                let mut dx = Matrix::zeros(r, c);
+                for rr in 0..r {
+                    dx.row_mut(rr).copy_from_slice(g.row(0));
+                }
+                bump(*a, dx);
+            }
+            Op::RowSums(a) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                let mut dx = Matrix::zeros(r, c);
+                for rr in 0..r {
+                    let gr = g.get(rr, 0);
+                    dx.row_mut(rr).iter_mut().for_each(|x| *x = gr);
+                }
+                bump(*a, dx);
+            }
+            Op::AddRowBroadcast(a, b) => {
+                bump(*a, g.clone());
+                let mut db = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &x) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += x;
+                    }
+                }
+                bump(*b, db);
+            }
+            Op::MulColBroadcast(a, c) => {
+                let cm = &self.nodes[*c].value;
+                let am = &self.nodes[*a].value;
+                let mut da = g.clone();
+                let mut dc = Matrix::zeros(cm.rows(), 1);
+                for r in 0..g.rows() {
+                    let s = cm.get(r, 0);
+                    da.row_mut(r).iter_mut().for_each(|x| *x *= s);
+                    let dot: f32 =
+                        g.row(r).iter().zip(am.row(r)).map(|(&gg, &aa)| gg * aa).sum();
+                    dc.set(r, 0, dot);
+                }
+                bump(*a, da);
+                bump(*c, dc);
+            }
+            Op::ConcatCols(a, b) => {
+                let ac = self.nodes[*a].value.cols();
+                let bc = self.nodes[*b].value.cols();
+                let mut da = Matrix::zeros(g.rows(), ac);
+                let mut db = Matrix::zeros(g.rows(), bc);
+                for r in 0..g.rows() {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                }
+                bump(*a, da);
+                bump(*b, db);
+            }
+            Op::ConcatRows(a, b) => {
+                let ar = self.nodes[*a].value.rows();
+                let mut da = Matrix::zeros(ar, g.cols());
+                let mut db = Matrix::zeros(g.rows() - ar, g.cols());
+                for r in 0..ar {
+                    da.row_mut(r).copy_from_slice(g.row(r));
+                }
+                for r in ar..g.rows() {
+                    db.row_mut(r - ar).copy_from_slice(g.row(r));
+                }
+                bump(*a, da);
+                bump(*b, db);
+            }
+            Op::GatherRows(a, indices) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                let mut dx = Matrix::zeros(r, c);
+                for (gr, &src) in indices.iter().enumerate() {
+                    for (o, &x) in dx.row_mut(src).iter_mut().zip(g.row(gr)) {
+                        *o += x;
+                    }
+                }
+                bump(*a, dx);
+            }
+            Op::SliceCols(a, start, _end) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                let mut dx = Matrix::zeros(r, c);
+                for rr in 0..r {
+                    dx.row_mut(rr)[*start..*start + g.cols()].copy_from_slice(g.row(rr));
+                }
+                bump(*a, dx);
+            }
+            Op::Dropout(a, mask) => {
+                let mut dx = g.clone();
+                for (o, &mk) in dx.as_mut_slice().iter_mut().zip(mask.iter()) {
+                    *o *= mk;
+                }
+                bump(*a, dx);
+            }
+            Op::GroupedAttention { q, k, v, group, scale, weights } => {
+                let qm = &self.nodes[*q].value;
+                let km = &self.nodes[*k].value;
+                let vm = &self.nodes[*v].value;
+                let n = qm.rows();
+                let d = qm.cols();
+                let mut dq = Matrix::zeros(n, d);
+                let mut dk = Matrix::zeros(km.rows(), d);
+                let mut dv = Matrix::zeros(vm.rows(), vm.cols());
+                let mut da = vec![0.0f32; *group];
+                #[allow(clippy::needless_range_loop)] // indices mirror the math
+                for i in 0..n {
+                    let g_row = g.row(i);
+                    // dv_{ij} = a_j * g_i;  da_j = g_i · v_{ij}
+                    let mut a_dot_da = 0.0f32;
+                    for j in 0..*group {
+                        let idx = i * group + j;
+                        let w = weights[idx];
+                        da[j] = g_row.iter().zip(vm.row(idx)).map(|(&gg, &vv)| gg * vv).sum();
+                        a_dot_da += w * da[j];
+                        if w != 0.0 {
+                            for (o, &gg) in dv.row_mut(idx).iter_mut().zip(g_row) {
+                                *o += w * gg;
+                            }
+                        }
+                    }
+                    // ds_j = a_j (da_j - Σ a_l da_l); dq += scale Σ ds_j k_j; dk_j += scale ds_j q
+                    for j in 0..*group {
+                        let idx = i * group + j;
+                        let w = weights[idx];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let ds = w * (da[j] - a_dot_da) * scale;
+                        for (o, &kk) in dq.row_mut(i).iter_mut().zip(km.row(idx)) {
+                            *o += ds * kk;
+                        }
+                        for (o, &qq) in dk.row_mut(idx).iter_mut().zip(qm.row(i)) {
+                            *o += ds * qq;
+                        }
+                    }
+                }
+                bump(*q, dq);
+                bump(*k, dk);
+                bump(*v, dv);
+            }
+            Op::BceWithLogits { logits, targets } => {
+                let lm = &self.nodes[*logits].value;
+                let inv = g.scalar() / targets.len().max(1) as f32;
+                let mut dx = Matrix::zeros(lm.rows(), 1);
+                for (r, &y) in targets.iter().enumerate() {
+                    dx.set(r, 0, (stable_sigmoid(lm.get(r, 0)) - y) * inv);
+                }
+                bump(*logits, dx);
+            }
+            Op::SoftmaxCrossEntropy { logits, labels, probs } => {
+                let inv = g.scalar() / labels.len().max(1) as f32;
+                let mut dx = probs.clone();
+                for (r, &y) in labels.iter().enumerate() {
+                    let v = dx.get(r, y) - 1.0;
+                    dx.set(r, y, v);
+                }
+                dx.as_mut_slice().iter_mut().for_each(|x| *x *= inv);
+                bump(*logits, dx);
+            }
+        }
+    }
+}
+
+/// Per-node gradients produced by [`Tape::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `v`; `None` if `v` did not influence it.
+    pub fn get(&self, v: Var) -> Option<&Matrix> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient of the loss w.r.t. `v`, or a zero matrix of the given shape.
+    pub fn get_or_zero(&self, v: Var, shape: (usize, usize)) -> Matrix {
+        self.get(v).cloned().unwrap_or_else(|| Matrix::zeros(shape.0, shape.1))
+    }
+}
+
+#[inline]
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softmax of `src` into `dst` (handles -inf masking;
+/// all -inf → all zeros).
+pub(crate) fn softmax_into(src: &[f32], dst: &mut [f32]) {
+    let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        dst.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        let e = (s - max).exp();
+        *d = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    dst.iter_mut().for_each(|x| *x *= inv);
+}

@@ -1,0 +1,86 @@
+//! Bring your own data: build a benchmark dataset from a raw interaction
+//! log exactly as §3.1 prescribes — node reindexing (Fig. 3) + standardized
+//! node-feature initialization — then run it through the pipeline.
+//!
+//! ```bash
+//! cargo run --release --example custom_dataset
+//! ```
+
+use std::time::Duration;
+
+use benchtemp_core::dataloader::LinkPredSplit;
+use benchtemp_core::pipeline::{train_link_prediction, TrainConfig};
+use benchtemp_graph::features::FeatureInit;
+use benchtemp_graph::reindex::{reindex_heterogeneous, shrink_factor, RawInteraction};
+use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_models::common::ModelConfig;
+use benchtemp_models::Nat;
+use benchtemp_tensor::Matrix;
+
+fn main() {
+    // --- a raw log as it might come out of an application database:
+    // sparse 64-bit user/item ids, not time-sorted, no features.
+    let mut raw: Vec<RawInteraction> = (0..4000u64)
+        .map(|i| RawInteraction {
+            user: 1_000_003 * (i % 97),             // sparse user ids
+            item: 9_999_999_999 - 7 * (i % 53),     // huge sparse item ids
+            t: ((i * 37) % 4000) as f64,            // unsorted timestamps
+        })
+        .collect();
+
+    // --- §3.1 step 1: sort chronologically (interaction-stream invariant).
+    raw.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+
+    // --- §3.1 step 2: node reindexing (users first, then items).
+    let rx = reindex_heterogeneous(&raw);
+    println!(
+        "reindexed {} raw ids → {} contiguous nodes (shrink {:.0}×)",
+        raw.len() * 2,
+        rx.num_nodes,
+        shrink_factor(&raw, &rx)
+    );
+
+    // --- §3.1 step 3: standardized node features (172-dim default).
+    let node_features = FeatureInit::default_random().build(rx.num_nodes, 172);
+
+    // --- assemble the TemporalGraph; a 4-dim behaviour one-hot as edge
+    // features (Taobao-style).
+    let mut edge_features = Matrix::zeros(raw.len(), 4);
+    let events: Vec<Interaction> = raw
+        .iter()
+        .zip(&rx.edges)
+        .enumerate()
+        .map(|(r, (ri, &(src, dst)))| {
+            edge_features.set(r, (ri.user % 4) as usize, 1.0);
+            Interaction { src, dst, t: ri.t, feat_idx: r }
+        })
+        .collect();
+    let graph = TemporalGraph {
+        name: "my-custom-dataset".into(),
+        bipartite: true,
+        num_nodes: rx.num_nodes,
+        num_users: rx.num_users,
+        events,
+        edge_features,
+        node_features,
+        labels: None,
+    };
+    graph.validate().expect("benchmark dataset invariants");
+    println!("custom dataset validated: {} events", graph.num_events());
+
+    // --- the standard pipeline runs on it like on any preset.
+    let split = LinkPredSplit::new(&graph, 0);
+    let mut model = Nat::new(ModelConfig { seed: 0, ..Default::default() }, &graph);
+    let cfg = TrainConfig {
+        batch_size: 100,
+        max_epochs: 6,
+        timeout: Duration::from_secs(120),
+        seed: 0,
+        ..Default::default()
+    };
+    let run = train_link_prediction(&mut model, &graph, &split, &cfg);
+    println!(
+        "NAT on custom dataset: transductive AUC {:.4}, inductive AUC {:.4}",
+        run.transductive.auc, run.inductive.auc
+    );
+}

@@ -1,0 +1,63 @@
+//! The Leaderboard module end-to-end: run a few models over a few datasets,
+//! aggregate over seeds, persist to JSON, reload, and print rankings with
+//! the Average-Rank metric (Table 17 style).
+//!
+//! ```bash
+//! cargo run --release --example leaderboard
+//! ```
+
+use std::path::Path;
+use std::time::Duration;
+
+use benchtemp_core::dataloader::LinkPredSplit;
+use benchtemp_core::leaderboard::Leaderboard;
+use benchtemp_core::pipeline::{train_link_prediction, TrainConfig};
+use benchtemp_graph::datasets::BenchDataset;
+use benchtemp_models::common::ModelConfig;
+use benchtemp_models::zoo;
+
+fn main() {
+    let datasets = [BenchDataset::Uci, BenchDataset::Enron];
+    let models = ["TGN", "NAT", "EdgeBank"];
+    let path = Path::new("results/example_leaderboard.json");
+    let mut lb = Leaderboard::load(path).expect("load leaderboard");
+
+    for dataset in datasets {
+        for model_name in models {
+            let mut values = Vec::new();
+            for seed in 0..2u64 {
+                let graph = dataset.config(0.003, seed ^ 0xda7a).generate();
+                let split = LinkPredSplit::new(&graph, seed);
+                let mut model =
+                    zoo::build(model_name, ModelConfig { seed, ..Default::default() }, &graph);
+                let cfg = TrainConfig {
+                    batch_size: 100,
+                    max_epochs: 6,
+                    timeout: Duration::from_secs(120),
+                    seed,
+                    ..Default::default()
+                };
+                let run = train_link_prediction(model.as_mut(), &graph, &split, &cfg);
+                values.push(run.transductive.auc);
+            }
+            lb.push_runs(model_name, dataset.name(), "link_prediction", "Transductive", "AUC", &values);
+            println!("{model_name:>9} on {:<8}: pushed {values:.4?}", dataset.name());
+        }
+    }
+
+    lb.save(path).expect("save leaderboard");
+    let reloaded = Leaderboard::load(path).expect("reload");
+    for dataset in datasets {
+        println!("\n--- leaderboard: {} ---", dataset.name());
+        print!(
+            "{}",
+            reloaded.render_group(dataset.name(), "link_prediction", "Transductive", "AUC")
+        );
+    }
+    let names: Vec<&str> = datasets.iter().map(|d| d.name()).collect();
+    println!(
+        "\nAverage rank across {:?}: {:?}",
+        names,
+        reloaded.average_rank(&names, "link_prediction", "Transductive", "AUC")
+    );
+}

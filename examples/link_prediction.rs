@@ -1,0 +1,77 @@
+//! Compare several TGNN models on one dataset across all four
+//! link-prediction settings — a miniature of the paper's Table 3 workflow,
+//! with results pushed to a Leaderboard.
+//!
+//! ```bash
+//! cargo run --release --example link_prediction -- MOOC TGN CAWN NAT
+//! ```
+//! (arguments: dataset name, then model names; defaults shown above)
+
+use std::time::Duration;
+
+use benchtemp_core::dataloader::{LinkPredSplit, Setting};
+use benchtemp_core::leaderboard::Leaderboard;
+use benchtemp_core::pipeline::{train_link_prediction, TrainConfig};
+use benchtemp_graph::datasets::BenchDataset;
+use benchtemp_models::common::ModelConfig;
+use benchtemp_models::zoo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset_name = args.first().map(String::as_str).unwrap_or("MOOC");
+    let models: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        vec!["TGN", "CAWN", "NAT"]
+    };
+    let dataset = BenchDataset::all15()
+        .into_iter()
+        .chain(BenchDataset::new6())
+        .find(|d| d.name().eq_ignore_ascii_case(dataset_name))
+        .unwrap_or_else(|| panic!("unknown dataset {dataset_name}"));
+
+    let seeds = 2u64;
+    let mut leaderboard = Leaderboard::new();
+    for model_name in &models {
+        let mut per_setting: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for seed in 0..seeds {
+            let graph = dataset.config(0.003, seed ^ 0xda7a).generate();
+            let split = LinkPredSplit::new(&graph, seed);
+            let mut model =
+                zoo::build(model_name, ModelConfig { seed, ..Default::default() }, &graph);
+            let cfg = TrainConfig {
+                batch_size: 100,
+                max_epochs: 8,
+                timeout: Duration::from_secs(120),
+                seed,
+                ..Default::default()
+            };
+            let run = train_link_prediction(model.as_mut(), &graph, &split, &cfg);
+            for (i, setting) in Setting::all().iter().enumerate() {
+                per_setting[i].push(run.metrics_for(*setting).auc);
+            }
+            println!(
+                "{model_name} seed {seed}: transductive AUC {:.4}, new-new AUC {:.4}",
+                run.transductive.auc, run.new_new.auc
+            );
+        }
+        for (i, setting) in Setting::all().iter().enumerate() {
+            leaderboard.push_runs(
+                model_name,
+                dataset.name(),
+                "link_prediction",
+                setting.name(),
+                "AUC",
+                &per_setting[i],
+            );
+        }
+    }
+
+    for setting in Setting::all() {
+        println!("\n--- {} on {} (best **bold**, runner-up _underlined_) ---", setting.name(), dataset.name());
+        print!(
+            "{}",
+            leaderboard.render_group(dataset.name(), "link_prediction", setting.name(), "AUC")
+        );
+    }
+}

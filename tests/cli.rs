@@ -1,0 +1,104 @@
+//! End-to-end tests of the `benchtemp` CLI binary: generate → stats →
+//! train → leaderboard, exercising dataset IO and the leaderboard file
+//! format through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_benchtemp"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("benchtemp_cli_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn generate_stats_train_leaderboard_round_trip() {
+    let data = tmp("data");
+    let lb = tmp("lb.json");
+
+    // generate
+    let out = cli()
+        .args(["generate", "--dataset", "Enron", "--scale", "0.004", "--seed", "3"])
+        .args(["--out", data.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.join("edges.csv").exists());
+    assert!(data.join("meta.json").exists());
+
+    // stats on the saved dataset
+    let out = cli()
+        .args(["stats", "--dir", data.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Enron"), "{text}");
+    assert!(text.contains("recurrence"));
+
+    // train on the saved dataset, push to a leaderboard file
+    let out = cli()
+        .args(["train", "--dir", data.to_str().unwrap()])
+        .args(["--model", "EdgeBank", "--epochs", "3", "--seed", "1"])
+        .args(["--leaderboard", lb.to_str().unwrap()])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Transductive"), "{text}");
+    assert!(lb.exists());
+
+    // leaderboard renders the pushed entry
+    let out = cli()
+        .args(["leaderboard", "--file", lb.to_str().unwrap()])
+        .output()
+        .expect("run leaderboard");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("EdgeBank"), "{text}");
+
+    std::fs::remove_dir_all(&data).ok();
+    std::fs::remove_file(&lb).ok();
+}
+
+#[test]
+fn unknown_dataset_fails_with_message() {
+    let out = cli()
+        .args(["stats", "--dataset", "NotADataset"])
+        .output()
+        .expect("run stats");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}
+
+#[test]
+fn unknown_model_fails_with_message() {
+    let out = cli()
+        .args(["train", "--dataset", "UCI", "--model", "GPT-TGNN"])
+        .output()
+        .expect("run train");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = cli().arg("help").output().expect("run help");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "stats", "train", "leaderboard"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn models_and_datasets_listings() {
+    let out = cli().arg("models").output().expect("run models");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NeurTW"));
+    let out = cli().arg("datasets").output().expect("run datasets");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SocialEvo"));
+    assert!(text.contains("[labelled]"));
+}

@@ -1,0 +1,115 @@
+//! Shape checks against the paper's headline findings — not absolute
+//! numbers (our substrate is a CPU simulator on synthetic data), but the
+//! qualitative statements §4.2/§4.4 draw:
+//!
+//! 1. walk-based / joint-neighborhood models (CAWN, NAT) generalize better
+//!    than the memory family (TGN) on inductive New-New edges;
+//! 2. walk-based models pay for it in runtime (CAWN ≫ TGN per epoch);
+//! 3. NAT is fast despite being structure-aware (the N-cache trade-off);
+//! 4. the NeurTW NODE component matters on coarse-granularity streams.
+
+use std::time::Duration;
+
+use benchtemp_suite::core::dataloader::LinkPredSplit;
+use benchtemp_suite::core::pipeline::{train_link_prediction, LinkPredictionRun, TrainConfig};
+use benchtemp_suite::graph::datasets::BenchDataset;
+use benchtemp_suite::models::common::ModelConfig;
+use benchtemp_suite::models::zoo;
+
+fn run(name: &str, dataset: BenchDataset, scale: f64, seed: u64) -> LinkPredictionRun {
+    let graph = dataset.config(scale, seed ^ 0xda7a).generate();
+    let split = LinkPredSplit::new(&graph, seed);
+    let mut model = zoo::build(name, ModelConfig { seed, ..Default::default() }, &graph);
+    let cfg = TrainConfig {
+        batch_size: 100,
+        max_epochs: 6,
+        timeout: Duration::from_secs(300),
+        seed,
+        ..Default::default()
+    };
+    train_link_prediction(model.as_mut(), &graph, &split, &cfg)
+}
+
+/// Mean over two seeds to damp noise.
+fn mean2(name: &str, dataset: BenchDataset, f: impl Fn(&LinkPredictionRun) -> f64) -> f64 {
+    (f(&run(name, dataset, 0.004, 0)) + f(&run(name, dataset, 0.004, 1))) / 2.0
+}
+
+#[test]
+fn structure_aware_models_win_new_new() {
+    // Table 3 Inductive New-New: NAT/CAWN top-2 on most datasets while the
+    // memory family degrades hard. MOOC has enough nodes at this scale to
+    // yield a real New-New test set.
+    let ds = BenchDataset::Mooc;
+    let probe = run("NAT", ds, 0.004, 0);
+    assert!(probe.new_new.n_edges > 0, "need New-New edges for this check");
+    let nat = mean2("NAT", ds, |r| r.new_new.auc);
+    let tgn = mean2("TGN", ds, |r| r.new_new.auc);
+    assert!(
+        nat > tgn + 0.05,
+        "NAT ({nat:.4}) should clearly beat TGN ({tgn:.4}) on New-New"
+    );
+}
+
+#[test]
+fn walk_models_are_slower_per_epoch_than_memory_models() {
+    // Table 4: CAWN runtime ≫ JODIE/TGN runtime on every dataset.
+    let ds = BenchDataset::Wikipedia;
+    let cawn = mean2("CAWN", ds, |r| r.efficiency.runtime_per_epoch_secs);
+    let jodie = mean2("JODIE", ds, |r| r.efficiency.runtime_per_epoch_secs);
+    assert!(
+        cawn > 1.5 * jodie,
+        "CAWN ({cawn:.3}s) should be well slower than JODIE ({jodie:.3}s) per epoch"
+    );
+}
+
+#[test]
+fn nat_is_faster_than_walk_models() {
+    // §4.2: "NAT is relatively faster than temporal walk-based methods
+    // through caching", Table 4 runtime column.
+    let ds = BenchDataset::Enron;
+    let nat = mean2("NAT", ds, |r| r.efficiency.runtime_per_epoch_secs);
+    let neurtw = mean2("NeurTW", ds, |r| r.efficiency.runtime_per_epoch_secs);
+    assert!(
+        neurtw > 1.5 * nat,
+        "NeurTW ({neurtw:.3}s) should be well slower than NAT ({nat:.3}s)"
+    );
+}
+
+#[test]
+fn neurtw_nodes_help_on_coarse_granularity() {
+    // Table 23: removing NODEs hurts on CanParl (yearly session ticks),
+    // where edge freshness is the discriminative temporal signal. The
+    // clearest contrast at small scale is the inductive setting; we assert
+    // direction with a noise margin (see EXPERIMENTS.md for the calibrated
+    // multi-seed numbers).
+    let with = mean2("NeurTW", BenchDataset::CanParl, |r| r.inductive.auc);
+    let without = mean2("NeurTW-noNODE", BenchDataset::CanParl, |r| r.inductive.auc);
+    assert!(
+        with + 0.05 > without,
+        "NODEs should not hurt CanParl inductive: with {with:.4} vs without {without:.4}"
+    );
+}
+
+#[test]
+fn memory_state_scales_with_node_count() {
+    // Table 4 GPU-memory discussion: on Taobao (the max node count) the
+    // Memory module's footprint dominates — memory-based TGN carries far
+    // more state than stateless TGAT, while on tiny Enron the two are
+    // parameter-bound and close. Pure state accounting, no training needed.
+    let state = |name: &str, ds: BenchDataset, scale: f64| {
+        let g = ds.config(scale, 0).generate();
+        let m = zoo::build(name, ModelConfig { seed: 0, ..Default::default() }, &g);
+        m.state_bytes() as f64
+    };
+    let ratio_taobao = state("TGN", BenchDataset::Taobao, 0.01) / state("TGAT", BenchDataset::Taobao, 0.01);
+    let ratio_enron = state("TGN", BenchDataset::Enron, 0.01) / state("TGAT", BenchDataset::Enron, 0.01);
+    assert!(
+        ratio_taobao > 1.5,
+        "TGN/TGAT state ratio on Taobao should exceed 1.5, got {ratio_taobao:.2}"
+    );
+    assert!(
+        ratio_taobao > 1.2 * ratio_enron,
+        "the memory blow-up must be Taobao-specific: {ratio_taobao:.2} vs {ratio_enron:.2}"
+    );
+}
