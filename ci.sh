@@ -1,0 +1,18 @@
+#!/bin/bash
+# Offline CI gate: formatting, lints, and the tier-1 verify
+# (`cargo build --release && cargo test -q`). Sourced by
+# run_all_experiments.sh before any harness runs, and runnable standalone.
+set -e
+cd "$(dirname "${BASH_SOURCE[0]}")"
+
+echo "== ci: cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== ci: cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== ci: tier-1 verify =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "CI_OK"

@@ -1,18 +1,19 @@
-//! Criterion micro-benchmarks of the pipeline's hot components: tensor
-//! kernels, neighbor lookup/sampling, walk sampling, negative sampling,
-//! the chronological split, and the evaluator.
+//! Micro-benchmarks of the pipeline's hot components: tensor kernels,
+//! neighbor lookup/sampling, walk sampling, negative sampling, the
+//! chronological split, and the evaluator. Plain `harness = false` timers
+//! (see `benchtemp_bench::timing`), so the workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use benchtemp_bench::timing;
 use benchtemp_core::dataloader::LinkPredSplit;
-use benchtemp_core::evaluator::{average_precision, roc_auc};
+use benchtemp_core::evaluator::{auc_ap, average_precision, roc_auc};
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_core::sampler::{EdgeSampler, NegativeStrategy};
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::neighbors::{NeighborFinder, SamplingStrategy};
 use benchtemp_models::walks::sample_walks;
-use benchtemp_tensor::{init, Matrix, Tape};
+use benchtemp_tensor::{init, Tape};
 
 fn graph() -> benchtemp_graph::TemporalGraph {
     let mut cfg = GeneratorConfig::small("bench", 7);
@@ -22,116 +23,120 @@ fn graph() -> benchtemp_graph::TemporalGraph {
     cfg.generate()
 }
 
-fn bench_tensor(c: &mut Criterion) {
+fn bench_tensor() {
     let mut rng = init::rng(1);
     let a = init::randn(128, 128, 1.0, &mut rng);
     let b = init::randn(128, 128, 1.0, &mut rng);
-    c.bench_function("tensor/matmul_128", |bench| {
-        bench.iter(|| black_box(a.matmul(&b)))
+    timing::run("tensor/matmul_128", || black_box(a.matmul(&b)));
+
+    let x = init::randn(100, 64, 1.0, &mut rng);
+    let w1 = init::xavier_uniform(64, 64, &mut rng);
+    let w2 = init::xavier_uniform(64, 1, &mut rng);
+    let targets = vec![1.0f32; 100];
+    timing::run("tensor/forward_backward_mlp", || {
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let w1v = t.leaf(w1.clone());
+        let w2v = t.leaf(w2.clone());
+        let h = t.matmul(xv, w1v);
+        let h = t.relu(h);
+        let logits = t.matmul(h, w2v);
+        let loss = t.bce_with_logits(logits, &targets);
+        black_box(t.backward(loss))
     });
 
-    c.bench_function("tensor/forward_backward_mlp", |bench| {
-        let x = init::randn(100, 64, 1.0, &mut rng);
-        let w1 = init::xavier_uniform(64, 64, &mut rng);
-        let w2 = init::xavier_uniform(64, 1, &mut rng);
-        let targets = vec![1.0f32; 100];
-        bench.iter(|| {
-            let mut t = Tape::new();
-            let xv = t.leaf(x.clone());
-            let w1v = t.leaf(w1.clone());
-            let w2v = t.leaf(w2.clone());
-            let h = t.matmul(xv, w1v);
-            let h = t.relu(h);
-            let logits = t.matmul(h, w2v);
-            let loss = t.bce_with_logits(logits, &targets);
-            black_box(t.backward(loss))
-        })
-    });
-
-    c.bench_function("tensor/grouped_attention_fwd_bwd", |bench| {
-        let q = init::randn(100, 32, 1.0, &mut rng);
-        let k = init::randn(1000, 32, 1.0, &mut rng);
-        let v = init::randn(1000, 32, 1.0, &mut rng);
-        let mask = vec![true; 1000];
-        bench.iter(|| {
-            let mut t = Tape::new();
-            let qv = t.leaf(q.clone());
-            let kv = t.leaf(k.clone());
-            let vv = t.leaf(v.clone());
-            let out = t.grouped_attention(qv, kv, vv, 10, &mask);
-            let loss = t.mean_all(out);
-            black_box(t.backward(loss))
-        })
+    let q = init::randn(100, 32, 1.0, &mut rng);
+    let k = init::randn(1000, 32, 1.0, &mut rng);
+    let v = init::randn(1000, 32, 1.0, &mut rng);
+    let mask = vec![true; 1000];
+    timing::run("tensor/grouped_attention_fwd_bwd", || {
+        let mut t = Tape::new();
+        let qv = t.leaf(q.clone());
+        let kv = t.leaf(k.clone());
+        let vv = t.leaf(v.clone());
+        let out = t.grouped_attention(qv, kv, vv, 10, &mask);
+        let loss = t.mean_all(out);
+        black_box(t.backward(loss))
     });
 }
 
-fn bench_graph(c: &mut Criterion) {
+fn bench_graph() {
     let g = graph();
-    c.bench_function("graph/generate_20k_events", |bench| {
-        let mut cfg = GeneratorConfig::small("gen", 7);
-        cfg.num_edges = 20_000;
-        bench.iter(|| black_box(cfg.generate()))
+    let mut gen_cfg = GeneratorConfig::small("gen", 7);
+    gen_cfg.num_edges = 20_000;
+    timing::run("graph/generate_20k_events", || {
+        black_box(gen_cfg.generate())
     });
-    c.bench_function("graph/neighbor_finder_build", |bench| {
-        bench.iter(|| black_box(NeighborFinder::from_events(g.num_nodes, &g.events)))
+    timing::run("graph/neighbor_finder_build", || {
+        black_box(NeighborFinder::from_events(g.num_nodes, &g.events))
     });
 
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let mut rng = init::rng(3);
-    c.bench_function("graph/sample_neighbors_most_recent", |bench| {
-        bench.iter(|| {
-            black_box(nf.sample_before(5, 800.0, 10, SamplingStrategy::MostRecent, &mut rng))
-        })
+    timing::run("graph/sample_neighbors_most_recent", || {
+        black_box(nf.sample_before(5, 800.0, 10, SamplingStrategy::MostRecent, &mut rng))
     });
-    c.bench_function("graph/sample_neighbors_temporal_safe", |bench| {
-        bench.iter(|| {
-            black_box(nf.sample_before(5, 800.0, 10, SamplingStrategy::TemporalSafe, &mut rng))
-        })
+    let mut rng = init::rng(3);
+    timing::run("graph/sample_neighbors_temporal_safe", || {
+        black_box(nf.sample_before(5, 800.0, 10, SamplingStrategy::TemporalSafe, &mut rng))
     });
 
-    let ctx = StreamContext { graph: &g, neighbors: &nf };
-    c.bench_function("graph/sample_temporal_walks_m4_l3", |bench| {
-        bench.iter(|| {
-            black_box(sample_walks(&ctx, 5, 800.0, 4, 3, SamplingStrategy::Uniform, &mut rng))
-        })
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
+    let mut rng = init::rng(3);
+    timing::run("graph/sample_temporal_walks_m4_l3", || {
+        black_box(sample_walks(
+            &ctx,
+            5,
+            800.0,
+            4,
+            3,
+            SamplingStrategy::Uniform,
+            &mut rng,
+        ))
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let g = graph();
-    c.bench_function("pipeline/link_pred_split_20k", |bench| {
-        bench.iter(|| black_box(LinkPredSplit::new(&g, 0)))
+    timing::run("pipeline/link_pred_split_20k", || {
+        black_box(LinkPredSplit::new(&g, 0))
     });
 
     let split = LinkPredSplit::new(&g, 0);
-    c.bench_function("pipeline/negative_sampler_batch200", |bench| {
-        let mut sampler = EdgeSampler::new(&g, &split.train, NegativeStrategy::Random, 1);
-        bench.iter(|| black_box(sampler.sample_batch(&g.events[..200])))
+    let mut sampler = EdgeSampler::new(&g, &split.train, NegativeStrategy::Random, 1);
+    timing::run("pipeline/negative_sampler_batch200", || {
+        black_box(sampler.sample_batch(&g.events[..200]))
     });
-    c.bench_function("pipeline/historical_sampler_build", |bench| {
-        bench.iter_batched(
-            || (),
-            |_| black_box(EdgeSampler::new(&g, &split.train, NegativeStrategy::Historical, 1)),
-            BatchSize::SmallInput,
-        )
+    timing::run("pipeline/historical_sampler_build", || {
+        black_box(EdgeSampler::new(
+            &g,
+            &split.train,
+            NegativeStrategy::Historical,
+            1,
+        ))
     });
 
     let mut rng = init::rng(9);
-    let scores: Vec<f32> =
-        (0..10_000).map(|_| init::standard_normal(&mut rng)).collect();
+    let scores: Vec<f32> = (0..10_000)
+        .map(|_| init::standard_normal(&mut rng))
+        .collect();
     let labels: Vec<f32> = (0..10_000).map(|i| (i % 2) as f32).collect();
-    c.bench_function("evaluator/roc_auc_10k", |bench| {
-        bench.iter(|| black_box(roc_auc(&labels, &scores)))
+    timing::run("evaluator/roc_auc_10k", || {
+        black_box(roc_auc(&labels, &scores))
     });
-    c.bench_function("evaluator/average_precision_10k", |bench| {
-        bench.iter(|| black_box(average_precision(&labels, &scores)))
+    timing::run("evaluator/average_precision_10k", || {
+        black_box(average_precision(&labels, &scores))
     });
-    let _ = Matrix::zeros(1, 1);
+    timing::run("evaluator/fused_auc_ap_10k", || {
+        black_box(auc_ap(&labels, &scores))
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_tensor, bench_graph, bench_pipeline
+fn main() {
+    bench_tensor();
+    bench_graph();
+    bench_pipeline();
 }
-criterion_main!(benches);

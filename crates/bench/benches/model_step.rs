@@ -1,25 +1,28 @@
-//! Criterion benchmark: one training step (forward + backward + Adam) per
-//! model on an identical batch — the per-batch decomposition of Table 4's
-//! runtime column. The expected ordering mirrors the paper's key claims:
+//! Benchmark: one training step (forward + backward + Adam) per model on
+//! an identical batch — the per-batch decomposition of Table 4's runtime
+//! column. The expected ordering mirrors the paper's key claims:
 //! EdgeBank ≪ NAT (fastest learned model, via N-caches) < the memory
 //! family (JODIE < DyRep < TGN) ≪ the deep-attention / walk models
 //! (TGAT, CAWN, NeurTW), with NeurTW the slowest.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use benchtemp_bench::timing;
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::NeighborFinder;
 use benchtemp_models::common::ModelConfig;
 use benchtemp_models::zoo;
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let mut cfg = GeneratorConfig::small("step", 11);
     cfg.num_edges = 5_000;
     let g = cfg.generate();
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
     let batch = &g.events[1_000..1_100];
     let negs: Vec<usize> = batch
         .iter()
@@ -27,11 +30,13 @@ fn bench_models(c: &mut Criterion) {
         .map(|(i, _)| g.num_users + (i * 7) % (g.num_nodes - g.num_users))
         .collect();
 
-    let mut group = c.benchmark_group("model_train_batch100");
     for name in zoo::ALL_MODELS {
         let mut model = zoo::build(
             name,
-            ModelConfig { seed: 1, ..Default::default() },
+            ModelConfig {
+                seed: 1,
+                ..Default::default()
+            },
             &g,
         );
         // Warm temporal state so the step is representative.
@@ -39,16 +44,8 @@ fn bench_models(c: &mut Criterion) {
         for (chunk, negs) in g.events[..1_000].chunks(200).zip(warm.chunks(200)) {
             let _ = model.eval_batch(&ctx, chunk, negs);
         }
-        group.bench_function(name, |bench| {
-            bench.iter(|| black_box(model.train_batch(&ctx, batch, &negs)))
+        timing::run(&format!("model_train_batch100/{name}"), || {
+            black_box(model.train_batch(&ctx, batch, &negs))
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_models
-}
-criterion_main!(benches);

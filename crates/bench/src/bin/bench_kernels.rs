@@ -1,0 +1,231 @@
+//! Kernel-throughput benchmark for the parallel runtime PR: compares the
+//! register-blocked matmul against the seed's branchy kernel (reproduced
+//! inline below as the baseline), and measures pipeline-eval throughput at
+//! one vs four worker threads while asserting the runtime's determinism
+//! contract — the metrics must be bit-identical at any thread count.
+//!
+//! The pool reads `BENCHTEMP_THREADS` once per process, so each thread
+//! count runs in a child process (this same binary, re-invoked with
+//! `BENCHTEMP_KERNELS_CHILD=1`). The parent merges the child reports into
+//! `BENCH_kernels.json`.
+
+use std::process::Command;
+
+use benchtemp_bench::{save_json, timing};
+use benchtemp_core::evaluator::auc_ap_pos_neg;
+use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::temporal_graph::TemporalGraph;
+use benchtemp_tensor::nn::Mlp;
+use benchtemp_tensor::{init, pool, Graph, Matrix, ParamStore};
+use benchtemp_util::json;
+
+const NODE_DIM: usize = 32;
+const HIDDEN: usize = 96;
+const BATCH: usize = 200;
+
+/// The seed repository's matmul, verbatim: row-major accumulation with a
+/// zero-skip branch in the k loop and no register blocking. The baseline
+/// the ≥2× single-thread target is measured against.
+fn seed_matmul(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+    assert_eq!(lhs.cols(), rhs.rows());
+    let n = rhs.cols();
+    let mut out = Matrix::zeros(lhs.rows(), n);
+    for i in 0..lhs.rows() {
+        let a_row = lhs.row(i);
+        let out_row = &mut out.row_mut(i)[..];
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = rhs.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a * b;
+            }
+        }
+    }
+    out
+}
+
+/// Score every (src, dst) pair through a fixed MLP — the eval hot path:
+/// batched feature gather, parallel matmul forward, sigmoid.
+struct EvalWorkload {
+    graph: TemporalGraph,
+    store: ParamStore,
+    mlp: Mlp,
+}
+
+impl EvalWorkload {
+    fn new() -> Self {
+        let mut cfg = GeneratorConfig::small("kernels", 11);
+        cfg.num_edges = 6_000;
+        cfg.node_dim = NODE_DIM;
+        let graph = cfg.generate();
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(5);
+        let mlp = Mlp::new(&mut store, &mut rng, "edge", 2 * NODE_DIM, HIDDEN, 1);
+        EvalWorkload { graph, store, mlp }
+    }
+
+    fn score_batch(&self, srcs: &[usize], dsts: &[usize]) -> Vec<f32> {
+        let mut x = Matrix::zeros(srcs.len(), 2 * NODE_DIM);
+        for (r, (&s, &d)) in srcs.iter().zip(dsts).enumerate() {
+            x.row_mut(r)[..NODE_DIM].copy_from_slice(self.graph.node_features.row(s));
+            x.row_mut(r)[NODE_DIM..].copy_from_slice(self.graph.node_features.row(d));
+        }
+        let mut g = Graph::new(&self.store);
+        let xv = g.input(x);
+        let logits = self.mlp.forward(&mut g, xv);
+        let probs = g.sigmoid(logits);
+        let m = g.value(probs);
+        (0..m.rows()).map(|r| m.get(r, 0)).collect()
+    }
+
+    /// One full eval pass: every event scored against its positive and a
+    /// deterministic negative destination. Returns (pos, neg) scores.
+    fn eval_pass(&self) -> (Vec<f32>, Vec<f32>) {
+        let g = &self.graph;
+        let items = g.num_nodes - g.num_users;
+        let mut pos = Vec::with_capacity(g.events.len());
+        let mut neg = Vec::with_capacity(g.events.len());
+        for batch in g.events.chunks(BATCH) {
+            let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+            let dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+            let negs: Vec<usize> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, _)| g.num_users + (i * 7) % items)
+                .collect();
+            pos.extend(self.score_batch(&srcs, &dsts));
+            neg.extend(self.score_batch(&srcs, &negs));
+        }
+        (pos, neg)
+    }
+}
+
+/// Child-process body: print one `KCHILD` line with all measurements.
+fn run_child() {
+    let mut rng = init::rng(1);
+    let a = init::randn(256, 256, 1.0, &mut rng);
+    let b = init::randn(256, 256, 1.0, &mut rng);
+    let seed_ns = timing::measure(&mut || std::hint::black_box(seed_matmul(&a, &b)));
+    let kernel_ns = timing::measure(&mut || std::hint::black_box(a.matmul(&b)));
+
+    let w = EvalWorkload::new();
+    let events = w.graph.events.len();
+    let pass_ns = timing::measure(&mut || std::hint::black_box(w.eval_pass()));
+    let events_per_sec = events as f64 / (pass_ns / 1e9);
+
+    let (pos, neg) = w.eval_pass();
+    let (auc, ap) = auc_ap_pos_neg(&pos, &neg);
+
+    println!(
+        "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x}",
+        pool().threads(),
+        seed_ns,
+        kernel_ns,
+        events_per_sec,
+        auc.to_bits(),
+        ap.to_bits()
+    );
+}
+
+#[derive(Debug)]
+struct ChildReport {
+    threads: usize,
+    seed_ns: f64,
+    kernel_ns: f64,
+    events_per_sec: f64,
+    auc_bits: String,
+    ap_bits: String,
+}
+
+fn spawn_child(threads: usize) -> ChildReport {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = Command::new(exe)
+        .env("BENCHTEMP_KERNELS_CHILD", "1")
+        .env("BENCHTEMP_THREADS", threads.to_string())
+        .output()
+        .expect("spawn bench child");
+    assert!(
+        out.status.success(),
+        "child with BENCHTEMP_THREADS={threads} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("KCHILD "))
+        .unwrap_or_else(|| panic!("no KCHILD line from child:\n{stdout}"));
+    let f: Vec<&str> = line.split_whitespace().collect();
+    let field = |key: &str| {
+        f.iter()
+            .position(|&w| w == key)
+            .map(|i| f[i + 1].to_string())
+            .unwrap_or_else(|| panic!("missing {key} in: {line}"))
+    };
+    ChildReport {
+        threads: field("threads").parse().unwrap(),
+        seed_ns: field("seed_ns").parse().unwrap(),
+        kernel_ns: field("kernel_ns").parse().unwrap(),
+        events_per_sec: field("events_per_sec").parse().unwrap(),
+        auc_bits: field("auc"),
+        ap_bits: field("ap"),
+    }
+}
+
+fn main() {
+    if std::env::var("BENCHTEMP_KERNELS_CHILD").is_ok() {
+        run_child();
+        return;
+    }
+
+    println!("== Kernel throughput: seed baseline vs register-blocked parallel runtime ==");
+    let single = spawn_child(1);
+    let multi = spawn_child(4);
+
+    // The runtime contract: metrics must not depend on the thread count.
+    assert_eq!(
+        (&single.auc_bits, &single.ap_bits),
+        (&multi.auc_bits, &multi.ap_bits),
+        "eval metrics must be bit-identical across thread counts"
+    );
+
+    let matmul_speedup = single.seed_ns / single.kernel_ns;
+    let eval_speedup = multi.events_per_sec / single.events_per_sec;
+    println!(
+        "matmul 256x256x256 (1 thread): seed {:.0} ns -> kernel {:.0} ns  ({matmul_speedup:.2}x)",
+        single.seed_ns, single.kernel_ns
+    );
+    println!(
+        "matmul 256x256x256 (4 threads): kernel {:.0} ns",
+        multi.kernel_ns
+    );
+    println!(
+        "eval throughput: {:.0} ev/s (1 thread) -> {:.0} ev/s (4 threads)  ({eval_speedup:.2}x)",
+        single.events_per_sec, multi.events_per_sec
+    );
+    println!(
+        "metrics bit-identical across thread counts: auc {} ap {}",
+        single.auc_bits, single.ap_bits
+    );
+
+    let report = json!({
+        "host_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "matmul_256": {
+            "seed_ns_single_thread": single.seed_ns,
+            "kernel_ns_single_thread": single.kernel_ns,
+            "kernel_ns_multi_thread": multi.kernel_ns,
+            "single_thread_speedup": matmul_speedup,
+            "single_thread_target": 2.0,
+        },
+        "eval": {
+            "events_per_sec_1_thread": single.events_per_sec,
+            "events_per_sec_4_threads": multi.events_per_sec,
+            "speedup": eval_speedup,
+            "speedup_target": 1.5,
+            "threads": [single.threads, multi.threads],
+            "metrics_bit_identical": true,
+        },
+    });
+    save_json(std::path::Path::new("."), "BENCH_kernels.json", &report);
+}

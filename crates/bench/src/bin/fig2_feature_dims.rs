@@ -19,7 +19,10 @@ fn main() {
             for seed in 0..protocol.seeds as u64 {
                 let mut cfg = BenchDataset::Mooc.config(protocol.scale, seed ^ 0xf19);
                 cfg.node_dim = dim;
-                cfg.node_feature_init = FeatureInit::RandomFixed { seed: seed ^ 0x5eed, std: 0.1 };
+                cfg.node_feature_init = FeatureInit::RandomFixed {
+                    seed: seed ^ 0x5eed,
+                    std: 0.1,
+                };
                 let graph = cfg.generate();
                 let split = LinkPredSplit::new(&graph, seed);
                 let mut model = zoo::build(model_name, protocol.model_config(seed), &graph);
@@ -29,7 +32,10 @@ fn main() {
                     &split,
                     &protocol.train_config(seed),
                 );
-                eprintln!("dim {dim}: {model_name} seed {seed} AUC {:.4}", run.transductive.auc);
+                eprintln!(
+                    "dim {dim}: {model_name} seed {seed} AUC {:.4}",
+                    run.transductive.auc
+                );
                 table.add(&format!("dim={dim}"), model_name, run.transductive.auc);
             }
         }
@@ -37,7 +43,14 @@ fn main() {
 
     println!(
         "{}",
-        table.render("Fig. 2 — MOOC LP ROC AUC vs initial node-feature dimension", "Node dim")
+        table.render(
+            "Fig. 2 — MOOC LP ROC AUC vs initial node-feature dimension",
+            "Node dim"
+        )
     );
-    save_json(&protocol.out_dir, "fig2_feature_dims.json", &table.to_entries());
+    save_json(
+        &protocol.out_dir,
+        "fig2_feature_dims.json",
+        &table.to_entries(),
+    );
 }

@@ -6,6 +6,7 @@ use benchtemp_bench::{save_json, Protocol};
 use benchtemp_core::dataloader::LinkPredSplit;
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_graph::stats::{sparkline, temporal_histogram};
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
@@ -17,7 +18,7 @@ fn main() {
         let g = d.config(protocol.scale, 42).generate();
         let hist = temporal_histogram(&g, bins);
         println!("{:>12} {}", d.name(), sparkline(&hist));
-        report.push(serde_json::json!({ "dataset": d.name(), "histogram": hist }));
+        report.push(json!({ "dataset": d.name(), "histogram": hist }));
     }
 
     println!("\n== Figs. 8/9: edge-count distribution with split boundaries ==");
@@ -28,12 +29,19 @@ fn main() {
         let (lo, hi) = g.time_span();
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         let mark = |t: f64| (((t - lo) / span) * bins as f64) as usize;
-        let (v, te) = (mark(split.val_time).min(bins - 1), mark(split.test_time).min(bins - 1));
+        let (v, te) = (
+            mark(split.val_time).min(bins - 1),
+            mark(split.test_time).min(bins - 1),
+        );
         let mut ruler: Vec<char> = vec![' '; bins];
         ruler[v] = 'V';
         ruler[te] = 'T';
         println!("{:>12} {}", d.name(), sparkline(&hist));
-        println!("{:>12} {}   (V = val boundary, T = test boundary)", "", ruler.iter().collect::<String>());
+        println!(
+            "{:>12} {}   (V = val boundary, T = test boundary)",
+            "",
+            ruler.iter().collect::<String>()
+        );
     }
 
     save_json(&protocol.out_dir, "fig5_temporal_dist.json", &report);

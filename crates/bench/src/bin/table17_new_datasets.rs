@@ -8,16 +8,21 @@ use benchtemp_core::dataloader::Setting;
 use benchtemp_core::leaderboard::Leaderboard;
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_models::zoo::PAPER_MODELS;
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
     let models = protocol.select_models(&PAPER_MODELS);
     let datasets = protocol.select_datasets(&BenchDataset::new6());
 
-    let mut auc: Vec<(Setting, TableBuilder)> =
-        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
-    let mut ap: Vec<(Setting, TableBuilder)> =
-        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
+    let mut auc: Vec<(Setting, TableBuilder)> = Setting::all()
+        .iter()
+        .map(|&s| (s, TableBuilder::new()))
+        .collect();
+    let mut ap: Vec<(Setting, TableBuilder)> = Setting::all()
+        .iter()
+        .map(|&s| (s, TableBuilder::new()))
+        .collect();
     let mut runtime = TableBuilder::new();
     let mut rss = TableBuilder::new();
     let mut state = TableBuilder::new();
@@ -62,27 +67,52 @@ fn main() {
     for (setting, table) in &auc {
         println!(
             "{}",
-            table.render(&format!("Table 17 ({}) — ROC AUC, new datasets", setting.name()), "Dataset")
+            table.render(
+                &format!("Table 17 ({}) — ROC AUC, new datasets", setting.name()),
+                "Dataset"
+            )
         );
         let ranks = leaderboard.average_rank(&large, "link_prediction", setting.name(), "AUC");
-        println!("Average Rank ({}, large-scale): {:?}", setting.name(), ranks);
+        println!(
+            "Average Rank ({}, large-scale): {:?}",
+            setting.name(),
+            ranks
+        );
     }
     for (setting, table) in &ap {
         println!(
             "{}",
-            table.render(&format!("Table 18 ({}) — AP, new datasets", setting.name()), "Dataset")
+            table.render(
+                &format!("Table 18 ({}) — AP, new datasets", setting.name()),
+                "Dataset"
+            )
         );
     }
-    println!("{}", runtime.render_plain("Table 20 — Runtime (s/epoch), new datasets", "Dataset"));
-    println!("{}", rss.render_plain("Table 20 — Peak RSS (MB)", "Dataset"));
-    println!("{}", state.render_plain("Table 20 — Model state (MB)", "Dataset"));
+    println!(
+        "{}",
+        runtime.render_plain("Table 20 — Runtime (s/epoch), new datasets", "Dataset")
+    );
+    println!(
+        "{}",
+        rss.render_plain("Table 20 — Peak RSS (MB)", "Dataset")
+    );
+    println!(
+        "{}",
+        state.render_plain("Table 20 — Model state (MB)", "Dataset")
+    );
 
-    leaderboard.save(&protocol.out_dir.join("leaderboard_new_datasets.json")).expect("save");
-    save_json(&protocol.out_dir, "table17_new_datasets.json", &serde_json::json!({
-        "auc": auc.iter().map(|(s, t)| serde_json::json!({"setting": s.name(), "cells": t.to_entries()})).collect::<Vec<_>>(),
-        "ap": ap.iter().map(|(s, t)| serde_json::json!({"setting": s.name(), "cells": t.to_entries()})).collect::<Vec<_>>(),
-        "table20_runtime": runtime.to_entries(),
-        "table20_rss_mb": rss.to_entries(),
-        "table20_state_mb": state.to_entries(),
-    }));
+    leaderboard
+        .save(&protocol.out_dir.join("leaderboard_new_datasets.json"))
+        .expect("save");
+    save_json(
+        &protocol.out_dir,
+        "table17_new_datasets.json",
+        &json!({
+            "auc": auc.iter().map(|(s, t)| json!({"setting": s.name(), "cells": t.to_entries()})).collect::<Vec<_>>(),
+            "ap": ap.iter().map(|(s, t)| json!({"setting": s.name(), "cells": t.to_entries()})).collect::<Vec<_>>(),
+            "table20_runtime": runtime.to_entries(),
+            "table20_rss_mb": rss.to_entries(),
+            "table20_state_mb": state.to_entries(),
+        }),
+    );
 }

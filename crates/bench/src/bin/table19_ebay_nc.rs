@@ -7,12 +7,12 @@ use benchtemp_core::leaderboard::Leaderboard;
 use benchtemp_core::pipeline::train_node_classification;
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_models::zoo::{self, PAPER_MODELS};
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
     let models = protocol.select_models(&PAPER_MODELS);
-    let datasets =
-        protocol.select_datasets(&[BenchDataset::EbaySmall, BenchDataset::EbayLarge]);
+    let datasets = protocol.select_datasets(&[BenchDataset::EbaySmall, BenchDataset::EbayLarge]);
 
     let mut auc = TableBuilder::new();
     let mut runtime = TableBuilder::new();
@@ -35,12 +35,20 @@ fn main() {
                 );
                 let run =
                     train_node_classification(model.as_mut(), &graph, &protocol.train_config(seed));
-                eprintln!("{model_name} on {} seed {seed}: NC AUC {:.4}", dataset.name(), run.auc);
+                eprintln!(
+                    "{model_name} on {} seed {seed}: NC AUC {:.4}",
+                    dataset.name(),
+                    run.auc
+                );
                 let ds = dataset.name();
                 auc.add(ds, model_name, run.auc);
                 runtime.add(ds, model_name, run.efficiency.runtime_per_epoch_secs);
                 rss.add(ds, model_name, run.efficiency.peak_rss_bytes as f64 / 1e6);
-                state.add(ds, model_name, run.efficiency.model_state_bytes as f64 / 1e6);
+                state.add(
+                    ds,
+                    model_name,
+                    run.efficiency.model_state_bytes as f64 / 1e6,
+                );
                 values.push(run.auc);
             }
             leaderboard.push_runs(
@@ -54,20 +62,39 @@ fn main() {
         }
     }
 
-    println!("{}", auc.render("Table 19 — eBay node classification ROC AUC", "Dataset"));
+    println!(
+        "{}",
+        auc.render("Table 19 — eBay node classification ROC AUC", "Dataset")
+    );
     let ds_names: Vec<&str> = datasets.iter().map(|d| d.name()).collect();
-    let ranks =
-        leaderboard.average_rank(&ds_names, "node_classification", "Transductive", "AUC");
+    let ranks = leaderboard.average_rank(&ds_names, "node_classification", "Transductive", "AUC");
     println!("Average Rank: {ranks:?}");
-    println!("{}", runtime.render_plain("Table 21 — NC runtime (s/epoch)", "Dataset"));
-    println!("{}", rss.render_plain("Table 21 — NC peak RSS (MB)", "Dataset"));
-    println!("{}", state.render_plain("Table 21 — NC model state (MB)", "Dataset"));
+    println!(
+        "{}",
+        runtime.render_plain("Table 21 — NC runtime (s/epoch)", "Dataset")
+    );
+    println!(
+        "{}",
+        rss.render_plain("Table 21 — NC peak RSS (MB)", "Dataset")
+    );
+    println!(
+        "{}",
+        state.render_plain("Table 21 — NC model state (MB)", "Dataset")
+    );
 
-    save_json(&protocol.out_dir, "table19_ebay_nc.json", &serde_json::json!({
-        "auc": auc.to_entries(),
-        "average_rank": ranks,
-        "table21_runtime": runtime.to_entries(),
-        "table21_rss_mb": rss.to_entries(),
-        "table21_state_mb": state.to_entries(),
-    }));
+    let ranks_json: Vec<_> = ranks
+        .iter()
+        .map(|(m, r)| json!({ "model": m.as_str(), "rank": *r }))
+        .collect();
+    save_json(
+        &protocol.out_dir,
+        "table19_ebay_nc.json",
+        &json!({
+            "auc": auc.to_entries(),
+            "average_rank": ranks_json,
+            "table21_runtime": runtime.to_entries(),
+            "table21_rss_mb": rss.to_entries(),
+            "table21_state_mb": state.to_entries(),
+        }),
+    );
 }

@@ -15,7 +15,9 @@ fn main() {
 
     for model_name in &models {
         for seed in 0..protocol.seeds as u64 {
-            let graph = BenchDataset::DGraphFin.config(protocol.scale, seed ^ 0xda7a).generate();
+            let graph = BenchDataset::DGraphFin
+                .config(protocol.scale, seed ^ 0xda7a)
+                .generate();
             let split = benchtemp_core::dataloader::LinkPredSplit::new(&graph, seed);
             let mut model = zoo::build(model_name, protocol.model_config(seed), &graph);
             let _ = benchtemp_core::pipeline::train_link_prediction(
@@ -24,9 +26,13 @@ fn main() {
                 &split,
                 &protocol.train_config(seed),
             );
-            let run = train_node_classification(model.as_mut(), &graph, &protocol.train_config(seed));
+            let run =
+                train_node_classification(model.as_mut(), &graph, &protocol.train_config(seed));
             let m = run.multiclass.expect("DGraphFin is multi-class");
-            eprintln!("{model_name} seed {seed}: acc {:.4} f1w {:.4}", m.accuracy, m.f1_weighted);
+            eprintln!(
+                "{model_name} seed {seed}: acc {:.4} f1w {:.4}",
+                m.accuracy, m.f1_weighted
+            );
             table.add("Accuracy", model_name, m.accuracy);
             table.add("Precision", model_name, m.precision_weighted);
             table.add("Recall", model_name, m.recall_weighted);
@@ -36,7 +42,14 @@ fn main() {
 
     println!(
         "{}",
-        table.render("Table 22 — multi-label node classification on DGraphFin", "Metric")
+        table.render(
+            "Table 22 — multi-label node classification on DGraphFin",
+            "Metric"
+        )
     );
-    save_json(&protocol.out_dir, "table22_multilabel.json", &table.to_entries());
+    save_json(
+        &protocol.out_dir,
+        "table22_multilabel.json",
+        &table.to_entries(),
+    );
 }

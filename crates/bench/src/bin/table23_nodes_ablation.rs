@@ -6,6 +6,7 @@
 use benchtemp_bench::{run_lp_seed, save_json, Protocol, TableBuilder};
 use benchtemp_core::dataloader::Setting;
 use benchtemp_graph::datasets::BenchDataset;
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
@@ -31,10 +32,23 @@ fn main() {
         }
     }
 
-    println!("{}", auc.render("Table 23 — NeurTW NODEs ablation, ROC AUC", "Dataset/Setting"));
-    println!("{}", ap.render("Table 23 — NeurTW NODEs ablation, AP", "Dataset/Setting"));
-    save_json(&protocol.out_dir, "table23_nodes_ablation.json", &serde_json::json!({
-        "auc": auc.to_entries(),
-        "ap": ap.to_entries(),
-    }));
+    println!(
+        "{}",
+        auc.render(
+            "Table 23 — NeurTW NODEs ablation, ROC AUC",
+            "Dataset/Setting"
+        )
+    );
+    println!(
+        "{}",
+        ap.render("Table 23 — NeurTW NODEs ablation, AP", "Dataset/Setting")
+    );
+    save_json(
+        &protocol.out_dir,
+        "table23_nodes_ablation.json",
+        &json!({
+            "auc": auc.to_entries(),
+            "ap": ap.to_entries(),
+        }),
+    );
 }

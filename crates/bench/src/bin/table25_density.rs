@@ -8,6 +8,7 @@ use benchtemp_core::dataloader::Setting;
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_tensor::Matrix;
+use benchtemp_util::{json, Json, ToJson};
 
 /// Restrict a bipartite graph to its `top_items` most frequent items and
 /// truncate to `n_edges` events, remapping node ids to a contiguous range.
@@ -21,8 +22,13 @@ fn subgraph(graph: &TemporalGraph, top_items: usize, n_edges: usize, name: &str)
     items.truncate(top_items);
     let keep: std::collections::HashSet<usize> = items.into_iter().collect();
 
-    let events: Vec<Interaction> =
-        graph.events.iter().filter(|e| keep.contains(&e.dst)).take(n_edges).copied().collect();
+    let events: Vec<Interaction> = graph
+        .events
+        .iter()
+        .filter(|e| keep.contains(&e.dst))
+        .take(n_edges)
+        .copied()
+        .collect();
     // Remap: users first (contiguous), then items.
     let mut user_map = std::collections::HashMap::new();
     let mut item_map = std::collections::HashMap::new();
@@ -46,7 +52,12 @@ fn subgraph(graph: &TemporalGraph, top_items: usize, n_edges: usize, name: &str)
         .enumerate()
         .map(|(r, ev)| {
             edge_features.set_row(r, graph.edge_features.row(ev.feat_idx));
-            Interaction { src: user_map[&ev.src], dst: item_map[&ev.dst], t: ev.t, feat_idx: r }
+            Interaction {
+                src: user_map[&ev.src],
+                dst: item_map[&ev.dst],
+                t: ev.t,
+                feat_idx: r,
+            }
         })
         .collect();
     let sub = TemporalGraph {
@@ -79,8 +90,10 @@ fn main() {
     let g_s1 = subgraph(&base, (items / 8).max(3), n_edges, "G_S1-dense");
     let g_s2 = subgraph(&base, items, n_edges, "G_S2-sparse");
 
-    let headers: Vec<String> =
-        ["Subgraph", "N_e", "N_u", "N_i", "σ (density)"].iter().map(|s| s.to_string()).collect();
+    let headers: Vec<String> = ["Subgraph", "N_e", "N_u", "N_i", "σ (density)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let rows = [&g_s1, &g_s2]
         .iter()
         .map(|g| {
@@ -93,15 +106,24 @@ fn main() {
             ]
         })
         .collect::<Vec<_>>();
-    println!("{}", render_table("Table 24 — sampled subgraph parameters", &headers, &rows));
-    assert!(density(&g_s1) > density(&g_s2), "G_S1 must be denser than G_S2");
+    println!(
+        "{}",
+        render_table("Table 24 — sampled subgraph parameters", &headers, &rows)
+    );
+    assert!(
+        density(&g_s1) > density(&g_s2),
+        "G_S1 must be denser than G_S2"
+    );
 
     let mut auc = TableBuilder::new();
     let mut ap = TableBuilder::new();
     for g in [&g_s1, &g_s2] {
         for seed in 0..protocol.seeds as u64 {
             let run = run_lp_seed_on("CAWN", g, &protocol, seed);
-            eprintln!("CAWN on {} seed {seed}: trans AUC {:.4}", g.name, run.transductive.auc);
+            eprintln!(
+                "CAWN on {} seed {seed}: trans AUC {:.4}",
+                g.name, run.transductive.auc
+            );
             for setting in Setting::all() {
                 let m = run.metrics_for(setting);
                 auc.add(&g.name, setting.name(), m.auc);
@@ -109,11 +131,26 @@ fn main() {
             }
         }
     }
-    println!("{}", auc.render_plain("Table 25 — CAWN ROC AUC vs subgraph density", "Subgraph"));
-    println!("{}", ap.render_plain("Table 25 — CAWN AP vs subgraph density", "Subgraph"));
-    save_json(&protocol.out_dir, "table25_density.json", &serde_json::json!({
-        "densities": { &g_s1.name: density(&g_s1), &g_s2.name: density(&g_s2) },
-        "auc": auc.to_entries(),
-        "ap": ap.to_entries(),
-    }));
+    println!(
+        "{}",
+        auc.render_plain("Table 25 — CAWN ROC AUC vs subgraph density", "Subgraph")
+    );
+    println!(
+        "{}",
+        ap.render_plain("Table 25 — CAWN AP vs subgraph density", "Subgraph")
+    );
+    // Dataset names are dynamic keys, so this object is built directly.
+    let densities = Json::Obj(vec![
+        (g_s1.name.clone(), density(&g_s1).to_json()),
+        (g_s2.name.clone(), density(&g_s2).to_json()),
+    ]);
+    save_json(
+        &protocol.out_dir,
+        "table25_density.json",
+        &json!({
+            "densities": densities,
+            "auc": auc.to_entries(),
+            "ap": ap.to_entries(),
+        }),
+    );
 }

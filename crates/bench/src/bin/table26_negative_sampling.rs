@@ -7,6 +7,7 @@ use benchtemp_bench::{save_json, Protocol, TableBuilder};
 use benchtemp_core::dataloader::Setting;
 use benchtemp_core::sampler::NegativeStrategy;
 use benchtemp_graph::datasets::BenchDataset;
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
@@ -53,10 +54,26 @@ fn main() {
         }
     }
 
-    println!("{}", auc.render_plain("Table 26 — NAT ROC AUC by negative-sampling strategy", "Sampler/Dataset"));
-    println!("{}", ap.render_plain("Table 27 — NAT AP by negative-sampling strategy", "Sampler/Dataset"));
-    save_json(&protocol.out_dir, "table26_negative_sampling.json", &serde_json::json!({
-        "auc": auc.to_entries(),
-        "ap": ap.to_entries(),
-    }));
+    println!(
+        "{}",
+        auc.render_plain(
+            "Table 26 — NAT ROC AUC by negative-sampling strategy",
+            "Sampler/Dataset"
+        )
+    );
+    println!(
+        "{}",
+        ap.render_plain(
+            "Table 27 — NAT AP by negative-sampling strategy",
+            "Sampler/Dataset"
+        )
+    );
+    save_json(
+        &protocol.out_dir,
+        "table26_negative_sampling.json",
+        &json!({
+            "auc": auc.to_entries(),
+            "ap": ap.to_entries(),
+        }),
+    );
 }

@@ -12,12 +12,22 @@ fn main() {
     let mut all_stats = Vec::new();
 
     for (title, datasets) in [
-        ("Table 2: dataset statistics (15 benchmark datasets)", BenchDataset::all15()),
+        (
+            "Table 2: dataset statistics (15 benchmark datasets)",
+            BenchDataset::all15(),
+        ),
         ("Table 16: newly added datasets", BenchDataset::new6()),
     ] {
         let headers: Vec<String> = [
-            "Dataset", "Domain", "#Nodes", "#Edges", "AvgDeg", "Recur", "Bip",
-            "Paper#Nodes", "Paper#Edges",
+            "Dataset",
+            "Domain",
+            "#Nodes",
+            "#Edges",
+            "AvgDeg",
+            "Recur",
+            "Bip",
+            "Paper#Nodes",
+            "Paper#Edges",
         ]
         .iter()
         .map(|s| s.to_string())

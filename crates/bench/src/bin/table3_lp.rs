@@ -15,6 +15,7 @@ use benchtemp_bench::{run_lp_seed, save_json, Protocol, TableBuilder};
 use benchtemp_core::dataloader::Setting;
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_models::zoo::PAPER_MODELS;
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
@@ -22,10 +23,14 @@ fn main() {
     let datasets = protocol.select_datasets(&BenchDataset::all15());
 
     // (setting → AUC table), (setting → AP table), efficiency tables.
-    let mut auc: Vec<(Setting, TableBuilder)> =
-        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
-    let mut ap: Vec<(Setting, TableBuilder)> =
-        Setting::all().iter().map(|&s| (s, TableBuilder::new())).collect();
+    let mut auc: Vec<(Setting, TableBuilder)> = Setting::all()
+        .iter()
+        .map(|&s| (s, TableBuilder::new()))
+        .collect();
+    let mut ap: Vec<(Setting, TableBuilder)> = Setting::all()
+        .iter()
+        .map(|&s| (s, TableBuilder::new()))
+        .collect();
     let mut runtime = TableBuilder::new();
     let mut epochs = TableBuilder::new();
     let mut rss = TableBuilder::new();
@@ -45,7 +50,11 @@ fn main() {
                     "[{done}/{total_jobs}] {model} on {} seed {seed}: trans AUC {:.4}{}",
                     dataset.name(),
                     run.transductive.auc,
-                    if run.efficiency.timed_out { " (timeout)" } else { "" }
+                    if run.efficiency.timed_out {
+                        " (timeout)"
+                    } else {
+                        ""
+                    }
                 );
                 let ds = dataset.name();
                 for (setting, table) in auc.iter_mut() {
@@ -66,31 +75,67 @@ fn main() {
     }
 
     for (setting, table) in &auc {
-        println!("{}", table.render(&format!("Table 3 ({}) — ROC AUC", setting.name()), "Dataset"));
+        println!(
+            "{}",
+            table.render(
+                &format!("Table 3 ({}) — ROC AUC", setting.name()),
+                "Dataset"
+            )
+        );
     }
     for (setting, table) in &ap {
-        println!("{}", table.render(&format!("Table 10 ({}) — AP", setting.name()), "Dataset"));
+        println!(
+            "{}",
+            table.render(&format!("Table 10 ({}) — AP", setting.name()), "Dataset")
+        );
     }
-    println!("{}", runtime.render_plain("Table 4 — Runtime (s/epoch)", "Dataset"));
-    println!("{}", epochs.render_plain("Table 4 — Epochs to convergence", "Dataset"));
+    println!(
+        "{}",
+        runtime.render_plain("Table 4 — Runtime (s/epoch)", "Dataset")
+    );
+    println!(
+        "{}",
+        epochs.render_plain("Table 4 — Epochs to convergence", "Dataset")
+    );
     println!("{}", rss.render_plain("Table 4 — Peak RSS (MB)", "Dataset"));
-    println!("{}", state.render_plain("Table 4 — Model state (MB, GPU-memory analogue)", "Dataset"));
-    println!("{}", util.render("Table 11 — Compute utilization (%)", "Dataset"));
-    println!("{}", inference.render_plain("Fig. 7 — Inference seconds per 100k edges", "Dataset"));
+    println!(
+        "{}",
+        state.render_plain("Table 4 — Model state (MB, GPU-memory analogue)", "Dataset")
+    );
+    println!(
+        "{}",
+        util.render("Table 11 — Compute utilization (%)", "Dataset")
+    );
+    println!(
+        "{}",
+        inference.render_plain("Fig. 7 — Inference seconds per 100k edges", "Dataset")
+    );
 
-    save_json(&protocol.out_dir, "table3_auc.json", &auc.iter().map(|(s, t)| {
-        serde_json::json!({ "setting": s.name(), "cells": t.to_entries() })
-    }).collect::<Vec<_>>());
-    save_json(&protocol.out_dir, "table10_ap.json", &ap.iter().map(|(s, t)| {
-        serde_json::json!({ "setting": s.name(), "cells": t.to_entries() })
-    }).collect::<Vec<_>>());
-    save_json(&protocol.out_dir, "table4_efficiency.json", &serde_json::json!({
-        "runtime_s_per_epoch": runtime.to_entries(),
-        "epochs": epochs.to_entries(),
-        "peak_rss_mb": rss.to_entries(),
-        "model_state_mb": state.to_entries(),
-        "table11_utilization_pct": util.to_entries(),
-        "fig7_inference_s_per_100k": inference.to_entries(),
-    }));
+    save_json(
+        &protocol.out_dir,
+        "table3_auc.json",
+        &auc.iter()
+            .map(|(s, t)| json!({ "setting": s.name(), "cells": t.to_entries() }))
+            .collect::<Vec<_>>(),
+    );
+    save_json(
+        &protocol.out_dir,
+        "table10_ap.json",
+        &ap.iter()
+            .map(|(s, t)| json!({ "setting": s.name(), "cells": t.to_entries() }))
+            .collect::<Vec<_>>(),
+    );
+    save_json(
+        &protocol.out_dir,
+        "table4_efficiency.json",
+        &json!({
+            "runtime_s_per_epoch": runtime.to_entries(),
+            "epochs": epochs.to_entries(),
+            "peak_rss_mb": rss.to_entries(),
+            "model_state_mb": state.to_entries(),
+            "table11_utilization_pct": util.to_entries(),
+            "fig7_inference_s_per_100k": inference.to_entries(),
+        }),
+    );
     save_json(&protocol.out_dir, "table3_raw_runs.json", &raw_runs);
 }

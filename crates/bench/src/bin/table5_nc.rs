@@ -7,12 +7,16 @@ use benchtemp_bench::{save_json, Protocol, TableBuilder};
 use benchtemp_core::pipeline::train_node_classification;
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_models::zoo::{self, PAPER_MODELS};
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
     let models = protocol.select_models(&PAPER_MODELS);
-    let datasets = protocol
-        .select_datasets(&[BenchDataset::Reddit, BenchDataset::Wikipedia, BenchDataset::Mooc]);
+    let datasets = protocol.select_datasets(&[
+        BenchDataset::Reddit,
+        BenchDataset::Wikipedia,
+        BenchDataset::Mooc,
+    ]);
 
     let mut auc = TableBuilder::new();
     let mut runtime = TableBuilder::new();
@@ -29,19 +33,15 @@ fn main() {
                 // Pre-train self-supervised; reuse the LP harness so the
                 // encoder is the trained one.
                 let split = benchtemp_core::dataloader::LinkPredSplit::new(&graph, seed);
-                let mut model =
-                    zoo::build(model_name, protocol.model_config(seed), &graph);
+                let mut model = zoo::build(model_name, protocol.model_config(seed), &graph);
                 let _ = benchtemp_core::pipeline::train_link_prediction(
                     model.as_mut(),
                     &graph,
                     &split,
                     &protocol.train_config(seed),
                 );
-                let run = train_node_classification(
-                    model.as_mut(),
-                    &graph,
-                    &protocol.train_config(seed),
-                );
+                let run =
+                    train_node_classification(model.as_mut(), &graph, &protocol.train_config(seed));
                 eprintln!(
                     "{model_name} on {} seed {seed}: NC AUC {:.4}",
                     dataset.name(),
@@ -52,27 +52,50 @@ fn main() {
                 runtime.add(ds, model_name, run.efficiency.runtime_per_epoch_secs);
                 epochs.add(ds, model_name, run.efficiency.epochs_to_converge as f64);
                 rss.add(ds, model_name, run.efficiency.peak_rss_bytes as f64 / 1e6);
-                state.add(ds, model_name, run.efficiency.model_state_bytes as f64 / 1e6);
+                state.add(
+                    ds,
+                    model_name,
+                    run.efficiency.model_state_bytes as f64 / 1e6,
+                );
                 util.add(ds, model_name, run.efficiency.compute_utilization * 100.0);
                 raw.push(run);
             }
         }
     }
 
-    println!("{}", auc.render("Table 5 — node classification ROC AUC", "Dataset"));
-    println!("{}", runtime.render_plain("Table 12 — NC runtime (s/epoch)", "Dataset"));
+    println!(
+        "{}",
+        auc.render("Table 5 — node classification ROC AUC", "Dataset")
+    );
+    println!(
+        "{}",
+        runtime.render_plain("Table 12 — NC runtime (s/epoch)", "Dataset")
+    );
     println!("{}", epochs.render_plain("Table 12 — NC epochs", "Dataset"));
-    println!("{}", rss.render_plain("Table 12 — NC peak RSS (MB)", "Dataset"));
-    println!("{}", state.render_plain("Table 12 — NC model state (MB)", "Dataset"));
-    println!("{}", util.render("Table 12 — NC compute utilization (%)", "Dataset"));
+    println!(
+        "{}",
+        rss.render_plain("Table 12 — NC peak RSS (MB)", "Dataset")
+    );
+    println!(
+        "{}",
+        state.render_plain("Table 12 — NC model state (MB)", "Dataset")
+    );
+    println!(
+        "{}",
+        util.render("Table 12 — NC compute utilization (%)", "Dataset")
+    );
 
     save_json(&protocol.out_dir, "table5_nc_auc.json", &auc.to_entries());
-    save_json(&protocol.out_dir, "table12_nc_efficiency.json", &serde_json::json!({
-        "runtime_s_per_epoch": runtime.to_entries(),
-        "epochs": epochs.to_entries(),
-        "peak_rss_mb": rss.to_entries(),
-        "model_state_mb": state.to_entries(),
-        "utilization_pct": util.to_entries(),
-    }));
+    save_json(
+        &protocol.out_dir,
+        "table12_nc_efficiency.json",
+        &json!({
+            "runtime_s_per_epoch": runtime.to_entries(),
+            "epochs": epochs.to_entries(),
+            "peak_rss_mb": rss.to_entries(),
+            "model_state_mb": state.to_entries(),
+            "utilization_pct": util.to_entries(),
+        }),
+    );
     save_json(&protocol.out_dir, "table5_raw_runs.json", &raw);
 }

@@ -12,8 +12,15 @@ fn main() {
 
     // ---- Table 6: link-prediction splits ----
     let headers: Vec<String> = [
-        "Dataset", "Train n/e", "Val n/e", "Test n/e", "Ind-Val n/e", "Ind-Test n/e",
-        "NO-Test n/e", "NN-Test n/e", "Unseen",
+        "Dataset",
+        "Train n/e",
+        "Val n/e",
+        "Test n/e",
+        "Ind-Val n/e",
+        "Ind-Test n/e",
+        "NO-Test n/e",
+        "NN-Test n/e",
+        "Unseen",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -37,13 +44,22 @@ fn main() {
         ]);
         stats.push(s);
     }
-    println!("{}", render_table("Table 6: link-prediction split statistics", &headers, &rows));
+    println!(
+        "{}",
+        render_table("Table 6: link-prediction split statistics", &headers, &rows)
+    );
 
     // ---- Table 7: node-classification splits ----
-    let headers: Vec<String> =
-        ["Dataset", "Train n/e", "Val n/e", "Test n/e"].iter().map(|s| s.to_string()).collect();
+    let headers: Vec<String> = ["Dataset", "Train n/e", "Val n/e", "Test n/e"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
-    for d in [BenchDataset::Reddit, BenchDataset::Wikipedia, BenchDataset::Mooc] {
+    for d in [
+        BenchDataset::Reddit,
+        BenchDataset::Wikipedia,
+        BenchDataset::Mooc,
+    ] {
         let g = d.config(protocol.scale, 42).generate();
         let split = NodeClassSplit::new(&g);
         let ne = |evs: &[benchtemp_graph::Interaction]| {
@@ -56,7 +72,14 @@ fn main() {
             ne(&split.test),
         ]);
     }
-    println!("{}", render_table("Table 7: node-classification split statistics", &headers, &rows));
+    println!(
+        "{}",
+        render_table(
+            "Table 7: node-classification split statistics",
+            &headers,
+            &rows
+        )
+    );
 
     save_json(&protocol.out_dir, "table6_splits.json", &stats);
 }

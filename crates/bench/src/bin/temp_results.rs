@@ -7,6 +7,7 @@ use benchtemp_core::dataloader::Setting;
 use benchtemp_core::pipeline::train_node_classification;
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_models::zoo;
+use benchtemp_util::json;
 
 fn main() {
     let protocol = Protocol::from_args();
@@ -19,27 +20,52 @@ fn main() {
     for &dataset in &datasets {
         for seed in 0..protocol.seeds as u64 {
             let run = run_lp_seed("TeMP", dataset, &protocol, seed);
-            eprintln!("TeMP on {} seed {seed}: trans AUC {:.4}", dataset.name(), run.transductive.auc);
+            eprintln!(
+                "TeMP on {} seed {seed}: trans AUC {:.4}",
+                dataset.name(),
+                run.transductive.auc
+            );
             let ds = dataset.name();
             for setting in Setting::all() {
                 let m = run.metrics_for(setting);
                 auc.add(ds, setting.name(), m.auc);
                 ap.add(ds, setting.name(), m.ap);
             }
-            eff.add(ds, "Runtime (s/epoch)", run.efficiency.runtime_per_epoch_secs);
+            eff.add(
+                ds,
+                "Runtime (s/epoch)",
+                run.efficiency.runtime_per_epoch_secs,
+            );
             eff.add(ds, "Epoch", run.efficiency.epochs_to_converge as f64);
             eff.add(ds, "RSS (MB)", run.efficiency.peak_rss_bytes as f64 / 1e6);
-            eff.add(ds, "State (MB)", run.efficiency.model_state_bytes as f64 / 1e6);
+            eff.add(
+                ds,
+                "State (MB)",
+                run.efficiency.model_state_bytes as f64 / 1e6,
+            );
             eff.add(ds, "Util (%)", run.efficiency.compute_utilization * 100.0);
         }
     }
-    println!("{}", auc.render_plain("Table 13 — TeMP link-prediction ROC AUC", "Dataset"));
-    println!("{}", ap.render_plain("Table 13 — TeMP link-prediction AP", "Dataset"));
-    println!("{}", eff.render_plain("Table 14 — TeMP LP efficiency", "Dataset"));
+    println!(
+        "{}",
+        auc.render_plain("Table 13 — TeMP link-prediction ROC AUC", "Dataset")
+    );
+    println!(
+        "{}",
+        ap.render_plain("Table 13 — TeMP link-prediction AP", "Dataset")
+    );
+    println!(
+        "{}",
+        eff.render_plain("Table 14 — TeMP LP efficiency", "Dataset")
+    );
 
     // ---- Table 15: TeMP node classification ----
     let mut nc = TableBuilder::new();
-    for dataset in [BenchDataset::Reddit, BenchDataset::Wikipedia, BenchDataset::Mooc] {
+    for dataset in [
+        BenchDataset::Reddit,
+        BenchDataset::Wikipedia,
+        BenchDataset::Mooc,
+    ] {
         for seed in 0..protocol.seeds as u64 {
             let graph = dataset.config(protocol.scale, seed ^ 0xda7a).generate();
             let split = benchtemp_core::dataloader::LinkPredSplit::new(&graph, seed);
@@ -50,20 +76,36 @@ fn main() {
                 &split,
                 &protocol.train_config(seed),
             );
-            let run = train_node_classification(model.as_mut(), &graph, &protocol.train_config(seed));
+            let run =
+                train_node_classification(model.as_mut(), &graph, &protocol.train_config(seed));
             let ds = dataset.name();
             nc.add(ds, "AUC", run.auc);
-            nc.add(ds, "Runtime (s/epoch)", run.efficiency.runtime_per_epoch_secs);
+            nc.add(
+                ds,
+                "Runtime (s/epoch)",
+                run.efficiency.runtime_per_epoch_secs,
+            );
             nc.add(ds, "Epoch", run.efficiency.epochs_to_converge as f64);
-            nc.add(ds, "State (MB)", run.efficiency.model_state_bytes as f64 / 1e6);
+            nc.add(
+                ds,
+                "State (MB)",
+                run.efficiency.model_state_bytes as f64 / 1e6,
+            );
         }
     }
-    println!("{}", nc.render_plain("Table 15 — TeMP node classification", "Dataset"));
+    println!(
+        "{}",
+        nc.render_plain("Table 15 — TeMP node classification", "Dataset")
+    );
 
-    save_json(&protocol.out_dir, "temp_tables13_15.json", &serde_json::json!({
-        "table13_auc": auc.to_entries(),
-        "table13_ap": ap.to_entries(),
-        "table14_efficiency": eff.to_entries(),
-        "table15_nc": nc.to_entries(),
-    }));
+    save_json(
+        &protocol.out_dir,
+        "temp_tables13_15.json",
+        &json!({
+            "table13_auc": auc.to_entries(),
+            "table13_ap": ap.to_entries(),
+            "table14_efficiency": eff.to_entries(),
+            "table15_nc": nc.to_entries(),
+        }),
+    );
 }

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use serde::Serialize;
+use benchtemp_util::{json, Json, ToJson};
 
 use benchtemp_core::dataloader::LinkPredSplit;
 use benchtemp_core::pipeline::{train_link_prediction, LinkPredictionRun, TrainConfig};
@@ -78,9 +78,7 @@ impl Protocol {
                     p.timeout = Duration::from_secs(next(&mut i).parse().expect("--timeout-secs"))
                 }
                 "--models" => p.models = next(&mut i).split(',').map(str::to_string).collect(),
-                "--datasets" => {
-                    p.datasets = next(&mut i).split(',').map(str::to_string).collect()
-                }
+                "--datasets" => p.datasets = next(&mut i).split(',').map(str::to_string).collect(),
                 "--out" => p.out_dir = PathBuf::from(next(&mut i)),
                 "--quick" => {
                     p.scale = 0.001;
@@ -103,7 +101,11 @@ impl Protocol {
         all.extend(BenchDataset::new6());
         self.datasets
             .iter()
-            .filter_map(|n| all.iter().find(|d| n.eq_ignore_ascii_case(d.name())).copied())
+            .filter_map(|n| {
+                all.iter()
+                    .find(|d| n.eq_ignore_ascii_case(d.name()))
+                    .copied()
+            })
             .collect()
     }
 
@@ -170,10 +172,16 @@ pub fn run_lp_seed_on(
 }
 
 /// Aggregated (mean ± std) cell.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Cell {
     pub mean: f64,
     pub std: f64,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        json!({ "mean": self.mean, "std": self.std })
+    }
 }
 
 impl Cell {
@@ -221,10 +229,51 @@ pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> St
 }
 
 /// Write a serializable value as pretty JSON under the given directory.
-pub fn save_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+/// Minimal wall-clock micro-benchmark harness for the `harness = false`
+/// benches and the kernel-throughput binary. Auto-calibrates the iteration
+/// count from one warm-up pass, then reports the median over several
+/// samples — robust to scheduler noise without external crates.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Samples taken per measurement; the median is reported.
+    const SAMPLES: usize = 7;
+    /// Minimum wall time per sample, so short kernels are timed in bulk.
+    const MIN_SAMPLE: Duration = Duration::from_millis(40);
+
+    /// Time `f`, print `name` with the result, and return ns/iter.
+    pub fn run<T, F: FnMut() -> T>(name: &str, mut f: F) -> f64 {
+        let ns = measure(&mut f);
+        println!("{name:<48} {ns:>14.0} ns/iter");
+        ns
+    }
+
+    /// Median ns/iter of `f` without printing.
+    pub fn measure<T, F: FnMut() -> T>(f: &mut F) -> f64 {
+        // Warm-up doubles as calibration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed();
+        let iters = (MIN_SAMPLE.as_secs_f64() / once.as_secs_f64().max(1e-9))
+            .ceil()
+            .clamp(1.0, 1e7) as u64;
+        let mut samples = [0.0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            *s = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[SAMPLES / 2]
+    }
+}
+
+pub fn save_json<T: ToJson + ?Sized>(dir: &Path, name: &str, value: &T) {
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+    std::fs::write(&path, value.to_json().to_string_pretty())
         .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("[saved] {}", path.display());
 }
@@ -236,7 +285,11 @@ pub fn mark_best(cells: &mut [String], means: &[f64]) {
         return;
     }
     let mut idx: Vec<usize> = (0..means.len()).collect();
-    idx.sort_by(|&a, &b| means[b].partial_cmp(&means[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        means[b]
+            .partial_cmp(&means[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let best = idx[0];
     cells[best] = format!("**{}**", cells[best]);
     if idx.len() > 1 {
@@ -268,11 +321,16 @@ impl TableBuilder {
         if !self.cols.iter().any(|c| c == col) {
             self.cols.push(col.to_string());
         }
-        self.values.entry((row.to_string(), col.to_string())).or_default().push(value);
+        self.values
+            .entry((row.to_string(), col.to_string()))
+            .or_default()
+            .push(value);
     }
 
     pub fn cell(&self, row: &str, col: &str) -> Option<Cell> {
-        self.values.get(&(row.to_string(), col.to_string())).map(|v| Cell::from_values(v))
+        self.values
+            .get(&(row.to_string(), col.to_string()))
+            .map(|v| Cell::from_values(v))
     }
 
     pub fn cols(&self) -> &[String] {
@@ -298,8 +356,11 @@ impl TableBuilder {
         headers.extend(self.cols.clone());
         let mut rows = Vec::new();
         for r in &self.rows {
-            let cells: Vec<Cell> =
-                self.cols.iter().map(|c| self.cell(r, c).unwrap_or_default()).collect();
+            let cells: Vec<Cell> = self
+                .cols
+                .iter()
+                .map(|c| self.cell(r, c).unwrap_or_default())
+                .collect();
             let means: Vec<f64> = cells.iter().map(|c| c.mean).collect();
             let mut texts: Vec<String> = cells.iter().map(Cell::fmt).collect();
             if mark {
@@ -331,13 +392,25 @@ impl TableBuilder {
 }
 
 /// Serializable table cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TableEntry {
     pub row: String,
     pub col: String,
     pub mean: f64,
     pub std: f64,
     pub runs: usize,
+}
+
+impl ToJson for TableEntry {
+    fn to_json(&self) -> Json {
+        json!({
+            "row": self.row.as_str(),
+            "col": self.col.as_str(),
+            "mean": self.mean,
+            "std": self.std,
+            "runs": self.runs,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -367,8 +440,11 @@ mod tests {
 
     #[test]
     fn render_table_aligns() {
-        let text =
-            render_table("t", &["A".into(), "B".into()], &[vec!["x".into(), "longer".into()]]);
+        let text = render_table(
+            "t",
+            &["A".into(), "B".into()],
+            &[vec!["x".into(), "longer".into()]],
+        );
         assert!(text.contains("== t =="));
         assert!(text.contains("longer"));
     }
@@ -385,7 +461,10 @@ mod tests {
 
     #[test]
     fn dataset_selection_by_name() {
-        let p = Protocol { datasets: vec!["mooc".into(), "Enron".into()], ..Default::default() };
+        let p = Protocol {
+            datasets: vec!["mooc".into(), "Enron".into()],
+            ..Default::default()
+        };
         let sel = p.select_datasets(&BenchDataset::all15());
         assert_eq!(sel.len(), 2);
     }

@@ -8,17 +8,15 @@
 //! * New-Old ∪ New-New ≡ Inductive, and New-Old ∩ New-New ≡ ∅ (the paper's
 //!   "Inductive New-Old ∨ New-New" identity).
 
-use rand::seq::SliceRandom;
-use serde::Serialize;
-
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_tensor::init;
+use benchtemp_util::{json, Json, ToJson};
 
 /// Fraction of nodes masked as unseen in the inductive setting (§3.2.1).
 pub const UNSEEN_NODE_FRACTION: f64 = 0.10;
 
 /// The evaluation settings of the link-prediction task.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Setting {
     Transductive,
     Inductive,
@@ -28,7 +26,12 @@ pub enum Setting {
 
 impl Setting {
     pub fn all() -> [Setting; 4] {
-        [Setting::Transductive, Setting::Inductive, Setting::InductiveNewOld, Setting::InductiveNewNew]
+        [
+            Setting::Transductive,
+            Setting::Inductive,
+            Setting::InductiveNewOld,
+            Setting::InductiveNewNew,
+        ]
     }
 
     pub fn name(&self) -> &'static str {
@@ -88,7 +91,7 @@ impl LinkPredSplit {
             .into_iter()
             .collect();
         let mut rng = init::rng(seed ^ 0x1d_be9c);
-        candidates.shuffle(&mut rng);
+        rng.shuffle(&mut candidates);
         let n_unseen = ((graph.num_nodes as f64 * UNSEEN_NODE_FRACTION).round() as usize)
             .min(candidates.len());
         let mut unseen = vec![false; graph.num_nodes];
@@ -100,7 +103,11 @@ impl LinkPredSplit {
         train.retain(|e| !unseen[e.src] && !unseen[e.dst]);
 
         let filter = |events: &[Interaction], pred: &dyn Fn(&Interaction) -> bool| {
-            events.iter().copied().filter(|e| pred(e)).collect::<Vec<_>>()
+            events
+                .iter()
+                .copied()
+                .filter(|e| pred(e))
+                .collect::<Vec<_>>()
         };
         let one_unseen = |e: &Interaction| unseen[e.src] || unseen[e.dst];
         let exactly_one = |e: &Interaction| unseen[e.src] != unseen[e.dst];
@@ -208,14 +215,20 @@ fn chronological_boundaries(graph: &TemporalGraph, q1: f64, q2: f64) -> (f64, f6
 }
 
 /// Statistics for one event set (Table 6 columns).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SetStats {
     pub nodes: usize,
     pub edges: usize,
 }
 
+impl ToJson for SetStats {
+    fn to_json(&self) -> Json {
+        json!({ "nodes": self.nodes, "edges": self.edges })
+    }
+}
+
 /// The full Table 6 row for one dataset.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SplitStats {
     pub dataset: String,
     pub training: SetStats,
@@ -228,6 +241,24 @@ pub struct SplitStats {
     pub new_new_validation: SetStats,
     pub new_new_test: SetStats,
     pub unseen_nodes: usize,
+}
+
+impl ToJson for SplitStats {
+    fn to_json(&self) -> Json {
+        json!({
+            "dataset": self.dataset.as_str(),
+            "training": &self.training,
+            "validation": &self.validation,
+            "transductive_test": &self.transductive_test,
+            "inductive_validation": &self.inductive_validation,
+            "inductive_test": &self.inductive_test,
+            "new_old_validation": &self.new_old_validation,
+            "new_old_test": &self.new_old_test,
+            "new_new_validation": &self.new_new_validation,
+            "new_new_test": &self.new_new_test,
+            "unseen_nodes": self.unseen_nodes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -243,7 +274,10 @@ mod tests {
     fn split_is_chronological_and_partitions() {
         let g = graph();
         let s = LinkPredSplit::new(&g, 1);
-        assert_eq!(s.val.len() + s.test.len() + g.events.iter().filter(|e| e.t < s.val_time).count(), g.num_events());
+        assert_eq!(
+            s.val.len() + s.test.len() + g.events.iter().filter(|e| e.t < s.val_time).count(),
+            g.num_events()
+        );
         assert!(s.train.iter().all(|e| e.t < s.val_time));
         assert!(s.val.iter().all(|e| e.t >= s.val_time && e.t < s.test_time));
         assert!(s.test.iter().all(|e| e.t >= s.test_time));
@@ -269,7 +303,10 @@ mod tests {
             s.inductive_test.len(),
             "New-Old ∨ New-New must equal Inductive"
         );
-        assert_eq!(s.new_old_val.len() + s.new_new_val.len(), s.inductive_val.len());
+        assert_eq!(
+            s.new_old_val.len() + s.new_new_val.len(),
+            s.inductive_val.len()
+        );
         // Disjoint by definition of exactly-one vs both.
         for e in &s.new_old_test {
             assert!(s.unseen[e.src] != s.unseen[e.dst]);
@@ -285,7 +322,10 @@ mod tests {
         let s = LinkPredSplit::new(&g, 4);
         let test_set: std::collections::HashSet<_> =
             s.test.iter().map(|e| (e.src, e.dst, e.feat_idx)).collect();
-        assert!(!s.inductive_test.is_empty(), "mask should yield inductive edges");
+        assert!(
+            !s.inductive_test.is_empty(),
+            "mask should yield inductive edges"
+        );
         for e in &s.inductive_test {
             assert!(test_set.contains(&(e.src, e.dst, e.feat_idx)));
         }

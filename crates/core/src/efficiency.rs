@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
+use benchtemp_util::{json, Json, ToJson};
 
 /// Split of a model's working time into dense compute vs. sampling, ticked
 /// by the models themselves around their walk/neighbor sampling and their
@@ -59,7 +59,7 @@ impl ComputeClock {
 }
 
 /// One row of the Table 4 efficiency block for a (model, dataset) job.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EfficiencyReport {
     /// Mean seconds per training epoch (Table 4 "Runtime").
     pub runtime_per_epoch_secs: f64,
@@ -78,6 +78,32 @@ pub struct EfficiencyReport {
     /// Whether the run hit the configured timeout before converging
     /// (the paper's "x"/"—" markers).
     pub timed_out: bool,
+    /// Worker threads the runtime used for this job (`BENCHTEMP_THREADS`).
+    pub thread_count: usize,
+    /// Wall seconds in dense tensor work across the job.
+    pub dense_secs: f64,
+    /// Wall seconds in neighbor/walk sampling across the job.
+    pub sampling_secs: f64,
+    /// Wall seconds in the evaluation phases (validation + test scoring).
+    pub eval_secs: f64,
+}
+
+impl ToJson for EfficiencyReport {
+    fn to_json(&self) -> Json {
+        json!({
+            "runtime_per_epoch_secs": self.runtime_per_epoch_secs,
+            "epochs_to_converge": self.epochs_to_converge,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "model_state_bytes": self.model_state_bytes,
+            "compute_utilization": self.compute_utilization,
+            "inference_secs_per_100k": self.inference_secs_per_100k,
+            "timed_out": self.timed_out,
+            "thread_count": self.thread_count,
+            "dense_secs": self.dense_secs,
+            "sampling_secs": self.sampling_secs,
+            "eval_secs": self.eval_secs,
+        })
+    }
 }
 
 /// Peak RSS of this process in bytes (`VmHWM` from `/proc/self/status`).
@@ -107,7 +133,10 @@ pub struct EpochTimer {
 
 impl EpochTimer {
     pub fn new() -> Self {
-        EpochTimer { start: Instant::now(), epochs: Vec::new() }
+        EpochTimer {
+            start: Instant::now(),
+            epochs: Vec::new(),
+        }
     }
 
     /// Mark the end of an epoch; returns its duration.

@@ -2,89 +2,115 @@
 //! prediction / node classification, plus the weighted multi-class metrics
 //! of Appendix G (accuracy, weighted precision/recall/F1).
 
-use serde::Serialize;
-
-/// ROC AUC via the rank statistic (Mann–Whitney U), with midrank tie
-/// handling. `labels[i]` is 1.0 for positive, 0.0 for negative.
-pub fn roc_auc(labels: &[f32], scores: &[f32]) -> f64 {
-    assert_eq!(labels.len(), scores.len(), "roc_auc: length mismatch");
+/// ROC AUC and Average Precision from one shared stable sort.
+///
+/// Both metrics rank the same scores, so the evaluator pays for a single
+/// descending stable sort and walks it once: tied blocks feed the AUC
+/// midranks (a descending block `[i..=j]` has ascending midrank
+/// `n − (i+j)/2`), while the positive hits inside the walk accumulate
+/// precision@k for AP. Returns `(auc, ap)` with the usual degenerate-case
+/// conventions: AUC is 0.5 when either class is empty, AP is 0.0 with no
+/// positives.
+pub fn auc_ap(labels: &[f32], scores: &[f32]) -> (f64, f64) {
+    assert_eq!(labels.len(), scores.len(), "auc_ap: length mismatch");
+    let n = labels.len();
     let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
-    let n_neg = labels.len() - n_pos;
-    if n_pos == 0 || n_neg == 0 {
-        return 0.5; // undefined; convention: chance level
-    }
-    // Sort indices by score ascending, assign midranks.
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let n_neg = n - n_pos;
+
+    // Descending by score; stable so ties keep input order (AP's tie
+    // convention), with midranks making AUC tie-order independent.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
     let mut rank_sum_pos = 0.0f64;
+    let mut hits = 0usize;
+    let mut sum_prec = 0.0f64;
     let mut i = 0;
-    while i < idx.len() {
+    while i < n {
         let mut j = i;
-        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
             j += 1;
         }
-        // Ranks are 1-based; tied block [i..=j] shares the midrank.
-        let midrank = (i + j) as f64 / 2.0 + 1.0;
-        for &k in &idx[i..=j] {
-            if labels[k] > 0.5 {
+        let midrank = n as f64 - (i + j) as f64 / 2.0;
+        for (offset, &ix) in idx[i..=j].iter().enumerate() {
+            if labels[ix] > 0.5 {
                 rank_sum_pos += midrank;
+                hits += 1;
+                sum_prec += hits as f64 / (i + offset + 1) as f64;
             }
         }
         i = j + 1;
     }
-    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
-    u / (n_pos as f64 * n_neg as f64)
+
+    let auc = if n_pos == 0 || n_neg == 0 {
+        0.5 // undefined; convention: chance level
+    } else {
+        let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+        u / (n_pos as f64 * n_neg as f64)
+    };
+    let ap = if n_pos == 0 {
+        0.0
+    } else {
+        sum_prec / n_pos as f64
+    };
+    (auc, ap)
 }
 
-/// AUC for the common link-prediction layout: positive scores vs negative
-/// scores as two separate slices.
-pub fn roc_auc_pos_neg(pos: &[f32], neg: &[f32]) -> f64 {
+/// Both metrics for the common link-prediction layout: positive scores vs
+/// negative scores as two separate slices.
+pub fn auc_ap_pos_neg(pos: &[f32], neg: &[f32]) -> (f64, f64) {
     let mut labels = vec![1.0f32; pos.len()];
     labels.extend(std::iter::repeat_n(0.0, neg.len()));
     let mut scores = pos.to_vec();
     scores.extend_from_slice(neg);
-    roc_auc(&labels, &scores)
+    auc_ap(&labels, &scores)
+}
+
+/// ROC AUC via the rank statistic (Mann–Whitney U), with midrank tie
+/// handling. `labels[i]` is 1.0 for positive, 0.0 for negative.
+pub fn roc_auc(labels: &[f32], scores: &[f32]) -> f64 {
+    auc_ap(labels, scores).0
+}
+
+/// AUC for the positive/negative slice layout.
+pub fn roc_auc_pos_neg(pos: &[f32], neg: &[f32]) -> f64 {
+    auc_ap_pos_neg(pos, neg).0
 }
 
 /// Average precision: area under the precision-recall curve computed as the
 /// mean of precision@k over positive hits (sklearn's step definition).
 pub fn average_precision(labels: &[f32], scores: &[f32]) -> f64 {
-    assert_eq!(labels.len(), scores.len(), "average_precision: length mismatch");
-    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
-    if n_pos == 0 {
-        return 0.0;
-    }
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    // Descending by score; stable so ties keep input order.
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
-    let mut hits = 0usize;
-    let mut sum_prec = 0.0f64;
-    for (k, &i) in idx.iter().enumerate() {
-        if labels[i] > 0.5 {
-            hits += 1;
-            sum_prec += hits as f64 / (k + 1) as f64;
-        }
-    }
-    sum_prec / n_pos as f64
+    auc_ap(labels, scores).1
 }
 
 /// AP for the positive/negative slice layout.
 pub fn average_precision_pos_neg(pos: &[f32], neg: &[f32]) -> f64 {
-    let mut labels = vec![1.0f32; pos.len()];
-    labels.extend(std::iter::repeat_n(0.0, neg.len()));
-    let mut scores = pos.to_vec();
-    scores.extend_from_slice(neg);
-    average_precision(&labels, &scores)
+    auc_ap_pos_neg(pos, neg).1
 }
 
 /// Multi-class classification metrics with support-weighted averaging
 /// (Appendix G formulas).
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct MultiClassMetrics {
     pub accuracy: f64,
     pub precision_weighted: f64,
     pub recall_weighted: f64,
     pub f1_weighted: f64,
+}
+
+impl benchtemp_util::ToJson for MultiClassMetrics {
+    fn to_json(&self) -> benchtemp_util::Json {
+        benchtemp_util::json!({
+            "accuracy": self.accuracy,
+            "precision_weighted": self.precision_weighted,
+            "recall_weighted": self.recall_weighted,
+            "f1_weighted": self.f1_weighted,
+        })
+    }
 }
 
 /// Compute Appendix-G metrics from predicted and true class ids.
@@ -93,22 +119,32 @@ pub fn multiclass_metrics(
     truth: &[usize],
     num_classes: usize,
 ) -> MultiClassMetrics {
-    assert_eq!(predicted.len(), truth.len(), "multiclass_metrics: length mismatch");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "multiclass_metrics: length mismatch"
+    );
     let n = truth.len().max(1) as f64;
     let mut confusion = vec![0usize; num_classes * num_classes]; // [truth][pred]
     for (&p, &t) in predicted.iter().zip(truth) {
         confusion[t * num_classes + p] += 1;
     }
-    let correct: usize = (0..num_classes).map(|c| confusion[c * num_classes + c]).sum();
+    let correct: usize = (0..num_classes)
+        .map(|c| confusion[c * num_classes + c])
+        .sum();
     let mut prec_w = 0.0;
     let mut rec_w = 0.0;
     for c in 0..num_classes {
-        let support: usize = (0..num_classes).map(|p| confusion[c * num_classes + p]).sum();
+        let support: usize = (0..num_classes)
+            .map(|p| confusion[c * num_classes + p])
+            .sum();
         if support == 0 {
             continue;
         }
         let tp = confusion[c * num_classes + c] as f64;
-        let pred_c: usize = (0..num_classes).map(|t| confusion[t * num_classes + c]).sum();
+        let pred_c: usize = (0..num_classes)
+            .map(|t| confusion[t * num_classes + c])
+            .sum();
         let precision = if pred_c > 0 { tp / pred_c as f64 } else { 0.0 };
         let recall = tp / support as f64;
         prec_w += support as f64 * precision;
@@ -121,7 +157,12 @@ pub fn multiclass_metrics(
     } else {
         0.0
     };
-    MultiClassMetrics { accuracy: correct as f64 / n, precision_weighted, recall_weighted, f1_weighted }
+    MultiClassMetrics {
+        accuracy: correct as f64 / n,
+        precision_weighted,
+        recall_weighted,
+        f1_weighted,
+    }
 }
 
 /// Mean and (population) standard deviation over seed runs — the ±std the

@@ -6,12 +6,12 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use benchtemp_util::{json, Json, ToJson};
 
 use crate::evaluator::mean_std;
 
 /// One aggregated leaderboard entry (mean ± std over seeds).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Entry {
     pub model: String,
     pub dataset: String,
@@ -29,10 +29,60 @@ pub struct Entry {
 /// Key for one comparison group: same dataset/task/setting/metric.
 pub type GroupKey = (String, String, String, String);
 
+impl ToJson for Entry {
+    fn to_json(&self) -> Json {
+        json!({
+            "model": self.model.as_str(),
+            "dataset": self.dataset.as_str(),
+            "task": self.task.as_str(),
+            "setting": self.setting.as_str(),
+            "metric": self.metric.as_str(),
+            "mean": self.mean,
+            "std": self.std,
+            "runs": self.runs,
+        })
+    }
+}
+
+impl Entry {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let str_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("entry: missing or invalid field {k:?}"))
+        };
+        let num_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry: missing or invalid field {k:?}"))
+        };
+        Ok(Entry {
+            model: str_field("model")?,
+            dataset: str_field("dataset")?,
+            task: str_field("task")?,
+            setting: str_field("setting")?,
+            metric: str_field("metric")?,
+            mean: num_field("mean")?,
+            std: num_field("std")?,
+            runs: j
+                .get("runs")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| "entry: missing or invalid field \"runs\"".to_string())?,
+        })
+    }
+}
+
 /// In-memory leaderboard with JSON persistence.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Leaderboard {
     entries: Vec<Entry>,
+}
+
+impl ToJson for Leaderboard {
+    fn to_json(&self) -> Json {
+        json!({ "entries": self.entries.as_slice() })
+    }
 }
 
 impl Leaderboard {
@@ -97,12 +147,22 @@ impl Leaderboard {
                 e.dataset == dataset && e.task == task && e.setting == setting && e.metric == metric
             })
             .collect();
-        v.sort_by(|a, b| b.mean.partial_cmp(&a.mean).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| {
+            b.mean
+                .partial_cmp(&a.mean)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         v
     }
 
     /// Rank of each model (1-based, best = 1) within one group.
-    pub fn ranks(&self, dataset: &str, task: &str, setting: &str, metric: &str) -> Vec<(String, usize)> {
+    pub fn ranks(
+        &self,
+        dataset: &str,
+        task: &str,
+        setting: &str,
+        metric: &str,
+    ) -> Vec<(String, usize)> {
         self.group(dataset, task, setting, metric)
             .into_iter()
             .enumerate()
@@ -161,7 +221,7 @@ impl Leaderboard {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("serialize leaderboard"))
+        std::fs::write(path, self.to_json().to_string_pretty())
     }
 
     /// Load from JSON; empty leaderboard if the file doesn't exist.
@@ -169,9 +229,18 @@ impl Leaderboard {
         if !path.exists() {
             return Ok(Self::new());
         }
+        let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let j = benchtemp_util::parse(&text).map_err(|e| invalid(e.to_string()))?;
+        let entries = j
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| invalid("leaderboard: missing \"entries\" array".into()))?
+            .iter()
+            .map(Entry::from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(invalid)?;
+        Ok(Leaderboard { entries })
     }
 }
 
@@ -182,7 +251,14 @@ mod tests {
     fn sample() -> Leaderboard {
         let mut lb = Leaderboard::new();
         for (model, mean) in [("TGN", 0.90), ("CAWN", 0.95), ("JODIE", 0.80)] {
-            lb.push_runs(model, "Reddit", "lp", "Transductive", "AUC", &[mean, mean, mean]);
+            lb.push_runs(
+                model,
+                "Reddit",
+                "lp",
+                "Transductive",
+                "AUC",
+                &[mean, mean, mean],
+            );
         }
         for (model, mean) in [("TGN", 0.70), ("CAWN", 0.95), ("JODIE", 0.85)] {
             lb.push_runs(model, "MOOC", "lp", "Transductive", "AUC", &[mean]);
@@ -242,7 +318,10 @@ mod tests {
         lb.push_runs("B", "D", "lp", "S", "AUC", &[0.80]); // gap 0.15 > 0.05
         let text = lb.render_group("D", "lp", "S", "AUC");
         assert!(text.contains("**0.9500"));
-        assert!(!text.contains('_'), "large gap must not be underlined: {text}");
+        assert!(
+            !text.contains('_'),
+            "large gap must not be underlined: {text}"
+        );
     }
 
     #[test]

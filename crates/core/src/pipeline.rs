@@ -17,17 +17,16 @@
 
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
-
 use benchtemp_graph::neighbors::NeighborFinder;
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
-use benchtemp_tensor::Matrix;
+use benchtemp_tensor::{pool, Matrix};
+use benchtemp_util::{json, Json, ToJson};
 
 use crate::dataloader::{LinkPredSplit, NodeClassSplit, Setting};
 use crate::early_stop::EarlyStopMonitor;
 use crate::efficiency::{peak_rss_bytes, ComputeClock, EfficiencyReport, EpochTimer};
 use crate::evaluator::{
-    average_precision_pos_neg, multiclass_metrics, roc_auc, roc_auc_pos_neg, MultiClassMetrics,
+    auc_ap_pos_neg, average_precision_pos_neg, multiclass_metrics, roc_auc, MultiClassMetrics,
 };
 use crate::sampler::{EdgeSampler, NegativeStrategy};
 
@@ -41,7 +40,7 @@ pub struct StreamContext<'a> {
 }
 
 /// Table 1 anatomy row.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Anatomy {
     pub memory: bool,
     pub attention: bool,
@@ -131,15 +130,21 @@ impl Default for TrainConfig {
 }
 
 /// Metrics for one evaluation setting.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SettingMetrics {
     pub auc: f64,
     pub ap: f64,
     pub n_edges: usize,
 }
 
+impl ToJson for SettingMetrics {
+    fn to_json(&self) -> Json {
+        json!({ "auc": self.auc, "ap": self.ap, "n_edges": self.n_edges })
+    }
+}
+
 /// Outcome of one link-prediction job.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LinkPredictionRun {
     pub model: String,
     pub dataset: String,
@@ -151,6 +156,23 @@ pub struct LinkPredictionRun {
     pub epoch_losses: Vec<f32>,
     pub val_aps: Vec<f64>,
     pub efficiency: EfficiencyReport,
+}
+
+impl ToJson for LinkPredictionRun {
+    fn to_json(&self) -> Json {
+        json!({
+            "model": self.model.as_str(),
+            "dataset": self.dataset.as_str(),
+            "transductive": &self.transductive,
+            "inductive": &self.inductive,
+            "new_old": &self.new_old,
+            "new_new": &self.new_new,
+            "best_val_ap": self.best_val_ap,
+            "epoch_losses": self.epoch_losses.as_slice(),
+            "val_aps": self.val_aps.as_slice(),
+            "efficiency": &self.efficiency,
+        })
+    }
 }
 
 impl LinkPredictionRun {
@@ -174,22 +196,38 @@ pub fn train_link_prediction(
 ) -> LinkPredictionRun {
     let train_nf = NeighborFinder::from_events(graph.num_nodes, &split.train);
     let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
-    let train_ctx = StreamContext { graph, neighbors: &train_nf };
-    let full_ctx = StreamContext { graph, neighbors: &full_nf };
+    let train_ctx = StreamContext {
+        graph,
+        neighbors: &train_nf,
+    };
+    let full_ctx = StreamContext {
+        graph,
+        neighbors: &full_nf,
+    };
 
     let mut train_sampler = EdgeSampler::new(graph, &split.train, cfg.neg_strategy, cfg.seed);
     // Fixed, distinct seeds for validation and test (Appendix B).
     let mut val_sampler =
         EdgeSampler::new(graph, &split.train, cfg.neg_strategy, cfg.seed ^ 0x0a1_0001);
-    let mut test_sampler =
-        EdgeSampler::new(graph, &split.train, cfg.neg_strategy, cfg.seed ^ 0x7e57_0002);
+    let mut test_sampler = EdgeSampler::new(
+        graph,
+        &split.train,
+        cfg.neg_strategy,
+        cfg.seed ^ 0x7e57_0002,
+    );
 
     // Membership masks over the transductive test stream for the inductive
     // filters (computed once; test events are scored in stream order).
-    let inductive_mask: Vec<bool> =
-        split.test.iter().map(|e| split.unseen[e.src] || split.unseen[e.dst]).collect();
-    let new_new_mask: Vec<bool> =
-        split.test.iter().map(|e| split.unseen[e.src] && split.unseen[e.dst]).collect();
+    let inductive_mask: Vec<bool> = split
+        .test
+        .iter()
+        .map(|e| split.unseen[e.src] || split.unseen[e.dst])
+        .collect();
+    let new_new_mask: Vec<bool> = split
+        .test
+        .iter()
+        .map(|e| split.unseen[e.src] && split.unseen[e.dst])
+        .collect();
 
     let mut monitor = EarlyStopMonitor::new(cfg.patience, cfg.tolerance);
     let mut timer = EpochTimer::new();
@@ -202,6 +240,7 @@ pub fn train_link_prediction(
     let mut best_snapshot: Option<Vec<Matrix>> = None;
     let mut clock = ComputeClock::default();
     let mut inference_secs_per_100k = 0.0;
+    let mut eval_secs = 0.0f64;
 
     for _epoch in 0..cfg.max_epochs {
         // ---- train ----
@@ -221,28 +260,43 @@ pub fn train_link_prediction(
         timer.lap();
 
         // ---- validation (stream continues; full adjacency view) ----
+        let eval_start = Instant::now();
         val_sampler.reset();
-        let (vpos, vneg) = score_stream(model, &full_ctx, &split.val, &mut val_sampler, cfg.batch_size);
+        let (vpos, vneg) = score_stream(
+            model,
+            &full_ctx,
+            &split.val,
+            &mut val_sampler,
+            cfg.batch_size,
+        );
         let val_ap = average_precision_pos_neg(&vpos, &vneg);
         val_aps.push(val_ap);
 
         // ---- test (stream continues) ----
         test_sampler.reset();
         let infer_start = Instant::now();
-        let test_scores =
-            score_stream(model, &full_ctx, &split.test, &mut test_sampler, cfg.batch_size);
+        let test_scores = score_stream(
+            model,
+            &full_ctx,
+            &split.test,
+            &mut test_sampler,
+            cfg.batch_size,
+        );
         let infer = infer_start.elapsed().as_secs_f64();
+        eval_secs += eval_start.elapsed().as_secs_f64();
 
         let improved = monitor.record(val_ap);
         if improved || best_test_scores.is_none() {
             best_test_scores = Some(test_scores);
             best_snapshot = Some(model.snapshot());
-            inference_secs_per_100k =
-                infer / (split.test.len().max(1) as f64 * 2.0) * 100_000.0;
+            inference_secs_per_100k = infer / (split.test.len().max(1) as f64 * 2.0) * 100_000.0;
         }
         clock = {
             let c = model.take_compute_clock();
-            ComputeClock { dense: clock.dense + c.dense, sampling: clock.sampling + c.sampling }
+            ComputeClock {
+                dense: clock.dense + c.dense,
+                sampling: clock.sampling + c.sampling,
+            }
         };
         if monitor.should_stop() || timed_out {
             break;
@@ -254,29 +308,48 @@ pub fn train_link_prediction(
     }
     let (tpos, tneg) = best_test_scores.unwrap_or_default();
 
-    let subset = |mask: Option<&dyn Fn(usize) -> bool>| -> SettingMetrics {
+    // Score subsets for the four settings: each inductive setting is a
+    // membership filter over the same scored test stream. The AUC/AP
+    // sort+scan per setting is independent work, so the four settings fan
+    // out through the worker pool (metrics are computed per setting by the
+    // same sequential kernel regardless of thread count, so results are
+    // bit-identical at any `BENCHTEMP_THREADS`).
+    let subset_scores = |mask: Option<&dyn Fn(usize) -> bool>| -> (Vec<f32>, Vec<f32>) {
         let idx: Vec<usize> = (0..tpos.len())
             .filter(|&i| mask.map(|m| m(i)).unwrap_or(true))
             .collect();
-        let pos: Vec<f32> = idx.iter().map(|&i| tpos[i]).collect();
-        let neg: Vec<f32> = idx.iter().map(|&i| tneg[i]).collect();
-        SettingMetrics {
-            auc: roc_auc_pos_neg(&pos, &neg),
-            ap: average_precision_pos_neg(&pos, &neg),
-            n_edges: idx.len(),
-        }
+        (
+            idx.iter().map(|&i| tpos[i]).collect(),
+            idx.iter().map(|&i| tneg[i]).collect(),
+        )
     };
     let ind = |i: usize| inductive_mask[i];
     let nn = |i: usize| new_new_mask[i];
     let no = |i: usize| inductive_mask[i] && !new_new_mask[i];
+    let eval_start = Instant::now();
+    let score_sets = [
+        subset_scores(None),
+        subset_scores(Some(&ind)),
+        subset_scores(Some(&no)),
+        subset_scores(Some(&nn)),
+    ];
+    let metrics = pool().par_map(&score_sets, |(pos, neg)| {
+        let (auc, ap) = auc_ap_pos_neg(pos, neg);
+        SettingMetrics {
+            auc,
+            ap,
+            n_edges: pos.len(),
+        }
+    });
+    eval_secs += eval_start.elapsed().as_secs_f64();
 
     LinkPredictionRun {
         model: model.name().to_string(),
         dataset: graph.name.clone(),
-        transductive: subset(None),
-        inductive: subset(Some(&ind)),
-        new_old: subset(Some(&no)),
-        new_new: subset(Some(&nn)),
+        transductive: metrics[0],
+        inductive: metrics[1],
+        new_old: metrics[2],
+        new_new: metrics[3],
         best_val_ap: monitor.best_metric(),
         epoch_losses,
         val_aps,
@@ -288,6 +361,10 @@ pub fn train_link_prediction(
             compute_utilization: clock.utilization().unwrap_or(0.0),
             inference_secs_per_100k,
             timed_out,
+            thread_count: pool().threads(),
+            dense_secs: clock.dense.as_secs_f64(),
+            sampling_secs: clock.sampling.as_secs_f64(),
+            eval_secs,
         },
     }
 }
@@ -316,7 +393,7 @@ fn score_stream(
 }
 
 /// Outcome of one node-classification job.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct NodeClassificationRun {
     pub model: String,
     pub dataset: String,
@@ -327,6 +404,20 @@ pub struct NodeClassificationRun {
     pub best_val_metric: f64,
     pub decoder_epochs: usize,
     pub efficiency: EfficiencyReport,
+}
+
+impl ToJson for NodeClassificationRun {
+    fn to_json(&self) -> Json {
+        json!({
+            "model": self.model.as_str(),
+            "dataset": self.dataset.as_str(),
+            "auc": self.auc,
+            "multiclass": self.multiclass.as_ref(),
+            "best_val_metric": self.best_val_metric,
+            "decoder_epochs": self.decoder_epochs,
+            "efficiency": &self.efficiency,
+        })
+    }
 }
 
 /// Node-classification protocol (§3.2.2): freeze the (self-supervised
@@ -341,10 +432,16 @@ pub fn train_node_classification(
 ) -> NodeClassificationRun {
     use benchtemp_tensor::{init, nn::Mlp, Adam, Graph, ParamStore};
 
-    let labels = graph.labels.as_ref().expect("node classification needs labels");
+    let labels = graph
+        .labels
+        .as_ref()
+        .expect("node classification needs labels");
     let split = NodeClassSplit::new(graph);
     let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
-    let ctx = StreamContext { graph, neighbors: &full_nf };
+    let ctx = StreamContext {
+        graph,
+        neighbors: &full_nf,
+    };
 
     // ---- collect embeddings over the full stream (one pass) ----
     let embed_start = Instant::now();
@@ -407,8 +504,7 @@ pub fn train_node_classification(
             let mut g = Graph::new(&store);
             let x = g.input(embeddings.gather_rows(chunk));
             let logits = decoder.forward(&mut g, x);
-            let ys: Vec<usize> =
-                chunk.iter().map(|&i| labels.labels[i] as usize).collect();
+            let ys: Vec<usize> = chunk.iter().map(|&i| labels.labels[i] as usize).collect();
             let loss = if binary {
                 let yf: Vec<f32> = ys.iter().map(|&y| y as f32).collect();
                 g.bce_with_logits(logits, &yf)
@@ -432,6 +528,7 @@ pub fn train_node_classification(
     }
 
     // ---- test ----
+    let eval_start = Instant::now();
     let logits = score_set(&store, &test_idx);
     let (auc, multiclass) = if binary {
         let scores: Vec<f32> = (0..logits.rows()).map(|r| logits.get(r, 0)).collect();
@@ -442,6 +539,7 @@ pub fn train_node_classification(
         let m = multiclass_metrics(&pred, &test_y, num_classes);
         (m.accuracy, Some(m))
     };
+    let eval_secs = eval_start.elapsed().as_secs_f64();
     let _ = train_y; // decoder batches re-derive labels; kept for clarity
 
     let clock = model.take_compute_clock();
@@ -463,6 +561,10 @@ pub fn train_node_classification(
             compute_utilization: clock.utilization().unwrap_or(0.0),
             inference_secs_per_100k: embed_secs / graph.num_events().max(1) as f64 * 100_000.0,
             timed_out: false,
+            thread_count: pool().threads(),
+            dense_secs: clock.dense.as_secs_f64(),
+            sampling_secs: clock.sampling.as_secs_f64(),
+            eval_secs,
         },
     }
 }

@@ -7,10 +7,8 @@
 //! metrics make saturation visible (Appendix J's motivation) and are used
 //! by the ablation harnesses.
 
-use serde::Serialize;
-
 /// Ranking metrics for one evaluation pass.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RankingMetrics {
     /// Mean reciprocal rank of the positive among its negatives.
     pub mrr: f64,

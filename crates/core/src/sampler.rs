@@ -5,8 +5,6 @@
 //! Per Appendix B, validation/test samplers run under fixed seeds so results
 //! are reproducible across runs; [`EdgeSampler::reset`] restores the stream.
 
-use rand::Rng;
-
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_tensor::init::{self, SeededRng};
 
@@ -73,7 +71,14 @@ impl EdgeSampler {
                 v
             }
         };
-        EdgeSampler { seed, rng: init::rng(seed), strategy, dst_lo, dst_hi, pool }
+        EdgeSampler {
+            seed,
+            rng: init::rng(seed),
+            strategy,
+            dst_lo,
+            dst_hi,
+            pool,
+        }
     }
 
     /// Restore the RNG stream to its initial state (fixed-seed evaluation).
@@ -161,15 +166,17 @@ mod tests {
         let g = graph();
         let mut s1 = EdgeSampler::new(&g, &g.events, NegativeStrategy::Random, 4);
         let mut s2 = EdgeSampler::new(&g, &g.events, NegativeStrategy::Random, 5);
-        assert_ne!(s1.sample_batch(&g.events[..50]), s2.sample_batch(&g.events[..50]));
+        assert_ne!(
+            s1.sample_batch(&g.events[..50]),
+            s2.sample_batch(&g.events[..50])
+        );
     }
 
     #[test]
     fn historical_draws_from_training_destinations() {
         let g = graph();
         let train = &g.events[..g.num_events() / 2];
-        let train_dsts: std::collections::HashSet<usize> =
-            train.iter().map(|e| e.dst).collect();
+        let train_dsts: std::collections::HashSet<usize> = train.iter().map(|e| e.dst).collect();
         let mut s = EdgeSampler::new(&g, train, NegativeStrategy::Historical, 6);
         let negs = s.sample_batch(&g.events[500..700]);
         assert!(negs.iter().all(|d| train_dsts.contains(d)));

@@ -1,0 +1,204 @@
+//! Thread-count determinism suite: the runtime contract says the same seed
+//! produces bit-identical metrics at any `BENCHTEMP_THREADS` setting.
+//!
+//! The pool reads `BENCHTEMP_THREADS` once per process, so each setting runs
+//! in a child process: the driver test re-invokes this test binary with
+//! `BENCHTEMP_DETERMINISM_CHILD=1`, the worker test trains a small model
+//! through the full link-prediction pipeline (big enough to cross the
+//! parallel matmul threshold) and prints the exact bit patterns of every
+//! metric, and the driver compares the lines across thread counts.
+
+use std::process::Command;
+
+use benchtemp_core::dataloader::LinkPredSplit;
+use benchtemp_core::pipeline::{
+    train_link_prediction, Anatomy, StreamContext, TgnnModel, TrainConfig,
+};
+use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::temporal_graph::Interaction;
+use benchtemp_tensor::nn::Mlp;
+use benchtemp_tensor::{init, Adam, Graph, Matrix, ParamStore};
+
+const NODE_DIM: usize = 16;
+const HIDDEN: usize = 80;
+
+/// Minimal pipeline-conformant model: scores an edge by running the
+/// concatenated endpoint features through an MLP. Stateless in time, but it
+/// exercises the full tensor stack — pooled tapes, parallel matmul (batch
+/// rows × concat width × hidden crosses `PAR_FLOPS`), backward, Adam.
+struct MlpEdgeModel {
+    store: ParamStore,
+    mlp: Mlp,
+    adam: Adam,
+}
+
+impl MlpEdgeModel {
+    fn new(seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(seed);
+        let mlp = Mlp::new(&mut store, &mut rng, "edge", 2 * NODE_DIM, HIDDEN, 1);
+        MlpEdgeModel {
+            store,
+            mlp,
+            adam: Adam::new(1e-3),
+        }
+    }
+
+    fn pair_features(&self, ctx: &StreamContext, srcs: &[usize], dsts: &[usize]) -> Matrix {
+        let mut x = Matrix::zeros(srcs.len(), 2 * NODE_DIM);
+        for (r, (&s, &d)) in srcs.iter().zip(dsts).enumerate() {
+            x.row_mut(r)[..NODE_DIM].copy_from_slice(ctx.graph.node_features.row(s));
+            x.row_mut(r)[NODE_DIM..].copy_from_slice(ctx.graph.node_features.row(d));
+        }
+        x
+    }
+}
+
+impl TgnnModel for MlpEdgeModel {
+    fn name(&self) -> &'static str {
+        "MlpEdge"
+    }
+
+    fn anatomy(&self) -> Anatomy {
+        Anatomy {
+            memory: false,
+            attention: false,
+            rnn: false,
+            temp_walk: false,
+            scalability: true,
+            supervision: "self-supervised",
+        }
+    }
+
+    fn reset_state(&mut self) {}
+
+    fn train_batch(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        neg_dsts: &[usize],
+    ) -> f32 {
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        let pos_dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+        let mut x = self.pair_features(ctx, &srcs, &pos_dsts);
+        let xn = self.pair_features(ctx, &srcs, neg_dsts);
+        x = x.concat_rows(&xn);
+        let mut targets = vec![1.0f32; batch.len()];
+        targets.extend(std::iter::repeat_n(0.0, batch.len()));
+
+        let mut g = Graph::new(&self.store);
+        let xv = g.input(x);
+        let logits = self.mlp.forward(&mut g, xv);
+        let loss = g.bce_with_logits(logits, &targets);
+        let loss_val = g.value(loss).get(0, 0);
+        let grads = g.backward(loss);
+        drop(g);
+        self.adam.step(&mut self.store, &grads);
+        loss_val
+    }
+
+    fn eval_batch(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        neg_dsts: &[usize],
+    ) -> (Vec<f32>, Vec<f32>) {
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        let pos_dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+        let score = |dsts: &[usize]| -> Vec<f32> {
+            let mut g = Graph::new(&self.store);
+            let xv = g.input(self.pair_features(ctx, &srcs, dsts));
+            let logits = self.mlp.forward(&mut g, xv);
+            let probs = g.sigmoid(logits);
+            let m = g.value(probs);
+            (0..m.rows()).map(|r| m.get(r, 0)).collect()
+        };
+        (score(&pos_dsts), score(neg_dsts))
+    }
+
+    fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        ctx.graph.node_features.gather_rows(&srcs)
+    }
+
+    fn embed_dim(&self) -> usize {
+        NODE_DIM
+    }
+
+    fn snapshot(&self) -> Vec<Matrix> {
+        self.store.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &[Matrix]) {
+        self.store.restore(snapshot);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.store.heap_bytes()
+    }
+}
+
+/// Child-process worker: runs the pipeline and prints every metric's exact
+/// bit pattern. Skipped unless spawned by the driver below.
+#[test]
+fn determinism_child_worker() {
+    if std::env::var("BENCHTEMP_DETERMINISM_CHILD").is_err() {
+        return;
+    }
+    let mut cfg = GeneratorConfig::small("det", 11);
+    cfg.num_edges = 1200;
+    cfg.node_dim = NODE_DIM;
+    let graph = cfg.generate();
+    let split = LinkPredSplit::new(&graph, 7);
+    let train_cfg = TrainConfig {
+        max_epochs: 3,
+        ..TrainConfig::default()
+    };
+    let mut model = MlpEdgeModel::new(3);
+    let run = train_link_prediction(&mut model, &graph, &split, &train_cfg);
+
+    let mut bits = Vec::new();
+    for m in [run.transductive, run.inductive, run.new_old, run.new_new] {
+        bits.push(format!("{:016x}", m.auc.to_bits()));
+        bits.push(format!("{:016x}", m.ap.to_bits()));
+        bits.push(format!("{}", m.n_edges));
+    }
+    bits.push(format!("{:016x}", run.best_val_ap.to_bits()));
+    for l in &run.epoch_losses {
+        bits.push(format!("{:08x}", l.to_bits()));
+    }
+    println!("RESULT {}", bits.join(" "));
+}
+
+fn run_child(threads: &str) -> String {
+    let exe = std::env::current_exe().expect("current test binary");
+    let out = Command::new(exe)
+        .args(["determinism_child_worker", "--exact", "--nocapture"])
+        .env("BENCHTEMP_DETERMINISM_CHILD", "1")
+        .env("BENCHTEMP_THREADS", threads)
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child with BENCHTEMP_THREADS={threads} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // libtest's unbuffered "test … ok" progress text can share a line with
+    // the worker's output, so match the marker anywhere in the line.
+    stdout
+        .lines()
+        .find_map(|l| l.find("RESULT ").map(|at| l[at..].to_string()))
+        .unwrap_or_else(|| panic!("no RESULT line from child:\n{stdout}"))
+}
+
+/// The contract itself: one thread vs four threads, bit-identical metrics.
+#[test]
+fn metrics_bit_identical_across_thread_counts() {
+    if std::env::var("BENCHTEMP_DETERMINISM_CHILD").is_ok() {
+        return; // don't recurse inside a child process
+    }
+    let single = run_child("1");
+    let quad = run_child("4");
+    assert_eq!(single, quad, "metrics must not depend on the thread count");
+}

@@ -1,133 +1,202 @@
-//! Property-based tests on the pipeline modules: DataLoader split
+//! Property-style tests on the pipeline modules: DataLoader split
 //! invariants (including the paper's New-Old ∨ New-New ≡ Inductive
 //! identity), EdgeSampler guarantees, Evaluator metric properties, and the
 //! EarlyStopMonitor state machine.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from a seeded in-repo [`Pcg32`] stream rather than an
+//! external property-testing framework, so the suite is fully deterministic
+//! and builds offline.
 
 use benchtemp_core::dataloader::LinkPredSplit;
 use benchtemp_core::early_stop::EarlyStopMonitor;
-use benchtemp_core::evaluator::{average_precision, multiclass_metrics, roc_auc};
+use benchtemp_core::evaluator::{auc_ap, average_precision, multiclass_metrics, roc_auc};
 use benchtemp_core::sampler::{EdgeSampler, NegativeStrategy};
 use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_tensor::Pcg32;
 
-fn arb_graph() -> impl Strategy<Value = benchtemp_graph::TemporalGraph> {
-    (0u64..200, 200usize..1200, prop::bool::ANY).prop_map(|(seed, edges, bipartite)| {
-        let mut cfg = GeneratorConfig::small("prop-core", seed);
-        cfg.num_edges = edges;
-        cfg.bipartite = bipartite;
-        if !bipartite {
-            cfg.num_users = 60;
-        }
-        cfg.generate()
-    })
+const CASES: usize = 32;
+
+fn random_graph(rng: &mut Pcg32) -> benchtemp_graph::TemporalGraph {
+    let mut cfg = GeneratorConfig::small("prop-core", rng.gen_range(0u64..200));
+    cfg.num_edges = rng.gen_range(200usize..1200);
+    cfg.bipartite = rng.gen_bool(0.5);
+    if !cfg.bipartite {
+        cfg.num_users = 60;
+    }
+    cfg.generate()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Chronological split: disjoint, ordered, complete.
-    #[test]
-    fn split_partitions_chronologically(g in arb_graph(), seed in 0u64..50) {
-        let s = LinkPredSplit::new(&g, seed);
+/// Chronological split: disjoint, ordered, complete.
+#[test]
+fn split_partitions_chronologically() {
+    let mut rng = Pcg32::seed_from_u64(0x5117);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng);
+        let s = LinkPredSplit::new(&g, rng.gen_range(0u64..50));
         let train_window = g.events.iter().filter(|e| e.t < s.val_time).count();
-        prop_assert_eq!(train_window + s.val.len() + s.test.len(), g.num_events());
-        prop_assert!(s.train.len() <= train_window, "train has unseen-node edges removed");
-        prop_assert!(s.train.windows(2).all(|w| w[0].t <= w[1].t));
-        prop_assert!(s.val.iter().all(|e| e.t >= s.val_time && e.t < s.test_time));
-        prop_assert!(s.test.iter().all(|e| e.t >= s.test_time));
+        assert_eq!(
+            train_window + s.val.len() + s.test.len(),
+            g.num_events(),
+            "case {case}"
+        );
+        assert!(
+            s.train.len() <= train_window,
+            "case {case}: train has unseen-node edges removed"
+        );
+        assert!(s.train.windows(2).all(|w| w[0].t <= w[1].t), "case {case}");
+        assert!(
+            s.val.iter().all(|e| e.t >= s.val_time && e.t < s.test_time),
+            "case {case}"
+        );
+        assert!(s.test.iter().all(|e| e.t >= s.test_time), "case {case}");
     }
+}
 
-    /// No training edge touches an unseen node; the paper's partition
-    /// identity New-Old ∨ New-New ≡ Inductive holds on val and test.
-    #[test]
-    fn inductive_partition_identity(g in arb_graph(), seed in 0u64..50) {
-        let s = LinkPredSplit::new(&g, seed);
-        prop_assert!(s.train.iter().all(|e| !s.unseen[e.src] && !s.unseen[e.dst]));
-        prop_assert_eq!(s.new_old_test.len() + s.new_new_test.len(), s.inductive_test.len());
-        prop_assert_eq!(s.new_old_val.len() + s.new_new_val.len(), s.inductive_val.len());
+/// No training edge touches an unseen node; the paper's partition
+/// identity New-Old ∨ New-New ≡ Inductive holds on val and test.
+#[test]
+fn inductive_partition_identity() {
+    let mut rng = Pcg32::seed_from_u64(0x1d5);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng);
+        let s = LinkPredSplit::new(&g, rng.gen_range(0u64..50));
+        assert!(
+            s.train.iter().all(|e| !s.unseen[e.src] && !s.unseen[e.dst]),
+            "case {case}"
+        );
+        assert_eq!(
+            s.new_old_test.len() + s.new_new_test.len(),
+            s.inductive_test.len(),
+            "case {case}"
+        );
+        assert_eq!(
+            s.new_old_val.len() + s.new_new_val.len(),
+            s.inductive_val.len(),
+            "case {case}"
+        );
         for e in &s.new_new_test {
-            prop_assert!(s.unseen[e.src] && s.unseen[e.dst]);
+            assert!(s.unseen[e.src] && s.unseen[e.dst], "case {case}");
         }
         for e in &s.new_old_test {
-            prop_assert!(s.unseen[e.src] != s.unseen[e.dst]);
+            assert!(s.unseen[e.src] != s.unseen[e.dst], "case {case}");
         }
     }
+}
 
-    /// Negative samples are valid destinations and never the positive one.
-    #[test]
-    fn sampler_respects_constraints(g in arb_graph(), seed in 0u64..50) {
-        for strategy in [NegativeStrategy::Random, NegativeStrategy::Historical, NegativeStrategy::Inductive] {
+/// Negative samples are valid destinations and never the positive one.
+#[test]
+fn sampler_respects_constraints() {
+    let mut rng = Pcg32::seed_from_u64(0x5a3);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng);
+        let seed = rng.gen_range(0u64..50);
+        for strategy in [
+            NegativeStrategy::Random,
+            NegativeStrategy::Historical,
+            NegativeStrategy::Inductive,
+        ] {
             let half = g.num_events() / 2;
             let mut s = EdgeSampler::new(&g, &g.events[..half], strategy, seed);
             let batch = &g.events[half..(half + 50).min(g.num_events())];
             let negs = s.sample_batch(batch);
             for (e, &d) in batch.iter().zip(&negs) {
-                prop_assert_ne!(d, e.dst);
-                prop_assert!(d < g.num_nodes);
+                assert_ne!(d, e.dst, "case {case}");
+                assert!(d < g.num_nodes, "case {case}");
                 if g.bipartite {
-                    prop_assert!(d >= g.num_users, "bipartite negatives must be items");
+                    assert!(
+                        d >= g.num_users,
+                        "case {case}: bipartite negatives must be items"
+                    );
                 }
             }
             // Fixed-seed reproducibility after reset.
             s.reset();
-            prop_assert_eq!(s.sample_batch(batch), negs);
+            assert_eq!(s.sample_batch(batch), negs, "case {case}");
         }
     }
+}
 
-    /// AUC ∈ [0,1]; invariant under strictly monotone score transforms;
-    /// complementary under label flip.
-    #[test]
-    fn auc_properties(
-        scores in prop::collection::vec(-5.0f32..5.0, 10..100),
-        labels_bits in prop::collection::vec(prop::bool::ANY, 10..100),
-    ) {
-        let n = scores.len().min(labels_bits.len());
-        let scores = &scores[..n];
-        let labels: Vec<f32> = labels_bits[..n].iter().map(|&b| b as u8 as f32).collect();
-        let auc = roc_auc(&labels, scores);
-        prop_assert!((0.0..=1.0).contains(&auc));
+/// AUC ∈ [0,1]; invariant under strictly monotone score transforms;
+/// complementary under label flip. Also: the fused `auc_ap` pass agrees
+/// with the individual metric entry points.
+#[test]
+fn auc_properties() {
+    let mut rng = Pcg32::seed_from_u64(0xa0c);
+    for case in 0..CASES {
+        let n = rng.gen_range(10usize..100);
+        let scores: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let labels: Vec<f32> = (0..n).map(|_| rng.gen_bool(0.5) as u8 as f32).collect();
+        let auc = roc_auc(&labels, &scores);
+        assert!((0.0..=1.0).contains(&auc), "case {case}");
+        let (fused_auc, fused_ap) = auc_ap(&labels, &scores);
+        assert_eq!(fused_auc, auc, "case {case}: shared-sort AUC must match");
+        assert_eq!(fused_ap, average_precision(&labels, &scores), "case {case}");
         let transformed: Vec<f32> = scores.iter().map(|&s| s.exp() * 2.0 + 1.0).collect();
-        prop_assert!((roc_auc(&labels, &transformed) - auc).abs() < 1e-9);
+        assert!(
+            (roc_auc(&labels, &transformed) - auc).abs() < 1e-9,
+            "case {case}"
+        );
         let flipped: Vec<f32> = labels.iter().map(|&l| 1.0 - l).collect();
         let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
         if n_pos > 0 && n_pos < n {
-            prop_assert!((roc_auc(&flipped, scores) - (1.0 - auc)).abs() < 1e-9);
+            assert!(
+                (roc_auc(&flipped, &scores) - (1.0 - auc)).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// AP ∈ (0,1]; AP = 1 for perfectly ranked scores.
-    #[test]
-    fn ap_properties(n_pos in 1usize..20, n_neg in 1usize..20) {
+/// AP ∈ (0,1]; AP = 1 for perfectly ranked scores.
+#[test]
+fn ap_properties() {
+    let mut rng = Pcg32::seed_from_u64(0xa9);
+    for case in 0..CASES {
+        let n_pos = rng.gen_range(1usize..20);
+        let n_neg = rng.gen_range(1usize..20);
         let mut labels = vec![1.0f32; n_pos];
-        labels.extend(std::iter::repeat(0.0).take(n_neg));
+        labels.extend(std::iter::repeat_n(0.0, n_neg));
         let scores: Vec<f32> = (0..n_pos + n_neg).map(|i| -(i as f32)).collect();
         let ap = average_precision(&labels, &scores);
-        prop_assert!((ap - 1.0).abs() < 1e-9, "perfect ranking AP {}", ap);
+        assert!(
+            (ap - 1.0).abs() < 1e-9,
+            "case {case}: perfect ranking AP {ap}"
+        );
     }
+}
 
-    /// Weighted recall equals accuracy (a known identity), and all metrics
-    /// stay in [0,1].
-    #[test]
-    fn multiclass_identities(
-        pred in prop::collection::vec(0usize..4, 5..60),
-        truth in prop::collection::vec(0usize..4, 5..60),
-    ) {
-        let n = pred.len().min(truth.len());
-        let m = multiclass_metrics(&pred[..n], &truth[..n], 4);
-        prop_assert!((m.recall_weighted - m.accuracy).abs() < 1e-9);
-        for v in [m.accuracy, m.precision_weighted, m.recall_weighted, m.f1_weighted] {
-            prop_assert!((0.0..=1.0).contains(&v));
+/// Weighted recall equals accuracy (a known identity), and all metrics
+/// stay in [0,1].
+#[test]
+fn multiclass_identities() {
+    let mut rng = Pcg32::seed_from_u64(0x41c);
+    for case in 0..CASES {
+        let n = rng.gen_range(5usize..60);
+        let pred: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..4)).collect();
+        let truth: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..4)).collect();
+        let m = multiclass_metrics(&pred, &truth, 4);
+        assert!((m.recall_weighted - m.accuracy).abs() < 1e-9, "case {case}");
+        for v in [
+            m.accuracy,
+            m.precision_weighted,
+            m.recall_weighted,
+            m.f1_weighted,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "case {case}");
         }
     }
+}
 
-    /// The monitor stops exactly after `patience` non-improving rounds and
-    /// its best metric is the max of what it saw (up to tolerance).
-    #[test]
-    fn early_stop_state_machine(
-        metrics in prop::collection::vec(0.0f64..1.0, 1..30),
-        patience in 1usize..5,
-    ) {
+/// The monitor stops exactly after `patience` non-improving rounds and
+/// its best metric is the max of what it saw (up to tolerance).
+#[test]
+fn early_stop_state_machine() {
+    let mut rng = Pcg32::seed_from_u64(0xe5);
+    for case in 0..CASES {
+        let metrics: Vec<f64> = (0..rng.gen_range(1usize..30))
+            .map(|_| rng.gen_range(0.0f64..1.0))
+            .collect();
+        let patience = rng.gen_range(1usize..5);
         let mut m = EarlyStopMonitor::new(patience, 1e-3);
         let mut running_best = f64::NEG_INFINITY;
         let mut dry = 0usize;
@@ -137,16 +206,19 @@ proptest! {
             }
             let improved = m.record(v);
             if improved {
-                prop_assert!(v > running_best + 1e-3);
+                assert!(v > running_best + 1e-3, "case {case}");
                 running_best = v;
                 dry = 0;
             } else {
                 dry += 1;
             }
-            prop_assert_eq!(m.should_stop(), dry >= patience);
+            assert_eq!(m.should_stop(), dry >= patience, "case {case}");
         }
         if running_best.is_finite() {
-            prop_assert!((m.best_metric() - running_best).abs() < 1e-12);
+            assert!(
+                (m.best_metric() - running_best).abs() < 1e-12,
+                "case {case}"
+            );
         }
     }
 }

@@ -58,15 +58,22 @@ impl BenchDataset {
     pub fn all15() -> Vec<BenchDataset> {
         use BenchDataset::*;
         vec![
-            Reddit, Wikipedia, Mooc, LastFm, Taobao, Enron, SocialEvo, Uci, CollegeMsg,
-            CanParl, Contact, Flights, UnTrade, UsLegis, UnVote,
+            Reddit, Wikipedia, Mooc, LastFm, Taobao, Enron, SocialEvo, Uci, CollegeMsg, CanParl,
+            Contact, Flights, UnTrade, UsLegis, UnVote,
         ]
     }
 
     /// The six Appendix-F datasets, in Table 16 order.
     pub fn new6() -> Vec<BenchDataset> {
         use BenchDataset::*;
-        vec![EbaySmall, YouTubeRedditSmall, EbayLarge, DGraphFin, YouTubeRedditLarge, TaobaoLarge]
+        vec![
+            EbaySmall,
+            YouTubeRedditSmall,
+            EbayLarge,
+            DGraphFin,
+            YouTubeRedditLarge,
+            TaobaoLarge,
+        ]
     }
 
     /// The four "large-scale" datasets used for the Average Rank metric.
@@ -134,7 +141,12 @@ impl BenchDataset {
             YouTubeRedditLarge => (5_724_111, 4_228_523, "Social", true),
             TaobaoLarge => (1_630_453, 5_008_745, "E-commerce", true),
         };
-        PaperStats { nodes, edges, domain, bipartite }
+        PaperStats {
+            nodes,
+            edges,
+            domain,
+            bipartite,
+        }
     }
 
     /// Edge-feature dimension (Table 8 / Appendix A).
@@ -273,10 +285,17 @@ impl BenchDataset {
                 if classes == 2 {
                     LabelGenConfig::binary(NC_POSITIVE_RATE)
                 } else {
-                    LabelGenConfig { num_classes: classes, rare_rate: 0.08, decay: 0.05 }
+                    LabelGenConfig {
+                        num_classes: classes,
+                        rare_rate: 0.08,
+                        decay: 0.05,
+                    }
                 }
             }),
-            node_feature_init: FeatureInit::RandomFixed { seed: seed ^ 0x5eed, std: 0.1 },
+            node_feature_init: FeatureInit::RandomFixed {
+                seed: seed ^ 0x5eed,
+                std: 0.1,
+            },
             node_dim: crate::features::STANDARD_NODE_DIM,
             seed,
         }
@@ -297,7 +316,11 @@ mod tests {
     #[test]
     fn labelled_sets_carry_label_config() {
         for d in BenchDataset::labelled() {
-            assert!(d.label_classes().is_some(), "{} should have labels", d.name());
+            assert!(
+                d.label_classes().is_some(),
+                "{} should have labels",
+                d.name()
+            );
             let cfg = d.config(0.01, 1);
             assert!(cfg.label.is_some());
         }
@@ -331,9 +354,8 @@ mod tests {
         // SocialEvo must stay far denser than Taobao at any common scale.
         let social = BenchDataset::SocialEvo.config(0.005, 1).generate();
         let taobao = BenchDataset::Taobao.config(0.005, 1).generate();
-        let deg = |g: &crate::temporal_graph::TemporalGraph| {
-            g.num_events() as f64 / g.num_nodes as f64
-        };
+        let deg =
+            |g: &crate::temporal_graph::TemporalGraph| g.num_events() as f64 / g.num_nodes as f64;
         assert!(deg(&social) > 20.0 * deg(&taobao));
     }
 

@@ -27,7 +27,10 @@ impl FeatureInit {
     /// Default: fixed random identity features, the variant our from-scratch
     /// models learn fastest from.
     pub fn default_random() -> Self {
-        FeatureInit::RandomFixed { seed: 0x5eed, std: 0.1 }
+        FeatureInit::RandomFixed {
+            seed: 0x5eed,
+            std: 0.1,
+        }
     }
 
     /// Materialize a `num_nodes × dim` feature matrix.

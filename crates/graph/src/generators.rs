@@ -17,8 +17,6 @@
 //! * **label process** — event labels driven by a hidden decayed risk state
 //!   of the source node (ban/dropout style) for the node-classification task.
 
-use rand::Rng;
-
 use benchtemp_tensor::init::{self, SeededRng};
 use benchtemp_tensor::Matrix;
 
@@ -39,7 +37,11 @@ pub struct LabelGenConfig {
 impl LabelGenConfig {
     /// Binary labels (ban/dropout events) at the given positive rate.
     pub fn binary(rate: f64) -> Self {
-        LabelGenConfig { num_classes: 2, rare_rate: rate, decay: 0.05 }
+        LabelGenConfig {
+            num_classes: 2,
+            rare_rate: rate,
+            decay: 0.05,
+        }
     }
 }
 
@@ -122,7 +124,10 @@ impl GeneratorConfig {
     /// Generate the temporal graph.
     pub fn generate(&self) -> TemporalGraph {
         assert!(self.num_users >= 2, "need at least 2 users");
-        assert!(!self.bipartite || self.num_items >= 2, "need at least 2 items");
+        assert!(
+            !self.bipartite || self.num_items >= 2,
+            "need at least 2 items"
+        );
         assert!(self.num_edges >= 1);
         let mut rng = init::rng(self.seed);
         let n = self.total_nodes();
@@ -130,11 +135,23 @@ impl GeneratorConfig {
         // --- per-node community + activity weights (Zipf with shuffled rank)
         let communities = assign_communities(n, self.communities.max(1), &mut rng);
         let user_range = 0..self.num_users;
-        let item_range = if self.bipartite { self.num_users..n } else { 0..n };
-        let user_sampler =
-            WeightedNodeSampler::new(user_range.clone(), &communities, self.zipf_exponent, &mut rng);
-        let item_sampler =
-            WeightedNodeSampler::new(item_range.clone(), &communities, self.zipf_exponent, &mut rng);
+        let item_range = if self.bipartite {
+            self.num_users..n
+        } else {
+            0..n
+        };
+        let user_sampler = WeightedNodeSampler::new(
+            user_range.clone(),
+            &communities,
+            self.zipf_exponent,
+            &mut rng,
+        );
+        let item_sampler = WeightedNodeSampler::new(
+            item_range.clone(),
+            &communities,
+            self.zipf_exponent,
+            &mut rng,
+        );
 
         // --- timestamps
         let times = self.generate_times(&mut rng);
@@ -170,12 +187,16 @@ impl GeneratorConfig {
                 (src, dst)
             };
             history.push((src, dst));
-            events.push(Interaction { src, dst, t, feat_idx: r });
+            events.push(Interaction {
+                src,
+                dst,
+                t,
+                feat_idx: r,
+            });
         }
 
         // --- edge features: community-pair pattern + periodic time component
-        let edge_features =
-            self.generate_edge_features(&events, &communities, &mut rng);
+        let edge_features = self.generate_edge_features(&events, &communities, &mut rng);
 
         // --- labels
         let labels = self
@@ -214,7 +235,11 @@ impl GeneratorConfig {
         }
         // Normalize cumulative sum onto [0, time_span].
         let total: f64 = gaps.iter().sum();
-        let scale = if total > 0.0 { self.time_span / total } else { 0.0 };
+        let scale = if total > 0.0 {
+            self.time_span / total
+        } else {
+            0.0
+        };
         let mut t = 0.0;
         let mut times: Vec<f64> = gaps
             .into_iter()
@@ -313,7 +338,10 @@ impl GeneratorConfig {
                 class
             })
             .collect();
-        EventLabels { labels, num_classes: cfg.num_classes }
+        EventLabels {
+            labels,
+            num_classes: cfg.num_classes,
+        }
     }
 }
 
@@ -350,8 +378,10 @@ impl WeightedNodeSampler {
             let j = rng.gen_range(0..=i);
             ranks.swap(i, j);
         }
-        let weights: Vec<f64> =
-            ranks.iter().map(|&r| 1.0 / ((r + 1) as f64).powf(zipf)).collect();
+        let weights: Vec<f64> = ranks
+            .iter()
+            .map(|&r| 1.0 / ((r + 1) as f64).powf(zipf))
+            .collect();
         let ncomm = communities.iter().copied().max().unwrap_or(0) + 1;
         let mut by_community: Vec<(Vec<usize>, Vec<f64>)> = vec![(vec![], vec![]); ncomm];
         for (k, &node) in nodes.iter().enumerate() {
@@ -366,7 +396,11 @@ impl WeightedNodeSampler {
             acc += w;
             cumulative.push(acc);
         }
-        WeightedNodeSampler { nodes, cumulative, by_community }
+        WeightedNodeSampler {
+            nodes,
+            cumulative,
+            by_community,
+        }
     }
 
     fn sample_any(&self, rng: &mut SeededRng) -> usize {
@@ -426,14 +460,20 @@ mod tests {
 
     #[test]
     fn zero_recurrence_spreads_edges() {
-        let mut cfg = GeneratorConfig::small("t", 3);
-        cfg.recurrence = 0.0;
-        let g = cfg.generate();
-        let mut set = std::collections::HashSet::new();
-        for ev in &g.events {
-            set.insert((ev.src, ev.dst));
-        }
-        assert!(set.len() > g.num_events() / 3, "{} distinct", set.len());
+        let distinct = |recurrence: f64| {
+            let mut cfg = GeneratorConfig::small("t", 3);
+            cfg.recurrence = recurrence;
+            let g = cfg.generate();
+            g.events
+                .iter()
+                .map(|ev| (ev.src, ev.dst))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        // A recurrence-free stream covers far more distinct pairs than a
+        // heavily recurrent one drawn from the same config.
+        let (zero, heavy) = (distinct(0.0), distinct(0.8));
+        assert!(zero > 2 * heavy, "{zero} distinct at 0.0 vs {heavy} at 0.8");
     }
 
     #[test]
@@ -444,7 +484,11 @@ mod tests {
         let mut distinct: Vec<f64> = g.events.iter().map(|e| e.t).collect();
         distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
         distinct.dedup();
-        assert!(distinct.len() <= 14, "{} distinct timestamps", distinct.len());
+        assert!(
+            distinct.len() <= 14,
+            "{} distinct timestamps",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -471,7 +515,11 @@ mod tests {
     fn multiclass_labels_cover_all_classes() {
         let mut cfg = GeneratorConfig::small("t", 13);
         cfg.num_edges = 4000;
-        cfg.label = Some(LabelGenConfig { num_classes: 4, rare_rate: 0.08, decay: 0.05 });
+        cfg.label = Some(LabelGenConfig {
+            num_classes: 4,
+            rare_rate: 0.08,
+            decay: 0.05,
+        });
         let g = cfg.generate();
         let labels = g.labels.unwrap();
         let rates = labels.class_rates();

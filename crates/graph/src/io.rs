@@ -11,13 +11,11 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 use benchtemp_tensor::Matrix;
+use benchtemp_util::{json, Json};
 
 use crate::temporal_graph::{EventLabels, Interaction, TemporalGraph};
 
-#[derive(Serialize, Deserialize)]
 struct Meta {
     name: String,
     bipartite: bool,
@@ -28,6 +26,60 @@ struct Meta {
     node_dim: usize,
     label_classes: Option<usize>,
     format_version: u32,
+}
+
+impl Meta {
+    fn to_json(&self) -> Json {
+        json!({
+            "name": self.name.as_str(),
+            "bipartite": self.bipartite,
+            "num_nodes": self.num_nodes as f64,
+            "num_users": self.num_users as f64,
+            "num_events": self.num_events as f64,
+            "edge_dim": self.edge_dim as f64,
+            "node_dim": self.node_dim as f64,
+            "label_classes": self.label_classes.map(|c| c as f64),
+            "format_version": self.format_version as f64,
+        })
+    }
+
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let str_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing or invalid field {k:?}"))
+        };
+        let bool_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("missing or invalid field {k:?}"))
+        };
+        let usize_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("missing or invalid field {k:?}"))
+        };
+        let label_classes = match j.get("label_classes") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(
+                v.as_usize()
+                    .ok_or_else(|| "invalid field \"label_classes\"".to_string())?,
+            ),
+        };
+        Ok(Meta {
+            name: str_field("name")?,
+            bipartite: bool_field("bipartite")?,
+            num_nodes: usize_field("num_nodes")?,
+            num_users: usize_field("num_users")?,
+            num_events: usize_field("num_events")?,
+            edge_dim: usize_field("edge_dim")?,
+            node_dim: usize_field("node_dim")?,
+            label_classes,
+            format_version: usize_field("format_version")? as u32,
+        })
+    }
 }
 
 /// Errors surfaced while loading/saving datasets.
@@ -73,17 +125,18 @@ pub fn save_dataset(graph: &TemporalGraph, dir: &Path) -> Result<(), IoError> {
         label_classes: graph.labels.as_ref().map(|l| l.num_classes),
         format_version: 1,
     };
-    std::fs::write(
-        dir.join("meta.json"),
-        serde_json::to_string_pretty(&meta).expect("serialize meta"),
-    )?;
+    std::fs::write(dir.join("meta.json"), meta.to_json().to_string_pretty())?;
 
     let mut edges = BufWriter::new(std::fs::File::create(dir.join("edges.csv"))?);
     match &graph.labels {
         Some(labels) => {
             writeln!(edges, "src,dst,t,feat_idx,label")?;
             for (ev, &l) in graph.events.iter().zip(&labels.labels) {
-                writeln!(edges, "{},{},{},{},{}", ev.src, ev.dst, ev.t, ev.feat_idx, l)?;
+                writeln!(
+                    edges,
+                    "{},{},{},{},{}",
+                    ev.src, ev.dst, ev.t, ev.feat_idx, l
+                )?;
             }
         }
         None => {
@@ -102,15 +155,21 @@ pub fn save_dataset(graph: &TemporalGraph, dir: &Path) -> Result<(), IoError> {
 
 /// Load a dataset previously written by [`save_dataset`].
 pub fn load_dataset(dir: &Path) -> Result<TemporalGraph, IoError> {
-    let meta: Meta = serde_json::from_str(&std::fs::read_to_string(dir.join("meta.json"))?)
+    let meta_json = benchtemp_util::parse(&std::fs::read_to_string(dir.join("meta.json"))?)
         .map_err(|e| format_err(format!("meta.json: {e}")))?;
+    let meta = Meta::from_json(&meta_json).map_err(|e| format_err(format!("meta.json: {e}")))?;
     if meta.format_version != 1 {
-        return Err(format_err(format!("unsupported format version {}", meta.format_version)));
+        return Err(format_err(format!(
+            "unsupported format version {}",
+            meta.format_version
+        )));
     }
 
     let file = BufReader::new(std::fs::File::open(dir.join("edges.csv"))?);
     let mut lines = file.lines();
-    let header = lines.next().ok_or_else(|| format_err("edges.csv is empty"))??;
+    let header = lines
+        .next()
+        .ok_or_else(|| format_err("edges.csv is empty"))??;
     let has_labels = header.trim_end().ends_with(",label");
     let mut events = Vec::with_capacity(meta.num_events);
     let mut labels = Vec::new();
@@ -128,7 +187,12 @@ pub fn load_dataset(dir: &Path) -> Result<TemporalGraph, IoError> {
         let dst: usize = parse(field("dst")?, lineno)?;
         let t: f64 = parse(field("t")?, lineno)?;
         let feat_idx: usize = parse(field("feat_idx")?, lineno)?;
-        events.push(Interaction { src, dst, t, feat_idx });
+        events.push(Interaction {
+            src,
+            dst,
+            t,
+            feat_idx,
+        });
         if has_labels {
             labels.push(parse::<u32>(field("label")?, lineno)?);
         }
@@ -141,10 +205,16 @@ pub fn load_dataset(dir: &Path) -> Result<TemporalGraph, IoError> {
         )));
     }
 
-    let edge_features =
-        read_matrix(&dir.join("edge_features.bin"), meta.num_events, meta.edge_dim)?;
-    let node_features =
-        read_matrix(&dir.join("node_features.bin"), meta.num_nodes, meta.node_dim)?;
+    let edge_features = read_matrix(
+        &dir.join("edge_features.bin"),
+        meta.num_events,
+        meta.edge_dim,
+    )?;
+    let node_features = read_matrix(
+        &dir.join("node_features.bin"),
+        meta.num_nodes,
+        meta.node_dim,
+    )?;
 
     let graph = TemporalGraph {
         name: meta.name,
@@ -154,7 +224,10 @@ pub fn load_dataset(dir: &Path) -> Result<TemporalGraph, IoError> {
         events,
         edge_features,
         node_features,
-        labels: meta.label_classes.map(|num_classes| EventLabels { labels, num_classes }),
+        labels: meta.label_classes.map(|num_classes| EventLabels {
+            labels,
+            num_classes,
+        }),
     };
     graph.validate().map_err(format_err)?;
     Ok(graph)
@@ -162,7 +235,11 @@ pub fn load_dataset(dir: &Path) -> Result<TemporalGraph, IoError> {
 
 fn parse<T: std::str::FromStr>(s: &str, lineno: usize) -> Result<T, IoError> {
     s.trim().parse().map_err(|_| {
-        format_err(format!("edges.csv line {}: cannot parse {:?}", lineno + 2, s))
+        format_err(format!(
+            "edges.csv line {}: cannot parse {:?}",
+            lineno + 2,
+            s
+        ))
     })
 }
 
@@ -277,7 +354,11 @@ mod tests {
         // Drop one CSV line.
         let csv = std::fs::read_to_string(dir.join("edges.csv")).unwrap();
         let trimmed: Vec<&str> = csv.lines().collect();
-        std::fs::write(dir.join("edges.csv"), trimmed[..trimmed.len() - 1].join("\n")).unwrap();
+        std::fs::write(
+            dir.join("edges.csv"),
+            trimmed[..trimmed.len() - 1].join("\n"),
+        )
+        .unwrap();
         let err = load_dataset(&dir).unwrap_err();
         assert!(matches!(err, IoError::Format(_)));
         std::fs::remove_dir_all(dir).ok();

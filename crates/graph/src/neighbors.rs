@@ -7,8 +7,6 @@
 //! temporal-biased sampling of NeurTW with the Appendix-C overflow-safe
 //! weighting (Eq. 2–3) for large-granularity datasets.
 
-use rand::Rng;
-
 use benchtemp_tensor::init::SeededRng;
 
 use crate::temporal_graph::Interaction;
@@ -48,8 +46,16 @@ impl NeighborFinder {
     pub fn from_events(num_nodes: usize, events: &[Interaction]) -> Self {
         let mut adj: Vec<Vec<NeighborEvent>> = vec![Vec::new(); num_nodes];
         for (idx, ev) in events.iter().enumerate() {
-            adj[ev.src].push(NeighborEvent { neighbor: ev.dst, t: ev.t, event_idx: idx });
-            adj[ev.dst].push(NeighborEvent { neighbor: ev.src, t: ev.t, event_idx: idx });
+            adj[ev.src].push(NeighborEvent {
+                neighbor: ev.dst,
+                t: ev.t,
+                event_idx: idx,
+            });
+            adj[ev.dst].push(NeighborEvent {
+                neighbor: ev.src,
+                t: ev.t,
+                event_idx: idx,
+            });
         }
         // Events arrive time-sorted, so each list is already sorted; assert
         // in debug builds rather than paying a sort.
@@ -98,15 +104,12 @@ impl NeighborFinder {
             return Vec::new();
         }
         match strategy {
-            SamplingStrategy::MostRecent => {
-                hist[hist.len().saturating_sub(k)..].to_vec()
-            }
+            SamplingStrategy::MostRecent => hist[hist.len().saturating_sub(k)..].to_vec(),
             SamplingStrategy::Uniform => {
                 (0..k).map(|_| hist[rng.gen_range(0..hist.len())]).collect()
             }
             SamplingStrategy::TemporalExp { alpha } => {
-                let weights: Vec<f64> =
-                    hist.iter().map(|e| (alpha * (e.t - t)).exp()).collect();
+                let weights: Vec<f64> = hist.iter().map(|e| (alpha * (e.t - t)).exp()).collect();
                 weighted_sample(hist, &weights, k, rng)
             }
             SamplingStrategy::TemporalSafe => {
@@ -168,10 +171,30 @@ mod tests {
 
     fn events() -> Vec<Interaction> {
         vec![
-            Interaction { src: 0, dst: 1, t: 1.0, feat_idx: 0 },
-            Interaction { src: 0, dst: 2, t: 2.0, feat_idx: 1 },
-            Interaction { src: 1, dst: 2, t: 3.0, feat_idx: 2 },
-            Interaction { src: 0, dst: 1, t: 4.0, feat_idx: 3 },
+            Interaction {
+                src: 0,
+                dst: 1,
+                t: 1.0,
+                feat_idx: 0,
+            },
+            Interaction {
+                src: 0,
+                dst: 2,
+                t: 2.0,
+                feat_idx: 1,
+            },
+            Interaction {
+                src: 1,
+                dst: 2,
+                t: 3.0,
+                feat_idx: 2,
+            },
+            Interaction {
+                src: 0,
+                dst: 1,
+                t: 4.0,
+                feat_idx: 3,
+            },
         ]
     }
 
@@ -229,7 +252,13 @@ mod tests {
         // t = 4 nearly always.
         let nf = NeighborFinder::from_events(3, &events());
         let mut r = rng(1);
-        let s = nf.sample_before(0, 5.0, 200, SamplingStrategy::TemporalExp { alpha: 5.0 }, &mut r);
+        let s = nf.sample_before(
+            0,
+            5.0,
+            200,
+            SamplingStrategy::TemporalExp { alpha: 5.0 },
+            &mut r,
+        );
         let recent = s.iter().filter(|e| e.t == 4.0).count();
         assert!(recent > 180, "only {recent}/200 picked the recent event");
     }
@@ -240,8 +269,18 @@ mod tests {
         // (the overflow/underflow problem Appendix C fixes). Sampling must
         // still return k entries.
         let evs = vec![
-            Interaction { src: 0, dst: 1, t: 0.0, feat_idx: 0 },
-            Interaction { src: 0, dst: 2, t: 1.0, feat_idx: 1 },
+            Interaction {
+                src: 0,
+                dst: 1,
+                t: 0.0,
+                feat_idx: 0,
+            },
+            Interaction {
+                src: 0,
+                dst: 2,
+                t: 1.0,
+                feat_idx: 1,
+            },
         ];
         let nf = NeighborFinder::from_events(3, &evs);
         let mut r = rng(1);
@@ -260,14 +299,27 @@ mod tests {
         // Same huge gaps: the safe weighting still prefers the more recent
         // event but never under/overflows.
         let evs = vec![
-            Interaction { src: 0, dst: 1, t: 0.0, feat_idx: 0 },
-            Interaction { src: 0, dst: 2, t: 9.0e8, feat_idx: 1 },
+            Interaction {
+                src: 0,
+                dst: 1,
+                t: 0.0,
+                feat_idx: 0,
+            },
+            Interaction {
+                src: 0,
+                dst: 2,
+                t: 9.0e8,
+                feat_idx: 1,
+            },
         ];
         let nf = NeighborFinder::from_events(3, &evs);
         let mut r = rng(1);
         let s = nf.sample_before(0, 1.0e9, 300, SamplingStrategy::TemporalSafe, &mut r);
         let recent = s.iter().filter(|e| e.t > 0.0).count();
-        assert!(recent > 250, "safe weighting should prefer recent: {recent}/300");
+        assert!(
+            recent > 250,
+            "safe weighting should prefer recent: {recent}/300"
+        );
     }
 
     #[test]
@@ -283,8 +335,7 @@ mod tests {
                     .filter(|(_, e)| e.t < t && (e.src == node || e.dst == node))
                     .map(|(i, _)| i)
                     .collect();
-                let fast: Vec<usize> =
-                    nf.before(node, t).iter().map(|e| e.event_idx).collect();
+                let fast: Vec<usize> = nf.before(node, t).iter().map(|e| e.event_idx).collect();
                 assert_eq!(naive, fast, "node {node} t {t}");
             }
         }

@@ -51,8 +51,17 @@ pub fn reindex_heterogeneous(raw: &[RawInteraction]) -> Reindexed {
         let next = num_users + item_map.len();
         item_map.entry(r.item).or_insert(next);
     }
-    let edges = raw.iter().map(|r| (user_map[&r.user], item_map[&r.item])).collect();
-    Reindexed { edges, num_nodes: num_users + item_map.len(), num_users, user_map, item_map }
+    let edges = raw
+        .iter()
+        .map(|r| (user_map[&r.user], item_map[&r.item]))
+        .collect();
+    Reindexed {
+        edges,
+        num_nodes: num_users + item_map.len(),
+        num_users,
+        user_map,
+        item_map,
+    }
 }
 
 /// Reindex a homogeneous interaction log per Fig. 3b: user and item columns
@@ -67,7 +76,13 @@ pub fn reindex_homogeneous(raw: &[RawInteraction]) -> Reindexed {
     }
     let edges = raw.iter().map(|r| (map[&r.user], map[&r.item])).collect();
     let num_nodes = map.len();
-    Reindexed { edges, num_nodes, num_users: num_nodes, user_map: map.clone(), item_map: map }
+    Reindexed {
+        edges,
+        num_nodes,
+        num_users: num_nodes,
+        user_map: map.clone(),
+        item_map: map,
+    }
 }
 
 /// The feature-matrix shrink factor reindexing buys: `max_raw_id / num_nodes`
@@ -89,7 +104,11 @@ mod tests {
     fn raw(log: &[(u64, u64)]) -> Vec<RawInteraction> {
         log.iter()
             .enumerate()
-            .map(|(i, &(user, item))| RawInteraction { user, item, t: i as f64 })
+            .map(|(i, &(user, item))| RawInteraction {
+                user,
+                item,
+                t: i as f64,
+            })
             .collect()
     }
 
@@ -103,7 +122,10 @@ mod tests {
         assert_eq!(rx.num_nodes, 4);
         assert_eq!(rx.edges, vec![(0, 2), (1, 3), (0, 3)]);
         // All users below all items.
-        assert!(rx.edges.iter().all(|&(u, i)| u < rx.num_users && i >= rx.num_users));
+        assert!(rx
+            .edges
+            .iter()
+            .all(|&(u, i)| u < rx.num_users && i >= rx.num_users));
     }
 
     #[test]

@@ -57,8 +57,7 @@ impl SnapshotSequence {
                 edges: Vec::new(),
             })
             .collect();
-        let mut seen: Vec<std::collections::HashSet<(usize, usize)>> =
-            vec![Default::default(); k];
+        let mut seen: Vec<std::collections::HashSet<(usize, usize)>> = vec![Default::default(); k];
         // Find the position of `events` inside the full stream so event
         // indices refer to the original graph.
         let base = graph

@@ -1,13 +1,13 @@
 //! Dataset statistics (Table 2 / Table 16) and the temporal edge
 //! distributions of Fig. 5 / Fig. 8 / Fig. 9.
 
-use serde::Serialize;
+use benchtemp_util::{json, Json, ToJson};
 
 use crate::temporal_graph::TemporalGraph;
 
 /// Computed statistics for one dataset, mirroring Table 2's columns plus a
 /// few the generators are tuned against.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetStats {
     pub name: String,
     pub num_nodes: usize,
@@ -56,6 +56,23 @@ impl DatasetStats {
             distinct_timestamps: ts.len(),
             bipartite: g.bipartite,
         }
+    }
+}
+
+impl ToJson for DatasetStats {
+    fn to_json(&self) -> Json {
+        json!({
+            "name": self.name.as_str(),
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "avg_degree": self.avg_degree,
+            "edge_density": self.edge_density,
+            "distinct_edges": self.distinct_edges,
+            "recurrence_ratio": self.recurrence_ratio,
+            "time_span": self.time_span,
+            "distinct_timestamps": self.distinct_timestamps,
+            "bipartite": self.bipartite,
+        })
     }
 }
 

@@ -162,9 +162,24 @@ mod tests {
             num_nodes: 4,
             num_users: 2,
             events: vec![
-                Interaction { src: 0, dst: 2, t: 1.0, feat_idx: 0 },
-                Interaction { src: 1, dst: 3, t: 2.0, feat_idx: 1 },
-                Interaction { src: 0, dst: 3, t: 3.0, feat_idx: 2 },
+                Interaction {
+                    src: 0,
+                    dst: 2,
+                    t: 1.0,
+                    feat_idx: 0,
+                },
+                Interaction {
+                    src: 1,
+                    dst: 3,
+                    t: 2.0,
+                    feat_idx: 1,
+                },
+                Interaction {
+                    src: 0,
+                    dst: 3,
+                    t: 3.0,
+                    feat_idx: 2,
+                },
             ],
             edge_features: Matrix::zeros(3, 2),
             node_features: Matrix::zeros(4, 3),
@@ -207,7 +222,10 @@ mod tests {
 
     #[test]
     fn label_rates_sum_to_one() {
-        let l = EventLabels { labels: vec![0, 0, 1, 0], num_classes: 2 };
+        let l = EventLabels {
+            labels: vec![0, 0, 1, 0],
+            num_classes: 2,
+        };
         let rates = l.class_rates();
         assert!((rates[0] - 0.75).abs() < 1e-9);
         assert!((rates.iter().sum::<f64>() - 1.0).abs() < 1e-9);

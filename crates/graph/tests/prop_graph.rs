@@ -1,97 +1,116 @@
-//! Property-based tests on the graph substrate: generator invariants over
-//! random configurations, neighbor-finder correctness vs a naive scan,
+//! Property-style tests on the graph substrate: generator invariants over
+//! randomized configurations, neighbor-finder correctness vs a naive scan,
 //! reindexing bijectivity, histogram conservation.
-
-use proptest::prelude::*;
+//!
+//! Configurations are drawn from a seeded in-repo [`Pcg32`] stream rather
+//! than an external property-testing framework, so the suite is fully
+//! deterministic and builds offline. Each case is tagged with its draw index
+//! in assertion messages for replayability.
 
 use benchtemp_graph::features::FeatureInit;
 use benchtemp_graph::generators::{GeneratorConfig, LabelGenConfig};
 use benchtemp_graph::neighbors::{NeighborFinder, SamplingStrategy};
 use benchtemp_graph::reindex::{reindex_heterogeneous, reindex_homogeneous, RawInteraction};
 use benchtemp_graph::stats::temporal_histogram;
-use benchtemp_tensor::init;
+use benchtemp_tensor::{init, Pcg32};
 
-fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        2usize..40,      // users
-        2usize..40,      // items
-        50usize..800,    // edges
-        any::<bool>(),   // bipartite
-        0.0f64..0.95,    // recurrence
-        0.0f64..1.0,     // affinity
-        0.0f64..0.8,     // burstiness
-        1usize..6,       // communities
-        0u64..1000,      // seed
-        prop::option::of(1usize..20), // granularity levels
-    )
-        .prop_map(
-            |(users, items, edges, bipartite, recurrence, affinity, burstiness, comms, seed, gran)| {
-                GeneratorConfig {
-                    name: "prop".into(),
-                    bipartite,
-                    num_users: users.max(2),
-                    num_items: items.max(2),
-                    num_edges: edges,
-                    edge_dim: 4,
-                    time_span: 500.0,
-                    granularity_levels: gran,
-                    recurrence,
-                    recency_bias: 0.5,
-                    recency_window: 500,
-                    zipf_exponent: 0.8,
-                    communities: comms,
-                    affinity,
-                    burstiness,
-                    feature_noise: 0.1,
-                    label: None,
-                    node_feature_init: FeatureInit::Zeros,
-                    node_dim: 4,
-                    seed,
-                }
-            },
-        )
+const CASES: usize = 48;
+
+/// Draw a random-but-valid generator configuration.
+fn random_config(rng: &mut Pcg32) -> GeneratorConfig {
+    GeneratorConfig {
+        name: "prop".into(),
+        bipartite: rng.gen_bool(0.5),
+        num_users: rng.gen_range(2usize..40),
+        num_items: rng.gen_range(2usize..40),
+        num_edges: rng.gen_range(50usize..800),
+        edge_dim: 4,
+        time_span: 500.0,
+        granularity_levels: if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1usize..20))
+        } else {
+            None
+        },
+        recurrence: rng.gen_range(0.0f64..0.95),
+        recency_bias: 0.5,
+        recency_window: 500,
+        zipf_exponent: 0.8,
+        communities: rng.gen_range(1usize..6),
+        affinity: rng.gen_range(0.0f64..1.0),
+        burstiness: rng.gen_range(0.0f64..0.8),
+        feature_noise: 0.1,
+        label: None,
+        node_feature_init: FeatureInit::Zeros,
+        node_dim: 4,
+        seed: rng.gen_range(0u64..1000),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random (user, item) pairs for the reindexing tests.
+fn random_pairs(rng: &mut Pcg32, max_id: u64) -> Vec<(u64, u64)> {
+    let n = rng.gen_range(1usize..200);
+    (0..n)
+        .map(|_| (rng.gen_range(0..max_id), rng.gen_range(0..max_id)))
+        .collect()
+}
 
-    /// Every generated graph satisfies the structural invariants.
-    #[test]
-    fn generated_graphs_are_always_valid(cfg in arb_config()) {
+/// Every generated graph satisfies the structural invariants.
+#[test]
+fn generated_graphs_are_always_valid() {
+    let mut rng = Pcg32::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
         let g = cfg.generate();
-        prop_assert_eq!(g.validate(), Ok(()));
-        prop_assert_eq!(g.num_events(), cfg.num_edges);
-        prop_assert_eq!(g.num_nodes, cfg.total_nodes());
+        assert_eq!(g.validate(), Ok(()), "case {case}");
+        assert_eq!(g.num_events(), cfg.num_edges, "case {case}");
+        assert_eq!(g.num_nodes, cfg.total_nodes(), "case {case}");
     }
+}
 
-    /// Generation is a pure function of the config.
-    #[test]
-    fn generation_is_deterministic(cfg in arb_config()) {
+/// Generation is a pure function of the config.
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = Pcg32::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
         let a = cfg.generate();
         let b = cfg.generate();
-        prop_assert_eq!(a.events, b.events);
+        assert_eq!(a.events, b.events, "case {case}");
     }
+}
 
-    /// `NeighborFinder::before` matches a naive scan for arbitrary queries.
-    #[test]
-    fn neighbor_finder_matches_naive(cfg in arb_config(), t in 0.0f64..600.0, node_sel in 0usize..1000) {
+/// `NeighborFinder::before` matches a naive scan for arbitrary queries.
+#[test]
+fn neighbor_finder_matches_naive() {
+    let mut rng = Pcg32::seed_from_u64(0xCAFE);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let t = rng.gen_range(0.0f64..600.0);
         let g = cfg.generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let node = node_sel % g.num_nodes;
-        let naive: Vec<usize> = g.events.iter().enumerate()
+        let node = rng.gen_range(0usize..g.num_nodes);
+        let naive: Vec<usize> = g
+            .events
+            .iter()
+            .enumerate()
             .filter(|(_, e)| e.t < t && (e.src == node || e.dst == node))
             .map(|(i, _)| i)
             .collect();
         let fast: Vec<usize> = nf.before(node, t).iter().map(|e| e.event_idx).collect();
-        prop_assert_eq!(naive, fast);
+        assert_eq!(naive, fast, "case {case} node {node} t {t}");
     }
+}
 
-    /// Sampled neighbors always come strictly before the query time.
-    #[test]
-    fn sampling_never_leaks_future(cfg in arb_config(), t in 1.0f64..600.0, seed in 0u64..100) {
+/// Sampled neighbors always come strictly before the query time.
+#[test]
+fn sampling_never_leaks_future() {
+    let mut rng = Pcg32::seed_from_u64(0xD00D);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let t = rng.gen_range(1.0f64..600.0);
         let g = cfg.generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let mut rng = init::rng(seed);
+        let mut sample_rng = init::rng(rng.gen_range(0u64..100));
         for strategy in [
             SamplingStrategy::MostRecent,
             SamplingStrategy::Uniform,
@@ -99,66 +118,106 @@ proptest! {
             SamplingStrategy::TemporalExp { alpha: 0.1 },
         ] {
             for node in 0..g.num_nodes.min(5) {
-                let s = nf.sample_before(node, t, 4, strategy, &mut rng);
-                prop_assert!(s.iter().all(|e| e.t < t));
+                let s = nf.sample_before(node, t, 4, strategy, &mut sample_rng);
+                assert!(s.iter().all(|e| e.t < t), "case {case} node {node} t {t}");
             }
         }
     }
+}
 
-    /// Histogram bins conserve the event count.
-    #[test]
-    fn histogram_conserves_events(cfg in arb_config(), bins in 1usize..100) {
+/// Histogram bins conserve the event count.
+#[test]
+fn histogram_conserves_events() {
+    let mut rng = Pcg32::seed_from_u64(0xF00D);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let bins = rng.gen_range(1usize..100);
         let g = cfg.generate();
         let h = temporal_histogram(&g, bins);
-        prop_assert_eq!(h.iter().sum::<usize>(), g.num_events());
+        assert_eq!(
+            h.iter().sum::<usize>(),
+            g.num_events(),
+            "case {case} bins {bins}"
+        );
     }
+}
 
-    /// Heterogeneous reindexing: injective, contiguous, users below items.
-    #[test]
-    fn hetero_reindex_bijective(pairs in prop::collection::vec((0u64..10_000, 0u64..10_000), 1..200)) {
-        let raw: Vec<RawInteraction> = pairs.iter().enumerate()
-            .map(|(i, &(user, item))| RawInteraction { user, item, t: i as f64 })
+/// Heterogeneous reindexing: injective, contiguous, users below items.
+#[test]
+fn hetero_reindex_bijective() {
+    let mut rng = Pcg32::seed_from_u64(0x8E7);
+    for case in 0..CASES {
+        let pairs = random_pairs(&mut rng, 10_000);
+        let raw: Vec<RawInteraction> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(user, item))| RawInteraction {
+                user,
+                item,
+                t: i as f64,
+            })
             .collect();
         let rx = reindex_heterogeneous(&raw);
         let mut seen = vec![false; rx.num_nodes];
         for &v in rx.user_map.values().chain(rx.item_map.values()) {
-            prop_assert!(!seen[v], "duplicate id {}", v);
+            assert!(!seen[v], "case {case}: duplicate id {v}");
             seen[v] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
-        prop_assert!(rx.user_map.values().all(|&v| v < rx.num_users));
-        prop_assert!(rx.item_map.values().all(|&v| v >= rx.num_users));
+        assert!(seen.iter().all(|&s| s), "case {case}: ids not contiguous");
+        assert!(
+            rx.user_map.values().all(|&v| v < rx.num_users),
+            "case {case}"
+        );
+        assert!(
+            rx.item_map.values().all(|&v| v >= rx.num_users),
+            "case {case}"
+        );
         // Round trip: every edge maps back to its raw pair.
         for (r, &(src, dst)) in raw.iter().zip(&rx.edges) {
-            prop_assert_eq!(rx.user_map[&r.user], src);
-            prop_assert_eq!(rx.item_map[&r.item], dst);
+            assert_eq!(rx.user_map[&r.user], src, "case {case}");
+            assert_eq!(rx.item_map[&r.item], dst, "case {case}");
         }
     }
+}
 
-    /// Homogeneous reindexing: one shared id space, order-preserving lookups.
-    #[test]
-    fn homo_reindex_consistent(pairs in prop::collection::vec((0u64..500, 0u64..500), 1..200)) {
-        let raw: Vec<RawInteraction> = pairs.iter().enumerate()
-            .map(|(i, &(user, item))| RawInteraction { user, item, t: i as f64 })
+/// Homogeneous reindexing: one shared id space, order-preserving lookups.
+#[test]
+fn homo_reindex_consistent() {
+    let mut rng = Pcg32::seed_from_u64(0x9090);
+    for case in 0..CASES {
+        let pairs = random_pairs(&mut rng, 500);
+        let raw: Vec<RawInteraction> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(user, item))| RawInteraction {
+                user,
+                item,
+                t: i as f64,
+            })
             .collect();
         let rx = reindex_homogeneous(&raw);
-        prop_assert_eq!(rx.num_users, rx.num_nodes);
+        assert_eq!(rx.num_users, rx.num_nodes, "case {case}");
         for (r, &(src, dst)) in raw.iter().zip(&rx.edges) {
-            prop_assert_eq!(rx.user_map[&r.user], src);
-            prop_assert_eq!(rx.user_map[&r.item], dst);
+            assert_eq!(rx.user_map[&r.user], src, "case {case}");
+            assert_eq!(rx.user_map[&r.item], dst, "case {case}");
         }
     }
+}
 
-    /// Label streams hit their configured class count and rough rate.
-    #[test]
-    fn labels_rate_and_classes(seed in 0u64..50) {
+/// Label streams hit their configured class count and rough rate.
+#[test]
+fn labels_rate_and_classes() {
+    for seed in 0u64..50 {
         let mut cfg = GeneratorConfig::small("prop-l", seed);
         cfg.num_edges = 2000;
         cfg.label = Some(LabelGenConfig::binary(0.2));
         let g = cfg.generate();
         let labels = g.labels.unwrap();
-        prop_assert_eq!(labels.num_classes, 2);
+        assert_eq!(labels.num_classes, 2, "seed {seed}");
         let rate = labels.class_rates()[1];
-        prop_assert!((rate - 0.2).abs() < 0.1, "positive rate {}", rate);
+        assert!(
+            (rate - 0.2).abs() < 0.1,
+            "seed {seed}: positive rate {rate}"
+        );
     }
 }

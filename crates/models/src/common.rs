@@ -107,7 +107,11 @@ pub struct NodeMemory {
 
 impl NodeMemory {
     pub fn new(num_nodes: usize, dim: usize) -> Self {
-        NodeMemory { mem: Matrix::zeros(num_nodes, dim), last_update: vec![0.0; num_nodes], dim }
+        NodeMemory {
+            mem: Matrix::zeros(num_nodes, dim),
+            last_update: vec![0.0; num_nodes],
+            dim,
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -203,7 +207,13 @@ impl NeighborBatch {
                 mask[slot] = true;
             }
         }
-        NeighborBatch { ids, feat_idx, dts, mask, k }
+        NeighborBatch {
+            ids,
+            feat_idx,
+            dts,
+            mask,
+            k,
+        }
     }
 
     /// Node features of the neighbor slots ((n·k) × node_dim).
@@ -240,7 +250,11 @@ pub struct BatchView {
 
 impl BatchView {
     pub fn new(batch: &[Interaction], neg_dsts: &[usize]) -> Self {
-        assert_eq!(batch.len(), neg_dsts.len(), "one negative per positive edge");
+        assert_eq!(
+            batch.len(),
+            neg_dsts.len(),
+            "one negative per positive edge"
+        );
         BatchView {
             srcs: batch.iter().map(|e| e.src).collect(),
             dsts: batch.iter().map(|e| e.dst).collect(),
@@ -284,7 +298,10 @@ mod tests {
         m.write(&[1, 3], &vals, &[10.0, 20.0]);
         assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
         assert_eq!(m.row(3), &[4.0, 5.0, 6.0]);
-        assert_eq!(m.deltas(&[1, 3, 0], &[15.0, 25.0, 5.0]), vec![5.0, 5.0, 5.0]);
+        assert_eq!(
+            m.deltas(&[1, 3, 0], &[15.0, 25.0, 5.0]),
+            vec![5.0, 5.0, 5.0]
+        );
         m.reset();
         assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
     }
@@ -301,15 +318,25 @@ mod tests {
     fn neighbor_batch_pads_and_masks() {
         let g = GeneratorConfig::small("nb", 41).generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut rng = init::rng(1);
         // One query at t=0 (no history) and one late query (some history).
         let nodes = [g.events[0].src, g.events.last().unwrap().src];
         let times = [0.0, 999.0];
-        let nb = NeighborBatch::sample(&ctx, &nodes, &times, 4, SamplingStrategy::Uniform, &mut rng);
+        let nb =
+            NeighborBatch::sample(&ctx, &nodes, &times, 4, SamplingStrategy::Uniform, &mut rng);
         assert_eq!(nb.mask.len(), 8);
-        assert!(nb.mask[..4].iter().all(|&m| !m), "t=0 query must be fully masked");
-        assert!(nb.mask[4..].iter().any(|&m| m), "late query should have neighbors");
+        assert!(
+            nb.mask[..4].iter().all(|&m| !m),
+            "t=0 query must be fully masked"
+        );
+        assert!(
+            nb.mask[4..].iter().any(|&m| m),
+            "late query should have neighbors"
+        );
         assert_eq!(nb.node_feats(&ctx).shape(), (8, g.node_dim()));
         assert_eq!(nb.edge_feats(&ctx).shape(), (8, g.edge_dim()));
     }

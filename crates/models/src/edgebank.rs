@@ -28,7 +28,10 @@ pub struct EdgeBank {
 
 impl EdgeBank {
     pub fn new(variant: EdgeBankVariant) -> Self {
-        EdgeBank { variant, seen: HashMap::new() }
+        EdgeBank {
+            variant,
+            seen: HashMap::new(),
+        }
     }
 
     pub fn unlimited() -> Self {
@@ -87,7 +90,10 @@ impl TgnnModel for EdgeBank {
         batch: &[Interaction],
         neg_dsts: &[usize],
     ) -> (Vec<f32>, Vec<f32>) {
-        let pos = batch.iter().map(|e| self.score(e.src, e.dst, e.t)).collect();
+        let pos = batch
+            .iter()
+            .map(|e| self.score(e.src, e.dst, e.t))
+            .collect();
         let neg = batch
             .iter()
             .zip(neg_dsts)
@@ -138,7 +144,10 @@ mod tests {
     fn scores_repeat_edges_positively() {
         let g = ctx_graph();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut eb = EdgeBank::unlimited();
         // First pass: observe.
         eb.train_batch(&ctx, &g.events[..500], &[]);
@@ -152,7 +161,10 @@ mod tests {
     fn unseen_edges_score_zero() {
         let g = ctx_graph();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut eb = EdgeBank::unlimited();
         let negs: Vec<usize> = vec![g.num_nodes - 1; 10];
         let (pos, _) = eb.eval_batch(&ctx, &g.events[..10], &negs);
@@ -184,7 +196,10 @@ mod tests {
         cfg.recurrence = 0.8;
         let g = cfg.generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut eb = EdgeBank::unlimited();
         let half = g.num_events() / 2;
         eb.train_batch(&ctx, &g.events[..half], &[]);

@@ -9,19 +9,19 @@ pub mod common;
 pub mod edgebank;
 pub mod nat;
 pub mod snapshot_gnn;
-pub mod tgat;
 pub mod temp_model;
+pub mod tgat;
+pub mod tgn_family;
 pub mod walk_models;
 pub mod walks;
 pub mod zoo;
-pub mod tgn_family;
 
 pub use common::ModelConfig;
 pub use edgebank::{EdgeBank, EdgeBankVariant};
 pub use nat::Nat;
 pub use snapshot_gnn::SnapshotGnn;
-pub use tgat::Tgat;
 pub use temp_model::Temp;
+pub use tgat::Tgat;
 pub use tgn_family::{TgnFamily, TgnVariant};
 pub use walk_models::{WalkKind, WalkModel};
 pub use zoo::{build, ALL_MODELS, PAPER_MODELS};

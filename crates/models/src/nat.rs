@@ -30,7 +30,9 @@ struct NCache {
 
 impl NCache {
     fn new(size: usize) -> Self {
-        NCache { slots: vec![0; size] }
+        NCache {
+            slots: vec![0; size],
+        }
     }
 
     #[inline]
@@ -57,7 +59,10 @@ impl NCache {
     }
 
     fn iter_nodes(&self) -> impl Iterator<Item = usize> + '_ {
-        self.slots.iter().filter(|&&s| s != 0).map(|&s| (s - 1) as usize)
+        self.slots
+            .iter()
+            .filter(|&&s| s != 0)
+            .map(|&s| (s - 1) as usize)
     }
 
     fn clear(&mut self) {
@@ -233,7 +238,10 @@ impl Nat {
             let dx = g.concat_cols(ep, dte);
             let sm = g.input(self.reps.rows(&view.srcs));
             let dm = g.input(self.reps.rows(&view.dsts));
-            (w.rep_gru.forward(&mut g, sx, sm), w.rep_gru.forward(&mut g, dx, dm))
+            (
+                w.rep_gru.forward(&mut g, sx, sm),
+                w.rep_gru.forward(&mut g, dx, dm),
+            )
         };
         let src_emb = g.value(src_rep).clone();
         let new_src_m = g.value(new_src).clone();
@@ -365,8 +373,17 @@ mod tests {
     fn caches_populate_from_stream() {
         let g = GeneratorConfig::small("nat2", 92).generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
-        let mut nat = Nat::new(ModelConfig { embed_dim: 16, ..Default::default() }, &g);
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
+        let mut nat = Nat::new(
+            ModelConfig {
+                embed_dim: 16,
+                ..Default::default()
+            },
+            &g,
+        );
         let negs: Vec<usize> = g.events[..100].iter().map(|_| g.num_users).collect();
         nat.eval_batch(&ctx, &g.events[..100], &negs);
         let occupied: usize = nat.hop1.iter().map(|c| c.occupancy()).sum();
@@ -381,13 +398,22 @@ mod tests {
         // direct-containment bit — training should quickly exploit it.
         let g = GeneratorConfig::small("nat3", 93).generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut nat = Nat::new(
-            ModelConfig { embed_dim: 16, lr: 1e-2, ..Default::default() },
+            ModelConfig {
+                embed_dim: 16,
+                lr: 1e-2,
+                ..Default::default()
+            },
             &g,
         );
         let batch = &g.events[..60];
-        let negs: Vec<usize> = batch.iter().enumerate()
+        let negs: Vec<usize> = batch
+            .iter()
+            .enumerate()
             .map(|(i, _)| g.num_users + (i * 3) % (g.num_nodes - g.num_users))
             .collect();
         let first = nat.train_batch(&ctx, batch, &negs);

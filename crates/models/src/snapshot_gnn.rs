@@ -250,8 +250,17 @@ mod tests {
     fn states_refresh_at_snapshot_boundaries() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
-        let mut m = SnapshotGnn::new(ModelConfig { embed_dim: 16, ..Default::default() }, &g);
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
+        let mut m = SnapshotGnn::new(
+            ModelConfig {
+                embed_dim: 16,
+                ..Default::default()
+            },
+            &g,
+        );
         assert_eq!(m.current_snapshot, -1);
         // Drive a late batch → multiple boundary crossings.
         let late = &g.events[1200..1260];
@@ -267,13 +276,22 @@ mod tests {
     fn training_reduces_loss() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut m = SnapshotGnn::new(
-            ModelConfig { embed_dim: 16, lr: 1e-2, ..Default::default() },
+            ModelConfig {
+                embed_dim: 16,
+                lr: 1e-2,
+                ..Default::default()
+            },
             &g,
         );
         let batch = &g.events[700..780];
-        let negs: Vec<usize> = batch.iter().enumerate()
+        let negs: Vec<usize> = batch
+            .iter()
+            .enumerate()
             .map(|(i, _)| g.num_users + (i * 3) % (g.num_nodes - g.num_users))
             .collect();
         let first = m.train_batch(&ctx, batch, &negs);
@@ -288,8 +306,17 @@ mod tests {
     fn reset_rewinds_to_initial() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
-        let mut m = SnapshotGnn::new(ModelConfig { embed_dim: 16, ..Default::default() }, &g);
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
+        let mut m = SnapshotGnn::new(
+            ModelConfig {
+                embed_dim: 16,
+                ..Default::default()
+            },
+            &g,
+        );
         let batch = &g.events[..40];
         let negs: Vec<usize> = batch.iter().map(|_| g.num_users + 1).collect();
         let (a, _) = m.eval_batch(&ctx, batch, &negs);

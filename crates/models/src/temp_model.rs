@@ -166,11 +166,7 @@ impl Temp {
 
         let mut g = Graph::new(&self.core.store);
         let w = &self.weights;
-        let embed = |g: &mut Graph,
-                     mem: Matrix,
-                     lpa: Matrix,
-                     msg: Matrix,
-                     ref_dt: &[f32]| {
+        let embed = |g: &mut Graph, mem: Matrix, lpa: Matrix, msg: Matrix, ref_dt: &[f32]| {
             let m = g.input(mem);
             let l = g.input(lpa);
             let e = {
@@ -182,9 +178,27 @@ impl Temp {
             let c = w.combine.forward(g, cat);
             g.relu(c)
         };
-        let src = embed(&mut g, self.memory.rows(&view.srcs), src_lpa, src_msg, &src_ref);
-        let dst = embed(&mut g, self.memory.rows(&view.dsts), dst_lpa, dst_msg, &dst_ref);
-        let neg = embed(&mut g, self.memory.rows(&view.negs), neg_lpa, neg_msg, &neg_ref);
+        let src = embed(
+            &mut g,
+            self.memory.rows(&view.srcs),
+            src_lpa,
+            src_msg,
+            &src_ref,
+        );
+        let dst = embed(
+            &mut g,
+            self.memory.rows(&view.dsts),
+            dst_lpa,
+            dst_msg,
+            &dst_ref,
+        );
+        let neg = embed(
+            &mut g,
+            self.memory.rows(&view.negs),
+            neg_lpa,
+            neg_msg,
+            &neg_ref,
+        );
         let pos_logit = w.decoder.forward(&mut g, src, dst);
         let neg_logit = w.decoder.forward(&mut g, src, neg);
         let logits = g.concat_rows(pos_logit, neg_logit);
@@ -207,7 +221,10 @@ impl Temp {
             let dx = g.concat_cols(ep, dte);
             let sm = g.input(self.memory.rows(&view.srcs));
             let dm = g.input(self.memory.rows(&view.dsts));
-            (w.seq_gru.forward(&mut g, sx, sm), w.seq_gru.forward(&mut g, dx, dm))
+            (
+                w.seq_gru.forward(&mut g, sx, sm),
+                w.seq_gru.forward(&mut g, dx, dm),
+            )
         };
         let src_emb = g.value(src).clone();
         let new_src_m = g.value(new_src).clone();
@@ -303,17 +320,24 @@ mod tests {
     fn preinit_fills_memory_from_features() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
-        let mut m = Temp::new(ModelConfig { embed_dim: 16, ..Default::default() }, &g);
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
+        let mut m = Temp::new(
+            ModelConfig {
+                embed_dim: 16,
+                ..Default::default()
+            },
+            &g,
+        );
         assert_eq!(m.memory.row(0), vec![0.0; 16].as_slice());
         let negs: Vec<usize> = g.events[..10].iter().map(|_| g.num_users).collect();
         m.eval_batch(&ctx, &g.events[..10], &negs);
         // After the first batch the *untouched* nodes still carry the
         // pre-initialized (non-zero) embedding.
         let untouched = (0..g.num_nodes)
-            .find(|&n| {
-                g.events[..10].iter().all(|e| e.src != n && e.dst != n)
-            })
+            .find(|&n| g.events[..10].iter().all(|e| e.src != n && e.dst != n))
             .unwrap();
         assert!(m.memory.row(untouched).iter().any(|&x| x != 0.0));
     }
@@ -322,7 +346,10 @@ mod tests {
     fn reference_time_is_mean_of_history() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let m = Temp::new(ModelConfig::default(), &g);
         let node = g.events[0].src;
         let t = 1e9;
@@ -340,13 +367,22 @@ mod tests {
     fn training_reduces_loss() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut m = Temp::new(
-            ModelConfig { embed_dim: 16, lr: 1e-2, ..Default::default() },
+            ModelConfig {
+                embed_dim: 16,
+                lr: 1e-2,
+                ..Default::default()
+            },
             &g,
         );
         let batch = &g.events[..80];
-        let negs: Vec<usize> = batch.iter().enumerate()
+        let negs: Vec<usize> = batch
+            .iter()
+            .enumerate()
             .map(|(i, _)| g.num_users + (i * 5) % (g.num_nodes - g.num_users))
             .collect();
         let first = m.train_batch(&ctx, batch, &negs);
@@ -361,8 +397,17 @@ mod tests {
     fn embeddings_have_configured_dim() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
-        let mut m = Temp::new(ModelConfig { embed_dim: 24, ..Default::default() }, &g);
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
+        let mut m = Temp::new(
+            ModelConfig {
+                embed_dim: 24,
+                ..Default::default()
+            },
+            &g,
+        );
         let emb = m.embed_events(&ctx, &g.events[..6]);
         assert_eq!(emb.shape(), (6, 24));
     }

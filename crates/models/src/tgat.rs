@@ -105,7 +105,12 @@ impl Tgat {
             decoder: MergeLayer::new(store, rng, "decoder", d, d, d, 1),
             neighbors: cfg.neighbors,
         };
-        Tgat { weights, core, layers: cfg.layers.max(1), embed_dim: d }
+        Tgat {
+            weights,
+            core,
+            layers: cfg.layers.max(1),
+            embed_dim: d,
+        }
     }
 
     fn run_batch(
@@ -116,9 +121,19 @@ impl Tgat {
         train: bool,
     ) -> (f32, Vec<f32>, Vec<f32>, Matrix) {
         let view = BatchView::new(batch, neg_dsts);
-        let Tgat { weights, core, layers, .. } = self;
+        let Tgat {
+            weights,
+            core,
+            layers,
+            ..
+        } = self;
         let depth = *layers;
-        let ModelCore { store, adam, rng, clock } = core;
+        let ModelCore {
+            store,
+            adam,
+            rng,
+            clock,
+        } = core;
         let start = std::time::Instant::now();
 
         let mut g = Graph::new(store);
@@ -218,8 +233,17 @@ mod tests {
     fn stateless_eval_is_deterministic_given_same_rng_state() {
         let g = GeneratorConfig::small("tgat", 61).generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
-        let cfg = ModelConfig { embed_dim: 16, time_dim: 8, neighbors: 3, layers: 2, ..Default::default() };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
+        let cfg = ModelConfig {
+            embed_dim: 16,
+            time_dim: 8,
+            neighbors: 3,
+            layers: 2,
+            ..Default::default()
+        };
         let negs: Vec<usize> = g.events[..20].iter().map(|_| g.num_users).collect();
         let mut m1 = Tgat::new(cfg.clone(), &g);
         let mut m2 = Tgat::new(cfg, &g);
@@ -234,7 +258,11 @@ mod tests {
         // heads must divide the attention model dim; the constructor of the
         // attention layer enforces Eq. 1.
         let g = GeneratorConfig::small("tgat2", 62).generate();
-        let cfg = ModelConfig { embed_dim: 48, heads: 2, ..Default::default() };
+        let cfg = ModelConfig {
+            embed_dim: 48,
+            heads: 2,
+            ..Default::default()
+        };
         let _ = Tgat::new(cfg, &g); // must not panic
     }
 
@@ -242,9 +270,17 @@ mod tests {
     fn embed_events_has_model_dim() {
         let g = GeneratorConfig::small("tgat3", 63).generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut m = Tgat::new(
-            ModelConfig { embed_dim: 24, layers: 1, neighbors: 3, ..Default::default() },
+            ModelConfig {
+                embed_dim: 24,
+                layers: 1,
+                neighbors: 3,
+                ..Default::default()
+            },
             &g,
         );
         let emb = m.embed_events(&ctx, &g.events[..7]);
@@ -257,8 +293,19 @@ mod tests {
         // all false, attention returns base reps, scores stay finite.
         let g = GeneratorConfig::small("tgat4", 64).generate();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
-        let mut m = Tgat::new(ModelConfig { embed_dim: 16, layers: 2, neighbors: 3, ..Default::default() }, &g);
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
+        let mut m = Tgat::new(
+            ModelConfig {
+                embed_dim: 16,
+                layers: 2,
+                neighbors: 3,
+                ..Default::default()
+            },
+            &g,
+        );
         let negs: Vec<usize> = g.events[..5].iter().map(|_| g.num_users + 1).collect();
         let (pos, neg) = m.eval_batch(&ctx, &g.events[..5], &negs);
         assert!(pos.iter().chain(neg.iter()).all(|s| s.is_finite()));

@@ -131,7 +131,10 @@ impl Weights {
         let keys = g.concat_cols_many(&[nb_state, nb_edge, nb_te]);
         let zero_te = self.time_enc.forward_slice(g, &vec![0.0; nodes.len()]);
         let query = g.concat_cols(state, zero_te);
-        self.attention.as_ref().expect("attention present").forward(g, query, keys, k, &nb.mask)
+        self.attention
+            .as_ref()
+            .expect("attention present")
+            .forward(g, query, keys, k, &nb.mask)
     }
 
     /// Variant embedding of nodes at the given times.
@@ -199,10 +202,26 @@ impl Weights {
         let (other_for_src, other_for_dst) = if self.variant == TgnVariant::DyRep {
             let dst_state = self.node_state(g, ctx, memory, &view.dsts);
             let src_state = self.node_state(g, ctx, memory, &view.srcs);
-            let dst_agg =
-                self.attend(g, ctx, memory, dst_state, &view.dsts, &view.times, rng, clock);
-            let src_agg =
-                self.attend(g, ctx, memory, src_state, &view.srcs, &view.times, rng, clock);
+            let dst_agg = self.attend(
+                g,
+                ctx,
+                memory,
+                dst_state,
+                &view.dsts,
+                &view.times,
+                rng,
+                clock,
+            );
+            let src_agg = self.attend(
+                g,
+                ctx,
+                memory,
+                src_state,
+                &view.srcs,
+                &view.times,
+                rng,
+                clock,
+            );
             (g.add(dst_agg, dst_state), g.add(src_agg, src_state))
         } else {
             (dst_mem, src_mem)
@@ -268,7 +287,12 @@ impl TgnFamily {
                 MultiHeadAttention::new(store, rng, "attn", d + td, d + ed + td, d, cfg.heads, d)
             }),
         };
-        TgnFamily { weights, core, memory: NodeMemory::new(graph.num_nodes, d), embed_dim: d }
+        TgnFamily {
+            weights,
+            core,
+            memory: NodeMemory::new(graph.num_nodes, d),
+            embed_dim: d,
+        }
     }
 
     /// Forward pass shared by train/eval: returns (logits pos+neg stacked,
@@ -302,8 +326,18 @@ impl TgnFamily {
         train: bool,
     ) -> (f32, Vec<f32>, Vec<f32>, Matrix) {
         let view = BatchView::new(batch, neg_dsts);
-        let TgnFamily { weights, core, memory, .. } = self;
-        let ModelCore { store, adam, rng, clock } = core;
+        let TgnFamily {
+            weights,
+            core,
+            memory,
+            ..
+        } = self;
+        let ModelCore {
+            store,
+            adam,
+            rng,
+            clock,
+        } = core;
         let start = std::time::Instant::now();
 
         let mut g = Graph::new(store);

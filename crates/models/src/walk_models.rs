@@ -151,8 +151,7 @@ impl WalkModel {
         let src = sample_role(&view.srcs, rng);
         let dst = sample_role(&view.dsts, rng);
         let neg = sample_role(&view.negs, rng);
-        let counts =
-            |sets: &[Vec<TemporalWalk>]| sets.iter().map(|w| position_counts(w)).collect();
+        let counts = |sets: &[Vec<TemporalWalk>]| sets.iter().map(|w| position_counts(w)).collect();
         WalkSets {
             src_counts: counts(&src),
             dst_counts: counts(&dst),
@@ -462,7 +461,10 @@ mod tests {
     fn cawn_scores_are_finite_and_shaped() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut m = WalkModel::cawn(small_cfg(), &g);
         let batch = &g.events[800..830];
         let negs: Vec<usize> = batch.iter().map(|_| g.num_users + 2).collect();
@@ -476,7 +478,10 @@ mod tests {
     fn neurtw_ablation_changes_scores() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let batch = &g.events[800..820];
         let negs: Vec<usize> = batch.iter().map(|_| g.num_users + 2).collect();
         let mut with = WalkModel::neurtw(small_cfg(), &g);
@@ -492,9 +497,15 @@ mod tests {
     fn training_reduces_loss_on_one_batch() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut m = WalkModel::cawn(
-            ModelConfig { lr: 1e-2, ..small_cfg() },
+            ModelConfig {
+                lr: 1e-2,
+                ..small_cfg()
+            },
             &g,
         );
         let batch = &g.events[900..940];
@@ -511,7 +522,10 @@ mod tests {
     fn embed_events_shape() {
         let g = setup();
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut m = WalkModel::neurtw(small_cfg(), &g);
         let emb = m.embed_events(&ctx, &g.events[500..510]);
         assert_eq!(emb.shape(), (10, 16));

@@ -78,7 +78,12 @@ pub fn sample_walks(
                     }
                 }
             }
-            TemporalWalk { nodes, hop_times, feat_idx, valid }
+            TemporalWalk {
+                nodes,
+                hop_times,
+                feat_idx,
+                valid,
+            }
         })
         .collect()
 }
@@ -141,10 +146,21 @@ mod tests {
     #[test]
     fn walks_go_backward_in_time() {
         let (g, nf) = setup();
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut rng = init::rng(1);
         let start = g.events.last().unwrap().src;
-        let walks = sample_walks(&ctx, start, 900.0, 8, 3, SamplingStrategy::Uniform, &mut rng);
+        let walks = sample_walks(
+            &ctx,
+            start,
+            900.0,
+            8,
+            3,
+            SamplingStrategy::Uniform,
+            &mut rng,
+        );
         assert_eq!(walks.len(), 8);
         for w in &walks {
             assert_eq!(w.nodes[0], start);
@@ -161,7 +177,10 @@ mod tests {
     #[test]
     fn dead_end_walks_are_masked() {
         let (g, nf) = setup();
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut rng = init::rng(2);
         // t=0: no history anywhere → every hop invalid.
         let walks = sample_walks(&ctx, 0, 0.0, 3, 2, SamplingStrategy::Uniform, &mut rng);
@@ -174,10 +193,21 @@ mod tests {
     #[test]
     fn position_counts_sum_to_walk_count_at_position_zero() {
         let (g, nf) = setup();
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut rng = init::rng(3);
         let start = g.events.last().unwrap().src;
-        let walks = sample_walks(&ctx, start, 900.0, 6, 2, SamplingStrategy::Uniform, &mut rng);
+        let walks = sample_walks(
+            &ctx,
+            start,
+            900.0,
+            6,
+            2,
+            SamplingStrategy::Uniform,
+            &mut rng,
+        );
         let counts = position_counts(&walks);
         // The start node is at position 0 of every walk.
         assert_eq!(counts[&start][0], 6.0);
@@ -203,8 +233,8 @@ mod tests {
             feat_idx: vec![0, 0],
             valid: vec![true, true],
         };
-        let c1 = position_counts(&[w1.clone()]);
-        let c2 = position_counts(&[w2.clone()]);
+        let c1 = position_counts(std::slice::from_ref(&w1));
+        let c2 = position_counts(std::slice::from_ref(&w2));
         let e1 = anonymize(5, &c1, &c1, 2, 1);
         let e2 = anonymize(100, &c2, &c2, 2, 1);
         assert_eq!(e1, e2);
@@ -227,14 +257,33 @@ mod tests {
         // vice versa) far more often than for a random negative — the motif
         // signal CAWN exploits. Statistical check over many events.
         let (g, nf) = setup();
-        let ctx = StreamContext { graph: &g, neighbors: &nf };
+        let ctx = StreamContext {
+            graph: &g,
+            neighbors: &nf,
+        };
         let mut rng = init::rng(4);
         let mut pos_overlap = 0usize;
         let mut neg_overlap = 0usize;
         let events = &g.events[g.num_events() - 300..];
         for ev in events {
-            let wu = sample_walks(&ctx, ev.src, ev.t, 6, 2, SamplingStrategy::Uniform, &mut rng);
-            let wv = sample_walks(&ctx, ev.dst, ev.t, 6, 2, SamplingStrategy::Uniform, &mut rng);
+            let wu = sample_walks(
+                &ctx,
+                ev.src,
+                ev.t,
+                6,
+                2,
+                SamplingStrategy::Uniform,
+                &mut rng,
+            );
+            let wv = sample_walks(
+                &ctx,
+                ev.dst,
+                ev.t,
+                6,
+                2,
+                SamplingStrategy::Uniform,
+                &mut rng,
+            );
             let cu = position_counts(&wu);
             let cv = position_counts(&wv);
             let joint = cu.keys().filter(|k| cv.contains_key(k)).count();

@@ -14,8 +14,7 @@ use crate::tgn_family::TgnFamily;
 use crate::walk_models::WalkModel;
 
 /// The seven models of the main-paper comparison, in Table 1 order.
-pub const PAPER_MODELS: [&str; 7] =
-    ["JODIE", "DyRep", "TGN", "TGAT", "CAWN", "NeurTW", "NAT"];
+pub const PAPER_MODELS: [&str; 7] = ["JODIE", "DyRep", "TGN", "TGAT", "CAWN", "NeurTW", "NAT"];
 
 /// All constructible models: the paper seven, TeMP, the EdgeBank baseline,
 /// the NeurTW NODE-ablation variant, and the §5 snapshot-sequence baseline.
@@ -61,7 +60,14 @@ mod tests {
     fn every_registered_model_constructs_and_reports_name() {
         let g = GeneratorConfig::small("zoo", 111).generate();
         for name in ALL_MODELS {
-            let m = build(name, ModelConfig { embed_dim: 16, ..Default::default() }, &g);
+            let m = build(
+                name,
+                ModelConfig {
+                    embed_dim: 16,
+                    ..Default::default()
+                },
+                &g,
+            );
             assert_eq!(m.name(), name);
             let a = m.anatomy();
             // Table 1 spot checks.

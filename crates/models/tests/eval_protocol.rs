@@ -5,7 +5,7 @@
 //!   happened), and `reset_state` restores the initial scores;
 //! * `embed_events` returns one row per event with the declared dimension.
 
-use benchtemp_core::pipeline::{StreamContext, TgnnModel};
+use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::NeighborFinder;
 use benchtemp_models::common::ModelConfig;
@@ -18,14 +18,24 @@ fn setup() -> benchtemp_graph::TemporalGraph {
 }
 
 fn cfg() -> ModelConfig {
-    ModelConfig { embed_dim: 16, time_dim: 8, neighbors: 3, walks: 2, walk_len: 2, ..Default::default() }
+    ModelConfig {
+        embed_dim: 16,
+        time_dim: 8,
+        neighbors: 3,
+        walks: 2,
+        walk_len: 2,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn eval_never_mutates_parameters() {
     let g = setup();
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
     for name in ALL_MODELS {
         let mut model = zoo::build(name, cfg(), &g);
         let before = model.snapshot();
@@ -44,7 +54,10 @@ fn eval_never_mutates_parameters() {
 fn train_does_mutate_parameters() {
     let g = setup();
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
     for name in ALL_MODELS {
         if name == "EdgeBank" {
             continue; // non-learned by design
@@ -65,7 +78,10 @@ fn train_does_mutate_parameters() {
 fn reset_state_restores_initial_scores_for_stateful_models() {
     let g = setup();
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
     for name in ["TGN", "JODIE", "NAT", "TeMP", "EdgeBank"] {
         let mut model = zoo::build(name, cfg(), &g);
         let batch = &g.events[..50];
@@ -76,7 +92,10 @@ fn reset_state_restores_initial_scores_for_stateful_models() {
         let _ = model.eval_batch(&ctx, &g.events[50..400], &negs2);
         model.reset_state();
         let (again, _) = model.eval_batch(&ctx, batch, &negs);
-        assert_eq!(first, again, "{name}: reset_state must restore initial scoring");
+        assert_eq!(
+            first, again,
+            "{name}: reset_state must restore initial scoring"
+        );
     }
 }
 
@@ -84,7 +103,10 @@ fn reset_state_restores_initial_scores_for_stateful_models() {
 fn embed_events_shape_contract() {
     let g = setup();
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
     for name in ALL_MODELS {
         let mut model = zoo::build(name, cfg(), &g);
         let emb = model.embed_events(&ctx, &g.events[..13]);
@@ -103,7 +125,10 @@ fn scores_are_finite_under_extreme_time_gaps() {
     cfg_g.num_edges = 600;
     let g = cfg_g.generate();
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
-    let ctx = StreamContext { graph: &g, neighbors: &nf };
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
     for name in ALL_MODELS {
         let mut model = zoo::build(name, cfg(), &g);
         let batch = &g.events[300..360];

@@ -52,7 +52,12 @@ fn check(model: &mut dyn TgnnModel, min_auc: f64) {
         model.name(),
         run.transductive.auc
     );
-    assert!(run.transductive.ap > 0.5, "{} AP {:.4}", model.name(), run.transductive.ap);
+    assert!(
+        run.transductive.ap > 0.5,
+        "{} AP {:.4}",
+        model.name(),
+        run.transductive.ap
+    );
 }
 
 #[test]

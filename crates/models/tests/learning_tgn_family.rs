@@ -30,7 +30,14 @@ fn train_cfg() -> TrainConfig {
 }
 
 fn model_cfg() -> ModelConfig {
-    ModelConfig { embed_dim: 32, time_dim: 8, neighbors: 4, lr: 3e-3, seed: 1, ..Default::default() }
+    ModelConfig {
+        embed_dim: 32,
+        time_dim: 8,
+        neighbors: 4,
+        lr: 3e-3,
+        seed: 1,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -92,6 +99,9 @@ fn inductive_sets_are_scored() {
     let mut model = TgnFamily::tgn(model_cfg(), &g);
     let run = train_link_prediction(&mut model, &g, &split, &train_cfg());
     assert!(run.inductive.n_edges > 0);
-    assert_eq!(run.new_old.n_edges + run.new_new.n_edges, run.inductive.n_edges);
+    assert_eq!(
+        run.new_old.n_edges + run.new_new.n_edges,
+        run.inductive.n_edges
+    );
     assert!(run.inductive.auc > 0.0 && run.inductive.auc <= 1.0);
 }

@@ -120,7 +120,11 @@ mod tests {
         // Perturb, then load back.
         for i in 0..store.len() {
             let id = crate::params::ParamId(i);
-            store.value_mut(id).as_mut_slice().iter_mut().for_each(|x| *x += 1.0);
+            store
+                .value_mut(id)
+                .as_mut_slice()
+                .iter_mut()
+                .for_each(|x| *x += 1.0);
         }
         load_checkpoint(&mut store, &path).unwrap();
         let after = store.snapshot();

@@ -4,18 +4,16 @@
 //! reports mean ± std over runs, so every random draw here flows from a
 //! caller-supplied seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::matrix::Matrix;
+use crate::rng::Pcg32;
 
 /// Seeded RNG used across the suite; a thin alias so downstream crates don't
-/// spell out the rand types.
-pub type SeededRng = StdRng;
+/// spell out the generator type.
+pub type SeededRng = Pcg32;
 
 /// Build a [`SeededRng`] from a u64 seed.
 pub fn rng(seed: u64) -> SeededRng {
-    StdRng::seed_from_u64(seed)
+    Pcg32::seed_from_u64(seed)
 }
 
 /// Xavier/Glorot uniform initialization: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
@@ -27,7 +25,9 @@ pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut SeededRng) -> Matrix {
 
 /// Standard normal entries scaled by `std`.
 pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut SeededRng) -> Matrix {
-    let data = (0..rows * cols).map(|_| std * standard_normal(rng)).collect();
+    let data = (0..rows * cols)
+        .map(|_| std * standard_normal(rng))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -74,7 +74,11 @@ mod tests {
         let m = randn(100, 100, 1.0, &mut rng(3));
         let mean = m.sum() / m.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
-        let var = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / m.len() as f32;
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }

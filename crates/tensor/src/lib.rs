@@ -30,10 +30,14 @@ pub mod matrix;
 pub mod nn;
 pub mod optim;
 pub mod params;
+pub mod pool;
+pub mod rng;
 pub mod tape;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{Graph, ParamId, ParamStore};
+pub use pool::{pool, ThreadPool};
+pub use rng::{Pcg32, SplitMix64};
 pub use tape::{Gradients, Tape, Var};

@@ -15,12 +15,20 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Build from a flat row-major vector. Panics if the length mismatches.
@@ -45,17 +53,29 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Column vector (n×1) from a slice.
     pub fn column(values: &[f32]) -> Self {
-        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Row vector (1×n) from a slice.
     pub fn row_vec(values: &[f32]) -> Self {
-        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Identity matrix.
@@ -126,88 +146,113 @@ impl Matrix {
         self.row_mut(r).copy_from_slice(src);
     }
 
-    /// Matrix product `self · rhs` with a blocked inner loop (ikj order) —
-    /// cache-friendly without pulling in a BLAS dependency.
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses a register-blocked microkernel (k tiled in fours, branch-free
+    /// inner loop) and partitions output rows across the worker pool above
+    /// [`PAR_FLOPS`]. Every output row is produced by the same sequential
+    /// kernel regardless of partitioning, so results are bit-identical at
+    /// any thread count.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhs` written into a preallocated `out` (shape-checked).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} · {}x{} shapes are incompatible",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into: output is {}x{}, expected {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        if n == 0 || m == 0 {
+            return;
         }
-        out
+        run_row_blocks(m, n, m * k * n, &mut out.data, |first, block| {
+            matmul_block_kernel(&self.data, k, first, &rhs.data, n, block);
+        });
     }
 
     /// `self · rhsᵀ` without materializing the transpose.
+    ///
+    /// Row-parallel above [`PAR_FLOPS`]; each output entry is a four-way
+    /// blocked dot product, identical on every code path.
     pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transpose: inner dims {} vs {} differ",
             self.cols, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
         }
+        run_rows(m, n, m * k * n, &mut out.data, |i, out_row| {
+            let a_row = self.row(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a_row, rhs.row(j));
+            }
+        });
         out
     }
 
     /// `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// Partitioned over output rows (columns of `self`); the strided loads
+    /// of `self` are amortized by the same k-tiled microkernel as `matmul`.
     pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "transpose_matmul: outer dims {} vs {} differ",
             self.rows, rhs.rows
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
         }
+        let a_cols = self.cols;
+        run_rows(m, n, m * k * n, &mut out.data, |i, out_row| {
+            transpose_matmul_row_kernel(&self.data, a_cols, i, k, &rhs.data, n, out_row);
+        });
         out
     }
 
     /// Materialized transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose written into a preallocated `cols×rows` output.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: output is {}x{}, expected {}x{}",
+            out.rows,
+            out.cols,
+            self.cols,
+            self.rows
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Elementwise map into a new matrix.
@@ -219,14 +264,62 @@ impl Matrix {
         }
     }
 
+    /// Elementwise map written into a preallocated same-shape `out` —
+    /// the allocation-free twin of [`Matrix::map`] used by the tape.
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        assert_eq!(self.shape(), out.shape(), "map_into: shape mismatch");
+        for (o, &x) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
+        }
+    }
+
+    /// Elementwise map applied in place (fused activation).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data.iter_mut() {
+            *x = f(*x);
+        }
+    }
+
     /// Elementwise combine with another same-shape matrix.
     pub fn zip(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip: shape mismatch");
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
+    }
+
+    /// Elementwise combine written into a preallocated same-shape `out`.
+    pub fn zip_into(&self, rhs: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), rhs.shape(), "zip_into: shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_into: output shape mismatch");
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(rhs.data.iter())
+        {
+            *o = f(a, b);
+        }
+    }
+
+    /// `self *= scale` in place.
+    pub fn scale_inplace(&mut self, scale: f32) {
+        for x in self.data.iter_mut() {
+            *x *= scale;
+        }
+    }
+
+    /// Copy `src`'s contents into `self` (shapes must match).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// `self += rhs` elementwise.
@@ -262,7 +355,13 @@ impl Matrix {
 
     /// Extract a single scalar from a 1×1 matrix.
     pub fn scalar(&self) -> f32 {
-        assert_eq!(self.shape(), (1, 1), "scalar: matrix is {}x{}", self.rows, self.cols);
+        assert_eq!(
+            self.shape(),
+            (1, 1),
+            "scalar: matrix is {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
@@ -270,7 +369,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
-            assert!(src < self.rows, "gather_rows: index {src} out of {} rows", self.rows);
+            assert!(
+                src < self.rows,
+                "gather_rows: index {src} out of {} rows",
+                self.rows
+            );
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
         out
@@ -293,19 +396,272 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "concat_rows: column count mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&rhs.data);
-        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Approximate equality for tests.
     pub fn approx_eq(&self, rhs: &Matrix, tol: f32) -> bool {
         self.shape() == rhs.shape()
-            && self.data.iter().zip(rhs.data.iter()).all(|(&a, &b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 
     /// Heap bytes held by this matrix (for the efficiency accounting).
     pub fn heap_bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<f32>()
     }
+
+    /// Consume the matrix, handing back its backing storage (for buffer
+    /// pooling).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+/// Flop threshold above which matmul variants fan rows out across the pool.
+/// Below it the per-call dispatch cost exceeds the win; chosen so a typical
+/// per-batch model matmul (≤ 64³) stays inline.
+pub const PAR_FLOPS: usize = 1 << 18;
+
+/// Run `kernel(row_index, out_row)` over every `n`-wide row of `out`,
+/// fanning contiguous row blocks across the pool when `work` (total flops)
+/// crosses [`PAR_FLOPS`]. The kernel sees exactly the same `(i, row)` pairs
+/// on every path, so parallelism cannot change the result bits.
+fn run_rows<F>(m: usize, n: usize, work: usize, out: &mut [f32], kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), m * n);
+    let p = crate::pool::pool();
+    if work < PAR_FLOPS || p.threads() == 1 || m == 1 {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            kernel(i, row);
+        }
+        return;
+    }
+    let rows_per = m.div_ceil(p.threads()).max(1);
+    let kernel = &kernel;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(c, block)| {
+            let start = c * rows_per;
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for (r, row) in block.chunks_mut(n).enumerate() {
+                    kernel(start + r, row);
+                }
+            });
+            task
+        })
+        .collect();
+    p.scope_run(tasks);
+}
+
+/// Like [`run_rows`], but hands each worker its whole contiguous row slab
+/// (`(first_row, rows × n slice)`) so the kernel can share work across
+/// rows (e.g. one B sweep per row quad). The kernel must keep each row's
+/// FP order independent of the slab shape — thread partitioning decides
+/// where slabs start, and results must not depend on the thread count.
+fn run_row_blocks<F>(m: usize, n: usize, work: usize, out: &mut [f32], kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), m * n);
+    let p = crate::pool::pool();
+    if work < PAR_FLOPS || p.threads() == 1 || m == 1 {
+        kernel(0, out);
+        return;
+    }
+    let rows_per = m.div_ceil(p.threads()).max(1);
+    let kernel = &kernel;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(c, block)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || kernel(c * rows_per, block));
+            task
+        })
+        .collect();
+    p.scope_run(tasks);
+}
+
+/// One output row of `A·B`: k tiled in fours, four B rows streamed per pass
+/// over the output row, branch-free (the old kernel skipped `a == 0.0`
+/// entries, which costs a branch per k on dense data to save work that
+/// almost never exists).
+///
+/// DETERMINISM: the per-row floating-point operation order here must match
+/// [`matmul_quad_kernel`] exactly — which kernel computes a given row
+/// depends on where thread-block boundaries fall, and the runtime contract
+/// says the thread count can never change result bits.
+#[inline]
+fn matmul_row_kernel(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    out_row.fill(0.0);
+    let k = a_row.len();
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+        let bs = &b[kk * n..(kk + 4) * n];
+        let (b0, b1) = (&bs[..n], &bs[n..2 * n]);
+        let (b2, b3) = (&bs[2 * n..3 * n], &bs[3 * n..4 * n]);
+        for j in 0..n {
+            out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a0 = a_row[kk];
+        let b0 = &b[kk * n..kk * n + n];
+        for (o, &v0) in out_row.iter_mut().zip(b0) {
+            *o += a0 * v0;
+        }
+        kk += 1;
+    }
+}
+
+/// Four output rows of `A·B` per B sweep: the same k-tiled arithmetic as
+/// [`matmul_row_kernel`] (identical per-row FP order — see the determinism
+/// note there), but each streamed B tile feeds four output rows, quartering
+/// the dominant memory traffic on large matmuls.
+#[inline]
+fn matmul_quad_kernel(a: &[&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
+    let [o0, o1, o2, o3] = out;
+    o0.fill(0.0);
+    o1.fill(0.0);
+    o2.fill(0.0);
+    o3.fill(0.0);
+    let k = a[0].len();
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let (r0, r1, r2, r3) = (
+            &a[0][kk..kk + 4],
+            &a[1][kk..kk + 4],
+            &a[2][kk..kk + 4],
+            &a[3][kk..kk + 4],
+        );
+        let bs = &b[kk * n..(kk + 4) * n];
+        let (b0, b1) = (&bs[..n], &bs[n..2 * n]);
+        let (b2, b3) = (&bs[2 * n..3 * n], &bs[3 * n..4 * n]);
+        for j in 0..n {
+            let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+            o0[j] += r0[0] * v0 + r0[1] * v1 + r0[2] * v2 + r0[3] * v3;
+            o1[j] += r1[0] * v0 + r1[1] * v1 + r1[2] * v2 + r1[3] * v3;
+            o2[j] += r2[0] * v0 + r2[1] * v1 + r2[2] * v2 + r2[3] * v3;
+            o3[j] += r3[0] * v0 + r3[1] * v1 + r3[2] * v2 + r3[3] * v3;
+        }
+        kk += 4;
+    }
+    // k % 4 tail, row by row in the same order as `matmul_row_kernel`'s.
+    for (o, a_row) in [o0, o1, o2, o3].into_iter().zip(a.iter()) {
+        for t in kk..k {
+            let a0 = a_row[t];
+            let b0 = &b[t * n..t * n + n];
+            for (o, &v0) in o.iter_mut().zip(b0) {
+                *o += a0 * v0;
+            }
+        }
+    }
+}
+
+/// One thread's contiguous slab of `A·B` output rows: quads of rows share
+/// each B sweep, the `rows % 4` tail falls back to the single-row kernel.
+/// Both kernels apply the identical per-row FP order, so where the quad
+/// boundaries land (a function of the thread partition) cannot change bits.
+fn matmul_block_kernel(
+    a_data: &[f32],
+    k: usize,
+    first: usize,
+    b: &[f32],
+    n: usize,
+    block: &mut [f32],
+) {
+    let mut i = first;
+    let mut quads = block.chunks_exact_mut(4 * n);
+    for quad in quads.by_ref() {
+        let (o0, rest) = quad.split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let a_rows = [
+            &a_data[i * k..(i + 1) * k],
+            &a_data[(i + 1) * k..(i + 2) * k],
+            &a_data[(i + 2) * k..(i + 3) * k],
+            &a_data[(i + 3) * k..(i + 4) * k],
+        ];
+        matmul_quad_kernel(&a_rows, b, n, [o0, o1, o2, o3]);
+        i += 4;
+    }
+    for row in quads.into_remainder().chunks_mut(n) {
+        matmul_row_kernel(&a_data[i * k..(i + 1) * k], b, n, row);
+        i += 1;
+    }
+}
+
+/// One output row of `Aᵀ·B` (row `i` of the result reads column `i` of `A`).
+/// Same k-tiling as [`matmul_row_kernel`]; the four strided `A` loads per
+/// pass amortize over a full contiguous sweep of the output row.
+#[inline]
+fn transpose_matmul_row_kernel(
+    a: &[f32],
+    a_cols: usize,
+    i: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out_row: &mut [f32],
+) {
+    out_row.fill(0.0);
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let a0 = a[kk * a_cols + i];
+        let a1 = a[(kk + 1) * a_cols + i];
+        let a2 = a[(kk + 2) * a_cols + i];
+        let a3 = a[(kk + 3) * a_cols + i];
+        let b0 = &b[kk * n..kk * n + n];
+        let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+        let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+        let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a0 = a[kk * a_cols + i];
+        let b0 = &b[kk * n..kk * n + n];
+        for (o, &v0) in out_row.iter_mut().zip(b0) {
+            *o += a0 * v0;
+        }
+        kk += 1;
+    }
+}
+
+/// Four-accumulator dot product — the scalar-ILP workhorse behind
+/// `matmul_transpose`.
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let quads = a.len() / 4 * 4;
+    let (a4, a_rest) = a.split_at(quads);
+    let (b4, b_rest) = b.split_at(quads);
+    let mut acc = [0.0f32; 4];
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in a_rest.iter().zip(b_rest) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 impl fmt::Debug for Matrix {
@@ -349,14 +705,18 @@ mod tests {
     fn matmul_transpose_equals_explicit_transpose() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]);
-        assert!(a.matmul_transpose(&b).approx_eq(&a.matmul(&b.transpose()), 1e-6));
+        assert!(a
+            .matmul_transpose(&b)
+            .approx_eq(&a.matmul(&b.transpose()), 1e-6));
     }
 
     #[test]
     fn transpose_matmul_equals_explicit_transpose() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let b = Matrix::from_rows(&[&[7.0], &[8.0], &[9.0]]);
-        assert!(a.transpose_matmul(&b).approx_eq(&a.transpose().matmul(&b), 1e-6));
+        assert!(a
+            .transpose_matmul(&b)
+            .approx_eq(&a.transpose().matmul(&b), 1e-6));
     }
 
     #[test]
@@ -376,14 +736,20 @@ mod tests {
     fn gather_rows_repeats_and_reorders() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
         let g = a.gather_rows(&[2, 0, 2]);
-        assert_eq!(g, Matrix::from_rows(&[&[3.0, 3.0], &[1.0, 1.0], &[3.0, 3.0]]));
+        assert_eq!(
+            g,
+            Matrix::from_rows(&[&[3.0, 3.0], &[1.0, 1.0], &[3.0, 3.0]])
+        );
     }
 
     #[test]
     fn concat_cols_and_rows() {
         let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
         let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
-        assert_eq!(a.concat_cols(&b), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.concat_cols(&b),
+            Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]])
+        );
         assert_eq!(
             a.concat_rows(&b),
             Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
@@ -404,5 +770,89 @@ mod tests {
         assert_eq!(a.sum(), 7.0);
         assert!((a.norm() - 5.0).abs() < 1e-6);
         assert_eq!(Matrix::full(1, 1, 2.5).scalar(), 2.5);
+    }
+
+    /// Naive triple loop as ground truth for the blocked kernels.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f64;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+                }
+                out.set(i, j, acc as f32);
+            }
+        }
+        out
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = crate::rng::Pcg32::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_on_awkward_shapes() {
+        // Shapes straddle the k-unroll (k % 4 ∈ {0,1,2,3}) and include
+        // zeros (the dropped skip-branch must not change results).
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (8, 9, 2), (17, 4, 13), (6, 6, 6)] {
+            let mut a = pseudo_random(m, k, 11 + n as u64);
+            let b = pseudo_random(k, n, 29 + m as u64);
+            a.set(0, 0, 0.0);
+            let want = naive_matmul(&a, &b);
+            assert!(a.matmul(&b).approx_eq(&want, 1e-4), "matmul {m}x{k}x{n}");
+            assert!(
+                a.transpose().transpose_matmul(&b).approx_eq(&want, 1e-4),
+                "transpose_matmul {m}x{k}x{n}"
+            );
+            assert!(
+                a.matmul_transpose(&b.transpose()).approx_eq(&want, 1e-4),
+                "matmul_transpose {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_into_overwrites_dirty_buffers() {
+        let a = pseudo_random(5, 8, 1);
+        let b = pseudo_random(8, 3, 2);
+        let mut out = Matrix::full(5, 3, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn large_matmul_crosses_parallel_threshold() {
+        // 72³ > PAR_FLOPS: exercises the row-partitioned path (inline on a
+        // 1-thread pool, fanned out otherwise) against the naive result.
+        let a = pseudo_random(72, 72, 3);
+        let b = pseudo_random(72, 72, 4);
+        assert!(a.matmul(&b).approx_eq(&naive_matmul(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn fused_in_place_variants() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, -4.0]]);
+        let b = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]);
+
+        let mut out = Matrix::zeros(2, 2);
+        a.map_into(&mut out, |x| x.abs());
+        assert_eq!(out, a.map(f32::abs));
+
+        a.zip_into(&b, &mut out, |x, y| x + y);
+        assert_eq!(out, a.zip(&b, |x, y| x + y));
+
+        let mut c = a.clone();
+        c.map_inplace(|x| x * 2.0);
+        assert_eq!(c, a.map(|x| x * 2.0));
+
+        c.copy_from(&a);
+        assert_eq!(c, a);
+        c.scale_inplace(0.5);
+        assert_eq!(c, a.map(|x| x * 0.5));
     }
 }

@@ -27,9 +27,17 @@ impl Linear {
         in_dim: usize,
         out_dim: usize,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let w = store.add(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = store.add(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
@@ -84,7 +92,9 @@ impl MergeLayer {
         hidden: usize,
         out_dim: usize,
     ) -> Self {
-        MergeLayer { mlp: Mlp::new(store, rng, name, dim_a + dim_b, hidden, out_dim) }
+        MergeLayer {
+            mlp: Mlp::new(store, rng, name, dim_a + dim_b, hidden, out_dim),
+        }
     }
 
     pub fn forward(&self, g: &mut Graph, a: Var, b: Var) -> Var {
@@ -115,11 +125,20 @@ impl GruCell {
     ) -> Self {
         GruCell {
             wz: Linear::new(store, rng, &format!("{name}.wz"), in_dim, hidden),
-            uz: store.add(format!("{name}.uz"), init::xavier_uniform(hidden, hidden, rng)),
+            uz: store.add(
+                format!("{name}.uz"),
+                init::xavier_uniform(hidden, hidden, rng),
+            ),
             wr: Linear::new(store, rng, &format!("{name}.wr"), in_dim, hidden),
-            ur: store.add(format!("{name}.ur"), init::xavier_uniform(hidden, hidden, rng)),
+            ur: store.add(
+                format!("{name}.ur"),
+                init::xavier_uniform(hidden, hidden, rng),
+            ),
             wh: Linear::new(store, rng, &format!("{name}.wh"), in_dim, hidden),
-            uh: store.add(format!("{name}.uh"), init::xavier_uniform(hidden, hidden, rng)),
+            uh: store.add(
+                format!("{name}.uh"),
+                init::xavier_uniform(hidden, hidden, rng),
+            ),
             in_dim,
             hidden,
         }
@@ -225,7 +244,10 @@ impl MultiHeadAttention {
         heads: usize,
         out_dim: usize,
     ) -> Self {
-        assert!(heads > 0 && model_dim.is_multiple_of(heads), "model_dim must divide by heads (Eq. 1)");
+        assert!(
+            heads > 0 && model_dim.is_multiple_of(heads),
+            "model_dim must divide by heads (Eq. 1)"
+        );
         MultiHeadAttention {
             wq: Linear::new(store, rng, &format!("{name}.wq"), query_dim, model_dim),
             wk: Linear::new(store, rng, &format!("{name}.wk"), key_dim, model_dim),
@@ -237,7 +259,14 @@ impl MultiHeadAttention {
     }
 
     /// `query` n×query_dim; `keys` (n·group)×key_dim; `mask` row-validity.
-    pub fn forward(&self, g: &mut Graph, query: Var, keys: Var, group: usize, mask: &[bool]) -> Var {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        query: Var,
+        keys: Var,
+        group: usize,
+        mask: &[bool],
+    ) -> Var {
         let q = self.wq.forward(g, query);
         let k = self.wk.forward(g, keys);
         let v = self.wv.forward(g, keys);
@@ -267,13 +296,21 @@ mod tests {
         let mut store = ParamStore::new();
         let mut r = rng(1);
         let lin = Linear::new(&mut store, &mut r, "l", 4, 3);
-        store.value_mut(lin.b).as_mut_slice().iter_mut().for_each(|x| *x = 1.0);
+        store
+            .value_mut(lin.b)
+            .as_mut_slice()
+            .iter_mut()
+            .for_each(|x| *x = 1.0);
         let mut g = Graph::new(&store);
         let x = g.input(Matrix::zeros(5, 4));
         let y = lin.forward(&mut g, x);
         assert_eq!(g.shape(y), (5, 3));
         // zero input → bias only
-        assert!(g.value(y).as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!(g
+            .value(y)
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 1.0).abs() < 1e-6));
     }
 
     #[test]

@@ -22,7 +22,14 @@ impl Adam {
     }
 
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: 5.0, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: 5.0,
+            t: 0,
+        }
     }
 
     /// Number of update steps taken so far.
@@ -38,7 +45,12 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (id, grad) in grads {
             let p = &mut store.params[id.0];
-            debug_assert_eq!(p.value.shape(), grad.shape(), "Adam: grad shape for {}", p.name);
+            debug_assert_eq!(
+                p.value.shape(),
+                grad.shape(),
+                "Adam: grad shape for {}",
+                p.name
+            );
             let (value, m, v) = (
                 p.value.as_mut_slice(),
                 p.m.as_mut_slice(),

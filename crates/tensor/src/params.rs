@@ -94,24 +94,72 @@ impl ParamStore {
 
     /// Restore from a snapshot taken earlier.
     pub fn restore(&mut self, snapshot: &[Matrix]) {
-        assert_eq!(snapshot.len(), self.params.len(), "restore: snapshot size mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.params.len(),
+            "restore: snapshot size mismatch"
+        );
         for (p, s) in self.params.iter_mut().zip(snapshot) {
-            assert_eq!(p.value.shape(), s.shape(), "restore: shape mismatch for {}", p.name);
+            assert_eq!(
+                p.value.shape(),
+                s.shape(),
+                "restore: shape mismatch for {}",
+                p.name
+            );
             p.value = s.clone();
         }
     }
 }
 
+thread_local! {
+    /// Recycled tapes: a dropped [`Graph`] parks its tape (reset, with node
+    /// capacity and its matrix buffer pool intact) here, and the next
+    /// `Graph::new` on this thread picks it up. Per-batch graph construction
+    /// in the training loops therefore stops churning the allocator without
+    /// any call-site changes.
+    static TAPE_CACHE: std::cell::RefCell<Vec<Tape>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Owns a recycled tape and parks it back in [`TAPE_CACHE`] on drop.
+///
+/// The recycling `Drop` lives on this lifetime-free wrapper — not on
+/// [`Graph`] itself — so the borrow checker still ends a graph's `&ParamStore`
+/// borrow at its last use (dropping a `&T` field needs no liveness), and
+/// call sites can keep mutating the store while a finished graph is in scope.
+struct PooledTape(Tape);
+
+impl Drop for PooledTape {
+    fn drop(&mut self) {
+        let mut tape = std::mem::take(&mut self.0);
+        tape.reset();
+        TAPE_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            // A handful of tapes covers nested graphs; don't hoard beyond that.
+            if cache.len() < 4 {
+                cache.push(tape);
+            }
+        });
+    }
+}
+
 /// Forward-pass context: a tape plus memoized parameter bindings.
 pub struct Graph<'s> {
-    tape: Tape,
+    tape: PooledTape,
     store: &'s ParamStore,
     bound: Vec<Option<Var>>,
 }
 
 impl<'s> Graph<'s> {
     pub fn new(store: &'s ParamStore) -> Self {
-        Graph { tape: Tape::new(), store, bound: vec![None; store.len()] }
+        let tape = TAPE_CACHE
+            .with(|c| c.borrow_mut().pop())
+            .unwrap_or_default();
+        debug_assert!(tape.is_empty(), "recycled tape must be reset");
+        Graph {
+            tape: PooledTape(tape),
+            store,
+            bound: vec![None; store.len()],
+        }
     }
 
     /// Bind a parameter onto the tape (once per graph; later calls return
@@ -120,24 +168,24 @@ impl<'s> Graph<'s> {
         if let Some(v) = self.bound[id.0] {
             return v;
         }
-        let v = self.tape.leaf(self.store.value(id).clone());
+        let v = self.tape.0.leaf(self.store.value(id).clone());
         self.bound[id.0] = Some(v);
         v
     }
 
     /// Insert a non-trainable input.
     pub fn input(&mut self, value: Matrix) -> Var {
-        self.tape.leaf(value)
+        self.tape.0.leaf(value)
     }
 
     /// Backward pass from a scalar loss; returns gradients for every bound
     /// parameter (zero matrices for parameters the loss never touched).
     pub fn backward(&mut self, loss: Var) -> Vec<(ParamId, Matrix)> {
-        let grads = self.tape.backward(loss);
+        let grads = self.tape.0.backward(loss);
         let mut out = Vec::new();
         for (i, slot) in self.bound.iter().enumerate() {
             if let Some(var) = slot {
-                let shape = self.tape.shape(*var);
+                let shape = self.tape.0.shape(*var);
                 out.push((ParamId(i), grads.get_or_zero(*var, shape)));
             }
         }
@@ -148,12 +196,12 @@ impl<'s> Graph<'s> {
 impl Deref for Graph<'_> {
     type Target = Tape;
     fn deref(&self) -> &Tape {
-        &self.tape
+        &self.tape.0
     }
 }
 
 impl DerefMut for Graph<'_> {
     fn deref_mut(&mut self) -> &mut Tape {
-        &mut self.tape
+        &mut self.tape.0
     }
 }

@@ -1,0 +1,393 @@
+//! Deterministic worker pool for the train/eval hot path.
+//!
+//! Design goals, in priority order:
+//!
+//! 1. **Bit-identical results at any thread count.** Work is split into
+//!    chunks with boundaries that depend only on the input length — never on
+//!    thread count or scheduling — and results land in caller-provided slots
+//!    indexed by chunk, so reductions run in a fixed order. Running with
+//!    `BENCHTEMP_THREADS=1` and `=64` must produce the same bytes.
+//! 2. **Zero dependencies.** Plain `std::thread` workers behind a
+//!    `Mutex<VecDeque>` + `Condvar` queue.
+//! 3. **One pool per process.** Workers are spawned once (lazily) and
+//!    reused; per-call overhead is one lock + one wakeup per chunk.
+//!
+//! The pool size comes from `BENCHTEMP_THREADS` (clamped to ≥ 1), defaulting
+//! to `std::thread::available_parallelism()`. With one thread the helpers
+//! run inline on the caller — no queue traffic at all — which keeps the
+//! single-core path as fast as the pre-pool code.
+//!
+//! # Safety model
+//!
+//! `scope_run` erases closure lifetimes to `'static` so borrowed work can be
+//! shipped to long-lived workers. This is sound because the submitting call
+//! blocks until every submitted closure has finished (a counter + condvar
+//! barrier), so no borrow outlives the call. Panics inside workers are
+//! caught, carried back, and re-raised on the caller thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// A fixed-size worker pool. Obtain the process-wide instance via [`pool`].
+pub struct ThreadPool {
+    queue: Arc<Queue>,
+    threads: usize,
+}
+
+/// Tracks one batch of submitted jobs so the caller can block on completion.
+struct Batch {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            pending: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn finish_one(&self) {
+        let mut left = self.pending.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.pending.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+fn worker_loop(queue: Arc<Queue>) {
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().unwrap();
+            loop {
+                match jobs.pop_front() {
+                    Some(j) => break j,
+                    None => jobs = queue.available.wait(jobs).unwrap(),
+                }
+            }
+        };
+        job();
+    }
+}
+
+/// Resolve the configured pool size: `BENCHTEMP_THREADS` if set and ≥ 1,
+/// else the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    match std::env::var("BENCHTEMP_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+impl ThreadPool {
+    fn new(threads: usize) -> Self {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        // With 1 configured thread everything runs inline; spawn no workers.
+        // Otherwise spawn exactly `threads` workers: the caller blocks while
+        // a batch runs, so the workers own all the compute.
+        if threads > 1 {
+            for i in 0..threads {
+                let q = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("benchtemp-pool-{i}"))
+                    .spawn(move || worker_loop(q))
+                    .expect("spawn pool worker");
+            }
+        }
+        Self { queue, threads }
+    }
+
+    /// Number of worker threads this pool schedules across (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run the given closures, blocking until all complete. Closures may
+    /// borrow from the caller's stack. Panics are propagated.
+    ///
+    /// This is the only primitive that touches `unsafe`; `par_map` /
+    /// `par_chunks` are built on it.
+    pub fn scope_run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.threads == 1 || tasks.len() == 1 {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        let batch = Batch::new(tasks.len());
+        {
+            let mut jobs = self.queue.jobs.lock().unwrap();
+            for task in tasks {
+                // SAFETY: `wait()` below blocks until every job has run, so
+                // the 'env borrows inside `task` outlive its execution.
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+                let b = Arc::clone(&batch);
+                jobs.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(task));
+                    if let Err(p) = result {
+                        *b.panic.lock().unwrap() = Some(p);
+                    }
+                    b.finish_one();
+                }));
+            }
+            self.queue.available.notify_all();
+        }
+        batch.wait();
+        let panicked = batch.panic.lock().unwrap().take();
+        if let Some(p) = panicked {
+            resume_unwind(p);
+        }
+    }
+
+    /// Apply `f` to every element of `items`, returning outputs in input
+    /// order. Chunk boundaries depend only on `items.len()` and the pool
+    /// size cap, so the output is identical at any thread count.
+    pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(&self, items: &[T], f: F) -> Vec<U> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            return items.iter().map(f).collect();
+        }
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        {
+            let chunk = n.div_ceil(self.threads).max(1);
+            let f = &f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .map(|(src, dst)| {
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        for (s, d) in src.iter().zip(dst.iter_mut()) {
+                            *d = Some(f(s));
+                        }
+                    });
+                    task
+                })
+                .collect();
+            self.scope_run(tasks);
+        }
+        out.into_iter()
+            .map(|v| v.expect("pool task completed"))
+            .collect()
+    }
+
+    /// Split `items` into fixed-size chunks (`chunk_len` computed from the
+    /// input length only), run `f` on each chunk, and hand the per-chunk
+    /// results to `reduce` **in chunk order**. Deterministic at any thread
+    /// count as long as `f` itself is.
+    pub fn par_chunks<T: Sync, U: Send, F, R>(
+        &self,
+        items: &[T],
+        min_chunk: usize,
+        f: F,
+        mut reduce: R,
+    ) where
+        F: Fn(usize, &[T]) -> U + Sync,
+        R: FnMut(U),
+    {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        let chunk = chunk_len(n, min_chunk);
+        if self.threads == 1 || n <= chunk {
+            for (i, c) in items.chunks(chunk).enumerate() {
+                reduce(f(i, c));
+            }
+            return;
+        }
+        let n_chunks = n.div_ceil(chunk);
+        let mut results: Vec<Option<U>> = Vec::with_capacity(n_chunks);
+        results.resize_with(n_chunks, || None);
+        {
+            let f = &f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                .chunks(chunk)
+                .zip(results.iter_mut())
+                .enumerate()
+                .map(|(i, (src, slot))| {
+                    let task: Box<dyn FnOnce() + Send + '_> =
+                        Box::new(move || *slot = Some(f(i, src)));
+                    task
+                })
+                .collect();
+            self.scope_run(tasks);
+        }
+        for r in results {
+            reduce(r.expect("pool task completed"));
+        }
+    }
+
+    /// Partition `0..total` into contiguous index ranges and run `f` on each
+    /// in parallel. Ranges depend only on `total` and the pool size, and `f`
+    /// receives disjoint ranges, so callers can safely split `&mut` data by
+    /// the same arithmetic.
+    pub fn par_ranges<F: Fn(std::ops::Range<usize>) + Sync>(&self, total: usize, f: F) {
+        if total == 0 {
+            return;
+        }
+        if self.threads == 1 {
+            f(0..total);
+            return;
+        }
+        let chunk = total.div_ceil(self.threads).max(1);
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..total)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(total);
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || f(start..end));
+                task
+            })
+            .collect();
+        self.scope_run(tasks);
+    }
+}
+
+/// Fixed chunk length for `n` items: depends only on the input length and
+/// the requested minimum, never on thread count — the determinism contract.
+fn chunk_len(n: usize, min_chunk: usize) -> usize {
+    min_chunk.max(1).min(n.max(1))
+}
+
+static POOL: OnceLock<ThreadPool> = OnceLock::new();
+static POOL_SIZE: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide pool, created on first use with [`configured_threads`].
+///
+/// `BENCHTEMP_THREADS` is read once, at first call; changing it afterwards
+/// has no effect on an already-built pool (tests that need both settings
+/// spawn subprocesses).
+pub fn pool() -> &'static ThreadPool {
+    let p = POOL.get_or_init(|| ThreadPool::new(configured_threads()));
+    POOL_SIZE.store(p.threads(), Ordering::Relaxed);
+    p
+}
+
+/// The thread count of the live pool (for reporting).
+pub fn current_threads() -> usize {
+    pool().threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_pool(threads: usize) -> ThreadPool {
+        ThreadPool::new(threads)
+    }
+
+    #[test]
+    fn par_map_matches_sequential_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 7] {
+            let p = test_pool(threads);
+            let got = p.par_map(&items, |&x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_reduces_in_chunk_order() {
+        let items: Vec<usize> = (0..503).collect();
+        for threads in [1, 2, 4] {
+            let p = test_pool(threads);
+            let mut seen = Vec::new();
+            p.par_chunks(
+                &items,
+                64,
+                |i, c| (i, c.iter().sum::<usize>()),
+                |r| seen.push(r),
+            );
+            let idxs: Vec<usize> = seen.iter().map(|&(i, _)| i).collect();
+            assert_eq!(idxs, (0..idxs.len()).collect::<Vec<_>>());
+            let total: usize = seen.iter().map(|&(_, s)| s).sum();
+            assert_eq!(total, items.iter().sum::<usize>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_everything_disjointly() {
+        for threads in [1, 2, 4] {
+            let p = test_pool(threads);
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            p.par_ranges(100, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let p = test_pool(4);
+        let out: Vec<u8> = p.par_map(&[] as &[u8], |&x| x);
+        assert!(out.is_empty());
+        p.par_chunks(&[] as &[u8], 8, |_, _| (), |_| panic!("no chunks expected"));
+        p.par_ranges(0, |_| panic!("no ranges expected"));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let p = test_pool(4);
+        let items: Vec<usize> = (0..64).collect();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(r.is_err());
+        // Pool stays usable after a propagated panic.
+        let ok = p.par_map(&items, |&x| x + 1);
+        assert_eq!(ok[0], 1);
+    }
+
+    #[test]
+    fn configured_threads_parses_env_shapes() {
+        // Only checks the parse logic with the process env left untouched.
+        assert!(configured_threads() >= 1);
+    }
+}

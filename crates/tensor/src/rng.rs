@@ -1,0 +1,320 @@
+//! Dependency-free pseudo-random number generation.
+//!
+//! The crate previously pulled in `rand`; on a registry-less build host that
+//! single external dependency made the whole workspace unbuildable. This
+//! module replaces the subset of the `rand` API the workspace actually uses
+//! with two small, well-studied generators:
+//!
+//! * [`SplitMix64`] — O'Neill/Steele's 64-bit mixer, used to stretch a user
+//!   seed into the PCG state/stream initialisers so that nearby seeds
+//!   (0, 1, 2, …) land in unrelated parts of the sequence;
+//! * [`Pcg32`] — the PCG-XSH-RR 64/32 generator (O'Neill 2014): 64-bit LCG
+//!   state, 32-bit output via xorshift-high + random rotation. Small, fast,
+//!   passes BigCrush, and trivially reproducible across platforms.
+//!
+//! Everything downstream refers to [`Pcg32`] through the
+//! `benchtemp_tensor::init::SeededRng` alias, so the concrete generator can
+//! be swapped without touching model code.
+
+/// SplitMix64: stateless-feeling stream of well-mixed 64-bit values.
+///
+/// Used for seeding [`Pcg32`] and anywhere a few decorrelated u64s are
+/// needed from a single seed.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a mixer from an arbitrary seed (0 is fine).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG-XSH-RR 64/32: the workspace's seeded generator.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    /// Stream selector; must be odd. Fixed per generator instance.
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Deterministically construct a generator from a single user seed.
+    ///
+    /// The seed is stretched through [`SplitMix64`] so that consecutive
+    /// seeds produce statistically independent streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let initstate = mix.next_u64();
+        let initseq = mix.next_u64();
+        let mut rng = Self {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
+        // Standard PCG init: advance once, add the state seed, advance again.
+        rng.step();
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.step();
+        rng
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+    }
+
+    /// Next 32-bit output (XSH-RR output function).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64-bit output (two 32-bit draws, high word first).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias
+    /// (Lemire's multiply-shift rejection method).
+    #[inline]
+    fn below_u32(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u32() as u64;
+            let m = x * bound as u64;
+            let lo = m as u32;
+            // Rejection zone: the lowest `(2^32 % bound)` products are biased.
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` for 64-bit bounds.
+    #[inline]
+    fn below_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound <= u32::MAX as u64 {
+            return self.below_u32(bound as u32) as u64;
+        }
+        // Bitmask rejection: cheap and unbiased for rare wide bounds.
+        let mask = u64::MAX >> (bound - 1).leading_zeros();
+        loop {
+            let x = self.next_u64() & mask;
+            if x < bound {
+                return x;
+            }
+        }
+    }
+
+    /// Uniform value in the given range. Supports the same range shapes the
+    /// workspace used through `rand::Rng::gen_range`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // Compare a 53-bit uniform in [0,1) against p.
+        self.uniform_f64() < p
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f32 in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Fisher–Yates shuffle (replaces `rand::seq::SliceRandom::shuffle`).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Range shapes accepted by [`Pcg32::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut Pcg32) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> usize {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.below_u64((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty inclusive range in gen_range");
+        let span = hi - lo;
+        if span == usize::MAX {
+            return rng.next_u64() as usize;
+        }
+        lo + rng.below_u64(span as u64 + 1) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> u64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.below_u64(self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> f32 {
+        debug_assert!(self.start < self.end, "empty range in gen_range");
+        self.start + (self.end - self.start) * rng.uniform_f32()
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> f64 {
+        debug_assert!(self.start < self.end, "empty range in gen_range");
+        self.start + (self.end - self.start) * rng.uniform_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcg_reference_vector() {
+        // Reference values for PCG-XSH-RR 64/32 with the canonical demo
+        // seeding (state 42, stream 54), from the pcg-random.org minimal C
+        // implementation.
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (54 << 1) | 1,
+        };
+        rng.step();
+        rng.state = rng.state.wrapping_add(42);
+        rng.step();
+        let first: Vec<u32> = (0..6).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            first,
+            vec![0xa15c02b7, 0x7b47f409, 0xba1d3330, 0x83d2f293, 0xbfa4784b, 0xcbed606e]
+        );
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(7);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(7);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(8);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut r = Pcg32::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x = r.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0..=4usize);
+            assert!(y <= 4);
+            let f = r.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let d = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&d));
+        }
+        // Inclusive endpoint is actually reachable.
+        let mut hit_top = false;
+        for _ in 0..200 {
+            if r.gen_range(0..=3usize) == 3 {
+                hit_top = true;
+            }
+        }
+        assert!(hit_top);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Pcg32::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Pcg32::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn uniform_unit_intervals_stay_in_range() {
+        let mut r = Pcg32::seed_from_u64(3);
+        for _ in 0..5000 {
+            let f = r.uniform_f32();
+            assert!((0.0..1.0).contains(&f));
+            let d = r.uniform_f64();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+}

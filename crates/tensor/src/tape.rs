@@ -55,8 +55,15 @@ enum Op {
         /// Saved softmax weights, one `group`-sized block per query row.
         weights: Vec<f32>,
     },
-    BceWithLogits { logits: usize, targets: Vec<f32> },
-    SoftmaxCrossEntropy { logits: usize, labels: Vec<usize>, probs: Matrix },
+    BceWithLogits {
+        logits: usize,
+        targets: Vec<f32>,
+    },
+    SoftmaxCrossEntropy {
+        logits: usize,
+        labels: Vec<usize>,
+        probs: Matrix,
+    },
 }
 
 struct Node {
@@ -64,15 +71,45 @@ struct Node {
     op: Op,
 }
 
+/// Shape-keyed recycler for node value storage. Buffers returned by
+/// [`Tape::reset`] are handed back out by the forward ops of the next batch,
+/// so steady-state training stops allocating per op.
+#[derive(Default)]
+struct BufferPool {
+    by_shape: std::collections::HashMap<(usize, usize), Vec<Vec<f32>>>,
+}
+
+impl BufferPool {
+    /// Per-shape retention cap: bounds steady-state memory while covering
+    /// every distinct shape one batch's forward pass produces.
+    const MAX_PER_SHAPE: usize = 32;
+
+    fn take(&mut self, rows: usize, cols: usize) -> Option<Vec<f32>> {
+        self.by_shape.get_mut(&(rows, cols)).and_then(Vec::pop)
+    }
+
+    fn put(&mut self, rows: usize, cols: usize, buf: Vec<f32>) {
+        debug_assert_eq!(buf.len(), rows * cols);
+        let entry = self.by_shape.entry((rows, cols)).or_default();
+        if entry.len() < Self::MAX_PER_SHAPE {
+            entry.push(buf);
+        }
+    }
+}
+
 /// Arena tape for one forward/backward round.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
 }
 
 impl Tape {
     pub fn new() -> Self {
-        Tape { nodes: Vec::with_capacity(256) }
+        Tape {
+            nodes: Vec::with_capacity(256),
+            pool: BufferPool::default(),
+        }
     }
 
     /// Number of recorded nodes (useful for budgeting in benches).
@@ -82,6 +119,37 @@ impl Tape {
 
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clear all nodes while keeping the node arena's capacity and
+    /// recycling node value storage into the shape-keyed buffer pool, so
+    /// the next forward pass allocates (almost) nothing.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            let (r, c) = node.value.shape();
+            self.pool.put(r, c, node.value.into_vec());
+        }
+    }
+
+    /// Matrix with recycled (arbitrary-content) storage — for ops that
+    /// overwrite every entry.
+    fn alloc_raw(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self.pool.take(rows, cols) {
+            Some(buf) => Matrix::from_vec(rows, cols, buf),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Matrix with recycled zero-filled storage — for accumulation ops.
+    fn alloc_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self.pool.take(rows, cols) {
+            Some(buf) => {
+                let mut m = Matrix::from_vec(rows, cols, buf);
+                m.fill_zero();
+                m
+            }
+            None => Matrix::zeros(rows, cols),
+        }
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
@@ -106,81 +174,107 @@ impl Tape {
     // ---- elementwise & linear-algebra ops ------------------------------
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let value = self.zip_op(a, b, |x, y| x + y);
         self.push(value, Op::Add(a.0, b.0))
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let value = self.zip_op(a, b, |x, y| x - y);
         self.push(value, Op::Sub(a.0, b.0))
     }
 
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let value = self.zip_op(a, b, |x, y| x * y);
         self.push(value, Op::Mul(a.0, b.0))
     }
 
     pub fn neg(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(|x| -x);
+        let value = self.map_op(a, |x| -x);
         self.push(value, Op::Neg(a.0))
     }
 
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let value = self.nodes[a.0].value.map(|x| s * x);
+        let value = self.map_op(a, |x| s * x);
         self.push(value, Op::Scale(a.0, s))
     }
 
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let value = self.nodes[a.0].value.map(|x| x + s);
+        let value = self.map_op(a, |x| x + s);
         self.push(value, Op::AddScalar(a.0))
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(value, Op::MatMul(a.0, b.0))
+        let (m, _) = self.shape(a);
+        let (_, n) = self.shape(b);
+        let mut out = self.alloc_raw(m, n);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::MatMul(a.0, b.0))
     }
 
     pub fn transpose(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.transpose();
-        self.push(value, Op::Transpose(a.0))
+        let (r, c) = self.shape(a);
+        let mut out = self.alloc_raw(c, r);
+        self.nodes[a.0].value.transpose_into(&mut out);
+        self.push(out, Op::Transpose(a.0))
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(stable_sigmoid);
+        let value = self.map_op(a, stable_sigmoid);
         self.push(value, Op::Sigmoid(a.0))
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(f32::tanh);
+        let value = self.map_op(a, f32::tanh);
         self.push(value, Op::Tanh(a.0))
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let value = self.map_op(a, |x| x.max(0.0));
         self.push(value, Op::Relu(a.0))
     }
 
     pub fn exp(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(f32::exp);
+        let value = self.map_op(a, f32::exp);
         self.push(value, Op::Exp(a.0))
     }
 
     /// Natural log; inputs are clamped away from zero for stability.
     pub fn ln(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(|x| x.max(1e-12).ln());
+        let value = self.map_op(a, |x| x.max(1e-12).ln());
         self.push(value, Op::Ln(a.0))
     }
 
     pub fn cos(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(f32::cos);
+        let value = self.map_op(a, f32::cos);
         self.push(value, Op::Cos(a.0))
+    }
+
+    /// Pooled elementwise map: recycled output, fused single pass.
+    fn map_op(&mut self, a: Var, f: impl Fn(f32) -> f32) -> Matrix {
+        let (r, c) = self.shape(a);
+        let mut out = self.alloc_raw(r, c);
+        self.nodes[a.0].value.map_into(&mut out, f);
+        out
+    }
+
+    /// Pooled elementwise combine: recycled output, fused single pass.
+    fn zip_op(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        let (r, c) = self.shape(a);
+        let mut out = self.alloc_raw(r, c);
+        self.nodes[a.0]
+            .value
+            .zip_into(&self.nodes[b.0].value, &mut out, f);
+        out
     }
 
     /// Row-wise softmax (numerically stabilized).
     pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let (rows, cols) = self.shape(a);
+        let mut out = self.alloc_raw(rows, cols);
         let m = &self.nodes[a.0].value;
-        let mut out = Matrix::zeros(m.rows(), m.cols());
-        for r in 0..m.rows() {
+        for r in 0..rows {
             softmax_into(m.row(r), out.row_mut(r));
         }
         self.push(out, Op::SoftmaxRows(a.0))
@@ -191,20 +285,26 @@ impl Tape {
     /// Sum of all entries → 1×1.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let s = self.nodes[a.0].value.sum();
-        self.push(Matrix::full(1, 1, s), Op::SumAll(a.0))
+        let mut out = self.alloc_raw(1, 1);
+        out.set(0, 0, s);
+        self.push(out, Op::SumAll(a.0))
     }
 
     /// Mean of all entries → 1×1.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let m = &self.nodes[a.0].value;
         let s = m.sum() / m.len() as f32;
-        self.push(Matrix::full(1, 1, s), Op::MeanAll(a.0))
+        let mut out = self.alloc_raw(1, 1);
+        out.set(0, 0, s);
+        self.push(out, Op::MeanAll(a.0))
     }
 
     /// Column means: n×m → 1×m.
     pub fn mean_rows(&mut self, a: Var) -> Var {
+        let (rows, cols) = self.shape(a);
+        let mut out = self.alloc_zeroed(1, cols);
         let m = &self.nodes[a.0].value;
-        let mut out = Matrix::zeros(1, m.cols());
+        let _ = rows;
         for r in 0..m.rows() {
             for (o, &x) in out.row_mut(0).iter_mut().zip(m.row(r)) {
                 *o += x;
@@ -217,8 +317,9 @@ impl Tape {
 
     /// Column sums: n×m → 1×m.
     pub fn sum_rows(&mut self, a: Var) -> Var {
+        let (_, cols) = self.shape(a);
+        let mut out = self.alloc_zeroed(1, cols);
         let m = &self.nodes[a.0].value;
-        let mut out = Matrix::zeros(1, m.cols());
         for r in 0..m.rows() {
             for (o, &x) in out.row_mut(0).iter_mut().zip(m.row(r)) {
                 *o += x;
@@ -229,8 +330,9 @@ impl Tape {
 
     /// Per-row sums across columns: n×m → n×1.
     pub fn row_sums(&mut self, a: Var) -> Var {
+        let (rows, _) = self.shape(a);
+        let mut out = self.alloc_raw(rows, 1);
         let m = &self.nodes[a.0].value;
-        let mut out = Matrix::zeros(m.rows(), 1);
         for r in 0..m.rows() {
             out.set(r, 0, m.row(r).iter().sum());
         }
@@ -241,10 +343,12 @@ impl Tape {
 
     /// `a (n×m) + b (1×m)` broadcast over rows (bias add).
     pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let shape = self.shape(a);
+        let mut out = self.alloc_raw(shape.0, shape.1);
         let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(bm.rows(), 1, "add_row_broadcast: b must be 1×m");
         assert_eq!(am.cols(), bm.cols(), "add_row_broadcast: width mismatch");
-        let mut out = am.clone();
+        out.copy_from(am);
         for r in 0..out.rows() {
             for (o, &x) in out.row_mut(r).iter_mut().zip(bm.row(0)) {
                 *o += x;
@@ -255,10 +359,12 @@ impl Tape {
 
     /// `a (n×m) * c (n×1)` broadcast over columns (row-wise scaling).
     pub fn mul_col_broadcast(&mut self, a: Var, c: Var) -> Var {
+        let shape = self.shape(a);
+        let mut out = self.alloc_raw(shape.0, shape.1);
         let (am, cm) = (&self.nodes[a.0].value, &self.nodes[c.0].value);
         assert_eq!(cm.cols(), 1, "mul_col_broadcast: c must be n×1");
         assert_eq!(am.rows(), cm.rows(), "mul_col_broadcast: height mismatch");
-        let mut out = am.clone();
+        out.copy_from(am);
         for r in 0..out.rows() {
             let s = cm.get(r, 0);
             out.row_mut(r).iter_mut().for_each(|x| *x *= s);
@@ -269,8 +375,16 @@ impl Tape {
     // ---- structural ops --------------------------------------------------
 
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
-        self.push(value, Op::ConcatCols(a.0, b.0))
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ar, br, "concat_cols: row count mismatch");
+        let mut out = self.alloc_raw(ar, ac + bc);
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        for r in 0..ar {
+            out.row_mut(r)[..ac].copy_from_slice(am.row(r));
+            out.row_mut(r)[ac..].copy_from_slice(bm.row(r));
+        }
+        self.push(out, Op::ConcatCols(a.0, b.0))
     }
 
     /// Horizontal concatenation of any number of vars.
@@ -284,22 +398,38 @@ impl Tape {
     }
 
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.concat_rows(&self.nodes[b.0].value);
-        self.push(value, Op::ConcatRows(a.0, b.0))
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, bc, "concat_rows: column count mismatch");
+        let mut out = self.alloc_raw(ar + br, ac);
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        out.as_mut_slice()[..ar * ac].copy_from_slice(am.as_slice());
+        out.as_mut_slice()[ar * ac..].copy_from_slice(bm.as_slice());
+        self.push(out, Op::ConcatRows(a.0, b.0))
     }
 
     /// Gather rows (embedding lookup); backward scatter-adds.
     pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
-        let value = self.nodes[a.0].value.gather_rows(indices);
-        self.push(value, Op::GatherRows(a.0, indices.to_vec()))
+        let (rows, cols) = self.shape(a);
+        let mut out = self.alloc_raw(indices.len(), cols);
+        let m = &self.nodes[a.0].value;
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < rows, "gather_rows: index {src} out of {rows} rows");
+            out.row_mut(dst).copy_from_slice(m.row(src));
+        }
+        self.push(out, Op::GatherRows(a.0, indices.to_vec()))
     }
 
     /// Column slice `[start, end)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let (rows, cols) = self.shape(a);
+        assert!(
+            start < end && end <= cols,
+            "slice_cols: bad range {start}..{end}"
+        );
+        let mut out = self.alloc_raw(rows, end - start);
         let m = &self.nodes[a.0].value;
-        assert!(start < end && end <= m.cols(), "slice_cols: bad range {start}..{end}");
-        let mut out = Matrix::zeros(m.rows(), end - start);
-        for r in 0..m.rows() {
+        for r in 0..rows {
             out.row_mut(r).copy_from_slice(&m.row(r)[start..end]);
         }
         self.push(out, Op::SliceCols(a.0, start, end))
@@ -309,13 +439,20 @@ impl Tape {
     /// uniform [0,1) samples so the caller controls the RNG stream.
     pub fn dropout(&mut self, a: Var, keep: f32, rng01: &mut impl FnMut() -> f32) -> Var {
         assert!(keep > 0.0 && keep <= 1.0, "dropout: keep must be in (0,1]");
+        let (rows, cols) = self.shape(a);
+        let mut out = self.alloc_raw(rows, cols);
         let m = &self.nodes[a.0].value;
         let inv = 1.0 / keep;
-        let mask: Vec<f32> =
-            (0..m.len()).map(|_| if rng01() < keep { inv } else { 0.0 }).collect();
-        let mut out = m.clone();
-        for (o, &mk) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
-            *o *= mk;
+        let mask: Vec<f32> = (0..m.len())
+            .map(|_| if rng01() < keep { inv } else { 0.0 })
+            .collect();
+        for ((o, &x), &mk) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_slice())
+            .zip(mask.iter())
+        {
+            *o = x * mk;
         }
         self.push(out, Op::Dropout(a.0, mask))
     }
@@ -337,17 +474,20 @@ impl Tape {
         group: usize,
         mask: &[bool],
     ) -> Var {
-        let (qm, km, vm) = (&self.nodes[q.0].value, &self.nodes[k.0].value, &self.nodes[v.0].value);
-        let n = qm.rows();
-        let d = qm.cols();
+        let (n, d) = self.shape(q);
+        let dv = self.shape(v).1;
+        let mut out = self.alloc_zeroed(n, dv);
+        let (qm, km, vm) = (
+            &self.nodes[q.0].value,
+            &self.nodes[k.0].value,
+            &self.nodes[v.0].value,
+        );
         assert_eq!(km.rows(), n * group, "grouped_attention: k rows != n*group");
         assert_eq!(vm.rows(), n * group, "grouped_attention: v rows != n*group");
         assert_eq!(km.cols(), d, "grouped_attention: k width != q width");
         assert_eq!(mask.len(), n * group, "grouped_attention: mask length");
         let scale = 1.0 / (d as f32).sqrt();
-        let dv = vm.cols();
         let mut weights = vec![0.0f32; n * group];
-        let mut out = Matrix::zeros(n, dv);
         let mut scores = vec![0.0f32; group];
         #[allow(clippy::needless_range_loop)] // indices mirror the math
         for i in 0..n {
@@ -379,7 +519,17 @@ impl Tape {
                 }
             }
         }
-        self.push(out, Op::GroupedAttention { q: q.0, k: k.0, v: v.0, group, scale, weights })
+        self.push(
+            out,
+            Op::GroupedAttention {
+                q: q.0,
+                k: k.0,
+                v: v.0,
+                group,
+                scale,
+                weights,
+            },
+        )
     }
 
     // ---- losses ------------------------------------------------------------
@@ -395,23 +545,45 @@ impl Tape {
             // log(1+exp(-|x|)) + max(x,0) - x*y, the numerically stable form.
             loss += ((-x.abs()).exp().ln_1p() + x.max(0.0) - x * y) as f64;
         }
-        let value = Matrix::full(1, 1, (loss / targets.len().max(1) as f64) as f32);
-        self.push(value, Op::BceWithLogits { logits: logits.0, targets: targets.to_vec() })
+        let mut value = self.alloc_raw(1, 1);
+        value.set(0, 0, (loss / targets.len().max(1) as f64) as f32);
+        self.push(
+            value,
+            Op::BceWithLogits {
+                logits: logits.0,
+                targets: targets.to_vec(),
+            },
+        )
     }
 
     /// Mean softmax cross-entropy; `logits` is n×C, `labels[i] ∈ 0..C`.
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
         let lm = &self.nodes[logits.0].value;
-        assert_eq!(lm.rows(), labels.len(), "softmax_cross_entropy: label count");
+        assert_eq!(
+            lm.rows(),
+            labels.len(),
+            "softmax_cross_entropy: label count"
+        );
         let mut probs = Matrix::zeros(lm.rows(), lm.cols());
         let mut loss = 0.0f64;
         for (r, &y) in labels.iter().enumerate() {
-            assert!(y < lm.cols(), "softmax_cross_entropy: label {y} out of range");
+            assert!(
+                y < lm.cols(),
+                "softmax_cross_entropy: label {y} out of range"
+            );
             softmax_into(lm.row(r), probs.row_mut(r));
             loss += -(probs.get(r, y).max(1e-12).ln()) as f64;
         }
-        let value = Matrix::full(1, 1, (loss / labels.len().max(1) as f64) as f32);
-        self.push(value, Op::SoftmaxCrossEntropy { logits: logits.0, labels: labels.to_vec(), probs })
+        let mut value = self.alloc_raw(1, 1);
+        value.set(0, 0, (loss / labels.len().max(1) as f64) as f32);
+        self.push(
+            value,
+            Op::SoftmaxCrossEntropy {
+                logits: logits.0,
+                labels: labels.to_vec(),
+                probs,
+            },
+        )
     }
 
     // ---- backward ------------------------------------------------------------
@@ -438,11 +610,9 @@ impl Tape {
 
     fn accumulate(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
         let node = &self.nodes[i];
-        let mut bump = |idx: usize, delta: Matrix| {
-            match &mut grads[idx] {
-                Some(acc) => acc.add_assign(&delta),
-                slot @ None => *slot = Some(delta),
-            }
+        let mut bump = |idx: usize, delta: Matrix| match &mut grads[idx] {
+            Some(acc) => acc.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
         };
         match &node.op {
             Op::Leaf => {}
@@ -473,7 +643,13 @@ impl Tape {
                 bump(*a, g.zip(&node.value, |gg, y| gg * (1.0 - y * y)));
             }
             Op::Relu(a) => {
-                bump(*a, g.zip(&self.nodes[*a].value, |gg, x| if x > 0.0 { gg } else { 0.0 }));
+                bump(
+                    *a,
+                    g.zip(
+                        &self.nodes[*a].value,
+                        |gg, x| if x > 0.0 { gg } else { 0.0 },
+                    ),
+                );
             }
             Op::Exp(a) => bump(*a, g.zip(&node.value, |gg, y| gg * y)),
             Op::Ln(a) => {
@@ -486,8 +662,12 @@ impl Tape {
                 let y = &node.value;
                 let mut dx = Matrix::zeros(y.rows(), y.cols());
                 for r in 0..y.rows() {
-                    let dot: f32 =
-                        g.row(r).iter().zip(y.row(r)).map(|(&gg, &yy)| gg * yy).sum();
+                    let dot: f32 = g
+                        .row(r)
+                        .iter()
+                        .zip(y.row(r))
+                        .map(|(&gg, &yy)| gg * yy)
+                        .sum();
                     for c in 0..y.cols() {
                         dx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
                     }
@@ -548,8 +728,12 @@ impl Tape {
                 for r in 0..g.rows() {
                     let s = cm.get(r, 0);
                     da.row_mut(r).iter_mut().for_each(|x| *x *= s);
-                    let dot: f32 =
-                        g.row(r).iter().zip(am.row(r)).map(|(&gg, &aa)| gg * aa).sum();
+                    let dot: f32 = g
+                        .row(r)
+                        .iter()
+                        .zip(am.row(r))
+                        .map(|(&gg, &aa)| gg * aa)
+                        .sum();
                     dc.set(r, 0, dot);
                 }
                 bump(*a, da);
@@ -605,7 +789,14 @@ impl Tape {
                 }
                 bump(*a, dx);
             }
-            Op::GroupedAttention { q, k, v, group, scale, weights } => {
+            Op::GroupedAttention {
+                q,
+                k,
+                v,
+                group,
+                scale,
+                weights,
+            } => {
                 let qm = &self.nodes[*q].value;
                 let km = &self.nodes[*k].value;
                 let vm = &self.nodes[*v].value;
@@ -623,7 +814,11 @@ impl Tape {
                     for j in 0..*group {
                         let idx = i * group + j;
                         let w = weights[idx];
-                        da[j] = g_row.iter().zip(vm.row(idx)).map(|(&gg, &vv)| gg * vv).sum();
+                        da[j] = g_row
+                            .iter()
+                            .zip(vm.row(idx))
+                            .map(|(&gg, &vv)| gg * vv)
+                            .sum();
                         a_dot_da += w * da[j];
                         if w != 0.0 {
                             for (o, &gg) in dv.row_mut(idx).iter_mut().zip(g_row) {
@@ -660,7 +855,11 @@ impl Tape {
                 }
                 bump(*logits, dx);
             }
-            Op::SoftmaxCrossEntropy { logits, labels, probs } => {
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels,
+                probs,
+            } => {
                 let inv = g.scalar() / labels.len().max(1) as f32;
                 let mut dx = probs.clone();
                 for (r, &y) in labels.iter().enumerate() {
@@ -687,7 +886,9 @@ impl Gradients {
 
     /// Gradient of the loss w.r.t. `v`, or a zero matrix of the given shape.
     pub fn get_or_zero(&self, v: Var, shape: (usize, usize)) -> Matrix {
-        self.get(v).cloned().unwrap_or_else(|| Matrix::zeros(shape.0, shape.1))
+        self.get(v)
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(shape.0, shape.1))
     }
 }
 

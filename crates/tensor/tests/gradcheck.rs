@@ -154,8 +154,18 @@ check_binary!(grad_mul, mul, mat(3, 4, 24), mat(3, 4, 25));
 check_binary!(grad_matmul, matmul, mat(3, 4, 26), mat(4, 2, 27));
 check_binary!(grad_concat_cols, concat_cols, mat(3, 2, 28), mat(3, 3, 29));
 check_binary!(grad_concat_rows, concat_rows, mat(2, 3, 30), mat(4, 3, 31));
-check_binary!(grad_add_row_broadcast, add_row_broadcast, mat(3, 4, 32), mat(1, 4, 33));
-check_binary!(grad_mul_col_broadcast, mul_col_broadcast, mat(3, 4, 34), mat(3, 1, 35));
+check_binary!(
+    grad_add_row_broadcast,
+    add_row_broadcast,
+    mat(3, 4, 32),
+    mat(1, 4, 33)
+);
+check_binary!(
+    grad_mul_col_broadcast,
+    mul_col_broadcast,
+    mat(3, 4, 34),
+    mat(3, 1, 35)
+);
 
 #[test]
 fn grad_scale_and_add_scalar() {
@@ -313,5 +323,8 @@ fn grad_dropout_scales_by_mask() {
     let y = tape.dropout(x, 1.0, &mut fake);
     let loss = tape.sum_all(y);
     let grads = tape.backward(loss);
-    assert!(grads.get(x).unwrap().approx_eq(&Matrix::full(3, 3, 1.0), 1e-6));
+    assert!(grads
+        .get(x)
+        .unwrap()
+        .approx_eq(&Matrix::full(3, 3, 1.0), 1e-6));
 }

@@ -1,0 +1,12 @@
+//! # benchtemp-util
+//!
+//! Dependency-free utilities shared across the workspace. Today that is a
+//! single subsystem: a small JSON value tree with a pretty writer, a strict
+//! parser, and a [`json!`] construction macro — enough to persist result
+//! artifacts (leaderboards, dataset metadata, bench reports) on a build
+//! host with no crate registry access, where `serde`/`serde_json` cannot
+//! even be resolved.
+
+pub mod json;
+
+pub use json::{parse, Json, JsonError, ToJson};

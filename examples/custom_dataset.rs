@@ -22,9 +22,9 @@ fn main() {
     // sparse 64-bit user/item ids, not time-sorted, no features.
     let mut raw: Vec<RawInteraction> = (0..4000u64)
         .map(|i| RawInteraction {
-            user: 1_000_003 * (i % 97),             // sparse user ids
-            item: 9_999_999_999 - 7 * (i % 53),     // huge sparse item ids
-            t: ((i * 37) % 4000) as f64,            // unsorted timestamps
+            user: 1_000_003 * (i % 97),         // sparse user ids
+            item: 9_999_999_999 - 7 * (i % 53), // huge sparse item ids
+            t: ((i * 37) % 4000) as f64,        // unsorted timestamps
         })
         .collect();
 
@@ -52,7 +52,12 @@ fn main() {
         .enumerate()
         .map(|(r, (ri, &(src, dst)))| {
             edge_features.set(r, (ri.user % 4) as usize, 1.0);
-            Interaction { src, dst, t: ri.t, feat_idx: r }
+            Interaction {
+                src,
+                dst,
+                t: ri.t,
+                feat_idx: r,
+            }
         })
         .collect();
     let graph = TemporalGraph {
@@ -70,7 +75,13 @@ fn main() {
 
     // --- the standard pipeline runs on it like on any preset.
     let split = LinkPredSplit::new(&graph, 0);
-    let mut model = Nat::new(ModelConfig { seed: 0, ..Default::default() }, &graph);
+    let mut model = Nat::new(
+        ModelConfig {
+            seed: 0,
+            ..Default::default()
+        },
+        &graph,
+    );
     let cfg = TrainConfig {
         batch_size: 100,
         max_epochs: 6,

@@ -28,8 +28,14 @@ fn main() {
             for seed in 0..2u64 {
                 let graph = dataset.config(0.003, seed ^ 0xda7a).generate();
                 let split = LinkPredSplit::new(&graph, seed);
-                let mut model =
-                    zoo::build(model_name, ModelConfig { seed, ..Default::default() }, &graph);
+                let mut model = zoo::build(
+                    model_name,
+                    ModelConfig {
+                        seed,
+                        ..Default::default()
+                    },
+                    &graph,
+                );
                 let cfg = TrainConfig {
                     batch_size: 100,
                     max_epochs: 6,
@@ -40,8 +46,18 @@ fn main() {
                 let run = train_link_prediction(model.as_mut(), &graph, &split, &cfg);
                 values.push(run.transductive.auc);
             }
-            lb.push_runs(model_name, dataset.name(), "link_prediction", "Transductive", "AUC", &values);
-            println!("{model_name:>9} on {:<8}: pushed {values:.4?}", dataset.name());
+            lb.push_runs(
+                model_name,
+                dataset.name(),
+                "link_prediction",
+                "Transductive",
+                "AUC",
+                &values,
+            );
+            println!(
+                "{model_name:>9} on {:<8}: pushed {values:.4?}",
+                dataset.name()
+            );
         }
     }
 

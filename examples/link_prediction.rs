@@ -37,8 +37,14 @@ fn main() {
         for seed in 0..seeds {
             let graph = dataset.config(0.003, seed ^ 0xda7a).generate();
             let split = LinkPredSplit::new(&graph, seed);
-            let mut model =
-                zoo::build(model_name, ModelConfig { seed, ..Default::default() }, &graph);
+            let mut model = zoo::build(
+                model_name,
+                ModelConfig {
+                    seed,
+                    ..Default::default()
+                },
+                &graph,
+            );
             let cfg = TrainConfig {
                 batch_size: 100,
                 max_epochs: 8,
@@ -68,7 +74,11 @@ fn main() {
     }
 
     for setting in Setting::all() {
-        println!("\n--- {} on {} (best **bold**, runner-up _underlined_) ---", setting.name(), dataset.name());
+        println!(
+            "\n--- {} on {} (best **bold**, runner-up _underlined_) ---",
+            setting.name(),
+            dataset.name()
+        );
         print!(
             "{}",
             leaderboard.render_group(dataset.name(), "link_prediction", setting.name(), "AUC")

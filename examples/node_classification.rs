@@ -10,22 +10,25 @@
 use std::time::Duration;
 
 use benchtemp_core::dataloader::LinkPredSplit;
-use benchtemp_core::pipeline::{
-    train_link_prediction, train_node_classification, TrainConfig,
-};
+use benchtemp_core::pipeline::{train_link_prediction, train_node_classification, TrainConfig};
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_models::common::ModelConfig;
 use benchtemp_models::TgnFamily;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Wikipedia".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Wikipedia".into());
     let dataset = BenchDataset::labelled()
         .into_iter()
         .find(|d| d.name().eq_ignore_ascii_case(&name))
         .unwrap_or_else(|| {
             panic!(
                 "{name} has no node labels; labelled datasets: {:?}",
-                BenchDataset::labelled().iter().map(|d| d.name()).collect::<Vec<_>>()
+                BenchDataset::labelled()
+                    .iter()
+                    .map(|d| d.name())
+                    .collect::<Vec<_>>()
             )
         });
 
@@ -36,7 +39,11 @@ fn main() {
         graph.name,
         graph.num_events(),
         labels.num_classes,
-        labels.class_rates().iter().map(|r| format!("{r:.3}")).collect::<Vec<_>>()
+        labels
+            .class_rates()
+            .iter()
+            .map(|r| format!("{r:.3}"))
+            .collect::<Vec<_>>()
     );
 
     let cfg = TrainConfig {
@@ -46,12 +53,21 @@ fn main() {
         seed: 7,
         ..Default::default()
     };
-    let mut model = TgnFamily::tgn(ModelConfig { seed: 7, ..Default::default() }, &graph);
+    let mut model = TgnFamily::tgn(
+        ModelConfig {
+            seed: 7,
+            ..Default::default()
+        },
+        &graph,
+    );
 
     // Phase 1: self-supervised pre-training on link prediction.
     let split = LinkPredSplit::new(&graph, 7);
     let lp = train_link_prediction(&mut model, &graph, &split, &cfg);
-    println!("pre-training: transductive LP AUC {:.4}", lp.transductive.auc);
+    println!(
+        "pre-training: transductive LP AUC {:.4}",
+        lp.transductive.auc
+    );
 
     // Phase 2: node-classification decoder on frozen dynamic embeddings.
     let nc = train_node_classification(&mut model, &graph, &cfg);

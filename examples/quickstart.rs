@@ -38,7 +38,13 @@ fn main() {
     );
 
     // 3. Model + protocol (§4.1: Adam, BCE, patience-3 early stopping).
-    let mut model = TgnFamily::tgn(ModelConfig { seed: 0, ..Default::default() }, &graph);
+    let mut model = TgnFamily::tgn(
+        ModelConfig {
+            seed: 0,
+            ..Default::default()
+        },
+        &graph,
+    );
     let cfg = TrainConfig {
         batch_size: 100,
         max_epochs: 10,

@@ -4,7 +4,9 @@
 # used for the recorded EXPERIMENTS.md numbers.
 set -x
 cd "$(dirname "$0")"
+source ./ci.sh
 BIN="cargo run -q --release -p benchtemp-bench --bin"
+$BIN bench_kernels             > results/bench_kernels.txt        2>/dev/null
 $BIN anatomy                   > results/anatomy.txt              2>/dev/null
 $BIN table2_stats              > results/table2_stats.txt         2>/dev/null
 $BIN table6_splits             > results/table6_splits.txt        2>/dev/null

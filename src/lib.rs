@@ -1,1 +1,4 @@
-pub use benchtemp_core as core; pub use benchtemp_graph as graph; pub use benchtemp_models as models; pub use benchtemp_tensor as tensor;
+pub use benchtemp_core as core;
+pub use benchtemp_graph as graph;
+pub use benchtemp_models as models;
+pub use benchtemp_tensor as tensor;

@@ -15,9 +15,7 @@ use std::time::Duration;
 
 use benchtemp_core::dataloader::{LinkPredSplit, Setting};
 use benchtemp_core::leaderboard::Leaderboard;
-use benchtemp_core::pipeline::{
-    train_link_prediction, train_node_classification, TrainConfig,
-};
+use benchtemp_core::pipeline::{train_link_prediction, train_node_classification, TrainConfig};
 use benchtemp_graph::datasets::BenchDataset;
 use benchtemp_graph::io::{load_dataset, save_dataset};
 use benchtemp_graph::stats::{sparkline, temporal_histogram, DatasetStats};
@@ -42,7 +40,10 @@ fn main() -> ExitCode {
             Ok(())
         }
         "datasets" => {
-            for d in BenchDataset::all15().into_iter().chain(BenchDataset::new6()) {
+            for d in BenchDataset::all15()
+                .into_iter()
+                .chain(BenchDataset::new6())
+            {
                 let p = d.paper_stats();
                 println!(
                     "{:<22} {:<12} paper: {} nodes / {} edges{}",
@@ -50,7 +51,11 @@ fn main() -> ExitCode {
                     p.domain,
                     p.nodes,
                     p.edges,
-                    if d.label_classes().is_some() { "  [labelled]" } else { "" }
+                    if d.label_classes().is_some() {
+                        "  [labelled]"
+                    } else {
+                        ""
+                    }
                 );
             }
             Ok(())
@@ -112,8 +117,14 @@ fn find_dataset(name: &str) -> Result<BenchDataset, String> {
 fn resolve_graph(flags: &HashMap<String, String>) -> Result<TemporalGraph, String> {
     match (flag(flags, "dataset"), flag(flags, "dir")) {
         (Some(name), None) => {
-            let scale: f64 = flag(flags, "scale").unwrap_or("0.005").parse().map_err(|_| "--scale")?;
-            let seed: u64 = flag(flags, "seed").unwrap_or("42").parse().map_err(|_| "--seed")?;
+            let scale: f64 = flag(flags, "scale")
+                .unwrap_or("0.005")
+                .parse()
+                .map_err(|_| "--scale")?;
+            let seed: u64 = flag(flags, "seed")
+                .unwrap_or("42")
+                .parse()
+                .map_err(|_| "--seed")?;
             Ok(find_dataset(name)?.config(scale, seed).generate())
         }
         (None, Some(dir)) => load_dataset(Path::new(dir)).map_err(|e| e.to_string()),
@@ -138,22 +149,39 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let graph = resolve_graph(flags)?;
     let s = DatasetStats::compute(&graph);
     println!("dataset          {}", s.name);
-    println!("kind             {}", if s.bipartite { "heterogeneous (bipartite)" } else { "homogeneous" });
+    println!(
+        "kind             {}",
+        if s.bipartite {
+            "heterogeneous (bipartite)"
+        } else {
+            "homogeneous"
+        }
+    );
     println!("nodes            {}", s.num_nodes);
     println!("edges            {}", s.num_edges);
     println!("avg degree       {:.2}", s.avg_degree);
     println!("edge density     {:.4}", s.edge_density);
     println!("distinct edges   {}", s.distinct_edges);
     println!("recurrence       {:.3}", s.recurrence_ratio);
-    println!("time span        {:.1} ({} distinct timestamps)", s.time_span, s.distinct_timestamps);
+    println!(
+        "time span        {:.1} ({} distinct timestamps)",
+        s.time_span, s.distinct_timestamps
+    );
     if let Some(labels) = &graph.labels {
         println!(
             "labels           {} classes, rates {:?}",
             labels.num_classes,
-            labels.class_rates().iter().map(|r| format!("{r:.3}")).collect::<Vec<_>>()
+            labels
+                .class_rates()
+                .iter()
+                .map(|r| format!("{r:.3}"))
+                .collect::<Vec<_>>()
         );
     }
-    println!("temporal profile {}", sparkline(&temporal_histogram(&graph, 60)));
+    println!(
+        "temporal profile {}",
+        sparkline(&temporal_histogram(&graph, 60))
+    );
     Ok(())
 }
 
@@ -161,19 +189,40 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let graph = resolve_graph(flags)?;
     let model_name = flag(flags, "model").ok_or("--model NAME is required")?;
     if !zoo::ALL_MODELS.contains(&model_name) {
-        return Err(format!("unknown model {model_name:?}; run `benchtemp models`"));
+        return Err(format!(
+            "unknown model {model_name:?}; run `benchtemp models`"
+        ));
     }
-    let seed: u64 = flag(flags, "seed").unwrap_or("0").parse().map_err(|_| "--seed")?;
+    let seed: u64 = flag(flags, "seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "--seed")?;
     let cfg = TrainConfig {
-        batch_size: flag(flags, "batch").unwrap_or("100").parse().map_err(|_| "--batch")?,
-        max_epochs: flag(flags, "epochs").unwrap_or("10").parse().map_err(|_| "--epochs")?,
+        batch_size: flag(flags, "batch")
+            .unwrap_or("100")
+            .parse()
+            .map_err(|_| "--batch")?,
+        max_epochs: flag(flags, "epochs")
+            .unwrap_or("10")
+            .parse()
+            .map_err(|_| "--epochs")?,
         timeout: Duration::from_secs(
-            flag(flags, "timeout-secs").unwrap_or("600").parse().map_err(|_| "--timeout-secs")?,
+            flag(flags, "timeout-secs")
+                .unwrap_or("600")
+                .parse()
+                .map_err(|_| "--timeout-secs")?,
         ),
         seed,
         ..Default::default()
     };
-    let mut model = zoo::build(model_name, ModelConfig { seed, ..Default::default() }, &graph);
+    let mut model = zoo::build(
+        model_name,
+        ModelConfig {
+            seed,
+            ..Default::default()
+        },
+        &graph,
+    );
 
     match flag(flags, "task").unwrap_or("lp") {
         "lp" => {
@@ -216,7 +265,10 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         "nc" => {
             if graph.labels.is_none() {
-                return Err(format!("{} has no node labels; use a labelled dataset", graph.name));
+                return Err(format!(
+                    "{} has no node labels; use a labelled dataset",
+                    graph.name
+                ));
             }
             let split = LinkPredSplit::new(&graph, seed);
             let _ = train_link_prediction(model.as_mut(), &graph, &split, &cfg);
@@ -246,8 +298,7 @@ fn cmd_leaderboard(flags: &HashMap<String, String>) -> Result<(), String> {
     let datasets: Vec<String> = match flag(flags, "dataset") {
         Some(d) => vec![d.to_string()],
         None => {
-            let mut v: Vec<String> =
-                lb.entries().iter().map(|e| e.dataset.clone()).collect();
+            let mut v: Vec<String> = lb.entries().iter().map(|e| e.dataset.clone()).collect();
             v.sort();
             v.dedup();
             v

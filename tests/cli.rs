@@ -20,11 +20,23 @@ fn generate_stats_train_leaderboard_round_trip() {
 
     // generate
     let out = cli()
-        .args(["generate", "--dataset", "Enron", "--scale", "0.004", "--seed", "3"])
+        .args([
+            "generate",
+            "--dataset",
+            "Enron",
+            "--scale",
+            "0.004",
+            "--seed",
+            "3",
+        ])
         .args(["--out", data.to_str().unwrap()])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.join("edges.csv").exists());
     assert!(data.join("meta.json").exists());
 
@@ -45,7 +57,11 @@ fn generate_stats_train_leaderboard_round_trip() {
         .args(["--leaderboard", lb.to_str().unwrap()])
         .output()
         .expect("run train");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Transductive"), "{text}");
     assert!(lb.exists());

@@ -30,8 +30,15 @@ fn three_model_families_through_full_pipeline_and_leaderboard() {
     let mut lb = Leaderboard::new();
 
     for name in ["TGN", "NAT", "EdgeBank"] {
-        let mut model =
-            zoo::build(name, ModelConfig { embed_dim: 24, seed: 9, ..Default::default() }, &graph);
+        let mut model = zoo::build(
+            name,
+            ModelConfig {
+                embed_dim: 24,
+                seed: 9,
+                ..Default::default()
+            },
+            &graph,
+        );
         let run = train_link_prediction(model.as_mut(), &graph, &split, &train_cfg(9));
         assert!(
             run.transductive.auc > 0.55,
@@ -63,7 +70,11 @@ fn full_run_is_deterministic_per_seed() {
     let run_once = || {
         let mut model = zoo::build(
             "TGN",
-            ModelConfig { embed_dim: 24, seed: 4, ..Default::default() },
+            ModelConfig {
+                embed_dim: 24,
+                seed: 4,
+                ..Default::default()
+            },
             &graph,
         );
         train_link_prediction(model.as_mut(), &graph, &split, &train_cfg(4))
@@ -83,22 +94,36 @@ fn different_seeds_differ_but_agree_qualitatively() {
         let split = LinkPredSplit::new(&graph, seed);
         let mut model = zoo::build(
             "NAT",
-            ModelConfig { embed_dim: 24, seed, ..Default::default() },
+            ModelConfig {
+                embed_dim: 24,
+                seed,
+                ..Default::default()
+            },
             &graph,
         );
         let run = train_link_prediction(model.as_mut(), &graph, &split, &train_cfg(seed));
         aucs.push(run.transductive.auc);
     }
     assert_ne!(aucs[0], aucs[1], "seeds must vary the run");
-    assert!(aucs.iter().all(|&a| a > 0.6), "both seeds should learn: {aucs:?}");
+    assert!(
+        aucs.iter().all(|&a| a > 0.6),
+        "both seeds should learn: {aucs:?}"
+    );
 }
 
 #[test]
 fn efficiency_report_is_fully_populated() {
     let graph = BenchDataset::UsLegis.config(0.006, 2).generate();
     let split = LinkPredSplit::new(&graph, 2);
-    let mut model =
-        zoo::build("TGN", ModelConfig { embed_dim: 24, seed: 2, ..Default::default() }, &graph);
+    let mut model = zoo::build(
+        "TGN",
+        ModelConfig {
+            embed_dim: 24,
+            seed: 2,
+            ..Default::default()
+        },
+        &graph,
+    );
     let run = train_link_prediction(model.as_mut(), &graph, &split, &train_cfg(2));
     let e = &run.efficiency;
     assert!(e.runtime_per_epoch_secs > 0.0);
@@ -116,7 +141,10 @@ fn timeout_is_honored_and_marked() {
     let split = LinkPredSplit::new(&graph, 3);
     let mut model = zoo::build(
         "CAWN", // the slow one, as in Table 4
-        ModelConfig { seed: 3, ..Default::default() },
+        ModelConfig {
+            seed: 3,
+            ..Default::default()
+        },
         &graph,
     );
     let cfg = TrainConfig {
