@@ -15,4 +15,7 @@ echo "== ci: tier-1 verify =="
 cargo build --release --offline
 cargo test -q --offline
 
+echo "== ci: kernel smoke bench =="
+cargo run --release --offline -p benchtemp-bench --bin bench_kernels -- --smoke
+
 echo "CI_OK"

@@ -11,7 +11,7 @@ use benchtemp_core::evaluator::{auc_ap, average_precision, roc_auc};
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_core::sampler::{EdgeSampler, NegativeStrategy};
 use benchtemp_graph::generators::GeneratorConfig;
-use benchtemp_graph::neighbors::{NeighborFinder, SamplingStrategy};
+use benchtemp_graph::neighbors::{NeighborFinder, SampleScratch, SamplingStrategy};
 use benchtemp_models::walks::sample_walks;
 use benchtemp_tensor::{init, Tape};
 
@@ -79,6 +79,40 @@ fn bench_graph() {
     let mut rng = init::rng(3);
     timing::run("graph/sample_neighbors_temporal_safe", || {
         black_box(nf.sample_before(5, 800.0, 10, SamplingStrategy::TemporalSafe, &mut rng))
+    });
+
+    // Allocation-free path: scratch and output buffers reused across calls.
+    let mut rng = init::rng(3);
+    let mut scratch = SampleScratch::new();
+    let mut out = Vec::new();
+    timing::run("graph/sample_into_temporal_safe", || {
+        nf.sample_into(
+            5,
+            800.0,
+            10,
+            SamplingStrategy::TemporalSafe,
+            &mut rng,
+            &mut scratch,
+            &mut out,
+        );
+        black_box(out.len())
+    });
+    let mut rng = init::rng(3);
+    timing::run("graph/sample_one_temporal_safe", || {
+        black_box(nf.sample_one(
+            5,
+            800.0,
+            SamplingStrategy::TemporalSafe,
+            &mut rng,
+            &mut scratch,
+        ))
+    });
+
+    // Batched multi-hop frontier over 256 roots, k=10, 2 hops.
+    let roots: Vec<usize> = (0..256).map(|i| i % g.num_nodes).collect();
+    let times: Vec<f64> = (0..256).map(|i| 400.0 + i as f64).collect();
+    timing::run("graph/sample_frontier_256x10x2", || {
+        black_box(nf.sample_frontier(&roots, &times, 10, 2, SamplingStrategy::Uniform, 42))
     });
 
     let ctx = StreamContext {

@@ -1,20 +1,27 @@
-//! Kernel-throughput benchmark for the parallel runtime PR: compares the
-//! register-blocked matmul against the seed's branchy kernel (reproduced
-//! inline below as the baseline), and measures pipeline-eval throughput at
-//! one vs four worker threads while asserting the runtime's determinism
-//! contract — the metrics must be bit-identical at any thread count.
+//! Kernel-throughput benchmark: compares the register-blocked matmul
+//! against the seed's branchy kernel (reproduced inline below as the
+//! baseline), measures pipeline-eval throughput at one vs four worker
+//! threads, and benchmarks the CSR neighbor-sampling engine against the
+//! seed's `Vec<Vec<_>>` layout — asserting the runtime's determinism
+//! contracts along the way: eval metrics and frontier samples must be
+//! bit-identical at any thread count.
 //!
 //! The pool reads `BENCHTEMP_THREADS` once per process, so each thread
 //! count runs in a child process (this same binary, re-invoked with
 //! `BENCHTEMP_KERNELS_CHILD=1`). The parent merges the child reports into
-//! `BENCH_kernels.json`.
+//! `BENCH_kernels.json`. Pass `--smoke` for a reduced-size run (used by
+//! `ci.sh`) that executes every kernel and assertion but skips the JSON.
 
 use std::process::Command;
 
 use benchtemp_bench::{save_json, timing};
 use benchtemp_core::evaluator::auc_ap_pos_neg;
 use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::neighbors::{
+    Frontier, NeighborEvent, NeighborFinder, SampleScratch, SamplingStrategy,
+};
 use benchtemp_graph::temporal_graph::TemporalGraph;
+use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::Mlp;
 use benchtemp_tensor::{init, pool, Graph, Matrix, ParamStore};
 use benchtemp_util::json;
@@ -22,6 +29,13 @@ use benchtemp_util::json;
 const NODE_DIM: usize = 32;
 const HIDDEN: usize = 96;
 const BATCH: usize = 200;
+const SAMPLE_K: usize = 10;
+const SAMPLE_STRATS: [SamplingStrategy; 4] = [
+    SamplingStrategy::MostRecent,
+    SamplingStrategy::Uniform,
+    SamplingStrategy::TemporalExp { alpha: 0.05 },
+    SamplingStrategy::TemporalSafe,
+];
 
 /// The seed repository's matmul, verbatim: row-major accumulation with a
 /// zero-skip branch in the k loop and no register blocking. The baseline
@@ -44,6 +58,209 @@ fn seed_matmul(lhs: &Matrix, rhs: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// The seed repository's neighbor store, verbatim: one `Vec<NeighborEvent>`
+/// per node (array-of-structs), with per-query weight/cumulative/result
+/// allocations in `sample_before`. The baseline the CSR engine's ≥2×
+/// single-thread samples/sec target is measured against.
+struct SeedLayoutFinder {
+    adj: Vec<Vec<NeighborEvent>>,
+}
+
+impl SeedLayoutFinder {
+    fn from_graph(g: &TemporalGraph) -> Self {
+        let mut adj: Vec<Vec<NeighborEvent>> = vec![Vec::new(); g.num_nodes];
+        for (idx, ev) in g.events.iter().enumerate() {
+            adj[ev.src].push(NeighborEvent {
+                neighbor: ev.dst,
+                t: ev.t,
+                event_idx: idx,
+            });
+            adj[ev.dst].push(NeighborEvent {
+                neighbor: ev.src,
+                t: ev.t,
+                event_idx: idx,
+            });
+        }
+        SeedLayoutFinder { adj }
+    }
+
+    fn sample_before(
+        &self,
+        node: usize,
+        t: f64,
+        k: usize,
+        strategy: SamplingStrategy,
+        rng: &mut SeededRng,
+    ) -> Vec<NeighborEvent> {
+        let list = &self.adj[node];
+        let hist = &list[..list.partition_point(|e| e.t < t)];
+        if hist.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        match strategy {
+            SamplingStrategy::MostRecent => hist[hist.len().saturating_sub(k)..].to_vec(),
+            SamplingStrategy::Uniform => {
+                (0..k).map(|_| hist[rng.gen_range(0..hist.len())]).collect()
+            }
+            SamplingStrategy::TemporalExp { alpha } => {
+                let weights: Vec<f64> = hist.iter().map(|e| (alpha * (e.t - t)).exp()).collect();
+                seed_weighted_sample(hist, &weights, k, rng)
+            }
+            SamplingStrategy::TemporalSafe => {
+                let weights: Vec<f64> = hist
+                    .iter()
+                    .map(|e| {
+                        let d = t - e.t;
+                        if d <= 0.0 {
+                            1.0
+                        } else {
+                            1.0 / d
+                        }
+                    })
+                    .collect();
+                seed_weighted_sample(hist, &weights, k, rng)
+            }
+        }
+    }
+}
+
+fn seed_weighted_sample(
+    hist: &[NeighborEvent],
+    weights: &[f64],
+    k: usize,
+    rng: &mut SeededRng,
+) -> Vec<NeighborEvent> {
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += if w.is_finite() { w } else { 0.0 };
+        cumulative.push(acc);
+    }
+    if acc <= 0.0 {
+        return (0..k).map(|_| hist[rng.gen_range(0..hist.len())]).collect();
+    }
+    (0..k)
+        .map(|_| {
+            let x = rng.gen_range(0.0..acc);
+            let idx = cumulative.partition_point(|&c| c <= x);
+            hist[idx.min(hist.len() - 1)]
+        })
+        .collect()
+}
+
+/// Temporal-sampling workload: one query per event endpoint at the event's
+/// own timestamp (the train/eval access pattern), cycling through all four
+/// strategies; plus a root set for the batched multi-hop frontier.
+struct SamplingWorkload {
+    nf: NeighborFinder,
+    seed_nf: SeedLayoutFinder,
+    queries: Vec<(usize, f64)>,
+    roots: Vec<usize>,
+    root_times: Vec<f64>,
+}
+
+impl SamplingWorkload {
+    fn new(smoke: bool) -> Self {
+        let mut cfg = GeneratorConfig::small("sampling", 17);
+        cfg.num_edges = if smoke { 2_000 } else { 20_000 };
+        let g = cfg.generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        let seed_nf = SeedLayoutFinder::from_graph(&g);
+        let queries: Vec<(usize, f64)> = g
+            .events
+            .iter()
+            .flat_map(|e| [(e.src, e.t), (e.dst, e.t)])
+            .collect();
+        let n_roots = if smoke { 512 } else { 4_096 };
+        let stride = (g.events.len() / n_roots).max(1);
+        let picked: Vec<&benchtemp_graph::Interaction> =
+            g.events.iter().step_by(stride).take(n_roots).collect();
+        let roots: Vec<usize> = picked.iter().map(|e| e.src).collect();
+        let root_times: Vec<f64> = picked.iter().map(|e| e.t).collect();
+        SamplingWorkload {
+            nf,
+            seed_nf,
+            queries,
+            roots,
+            root_times,
+        }
+    }
+
+    /// One pass over every query with the seed layout, cycling through
+    /// `strats`. Returns the number of samples drawn (identical across
+    /// layouts: same RNG seed, and the CSR engine is bit-compatible with
+    /// the seed sampler).
+    fn seed_pass(&self, strats: &[SamplingStrategy]) -> usize {
+        let mut rng = init::rng(9);
+        let mut total = 0usize;
+        for (i, &(node, t)) in self.queries.iter().enumerate() {
+            let strategy = strats[i % strats.len()];
+            total += self
+                .seed_nf
+                .sample_before(node, t, SAMPLE_K, strategy, &mut rng)
+                .len();
+        }
+        total
+    }
+
+    /// The same pass through the CSR engine's allocation-free path.
+    fn csr_pass(
+        &self,
+        strats: &[SamplingStrategy],
+        scratch: &mut SampleScratch,
+        out: &mut Vec<NeighborEvent>,
+    ) -> usize {
+        let mut rng = init::rng(9);
+        let mut total = 0usize;
+        for (i, &(node, t)) in self.queries.iter().enumerate() {
+            let strategy = strats[i % strats.len()];
+            self.nf
+                .sample_into(node, t, SAMPLE_K, strategy, &mut rng, scratch, out);
+            total += out.len();
+        }
+        total
+    }
+
+    fn frontier_pass(&self) -> Frontier {
+        self.nf.sample_frontier(
+            &self.roots,
+            &self.root_times,
+            SAMPLE_K,
+            2,
+            SamplingStrategy::Uniform,
+            77,
+        )
+    }
+}
+
+/// FNV-1a fold over every column of every hop level: any divergence in the
+/// sampled nodes, times, deltas, event indices, or masks changes the hash.
+fn frontier_hash(f: &Frontier) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for hop in &f.hops {
+        for &n in &hop.nodes {
+            fold(n as u64);
+        }
+        for &t in &hop.times {
+            fold(t.to_bits());
+        }
+        for &d in &hop.dts {
+            fold(d.to_bits() as u64);
+        }
+        for &e in &hop.event_idx {
+            fold(e as u64);
+        }
+        for &m in &hop.mask {
+            fold(m as u64);
+        }
+    }
+    h
 }
 
 /// Score every (src, dst) pair through a fixed MLP — the eval hot path:
@@ -103,10 +320,11 @@ impl EvalWorkload {
 }
 
 /// Child-process body: print one `KCHILD` line with all measurements.
-fn run_child() {
+fn run_child(smoke: bool) {
+    let mm = if smoke { 128 } else { 256 };
     let mut rng = init::rng(1);
-    let a = init::randn(256, 256, 1.0, &mut rng);
-    let b = init::randn(256, 256, 1.0, &mut rng);
+    let a = init::randn(mm, mm, 1.0, &mut rng);
+    let b = init::randn(mm, mm, 1.0, &mut rng);
     let seed_ns = timing::measure(&mut || std::hint::black_box(seed_matmul(&a, &b)));
     let kernel_ns = timing::measure(&mut || std::hint::black_box(a.matmul(&b)));
 
@@ -118,14 +336,70 @@ fn run_child() {
     let (pos, neg) = w.eval_pass();
     let (auc, ap) = auc_ap_pos_neg(&pos, &neg);
 
+    // Headline workload: the weighted TemporalSafe strategy — the path the
+    // CSR engine targets (per-query allocations and the weight fill are
+    // the layout-sensitive costs). The all-strategies mix is reported
+    // alongside; it is bounded by work both layouts share bit-for-bit
+    // (libm `exp`, the RNG draws).
+    let sw = SamplingWorkload::new(smoke);
+    let safe = [SamplingStrategy::TemporalSafe];
+    let samples_per_pass = sw.seed_pass(&safe);
+    let mixed_samples = sw.seed_pass(&SAMPLE_STRATS);
+    let sample_seed_ns = timing::measure(&mut || std::hint::black_box(sw.seed_pass(&safe)));
+    let mut scratch = SampleScratch::new();
+    let mut out = Vec::new();
+    assert_eq!(
+        sw.csr_pass(&SAMPLE_STRATS, &mut scratch, &mut out),
+        mixed_samples,
+        "CSR pass must draw the same samples as the seed layout"
+    );
+    let sample_csr_ns =
+        timing::measure(&mut || std::hint::black_box(sw.csr_pass(&safe, &mut scratch, &mut out)));
+    let mixed_seed_ns = timing::measure(&mut || std::hint::black_box(sw.seed_pass(&SAMPLE_STRATS)));
+    let mixed_csr_ns = timing::measure(&mut || {
+        std::hint::black_box(sw.csr_pass(&SAMPLE_STRATS, &mut scratch, &mut out))
+    });
+
+    // Optional per-strategy breakdown for tuning (diagnostic only; the
+    // parent ignores non-KCHILD lines).
+    if std::env::var("BENCHTEMP_KERNELS_PER_STRAT").is_ok() {
+        let names = ["most_recent", "uniform", "temporal_exp", "temporal_safe"];
+        for (name, strat) in names.iter().zip(SAMPLE_STRATS) {
+            let one = [strat];
+            let s = timing::measure(&mut || std::hint::black_box(sw.seed_pass(&one)));
+            let c = timing::measure(&mut || {
+                std::hint::black_box(sw.csr_pass(&one, &mut scratch, &mut out))
+            });
+            eprintln!(
+                "strat {name}: seed {s:.0} ns -> csr {c:.0} ns ({:.2}x)",
+                s / c
+            );
+        }
+    }
+    let fhash = frontier_hash(&sw.frontier_pass());
+    let frontier_ns = timing::measure(&mut || std::hint::black_box(sw.frontier_pass()));
+    let f = sw.frontier_pass();
+    let frontier_slots: usize = f.hops.iter().map(|h| h.len()).sum();
+
     println!(
-        "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x}",
+        "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x} \
+         sample_seed_ns {} sample_csr_ns {} samples_per_pass {} mixed_seed_ns {} \
+         mixed_csr_ns {} mixed_samples {} frontier_ns {} frontier_slots {} frontier_hash {:016x}",
         pool().threads(),
         seed_ns,
         kernel_ns,
         events_per_sec,
         auc.to_bits(),
-        ap.to_bits()
+        ap.to_bits(),
+        sample_seed_ns,
+        sample_csr_ns,
+        samples_per_pass,
+        mixed_seed_ns,
+        mixed_csr_ns,
+        mixed_samples,
+        frontier_ns,
+        frontier_slots,
+        fhash
     );
 }
 
@@ -137,15 +411,26 @@ struct ChildReport {
     events_per_sec: f64,
     auc_bits: String,
     ap_bits: String,
+    sample_seed_ns: f64,
+    sample_csr_ns: f64,
+    samples_per_pass: f64,
+    mixed_seed_ns: f64,
+    mixed_csr_ns: f64,
+    mixed_samples: f64,
+    frontier_ns: f64,
+    frontier_slots: f64,
+    frontier_hash: String,
 }
 
-fn spawn_child(threads: usize) -> ChildReport {
+fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
     let exe = std::env::current_exe().expect("current exe");
-    let out = Command::new(exe)
-        .env("BENCHTEMP_KERNELS_CHILD", "1")
-        .env("BENCHTEMP_THREADS", threads.to_string())
-        .output()
-        .expect("spawn bench child");
+    let mut cmd = Command::new(exe);
+    cmd.env("BENCHTEMP_KERNELS_CHILD", "1")
+        .env("BENCHTEMP_THREADS", threads.to_string());
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let out = cmd.output().expect("spawn bench child");
     assert!(
         out.status.success(),
         "child with BENCHTEMP_THREADS={threads} failed:\n{}",
@@ -170,18 +455,28 @@ fn spawn_child(threads: usize) -> ChildReport {
         events_per_sec: field("events_per_sec").parse().unwrap(),
         auc_bits: field("auc"),
         ap_bits: field("ap"),
+        sample_seed_ns: field("sample_seed_ns").parse().unwrap(),
+        sample_csr_ns: field("sample_csr_ns").parse().unwrap(),
+        samples_per_pass: field("samples_per_pass").parse().unwrap(),
+        mixed_seed_ns: field("mixed_seed_ns").parse().unwrap(),
+        mixed_csr_ns: field("mixed_csr_ns").parse().unwrap(),
+        mixed_samples: field("mixed_samples").parse().unwrap(),
+        frontier_ns: field("frontier_ns").parse().unwrap(),
+        frontier_slots: field("frontier_slots").parse().unwrap(),
+        frontier_hash: field("frontier_hash"),
     }
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     if std::env::var("BENCHTEMP_KERNELS_CHILD").is_ok() {
-        run_child();
+        run_child(smoke);
         return;
     }
 
     println!("== Kernel throughput: seed baseline vs register-blocked parallel runtime ==");
-    let single = spawn_child(1);
-    let multi = spawn_child(4);
+    let single = spawn_child(1, smoke);
+    let multi = spawn_child(4, smoke);
 
     // The runtime contract: metrics must not depend on the thread count.
     assert_eq!(
@@ -189,17 +484,20 @@ fn main() {
         (&multi.auc_bits, &multi.ap_bits),
         "eval metrics must be bit-identical across thread counts"
     );
+    // Same contract for the sampling engine: the frontier is seeded per
+    // root, so its output must not depend on the thread count either.
+    assert_eq!(
+        single.frontier_hash, multi.frontier_hash,
+        "frontier samples must be bit-identical across thread counts"
+    );
 
     let matmul_speedup = single.seed_ns / single.kernel_ns;
     let eval_speedup = multi.events_per_sec / single.events_per_sec;
     println!(
-        "matmul 256x256x256 (1 thread): seed {:.0} ns -> kernel {:.0} ns  ({matmul_speedup:.2}x)",
+        "matmul (1 thread): seed {:.0} ns -> kernel {:.0} ns  ({matmul_speedup:.2}x)",
         single.seed_ns, single.kernel_ns
     );
-    println!(
-        "matmul 256x256x256 (4 threads): kernel {:.0} ns",
-        multi.kernel_ns
-    );
+    println!("matmul (4 threads): kernel {:.0} ns", multi.kernel_ns);
     println!(
         "eval throughput: {:.0} ev/s (1 thread) -> {:.0} ev/s (4 threads)  ({eval_speedup:.2}x)",
         single.events_per_sec, multi.events_per_sec
@@ -208,6 +506,35 @@ fn main() {
         "metrics bit-identical across thread counts: auc {} ap {}",
         single.auc_bits, single.ap_bits
     );
+
+    let seed_sps = single.samples_per_pass / (single.sample_seed_ns / 1e9);
+    let csr_sps = single.samples_per_pass / (single.sample_csr_ns / 1e9);
+    let sampling_speedup = single.sample_seed_ns / single.sample_csr_ns;
+    let mixed_speedup = single.mixed_seed_ns / single.mixed_csr_ns;
+    let mixed_csr_sps = single.mixed_samples / (single.mixed_csr_ns / 1e9);
+    let frontier_sps_1 = single.frontier_slots / (single.frontier_ns / 1e9);
+    let frontier_sps_4 = multi.frontier_slots / (multi.frontier_ns / 1e9);
+    println!(
+        "neighbor sampling, TemporalSafe (1 thread): seed layout {seed_sps:.0} samples/s -> \
+         CSR {csr_sps:.0} samples/s  ({sampling_speedup:.2}x)"
+    );
+    println!(
+        "neighbor sampling, all-strategies mix (1 thread): CSR {mixed_csr_sps:.0} samples/s  \
+         ({mixed_speedup:.2}x)"
+    );
+    println!(
+        "frontier expansion: {frontier_sps_1:.0} slots/s (1 thread) -> \
+         {frontier_sps_4:.0} slots/s (4 threads)"
+    );
+    println!(
+        "frontier bit-identical across thread counts: hash {}",
+        single.frontier_hash
+    );
+
+    if smoke {
+        println!("smoke mode: all kernels and determinism assertions passed; skipping JSON");
+        return;
+    }
 
     let report = json!({
         "host_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
@@ -225,6 +552,18 @@ fn main() {
             "speedup_target": 1.5,
             "threads": [single.threads, multi.threads],
             "metrics_bit_identical": true,
+        },
+        "neighbor_sampling": {
+            "workload": "TemporalSafe k=10 over every event endpoint at its own timestamp",
+            "seed_samples_per_sec_single_thread": seed_sps,
+            "csr_samples_per_sec_single_thread": csr_sps,
+            "single_thread_speedup": sampling_speedup,
+            "single_thread_target": 2.0,
+            "mixed_strategy_csr_samples_per_sec": mixed_csr_sps,
+            "mixed_strategy_speedup": mixed_speedup,
+            "frontier_slots_per_sec_1_thread": frontier_sps_1,
+            "frontier_slots_per_sec_4_threads": frontier_sps_4,
+            "samples_bit_identical": true,
         },
     });
     save_json(std::path::Path::new("."), "BENCH_kernels.json", &report);

@@ -30,6 +30,11 @@ use crate::evaluator::{
 };
 use crate::sampler::{EdgeSampler, NegativeStrategy};
 
+/// Minimum total score count (pos + neg across all four settings) before the
+/// final metrics fan out over the worker pool; below this, pool dispatch
+/// costs more than the sort+scan it parallelises.
+const PAR_EVAL_MIN_SCORES: usize = 1 << 15;
+
 /// Everything a model may read while processing a batch: the graph (features)
 /// and a temporal adjacency view. During training the view covers training
 /// events only; during evaluation it covers the full stream (queries are
@@ -333,14 +338,26 @@ pub fn train_link_prediction(
         subset_scores(Some(&no)),
         subset_scores(Some(&nn)),
     ];
-    let metrics = pool().par_map(&score_sets, |(pos, neg)| {
+    let setting_metrics = |(pos, neg): &(Vec<f32>, Vec<f32>)| {
         let (auc, ap) = auc_ap_pos_neg(pos, neg);
         SettingMetrics {
             auc,
             ap,
             n_edges: pos.len(),
         }
-    });
+    };
+    // Dispatch through the pool only when it can actually help: with a
+    // single effective worker (1-core host, or BENCHTEMP_THREADS=1) or a
+    // test stream too small to amortize queue traffic, compute inline —
+    // the per-setting kernel is identical either way, so the metrics are
+    // bit-identical regardless of which path runs.
+    let total_scores: usize = score_sets.iter().map(|(p, n)| p.len() + n.len()).sum();
+    let metrics: Vec<SettingMetrics> =
+        if pool().workers() == 1 || total_scores < PAR_EVAL_MIN_SCORES {
+            score_sets.iter().map(setting_metrics).collect()
+        } else {
+            pool().par_map(&score_sets, setting_metrics)
+        };
     eval_secs += eval_start.elapsed().as_secs_f64();
 
     LinkPredictionRun {

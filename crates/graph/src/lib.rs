@@ -19,6 +19,9 @@ pub mod temporal_graph;
 pub use datasets::BenchDataset;
 pub use features::FeatureInit;
 pub use generators::GeneratorConfig;
-pub use neighbors::{NeighborFinder, SamplingStrategy};
+pub use neighbors::{
+    frontier_stream_seed, Frontier, FrontierHop, NeighborEvent, NeighborFinder, NeighborSlice,
+    SampleScratch, SamplingStrategy,
+};
 pub use stats::DatasetStats;
 pub use temporal_graph::{EventLabels, Interaction, TemporalGraph};

@@ -1,0 +1,90 @@
+//! Zero-allocation contract of the CSR sampling fast paths: after warm-up
+//! (scratch and output buffers grown to the largest history / `k` seen),
+//! `sample_into` and `sample_one` must perform no heap allocations at all.
+//!
+//! Verified with a counting global allocator. This file holds exactly one
+//! test so no sibling test thread can allocate concurrently and pollute the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::neighbors::{NeighborFinder, SampleScratch, SamplingStrategy};
+use benchtemp_tensor::init;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const STRATEGIES: [SamplingStrategy; 4] = [
+    SamplingStrategy::MostRecent,
+    SamplingStrategy::Uniform,
+    SamplingStrategy::TemporalExp { alpha: 0.1 },
+    SamplingStrategy::TemporalSafe,
+];
+
+#[test]
+fn sample_paths_are_allocation_free_after_warmup() {
+    let mut cfg = GeneratorConfig::small("alloc", 7);
+    cfg.num_edges = 4000;
+    let g = cfg.generate();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let queries: Vec<(usize, f64)> = (0..200)
+        .map(|i| (i % g.num_nodes, 10.0 + 7.0 * i as f64))
+        .collect();
+    let k = 8;
+
+    let mut rng = init::rng(3);
+    let mut scratch = SampleScratch::new();
+    let mut out = Vec::new();
+    let sweep = |rng: &mut benchtemp_tensor::init::SeededRng,
+                 scratch: &mut SampleScratch,
+                 out: &mut Vec<_>| {
+        let mut picked = 0usize;
+        for &(node, t) in &queries {
+            for strategy in STRATEGIES {
+                nf.sample_into(node, t, k, strategy, rng, scratch, out);
+                picked += out.len();
+                if nf.sample_one(node, t, strategy, rng, scratch).is_some() {
+                    picked += 1;
+                }
+            }
+        }
+        picked
+    };
+
+    // Warm-up pass grows the scratch/output buffers to their steady state.
+    let warm = sweep(&mut rng, &mut scratch, &mut out);
+    assert!(warm > 0, "warm-up sampled nothing; workload is degenerate");
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    let measured = sweep(&mut rng, &mut scratch, &mut out);
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert!(measured > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "sample_into/sample_one allocated {} times after warm-up",
+        after - before
+    );
+}

@@ -204,6 +204,189 @@ fn homo_reindex_consistent() {
     }
 }
 
+/// Behavior-exact reproduction of the pre-CSR `Vec<Vec<_>>` sampler, kept
+/// as the equivalence oracle for the CSR engine: same adjacency indexing,
+/// same per-query weight accumulation, same RNG consumption.
+mod seed_reference {
+    use benchtemp_graph::neighbors::{NeighborEvent, SamplingStrategy};
+    use benchtemp_graph::Interaction;
+    use benchtemp_tensor::init::SeededRng;
+
+    pub struct SeedNeighborFinder {
+        adj: Vec<Vec<NeighborEvent>>,
+    }
+
+    impl SeedNeighborFinder {
+        pub fn from_events(num_nodes: usize, events: &[Interaction]) -> Self {
+            let mut adj: Vec<Vec<NeighborEvent>> = vec![Vec::new(); num_nodes];
+            for (idx, ev) in events.iter().enumerate() {
+                adj[ev.src].push(NeighborEvent {
+                    neighbor: ev.dst,
+                    t: ev.t,
+                    event_idx: idx,
+                });
+                adj[ev.dst].push(NeighborEvent {
+                    neighbor: ev.src,
+                    t: ev.t,
+                    event_idx: idx,
+                });
+            }
+            SeedNeighborFinder { adj }
+        }
+
+        fn before(&self, node: usize, t: f64) -> &[NeighborEvent] {
+            let list = &self.adj[node];
+            let cut = list.partition_point(|e| e.t < t);
+            &list[..cut]
+        }
+
+        pub fn sample_before(
+            &self,
+            node: usize,
+            t: f64,
+            k: usize,
+            strategy: SamplingStrategy,
+            rng: &mut SeededRng,
+        ) -> Vec<NeighborEvent> {
+            let hist = self.before(node, t);
+            if hist.is_empty() || k == 0 {
+                return Vec::new();
+            }
+            match strategy {
+                SamplingStrategy::MostRecent => hist[hist.len().saturating_sub(k)..].to_vec(),
+                SamplingStrategy::Uniform => {
+                    (0..k).map(|_| hist[rng.gen_range(0..hist.len())]).collect()
+                }
+                SamplingStrategy::TemporalExp { alpha } => {
+                    let weights: Vec<f64> =
+                        hist.iter().map(|e| (alpha * (e.t - t)).exp()).collect();
+                    weighted_sample(hist, &weights, k, rng)
+                }
+                SamplingStrategy::TemporalSafe => {
+                    let weights: Vec<f64> = hist
+                        .iter()
+                        .map(|e| {
+                            let d = t - e.t;
+                            if d <= 0.0 {
+                                1.0
+                            } else {
+                                1.0 / d
+                            }
+                        })
+                        .collect();
+                    weighted_sample(hist, &weights, k, rng)
+                }
+            }
+        }
+    }
+
+    fn weighted_sample(
+        hist: &[NeighborEvent],
+        weights: &[f64],
+        k: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<NeighborEvent> {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += if w.is_finite() { w } else { 0.0 };
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            return (0..k).map(|_| hist[rng.gen_range(0..hist.len())]).collect();
+        }
+        (0..k)
+            .map(|_| {
+                let x = rng.gen_range(0.0..acc);
+                let idx = cumulative.partition_point(|&c| c <= x);
+                hist[idx.min(hist.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+/// The CSR engine, driven by the same RNG seed stream, produces
+/// byte-identical samples to the pre-refactor `Vec<Vec<_>>` implementation
+/// for all four strategies. Each strategy runs many queries against one
+/// shared RNG pair, so any divergence in RNG *consumption* (not just in
+/// returned values) also fails the later queries.
+#[test]
+fn csr_sampler_bit_matches_seed_layout() {
+    let mut rng = Pcg32::seed_from_u64(0x5EED);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let g = cfg.generate();
+        let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+        let oracle = seed_reference::SeedNeighborFinder::from_events(g.num_nodes, &g.events);
+        for strategy in [
+            SamplingStrategy::MostRecent,
+            SamplingStrategy::Uniform,
+            SamplingStrategy::TemporalExp { alpha: 0.2 },
+            SamplingStrategy::TemporalSafe,
+        ] {
+            let s = rng.gen_range(0u64..1_000_000);
+            let mut r_old = init::rng(s);
+            let mut r_new = init::rng(s);
+            for q in 0..20 {
+                let node = rng.gen_range(0usize..g.num_nodes);
+                let t = rng.gen_range(0.0f64..600.0);
+                let k = rng.gen_range(1usize..8);
+                let a = oracle.sample_before(node, t, k, strategy, &mut r_old);
+                let b = nf.sample_before(node, t, k, strategy, &mut r_new);
+                assert_eq!(a.len(), b.len(), "case {case} q {q} {strategy:?}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.neighbor, y.neighbor, "case {case} q {q} {strategy:?}");
+                    assert_eq!(x.event_idx, y.event_idx, "case {case} q {q} {strategy:?}");
+                    assert_eq!(
+                        x.t.to_bits(),
+                        y.t.to_bits(),
+                        "case {case} q {q} {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `TemporalSafe` empirical frequencies match the naive weighted reference:
+/// P(event i) = w_i / Σw with w = 1/(t − t_i).
+#[test]
+fn temporal_safe_matches_reference_frequencies() {
+    use benchtemp_graph::Interaction;
+    let ts = [0.0, 50.0, 90.0, 99.0];
+    let t = 100.0;
+    let events: Vec<Interaction> = ts
+        .iter()
+        .enumerate()
+        .map(|(i, &et)| Interaction {
+            src: 0,
+            dst: i + 1,
+            t: et,
+            feat_idx: i,
+        })
+        .collect();
+    let nf = NeighborFinder::from_events(ts.len() + 1, &events);
+    // Naive reference distribution.
+    let weights: Vec<f64> = ts.iter().map(|&et| 1.0 / (t - et)).collect();
+    let total: f64 = weights.iter().sum();
+    let expected: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let n = 200_000usize;
+    let mut r = init::rng(0xFE11);
+    let samples = nf.sample_before(0, t, n, SamplingStrategy::TemporalSafe, &mut r);
+    assert_eq!(samples.len(), n);
+    let mut counts = vec![0usize; ts.len()];
+    for s in &samples {
+        counts[s.event_idx] += 1;
+    }
+    for (i, (&c, &e)) in counts.iter().zip(&expected).enumerate() {
+        let emp = c as f64 / n as f64;
+        assert!(
+            (emp - e).abs() < 0.01,
+            "event {i}: empirical {emp:.4} vs expected {e:.4}"
+        );
+    }
+}
+
 /// Label streams hit their configured class count and rough rate.
 #[test]
 fn labels_rate_and_classes() {

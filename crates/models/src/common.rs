@@ -4,7 +4,7 @@
 
 use benchtemp_core::efficiency::ComputeClock;
 use benchtemp_core::pipeline::StreamContext;
-use benchtemp_graph::neighbors::SamplingStrategy;
+use benchtemp_graph::neighbors::{FrontierHop, SamplingStrategy};
 use benchtemp_graph::temporal_graph::Interaction;
 use benchtemp_tensor::init::{self, SeededRng};
 use benchtemp_tensor::{Adam, Matrix, ParamStore};
@@ -184,6 +184,11 @@ pub struct NeighborBatch {
 
 impl NeighborBatch {
     /// Sample `k` temporal neighbors per (node, time) query.
+    ///
+    /// One RNG draw seeds the batched frontier engine, which then expands
+    /// every query under its own deterministic per-root stream — the whole
+    /// batch is sampled in one `sample_frontier` call that parallelises over
+    /// the worker pool with bit-identical results at any thread count.
     pub fn sample(
         ctx: &StreamContext,
         nodes: &[usize],
@@ -192,26 +197,26 @@ impl NeighborBatch {
         strategy: SamplingStrategy,
         rng: &mut SeededRng,
     ) -> Self {
-        let n = nodes.len();
-        let mut ids = vec![0usize; n * k];
-        let mut feat_idx = vec![0usize; n * k];
-        let mut dts = vec![0.0f32; n * k];
-        let mut mask = vec![false; n * k];
-        for (i, (&node, &t)) in nodes.iter().zip(times).enumerate() {
-            let sampled = ctx.neighbors.sample_before(node, t, k, strategy, rng);
-            for (j, ev) in sampled.iter().enumerate() {
-                let slot = i * k + j;
-                ids[slot] = ev.neighbor;
-                feat_idx[slot] = ctx.graph.events[ev.event_idx].feat_idx;
-                dts[slot] = (t - ev.t).max(0.0) as f32;
-                mask[slot] = true;
-            }
-        }
+        let f = ctx
+            .neighbors
+            .sample_frontier(nodes, times, k, 1, strategy, rng.next_u64());
+        Self::from_hop(ctx, f.hops.into_iter().next().expect("one hop level"), k)
+    }
+
+    /// Wrap one expanded frontier hop as an attention block, resolving the
+    /// event indices to edge-feature rows (padded slots keep row 0).
+    pub fn from_hop(ctx: &StreamContext, hop: FrontierHop, k: usize) -> Self {
+        let feat_idx = hop
+            .event_idx
+            .iter()
+            .zip(&hop.mask)
+            .map(|(&e, &m)| if m { ctx.graph.events[e].feat_idx } else { 0 })
+            .collect();
         NeighborBatch {
-            ids,
+            ids: hop.nodes,
             feat_idx,
-            dts,
-            mask,
+            dts: hop.dts,
+            mask: hop.mask,
             k,
         }
     }

@@ -146,16 +146,28 @@ impl Nat {
 
     /// Non-learned cache bookkeeping after the batch's events.
     fn update_caches(&mut self, view: &BatchView) {
+        // Fixed-size staging buffers: at most 4 occupants propagate per
+        // endpoint, so no per-event heap allocation is needed.
+        let mut from_v = [0usize; 4];
+        let mut from_u = [0usize; 4];
         for i in 0..view.len() {
             let (u, v) = (view.srcs[i], view.dsts[i]);
             // Propagate the *other* endpoint's 1-hop occupants into own
             // 2-hop cache (before inserting the new direct neighbor).
-            let from_v: Vec<usize> = self.hop1[v].iter_nodes().take(4).collect();
-            let from_u: Vec<usize> = self.hop1[u].iter_nodes().take(4).collect();
-            for x in from_v {
+            let mut nv = 0;
+            for x in self.hop1[v].iter_nodes().take(4) {
+                from_v[nv] = x;
+                nv += 1;
+            }
+            let mut nu = 0;
+            for x in self.hop1[u].iter_nodes().take(4) {
+                from_u[nu] = x;
+                nu += 1;
+            }
+            for &x in &from_v[..nv] {
                 self.hop2[u].insert(x);
             }
-            for x in from_u {
+            for &x in &from_u[..nu] {
                 self.hop2[v].insert(x);
             }
             self.hop1[u].insert(v);

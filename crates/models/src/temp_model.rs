@@ -91,7 +91,7 @@ impl Temp {
         if hist.is_empty() {
             return t;
         }
-        let mean = hist.iter().map(|e| e.t).sum::<f64>() / hist.len() as f64;
+        let mean = hist.ts().iter().sum::<f64>() / hist.len() as f64;
         // Sampling strictly-before the mean would drop the most recent half;
         // the sampler uses the interval [mean, t] boundary — i.e. neighbors
         // up to t but the *subgraph window* anchored at the mean. We sample
@@ -122,14 +122,19 @@ impl Temp {
             }
             // Most recent k within the adaptive window [ref_t, t); if the
             // window is empty (all history before the mean), use the tail.
-            let in_window: Vec<_> = hist.iter().filter(|e| e.t >= ref_t).collect();
-            let chosen: Vec<_> = if in_window.is_empty() {
-                hist.iter().rev().take(k).collect()
+            // The window is a contiguous suffix of the sorted timestamp
+            // column, so one binary search replaces the old filter+collect
+            // and no per-query Vec is allocated.
+            let ts = hist.ts();
+            let wstart = ts.partition_point(|&x| x < ref_t);
+            let lo = if wstart == ts.len() {
+                ts.len() - k.min(ts.len())
             } else {
-                in_window.into_iter().rev().take(k).collect()
+                wstart.max(ts.len().saturating_sub(k))
             };
-            let inv = 1.0 / chosen.len() as f32;
-            for ev in chosen {
+            let inv = 1.0 / (ts.len() - lo) as f32;
+            for idx in (lo..ts.len()).rev() {
+                let ev = hist.get(idx);
                 let mrow = self.memory.row(ev.neighbor);
                 for (o, &x) in lpa.row_mut(i).iter_mut().zip(mrow) {
                     *o += x * inv;

@@ -29,7 +29,14 @@ struct Weights {
 }
 
 impl Weights {
-    /// TGAT's recursive L-layer temporal attention embedding.
+    /// TGAT's L-layer temporal attention embedding.
+    ///
+    /// The whole L-hop neighborhood is drawn up front with one batched
+    /// `sample_frontier` call (which parallelises over the worker pool with
+    /// deterministic per-root RNG streams), then the attention stack folds
+    /// the frontier from the deepest hop back up to the query nodes — the
+    /// same computation the old per-level recursion performed, without
+    /// re-entering the sampler at every level.
     #[allow(clippy::too_many_arguments)]
     fn embed(
         &self,
@@ -41,30 +48,47 @@ impl Weights {
         rng: &mut SeededRng,
         clock: &mut ComputeClock,
     ) -> Var {
-        let base = {
-            let f = g.input(ctx.graph.node_features.gather_rows(nodes));
+        let base = |g: &mut Graph, ids: &[usize]| -> Var {
+            let f = g.input(ctx.graph.node_features.gather_rows(ids));
             self.feat_proj.forward(g, f)
         };
         if depth == 0 {
-            return base;
+            return base(g, nodes);
         }
         let k = self.neighbors;
-        let nb = clock.sampling(|| {
-            NeighborBatch::sample(ctx, nodes, times, k, SamplingStrategy::Uniform, rng)
+        let frontier = clock.sampling(|| {
+            ctx.neighbors.sample_frontier(
+                nodes,
+                times,
+                k,
+                depth,
+                SamplingStrategy::Uniform,
+                rng.next_u64(),
+            )
         });
-        let nb_times = nb.event_times(times);
-        // Neighbors' (depth-1) representations at their interaction times.
-        let nb_rep = self.embed(g, ctx, &nb.ids, &nb_times, depth - 1, rng, clock);
-        let nb_edge = {
-            let e = g.input(nb.edge_feats(ctx));
-            self.edge_proj.forward(g, e)
-        };
-        let nb_te = self.time_enc.forward_slice(g, &nb.dts);
-        let keys = g.concat_cols_many(&[nb_rep, nb_edge, nb_te]);
-        let zero_te = self.time_enc.forward_slice(g, &vec![0.0; nodes.len()]);
-        let query = g.concat_cols(base, zero_te);
-        let out = self.layers[depth - 1].forward(g, query, keys, k, &nb.mask);
-        g.add(out, base) // residual
+        // Deepest hop: plain projected features, then fold upward. Hop `l`
+        // supplies the keys for query level `l` (level 0 = input nodes),
+        // attended by layer `depth-1-l` — identical layer assignment to the
+        // old recursion.
+        let mut hops = frontier.hops;
+        let mut rep = base(g, &hops[depth - 1].nodes);
+        while let Some(hop) = hops.pop() {
+            let l = hops.len();
+            let nb = NeighborBatch::from_hop(ctx, hop, k);
+            let level_ids: &[usize] = if l == 0 { nodes } else { &hops[l - 1].nodes };
+            let base_l = base(g, level_ids);
+            let nb_edge = {
+                let e = g.input(nb.edge_feats(ctx));
+                self.edge_proj.forward(g, e)
+            };
+            let nb_te = self.time_enc.forward_slice(g, &nb.dts);
+            let keys = g.concat_cols_many(&[rep, nb_edge, nb_te]);
+            let zero_te = self.time_enc.forward_slice(g, &vec![0.0; level_ids.len()]);
+            let query = g.concat_cols(base_l, zero_te);
+            let out = self.layers[depth - 1 - l].forward(g, query, keys, k, &nb.mask);
+            rep = g.add(out, base_l); // residual
+        }
+        rep
     }
 }
 

@@ -21,14 +21,14 @@ use std::collections::HashMap;
 
 use benchtemp_core::efficiency::ComputeClock;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
-use benchtemp_graph::neighbors::SamplingStrategy;
+use benchtemp_graph::neighbors::{SampleScratch, SamplingStrategy};
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::{GruCell, Linear, Mlp, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, Var};
 
 use crate::common::{pos_neg_targets, BatchView, ModelConfig, ModelCore};
-use crate::walks::{anon_dim, anonymize, position_counts, sample_walks, TemporalWalk};
+use crate::walks::{anon_dim, anonymize, position_counts, sample_walks_with, TemporalWalk};
 
 /// Which walk model this instance is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +69,8 @@ pub struct WalkModel {
     m: usize,
     l: usize,
     hidden: usize,
+    /// Reused weighted-sampling buffers — walk hops allocate nothing.
+    scratch: SampleScratch,
 }
 
 impl WalkModel {
@@ -109,6 +111,7 @@ impl WalkModel {
             m: cfg.walks.max(1),
             l,
             hidden: h,
+            scratch: SampleScratch::new(),
         }
     }
 
@@ -133,6 +136,7 @@ impl WalkModel {
     }
 
     /// Sample all walk sets for a batch.
+    #[allow(clippy::too_many_arguments)]
     fn sample_sets(
         ctx: &StreamContext,
         view: &BatchView,
@@ -140,12 +144,13 @@ impl WalkModel {
         l: usize,
         strategy: SamplingStrategy,
         rng: &mut SeededRng,
+        scratch: &mut SampleScratch,
     ) -> WalkSets {
-        let sample_role = |nodes: &[usize], rng: &mut SeededRng| -> Vec<Vec<TemporalWalk>> {
+        let mut sample_role = |nodes: &[usize], rng: &mut SeededRng| -> Vec<Vec<TemporalWalk>> {
             nodes
                 .iter()
                 .zip(&view.times)
-                .map(|(&n, &t)| sample_walks(ctx, n, t, m, l, strategy, rng))
+                .map(|(&n, &t)| sample_walks_with(ctx, n, t, m, l, strategy, rng, scratch))
                 .collect()
         };
         let src = sample_role(&view.srcs, rng);
@@ -324,7 +329,8 @@ impl WalkModel {
         let sets = {
             let rng = &mut self.core.rng;
             let clock = &mut self.core.clock;
-            clock.sampling(|| Self::sample_sets(ctx, &view, m, l, strategy, rng))
+            let scratch = &mut self.scratch;
+            clock.sampling(|| Self::sample_sets(ctx, &view, m, l, strategy, rng, scratch))
         };
         let mut g = Graph::new(&self.core.store);
         let pair_emb = self.encode_pairs(&mut g, ctx, &view, &sets, true);
@@ -404,7 +410,8 @@ impl TgnnModel for WalkModel {
         let (m, l) = (self.m, self.l);
         let sets = {
             let rng = &mut self.core.rng;
-            Self::sample_sets(ctx, &view, m, l, strategy, rng)
+            let scratch = &mut self.scratch;
+            Self::sample_sets(ctx, &view, m, l, strategy, rng, scratch)
         };
         let store = &self.core.store;
         let mut g = Graph::new(store);

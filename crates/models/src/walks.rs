@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use benchtemp_core::pipeline::StreamContext;
-use benchtemp_graph::neighbors::SamplingStrategy;
+use benchtemp_graph::neighbors::{SampleScratch, SamplingStrategy};
 use benchtemp_tensor::init::SeededRng;
 
 /// One backward temporal walk of fixed budget `L` steps; dead ends are
@@ -41,6 +41,9 @@ impl TemporalWalk {
 }
 
 /// Sample `m` backward walks of `l` hops from `start` at time `t`.
+///
+/// Convenience wrapper over [`sample_walks_with`] that allocates a fresh
+/// [`SampleScratch`]; hot loops should hold one and call the `_with` form.
 pub fn sample_walks(
     ctx: &StreamContext,
     start: usize,
@@ -49,6 +52,25 @@ pub fn sample_walks(
     l: usize,
     strategy: SamplingStrategy,
     rng: &mut SeededRng,
+) -> Vec<TemporalWalk> {
+    let mut scratch = SampleScratch::new();
+    sample_walks_with(ctx, start, t, m, l, strategy, rng, &mut scratch)
+}
+
+/// Sample `m` backward walks of `l` hops from `start` at time `t`, reusing
+/// the caller's scratch. Each hop goes through the scalar `sample_one` fast
+/// path, so no per-hop `Vec` is allocated and the RNG stream is identical
+/// to the old `sample_before(.., 1, ..)` loop.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_walks_with(
+    ctx: &StreamContext,
+    start: usize,
+    t: f64,
+    m: usize,
+    l: usize,
+    strategy: SamplingStrategy,
+    rng: &mut SeededRng,
+    scratch: &mut SampleScratch,
 ) -> Vec<TemporalWalk> {
     (0..m)
         .map(|_| {
@@ -60,8 +82,8 @@ pub fn sample_walks(
             let mut cur = start;
             let mut cur_t = t;
             for _ in 0..l {
-                let step = ctx.neighbors.sample_before(cur, cur_t, 1, strategy, rng);
-                match step.first() {
+                let step = ctx.neighbors.sample_one(cur, cur_t, strategy, rng, scratch);
+                match step {
                     Some(ev) => {
                         cur = ev.neighbor;
                         cur_t = ev.t;

@@ -40,7 +40,12 @@ struct Queue {
 /// A fixed-size worker pool. Obtain the process-wide instance via [`pool`].
 pub struct ThreadPool {
     queue: Arc<Queue>,
+    /// Configured size: drives chunk arithmetic (the determinism contract).
     threads: usize,
+    /// Actually spawned workers: `threads` capped at the machine's available
+    /// parallelism, so an oversubscribed `BENCHTEMP_THREADS` never pays
+    /// dispatch overhead for cores that don't exist.
+    workers: usize,
 }
 
 /// Tracks one batch of submitted jobs so the caller can block on completion.
@@ -106,15 +111,26 @@ pub fn configured_threads() -> usize {
 
 impl ThreadPool {
     fn new(threads: usize) -> Self {
+        // Cap spawned workers at the machine's parallelism: configuring 4
+        // threads on a 1-core host must behave like 1 thread (run inline),
+        // not pay queue traffic for negative speedup. Chunk arithmetic still
+        // uses the configured `threads`, so results are unchanged.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_workers(threads, threads.min(cores))
+    }
+
+    fn with_workers(threads: usize, workers: usize) -> Self {
         let queue = Arc::new(Queue {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
-        // With 1 configured thread everything runs inline; spawn no workers.
-        // Otherwise spawn exactly `threads` workers: the caller blocks while
-        // a batch runs, so the workers own all the compute.
-        if threads > 1 {
-            for i in 0..threads {
+        // With 1 effective worker everything runs inline; spawn no threads.
+        // Otherwise spawn exactly `workers`: the caller blocks while a batch
+        // runs, so the workers own all the compute.
+        if workers > 1 {
+            for i in 0..workers {
                 let q = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("benchtemp-pool-{i}"))
@@ -122,12 +138,24 @@ impl ThreadPool {
                     .expect("spawn pool worker");
             }
         }
-        Self { queue, threads }
+        Self {
+            queue,
+            threads,
+            workers,
+        }
     }
 
-    /// Number of worker threads this pool schedules across (≥ 1).
+    /// Number of worker threads this pool schedules across (≥ 1). Chunk
+    /// boundaries are derived from this, never from [`ThreadPool::workers`],
+    /// so results stay identical however many workers actually exist.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of OS worker threads actually spawned (≥ 1 meaning "inline").
+    /// Use this to decide whether parallel dispatch can possibly pay off.
+    pub fn workers(&self) -> usize {
+        self.workers.max(1)
     }
 
     /// Run the given closures, blocking until all complete. Closures may
@@ -139,7 +167,7 @@ impl ThreadPool {
         if tasks.is_empty() {
             return;
         }
-        if self.threads == 1 || tasks.len() == 1 {
+        if self.workers() == 1 || tasks.len() == 1 {
             for t in tasks {
                 t();
             }
@@ -178,7 +206,7 @@ impl ThreadPool {
         if n == 0 {
             return Vec::new();
         }
-        if self.threads == 1 || n == 1 {
+        if self.workers() == 1 || n == 1 {
             return items.iter().map(f).collect();
         }
         let mut out: Vec<Option<U>> = Vec::with_capacity(n);
@@ -224,7 +252,7 @@ impl ThreadPool {
             return;
         }
         let chunk = chunk_len(n, min_chunk);
-        if self.threads == 1 || n <= chunk {
+        if self.workers() == 1 || n <= chunk {
             for (i, c) in items.chunks(chunk).enumerate() {
                 reduce(f(i, c));
             }
@@ -260,7 +288,7 @@ impl ThreadPool {
         if total == 0 {
             return;
         }
-        if self.threads == 1 {
+        if self.workers() == 1 {
             f(0..total);
             return;
         }
@@ -307,8 +335,25 @@ pub fn current_threads() -> usize {
 mod tests {
     use super::*;
 
+    // Force real workers even on single-core hosts so the queue machinery
+    // (not just the inline path) is exercised by these tests.
     fn test_pool(threads: usize) -> ThreadPool {
-        ThreadPool::new(threads)
+        ThreadPool::with_workers(threads, threads)
+    }
+
+    #[test]
+    fn oversubscribed_pool_runs_inline() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let p = ThreadPool::new(cores * 4);
+        assert_eq!(p.threads(), cores * 4);
+        assert!(p.workers() <= cores);
+        // Results are identical to an uncapped pool of the same size.
+        let items: Vec<u64> = (0..257).collect();
+        let capped = p.par_map(&items, |&x| x * 3 + 1);
+        let full = test_pool(cores * 4).par_map(&items, |&x| x * 3 + 1);
+        assert_eq!(capped, full);
     }
 
     #[test]
