@@ -18,4 +18,10 @@ cargo test -q --offline
 echo "== ci: kernel smoke bench =="
 cargo run --release --offline -p benchtemp-bench --bin bench_kernels -- --smoke
 
+echo "== ci: traced smoke run (JSONL schema + span pairing) =="
+TRACE_FILE=$(mktemp /tmp/benchtemp-ci-trace.XXXXXX.jsonl)
+BENCHTEMP_TRACE="$TRACE_FILE" \
+    cargo run --release --offline -p benchtemp-bench --bin trace_check
+rm -f "$TRACE_FILE"
+
 echo "CI_OK"

@@ -31,6 +31,9 @@ fn main() {
     for &dataset in &datasets {
         for model in &models {
             let mut per_setting: Vec<Vec<f64>> = vec![Vec::new(); 4];
+            // Per-stage wall-clock from the obs profile, surfaced in the
+            // leaderboard JSON alongside the quality metrics.
+            let mut per_stage: [Vec<f64>; 4] = Default::default();
             for seed in 0..protocol.seeds as u64 {
                 let run = run_lp_seed(model, dataset, &protocol, seed);
                 eprintln!(
@@ -48,6 +51,14 @@ fn main() {
                 runtime.add(ds, model, run.efficiency.runtime_per_epoch_secs);
                 rss.add(ds, model, run.efficiency.peak_rss_bytes as f64 / 1e6);
                 state.add(ds, model, run.efficiency.model_state_bytes as f64 / 1e6);
+                let s = &run.efficiency.stages;
+                for (acc, v) in
+                    per_stage
+                        .iter_mut()
+                        .zip([s.train_secs, s.val_secs, s.test_secs, s.job_secs])
+                {
+                    acc.push(v);
+                }
             }
             for (i, setting) in Setting::all().iter().enumerate() {
                 leaderboard.push_runs(
@@ -57,6 +68,19 @@ fn main() {
                     setting.name(),
                     "AUC",
                     &per_setting[i],
+                );
+            }
+            for (metric, values) in ["train_secs", "val_secs", "test_secs", "job_secs"]
+                .iter()
+                .zip(&per_stage)
+            {
+                leaderboard.push_runs(
+                    model,
+                    dataset.name(),
+                    "link_prediction",
+                    "Efficiency",
+                    metric,
+                    values,
                 );
             }
         }

@@ -7,61 +7,162 @@
 //! (parameters + memory modules + caches — what GPU memory held), and a
 //! compute-utilization proxy (time in dense tensor work vs. time in
 //! sampling/data movement — what drives GPU utilization).
+//!
+//! Stage times come from `benchtemp-obs` spans (DESIGN.md §9). The pipeline
+//! installs a [`benchtemp_obs::Recorder`] per job and opens one span per
+//! protocol stage (`train_epoch`, `val_scoring`, `test_scoring`, ...); the
+//! [`StageBreakdown`] below is a pure projection of the resulting
+//! [`benchtemp_obs::Profile`]. Because sibling spans never overlap, a stage
+//! cannot absorb another stage's time — the misattribution the old
+//! `EpochTimer` suffered from (its reset point let each recorded "epoch"
+//! swallow the previous epoch's val+test scoring) is impossible by
+//! construction.
 
-use std::time::{Duration, Instant};
-
+use benchtemp_obs::Profile;
 use benchtemp_util::{json, Json, ToJson};
 
-/// Split of a model's working time into dense compute vs. sampling, ticked
-/// by the models themselves around their walk/neighbor sampling and their
-/// forward/backward sections.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ComputeClock {
-    pub dense: Duration,
-    pub sampling: Duration,
+/// Span names the pipeline uses for its protocol stages. Shared constants so
+/// the trainers, the breakdown projection, and the trace validator agree.
+pub mod stage {
+    /// Neighbor-index and sampler construction before the first epoch.
+    pub const SETUP: &str = "setup";
+    /// One full pass over the training stream (learning only — no scoring).
+    pub const TRAIN_EPOCH: &str = "train_epoch";
+    /// Scoring the validation stream.
+    pub const VAL_SCORING: &str = "val_scoring";
+    /// Scoring the test stream.
+    pub const TEST_SCORING: &str = "test_scoring";
+    /// AUC/AP sort+scan over the collected scores at job end.
+    pub const FINAL_METRICS: &str = "final_metrics";
+    /// One pass collecting frozen embeddings (node classification).
+    pub const EMBED_COLLECTION: &str = "embed_collection";
+    /// Dense tensor work inside a model batch (forward/backward/step).
+    pub const DENSE: &str = "dense";
+    /// Neighbor/walk sampling inside a model batch (nested under `dense`).
+    pub const SAMPLING: &str = "sampling";
 }
 
-impl ComputeClock {
-    pub fn new() -> Self {
-        Self::default()
-    }
+/// Per-stage wall-clock decomposition of one job, projected from the job's
+/// span [`Profile`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageBreakdown {
+    /// Seconds building neighbor indices and samplers.
+    pub setup_secs: f64,
+    /// Seconds in training epochs (all epochs, learning only).
+    pub train_secs: f64,
+    /// Seconds scoring validation streams (all epochs).
+    pub val_secs: f64,
+    /// Seconds scoring test streams (all epochs).
+    pub test_secs: f64,
+    /// Seconds computing final AUC/AP metrics.
+    pub final_metrics_secs: f64,
+    /// Seconds in dense tensor work (exclusive: sampling nested inside a
+    /// dense section is *not* counted here).
+    pub dense_secs: f64,
+    /// Seconds in neighbor/walk sampling.
+    pub sampling_secs: f64,
+    /// Whole-job wall-clock seconds.
+    pub job_secs: f64,
+}
 
-    /// Time a dense-compute section.
-    pub fn dense<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        self.dense += start.elapsed();
-        out
-    }
-
-    /// Time a sampling/data-movement section.
-    pub fn sampling<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        self.sampling += start.elapsed();
-        out
-    }
-
-    /// Fraction of measured time spent in dense compute — the paper's "GPU
-    /// utilization" analogue. `None` if nothing was measured.
-    pub fn utilization(&self) -> Option<f64> {
-        let total = self.dense + self.sampling;
-        if total.is_zero() {
-            None
-        } else {
-            Some(self.dense.as_secs_f64() / total.as_secs_f64())
+impl StageBreakdown {
+    /// Project the pipeline's stage spans out of a job profile.
+    ///
+    /// `dense_secs` uses the span's *self* time: models open a `dense` span
+    /// around a whole batch and a nested `sampling` span around its
+    /// neighbor/walk sampling, so the exclusive time of `dense` is exactly
+    /// "batch minus sampling" — attributed at the type level rather than by
+    /// subtraction at the call site.
+    pub fn from_profile(profile: &Profile, job_secs: f64) -> Self {
+        StageBreakdown {
+            setup_secs: profile.total_secs(stage::SETUP),
+            train_secs: profile.total_secs(stage::TRAIN_EPOCH)
+                + profile.total_secs(stage::EMBED_COLLECTION),
+            val_secs: profile.total_secs(stage::VAL_SCORING),
+            test_secs: profile.total_secs(stage::TEST_SCORING),
+            final_metrics_secs: profile.total_secs(stage::FINAL_METRICS),
+            dense_secs: profile.self_secs(stage::DENSE),
+            sampling_secs: profile.total_secs(stage::SAMPLING),
+            job_secs,
         }
     }
 
-    pub fn reset(&mut self) {
-        *self = Self::default();
+    /// Sum of the top-level protocol stages (dense/sampling are nested
+    /// inside them and excluded). Should approach [`Self::job_secs`].
+    pub fn stage_sum_secs(&self) -> f64 {
+        self.setup_secs + self.train_secs + self.val_secs + self.test_secs + self.final_metrics_secs
+    }
+
+    /// Dense-compute fraction of measured model time — the paper's "GPU
+    /// utilization" analogue. `None` if nothing was measured.
+    pub fn utilization(&self) -> Option<f64> {
+        let total = self.dense_secs + self.sampling_secs;
+        if total <= 0.0 {
+            None
+        } else {
+            Some(self.dense_secs / total)
+        }
     }
 }
 
+impl ToJson for StageBreakdown {
+    fn to_json(&self) -> Json {
+        json!({
+            "setup_secs": self.setup_secs,
+            "train_secs": self.train_secs,
+            "val_secs": self.val_secs,
+            "test_secs": self.test_secs,
+            "final_metrics_secs": self.final_metrics_secs,
+            "dense_secs": self.dense_secs,
+            "sampling_secs": self.sampling_secs,
+            "job_secs": self.job_secs,
+        })
+    }
+}
+
+/// Serialize a span [`Profile`] (spans + counter deltas + gauges) for the
+/// raw-runs JSON. Lives here because `benchtemp-obs` is dependency-free and
+/// does not know about `benchtemp-util::json`.
+pub fn profile_to_json(profile: &Profile) -> Json {
+    let spans = Json::Obj(
+        profile
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    json!({
+                        "count": s.count,
+                        "total_secs": s.total_secs,
+                        "self_secs": s.self_secs,
+                    }),
+                )
+            })
+            .collect(),
+    );
+    let counters = Json::Obj(
+        profile
+            .counters
+            .iter()
+            .map(|(name, v)| (name.to_string(), v.to_json()))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        profile
+            .gauges
+            .iter()
+            .map(|(name, v)| (name.to_string(), v.to_json()))
+            .collect(),
+    );
+    json!({ "spans": spans, "counters": counters, "gauges": gauges })
+}
+
 /// One row of the Table 4 efficiency block for a (model, dataset) job.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EfficiencyReport {
-    /// Mean seconds per training epoch (Table 4 "Runtime").
+    /// Mean seconds per training epoch (Table 4 "Runtime"). Training only:
+    /// validation/test scoring is *excluded* (it lives in
+    /// `stages.val_secs` / `stages.test_secs`).
     pub runtime_per_epoch_secs: f64,
     /// Epochs until early stopping fired (Table 4 "Epoch").
     pub epochs_to_converge: usize,
@@ -80,12 +181,10 @@ pub struct EfficiencyReport {
     pub timed_out: bool,
     /// Worker threads the runtime used for this job (`BENCHTEMP_THREADS`).
     pub thread_count: usize,
-    /// Wall seconds in dense tensor work across the job.
-    pub dense_secs: f64,
-    /// Wall seconds in neighbor/walk sampling across the job.
-    pub sampling_secs: f64,
-    /// Wall seconds in the evaluation phases (validation + test scoring).
-    pub eval_secs: f64,
+    /// Per-stage wall-clock decomposition of the job.
+    pub stages: StageBreakdown,
+    /// Full span/counter profile the breakdown was projected from.
+    pub profile: Profile,
 }
 
 impl ToJson for EfficiencyReport {
@@ -99,15 +198,22 @@ impl ToJson for EfficiencyReport {
             "inference_secs_per_100k": self.inference_secs_per_100k,
             "timed_out": self.timed_out,
             "thread_count": self.thread_count,
-            "dense_secs": self.dense_secs,
-            "sampling_secs": self.sampling_secs,
-            "eval_secs": self.eval_secs,
+            "stages": &self.stages,
+            "profile": profile_to_json(&self.profile),
         })
     }
 }
 
 /// Peak RSS of this process in bytes (`VmHWM` from `/proc/self/status`).
+/// Each call also feeds the `peak_rss_bytes` gauge for traces.
 pub fn peak_rss_bytes() -> u64 {
+    let bytes = read_vm_hwm();
+    benchtemp_obs::counters::PEAK_RSS_SAMPLES.incr();
+    benchtemp_obs::counters::PEAK_RSS_BYTES.sample(bytes);
+    bytes
+}
+
+fn read_vm_hwm() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
     };
@@ -125,46 +231,6 @@ pub fn peak_rss_bytes() -> u64 {
     0
 }
 
-/// Simple wall-clock timer for epoch accounting.
-pub struct EpochTimer {
-    start: Instant,
-    epochs: Vec<Duration>,
-}
-
-impl EpochTimer {
-    pub fn new() -> Self {
-        EpochTimer {
-            start: Instant::now(),
-            epochs: Vec::new(),
-        }
-    }
-
-    /// Mark the end of an epoch; returns its duration.
-    pub fn lap(&mut self) -> Duration {
-        let d = self.start.elapsed();
-        self.epochs.push(d);
-        self.start = Instant::now();
-        d
-    }
-
-    pub fn mean_epoch_secs(&self) -> f64 {
-        if self.epochs.is_empty() {
-            return 0.0;
-        }
-        self.epochs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / self.epochs.len() as f64
-    }
-
-    pub fn total(&self) -> Duration {
-        self.epochs.iter().sum()
-    }
-}
-
-impl Default for EpochTimer {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 /// Human-readable byte formatting for reports.
 pub fn fmt_bytes(bytes: u64) -> String {
     const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
@@ -180,17 +246,8 @@ pub fn fmt_bytes(bytes: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn clock_accumulates_and_reports_utilization() {
-        let mut c = ComputeClock::new();
-        c.dense(|| std::thread::sleep(Duration::from_millis(8)));
-        c.sampling(|| std::thread::sleep(Duration::from_millis(2)));
-        let u = c.utilization().unwrap();
-        assert!(u > 0.5 && u < 1.0, "utilization {u}");
-        c.reset();
-        assert!(c.utilization().is_none());
-    }
+    use benchtemp_obs::{timed, Recorder};
+    use std::time::Duration;
 
     #[test]
     fn peak_rss_is_positive_on_linux() {
@@ -199,14 +256,72 @@ mod tests {
     }
 
     #[test]
-    fn epoch_timer_means() {
-        let mut t = EpochTimer::new();
-        std::thread::sleep(Duration::from_millis(5));
-        t.lap();
-        std::thread::sleep(Duration::from_millis(5));
-        t.lap();
-        assert!(t.mean_epoch_secs() >= 0.004);
-        assert_eq!(t.total(), t.epochs.iter().sum());
+    fn breakdown_projects_stage_spans() {
+        let rec = Recorder::new();
+        let _g = rec.install();
+        timed(stage::SETUP, || {
+            std::thread::sleep(Duration::from_millis(3))
+        });
+        for _ in 0..2 {
+            timed(stage::TRAIN_EPOCH, || {
+                std::thread::sleep(Duration::from_millis(6))
+            });
+            timed(stage::VAL_SCORING, || {
+                std::thread::sleep(Duration::from_millis(2))
+            });
+        }
+        let b = StageBreakdown::from_profile(&rec.profile(), 0.025);
+        assert!(b.setup_secs >= 0.002, "setup {}", b.setup_secs);
+        assert!(b.train_secs >= 0.010, "train {}", b.train_secs);
+        assert!(b.val_secs >= 0.003, "val {}", b.val_secs);
+        assert_eq!(b.test_secs, 0.0);
+        assert!(b.stage_sum_secs() >= b.train_secs + b.val_secs);
+    }
+
+    #[test]
+    fn dense_self_time_excludes_nested_sampling() {
+        let rec = Recorder::new();
+        let _g = rec.install();
+        timed(stage::DENSE, || {
+            std::thread::sleep(Duration::from_millis(8));
+            timed(stage::SAMPLING, || {
+                std::thread::sleep(Duration::from_millis(8))
+            });
+        });
+        let b = StageBreakdown::from_profile(&rec.profile(), 0.016);
+        assert!(b.sampling_secs >= 0.007, "sampling {}", b.sampling_secs);
+        // Exclusive: dense must not double-count the nested sampling time.
+        let dense_total = rec.profile().total_secs(stage::DENSE);
+        assert!(
+            b.dense_secs <= dense_total - b.sampling_secs + 0.003,
+            "dense self {} vs total {} sampling {}",
+            b.dense_secs,
+            dense_total,
+            b.sampling_secs
+        );
+        let u = b.utilization().unwrap();
+        assert!(u > 0.2 && u < 0.8, "utilization {u}");
+    }
+
+    #[test]
+    fn utilization_is_none_when_unmeasured() {
+        assert!(StageBreakdown::default().utilization().is_none());
+    }
+
+    #[test]
+    fn report_serializes_stages_and_profile() {
+        let rec = Recorder::new();
+        let _g = rec.install();
+        timed(stage::TRAIN_EPOCH, || {});
+        let report = EfficiencyReport {
+            runtime_per_epoch_secs: 1.5,
+            profile: rec.profile(),
+            ..Default::default()
+        };
+        let s = report.to_json().to_string();
+        assert!(s.contains("\"stages\""), "{s}");
+        assert!(s.contains("\"train_epoch\""), "{s}");
+        assert!(s.contains("\"counters\""), "{s}");
     }
 
     #[test]

@@ -134,6 +134,7 @@ pub fn multiclass_metrics(
         .sum();
     let mut prec_w = 0.0;
     let mut rec_w = 0.0;
+    let mut f1_w = 0.0;
     for c in 0..num_classes {
         let support: usize = (0..num_classes)
             .map(|p| confusion[c * num_classes + p])
@@ -147,16 +148,21 @@ pub fn multiclass_metrics(
             .sum();
         let precision = if pred_c > 0 { tp / pred_c as f64 } else { 0.0 };
         let recall = tp / support as f64;
+        // sklearn semantics: F1 is computed per class, then support-weighted
+        // — NOT the harmonic mean of the weighted precision and recall (the
+        // two disagree whenever per-class precision/recall are imbalanced).
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
         prec_w += support as f64 * precision;
         rec_w += support as f64 * recall;
+        f1_w += support as f64 * f1;
     }
     let precision_weighted = prec_w / n;
     let recall_weighted = rec_w / n;
-    let f1_weighted = if precision_weighted + recall_weighted > 0.0 {
-        2.0 * precision_weighted * recall_weighted / (precision_weighted + recall_weighted)
-    } else {
-        0.0
-    };
+    let f1_weighted = f1_w / n;
     MultiClassMetrics {
         accuracy: correct as f64 / n,
         precision_weighted,
@@ -251,15 +257,41 @@ mod tests {
     #[test]
     fn multiclass_matches_hand_computed_weighted_metrics() {
         // truth: [0,0,1,1], pred: [0,1,1,1].
-        // class 0: support 2, tp 1, pred_0 = 1 → prec 1.0, rec 0.5
-        // class 1: support 2, tp 2, pred_1 = 3 → prec 2/3, rec 1.0
+        // class 0: support 2, tp 1, pred_0 = 1 → prec 1.0, rec 0.5, f1 2/3
+        // class 1: support 2, tp 2, pred_1 = 3 → prec 2/3, rec 1.0, f1 0.8
         // weighted prec = (2*1 + 2*2/3)/4 = 5/6; weighted rec = (1 + 2)/4 = 0.75
+        // weighted f1 = (2*(2/3) + 2*0.8)/4 = 11/15 ≈ 0.73333 (sklearn)
         let m = multiclass_metrics(&[0, 1, 1, 1], &[0, 0, 1, 1], 2);
         assert!((m.accuracy - 0.75).abs() < 1e-9);
         assert!((m.precision_weighted - 5.0 / 6.0).abs() < 1e-9);
         assert!((m.recall_weighted - 0.75).abs() < 1e-9);
-        let f1 = 2.0 * (5.0 / 6.0) * 0.75 / (5.0 / 6.0 + 0.75);
-        assert!((m.f1_weighted - f1).abs() < 1e-9);
+        assert!((m.f1_weighted - 11.0 / 15.0).abs() < 1e-9);
+        // This is exactly a case where the old formula (harmonic mean of the
+        // weighted precision and recall) disagrees: it gave 15/19 ≈ 0.78947.
+        let old: f64 = 2.0 * (5.0 / 6.0) * 0.75 / (5.0 / 6.0 + 0.75);
+        assert!((old - 15.0 / 19.0).abs() < 1e-9);
+        assert!((m.f1_weighted - old).abs() > 0.05);
+    }
+
+    #[test]
+    fn weighted_f1_is_support_weighted_mean_of_per_class_f1() {
+        // Three classes with very different precision/recall balance:
+        // truth: [0,0,0,1,2,2], pred: [0,1,2,1,2,0].
+        // class 0: support 3, tp 1, pred_0 = 2 → prec 0.5, rec 1/3, f1 0.4
+        // class 1: support 1, tp 1, pred_1 = 2 → prec 0.5, rec 1.0, f1 2/3
+        // class 2: support 2, tp 1, pred_2 = 2 → prec 0.5, rec 0.5, f1 0.5
+        // weighted f1 = (3*0.4 + 1*2/3 + 2*0.5)/6 = (1.2 + 2/3 + 1)/6
+        let m = multiclass_metrics(&[0, 1, 2, 1, 2, 0], &[0, 0, 0, 1, 2, 2], 3);
+        let expect = (3.0 * 0.4 + 2.0 / 3.0 + 2.0 * 0.5) / 6.0;
+        assert!(
+            (m.f1_weighted - expect).abs() < 1e-9,
+            "f1 {} vs {expect}",
+            m.f1_weighted
+        );
+        // The harmonic-mean-of-weighted-averages formula lands elsewhere.
+        let harmonic = 2.0 * m.precision_weighted * m.recall_weighted
+            / (m.precision_weighted + m.recall_weighted);
+        assert!((m.f1_weighted - harmonic).abs() > 1e-3);
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod sampler;
 
 pub use dataloader::{LinkPredSplit, NodeClassSplit, Setting, SplitStats};
 pub use early_stop::EarlyStopMonitor;
-pub use efficiency::{ComputeClock, EfficiencyReport};
+pub use efficiency::{EfficiencyReport, StageBreakdown};
 pub use evaluator::{average_precision, multiclass_metrics, roc_auc, MultiClassMetrics};
 pub use leaderboard::{Entry, Leaderboard};
 pub use pipeline::{

@@ -19,12 +19,13 @@ use std::time::{Duration, Instant};
 
 use benchtemp_graph::neighbors::NeighborFinder;
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_obs as obs;
 use benchtemp_tensor::{pool, Matrix};
 use benchtemp_util::{json, Json, ToJson};
 
 use crate::dataloader::{LinkPredSplit, NodeClassSplit, Setting};
 use crate::early_stop::EarlyStopMonitor;
-use crate::efficiency::{peak_rss_bytes, ComputeClock, EfficiencyReport, EpochTimer};
+use crate::efficiency::{peak_rss_bytes, stage, EfficiencyReport, StageBreakdown};
 use crate::evaluator::{
     auc_ap_pos_neg, average_precision_pos_neg, multiclass_metrics, roc_auc, MultiClassMetrics,
 };
@@ -99,12 +100,6 @@ pub trait TgnnModel {
     /// Exact state footprint in bytes: parameters, optimizer state, memory
     /// modules, caches (the paper's GPU-memory analogue).
     fn state_bytes(&self) -> usize;
-
-    /// Dense-vs-sampling time split accumulated since the last call
-    /// (the paper's GPU-utilization analogue). Default: unmeasured.
-    fn take_compute_clock(&mut self) -> ComputeClock {
-        ComputeClock::default()
-    }
 }
 
 /// Training-protocol configuration (§4.1 defaults, scaled).
@@ -199,6 +194,14 @@ pub fn train_link_prediction(
     split: &LinkPredSplit,
     cfg: &TrainConfig,
 ) -> LinkPredictionRun {
+    // One recorder per job: every span closed below (including on pool
+    // workers) aggregates here, and the final profile ships in the report.
+    let recorder = obs::Recorder::new();
+    let _obs_guard = recorder.install();
+    let job_start = Instant::now();
+    let deadline = job_start + cfg.timeout;
+
+    let setup_span = obs::span(stage::SETUP);
     let train_nf = NeighborFinder::from_events(graph.num_nodes, &split.train);
     let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
     let train_ctx = StreamContext {
@@ -233,77 +236,84 @@ pub fn train_link_prediction(
         .iter()
         .map(|e| split.unseen[e.src] && split.unseen[e.dst])
         .collect();
+    drop(setup_span);
 
     let mut monitor = EarlyStopMonitor::new(cfg.patience, cfg.tolerance);
-    let mut timer = EpochTimer::new();
-    let job_start = Instant::now();
     let mut timed_out = false;
 
     let mut epoch_losses = Vec::new();
     let mut val_aps = Vec::new();
     let mut best_test_scores: Option<(Vec<f32>, Vec<f32>)> = None;
     let mut best_snapshot: Option<Vec<Matrix>> = None;
-    let mut clock = ComputeClock::default();
     let mut inference_secs_per_100k = 0.0;
-    let mut eval_secs = 0.0f64;
 
     for _epoch in 0..cfg.max_epochs {
-        // ---- train ----
-        model.reset_state();
-        let mut loss_sum = 0.0f64;
-        let mut batches = 0usize;
-        for batch in split.train.chunks(cfg.batch_size) {
-            let negs = train_sampler.sample_batch(batch);
-            loss_sum += model.train_batch(&train_ctx, batch, &negs) as f64;
-            batches += 1;
-            if job_start.elapsed() > cfg.timeout {
-                timed_out = true;
-                break;
+        // ---- train (its span covers learning only — never scoring) ----
+        {
+            let _train_span = obs::span(stage::TRAIN_EPOCH);
+            model.reset_state();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for batch in split.train.chunks(cfg.batch_size) {
+                let negs = train_sampler.sample_batch(batch);
+                loss_sum += model.train_batch(&train_ctx, batch, &negs) as f64;
+                batches += 1;
+                if Instant::now() > deadline {
+                    timed_out = true;
+                    break;
+                }
             }
+            epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
         }
-        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
-        timer.lap();
+        if timed_out {
+            // The epoch is truncated: skip scoring entirely — partial-epoch
+            // scores are not comparable to full-stream scores.
+            break;
+        }
 
         // ---- validation (stream continues; full adjacency view) ----
-        let eval_start = Instant::now();
         val_sampler.reset();
-        let (vpos, vneg) = score_stream(
-            model,
-            &full_ctx,
-            &split.val,
-            &mut val_sampler,
-            cfg.batch_size,
-        );
-        let val_ap = average_precision_pos_neg(&vpos, &vneg);
+        let val_scores = obs::timed(stage::VAL_SCORING, || {
+            score_stream(
+                model,
+                &full_ctx,
+                &split.val,
+                &mut val_sampler,
+                cfg.batch_size,
+                Some(deadline),
+            )
+        });
+        if !val_scores.completed {
+            timed_out = true;
+            break;
+        }
+        let val_ap = average_precision_pos_neg(&val_scores.pos, &val_scores.neg);
         val_aps.push(val_ap);
 
         // ---- test (stream continues) ----
         test_sampler.reset();
-        let infer_start = Instant::now();
-        let test_scores = score_stream(
-            model,
-            &full_ctx,
-            &split.test,
-            &mut test_sampler,
-            cfg.batch_size,
-        );
-        let infer = infer_start.elapsed().as_secs_f64();
-        eval_secs += eval_start.elapsed().as_secs_f64();
+        let (test_scores, infer) = obs::timed_secs(stage::TEST_SCORING, || {
+            score_stream(
+                model,
+                &full_ctx,
+                &split.test,
+                &mut test_sampler,
+                cfg.batch_size,
+                Some(deadline),
+            )
+        });
+        if !test_scores.completed {
+            timed_out = true;
+            break;
+        }
 
         let improved = monitor.record(val_ap);
         if improved || best_test_scores.is_none() {
-            best_test_scores = Some(test_scores);
+            best_test_scores = Some((test_scores.pos, test_scores.neg));
             best_snapshot = Some(model.snapshot());
             inference_secs_per_100k = infer / (split.test.len().max(1) as f64 * 2.0) * 100_000.0;
         }
-        clock = {
-            let c = model.take_compute_clock();
-            ComputeClock {
-                dense: clock.dense + c.dense,
-                sampling: clock.sampling + c.sampling,
-            }
-        };
-        if monitor.should_stop() || timed_out {
+        if monitor.should_stop() {
             break;
         }
     }
@@ -331,34 +341,40 @@ pub fn train_link_prediction(
     let ind = |i: usize| inductive_mask[i];
     let nn = |i: usize| new_new_mask[i];
     let no = |i: usize| inductive_mask[i] && !new_new_mask[i];
-    let eval_start = Instant::now();
-    let score_sets = [
-        subset_scores(None),
-        subset_scores(Some(&ind)),
-        subset_scores(Some(&no)),
-        subset_scores(Some(&nn)),
-    ];
-    let setting_metrics = |(pos, neg): &(Vec<f32>, Vec<f32>)| {
-        let (auc, ap) = auc_ap_pos_neg(pos, neg);
-        SettingMetrics {
-            auc,
-            ap,
-            n_edges: pos.len(),
-        }
-    };
-    // Dispatch through the pool only when it can actually help: with a
-    // single effective worker (1-core host, or BENCHTEMP_THREADS=1) or a
-    // test stream too small to amortize queue traffic, compute inline —
-    // the per-setting kernel is identical either way, so the metrics are
-    // bit-identical regardless of which path runs.
-    let total_scores: usize = score_sets.iter().map(|(p, n)| p.len() + n.len()).sum();
-    let metrics: Vec<SettingMetrics> =
-        if pool().workers() == 1 || total_scores < PAR_EVAL_MIN_SCORES {
-            score_sets.iter().map(setting_metrics).collect()
-        } else {
-            pool().par_map(&score_sets, setting_metrics)
+    let metrics = obs::timed(stage::FINAL_METRICS, || {
+        let score_sets = [
+            subset_scores(None),
+            subset_scores(Some(&ind)),
+            subset_scores(Some(&no)),
+            subset_scores(Some(&nn)),
+        ];
+        let setting_metrics = |(pos, neg): &(Vec<f32>, Vec<f32>)| {
+            let (auc, ap) = auc_ap_pos_neg(pos, neg);
+            SettingMetrics {
+                auc,
+                ap,
+                n_edges: pos.len(),
+            }
         };
-    eval_secs += eval_start.elapsed().as_secs_f64();
+        // Dispatch through the pool only when it can actually help: with a
+        // single effective worker (1-core host, or BENCHTEMP_THREADS=1) or a
+        // test stream too small to amortize queue traffic, compute inline —
+        // the per-setting kernel is identical either way, so the metrics are
+        // bit-identical regardless of which path runs.
+        let total_scores: usize = score_sets.iter().map(|(p, n)| p.len() + n.len()).sum();
+        let metrics: Vec<SettingMetrics> =
+            if pool().workers() == 1 || total_scores < PAR_EVAL_MIN_SCORES {
+                score_sets.iter().map(setting_metrics).collect()
+            } else {
+                pool().par_map(&score_sets, setting_metrics)
+            };
+        metrics
+    });
+
+    let rss = peak_rss_bytes();
+    obs::trace::emit_counters();
+    let profile = recorder.profile();
+    let stages = StageBreakdown::from_profile(&profile, job_start.elapsed().as_secs_f64());
 
     LinkPredictionRun {
         model: model.name().to_string(),
@@ -371,34 +387,53 @@ pub fn train_link_prediction(
         epoch_losses,
         val_aps,
         efficiency: EfficiencyReport {
-            runtime_per_epoch_secs: timer.mean_epoch_secs(),
+            // Mean over training spans only: scoring has its own spans, so
+            // it cannot leak in here (the old `EpochTimer` bug).
+            runtime_per_epoch_secs: profile.mean_secs(stage::TRAIN_EPOCH),
             epochs_to_converge: monitor.best_epoch() + 1,
-            peak_rss_bytes: peak_rss_bytes(),
+            peak_rss_bytes: rss,
             model_state_bytes: model.state_bytes() as u64,
-            compute_utilization: clock.utilization().unwrap_or(0.0),
+            compute_utilization: stages.utilization().unwrap_or(0.0),
             inference_secs_per_100k,
             timed_out,
             thread_count: pool().threads(),
-            dense_secs: clock.dense.as_secs_f64(),
-            sampling_secs: clock.sampling.as_secs_f64(),
-            eval_secs,
+            stages,
+            profile,
         },
     }
 }
 
+/// Scores from one pass over an event window. `completed` is false when the
+/// pass was cut short by the job deadline — truncated scores must never be
+/// compared against (or recorded as) full-stream scores.
+struct StreamScores {
+    pos: Vec<f32>,
+    neg: Vec<f32>,
+    completed: bool,
+}
+
 /// Advance the model through an event window, scoring every edge against a
-/// sampled negative. Returns `(pos_scores, neg_scores)` aligned with the
-/// window's events.
+/// sampled negative. Scores align with the window's events. Stops early
+/// (with `completed: false`) once `deadline` passes, so a timed-out job
+/// does not burn its overrun on full val+test scoring.
 fn score_stream(
     model: &mut dyn TgnnModel,
     ctx: &StreamContext,
     events: &[Interaction],
     sampler: &mut EdgeSampler,
     batch_size: usize,
-) -> (Vec<f32>, Vec<f32>) {
+    deadline: Option<Instant>,
+) -> StreamScores {
     let mut pos = Vec::with_capacity(events.len());
     let mut neg = Vec::with_capacity(events.len());
     for batch in events.chunks(batch_size) {
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            return StreamScores {
+                pos,
+                neg,
+                completed: false,
+            };
+        }
         let negs = sampler.sample_batch(batch);
         let (p, n) = model.eval_batch(ctx, batch, &negs);
         debug_assert_eq!(p.len(), batch.len());
@@ -406,7 +441,11 @@ fn score_stream(
         pos.extend(p);
         neg.extend(n);
     }
-    (pos, neg)
+    StreamScores {
+        pos,
+        neg,
+        completed: true,
+    }
 }
 
 /// Outcome of one node-classification job.
@@ -449,32 +488,38 @@ pub fn train_node_classification(
 ) -> NodeClassificationRun {
     use benchtemp_tensor::{init, nn::Mlp, Adam, Graph, ParamStore};
 
+    let recorder = obs::Recorder::new();
+    let _obs_guard = recorder.install();
+    let job_start = Instant::now();
+
     let labels = graph
         .labels
         .as_ref()
         .expect("node classification needs labels");
+    let setup_span = obs::span(stage::SETUP);
     let split = NodeClassSplit::new(graph);
     let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
     let ctx = StreamContext {
         graph,
         neighbors: &full_nf,
     };
+    drop(setup_span);
 
     // ---- collect embeddings over the full stream (one pass) ----
-    let embed_start = Instant::now();
     model.reset_state();
     let dim = model.embed_dim();
     let mut embeddings = Matrix::zeros(graph.num_events(), dim);
-    let mut row = 0usize;
-    for batch in graph.events.chunks(cfg.batch_size) {
-        let emb = model.embed_events(&ctx, batch);
-        debug_assert_eq!(emb.rows(), batch.len());
-        for r in 0..emb.rows() {
-            embeddings.set_row(row, emb.row(r));
-            row += 1;
+    let (_, embed_secs) = obs::timed_secs(stage::EMBED_COLLECTION, || {
+        let mut row = 0usize;
+        for batch in graph.events.chunks(cfg.batch_size) {
+            let emb = model.embed_events(&ctx, batch);
+            debug_assert_eq!(emb.rows(), batch.len());
+            for r in 0..emb.rows() {
+                embeddings.set_row(row, emb.row(r));
+                row += 1;
+            }
         }
-    }
-    let embed_secs = embed_start.elapsed().as_secs_f64();
+    });
 
     // ---- train the decoder on frozen embeddings ----
     let num_classes = labels.num_classes;
@@ -486,7 +531,6 @@ pub fn train_node_classification(
     let mut adam = Adam::new(1e-3);
     let mut monitor = EarlyStopMonitor::new(cfg.patience, cfg.tolerance);
     let mut best_snapshot: Option<Vec<Matrix>> = None;
-    let mut timer = EpochTimer::new();
 
     let gather = |range: &std::ops::Range<usize>| -> (Vec<usize>, Vec<usize>) {
         let idx: Vec<usize> = range.clone().collect();
@@ -517,22 +561,23 @@ pub fn train_node_classification(
 
     let decoder_batch = 512usize;
     for _epoch in 0..cfg.max_epochs {
-        for chunk in train_idx.chunks(decoder_batch) {
-            let mut g = Graph::new(&store);
-            let x = g.input(embeddings.gather_rows(chunk));
-            let logits = decoder.forward(&mut g, x);
-            let ys: Vec<usize> = chunk.iter().map(|&i| labels.labels[i] as usize).collect();
-            let loss = if binary {
-                let yf: Vec<f32> = ys.iter().map(|&y| y as f32).collect();
-                g.bce_with_logits(logits, &yf)
-            } else {
-                g.softmax_cross_entropy(logits, &ys)
-            };
-            let grads = g.backward(loss);
-            adam.step(&mut store, &grads);
-        }
-        timer.lap();
-        let metric = val_metric(&store);
+        obs::timed(stage::TRAIN_EPOCH, || {
+            for chunk in train_idx.chunks(decoder_batch) {
+                let mut g = Graph::new(&store);
+                let x = g.input(embeddings.gather_rows(chunk));
+                let logits = decoder.forward(&mut g, x);
+                let ys: Vec<usize> = chunk.iter().map(|&i| labels.labels[i] as usize).collect();
+                let loss = if binary {
+                    let yf: Vec<f32> = ys.iter().map(|&y| y as f32).collect();
+                    g.bce_with_logits(logits, &yf)
+                } else {
+                    g.softmax_cross_entropy(logits, &ys)
+                };
+                let grads = g.backward(loss);
+                adam.step(&mut store, &grads);
+            }
+        });
+        let metric = obs::timed(stage::VAL_SCORING, || val_metric(&store));
         if monitor.record(metric) {
             best_snapshot = Some(store.snapshot());
         }
@@ -545,21 +590,24 @@ pub fn train_node_classification(
     }
 
     // ---- test ----
-    let eval_start = Instant::now();
-    let logits = score_set(&store, &test_idx);
-    let (auc, multiclass) = if binary {
-        let scores: Vec<f32> = (0..logits.rows()).map(|r| logits.get(r, 0)).collect();
-        let ylab: Vec<f32> = test_y.iter().map(|&y| y as f32).collect();
-        (roc_auc(&ylab, &scores), None)
-    } else {
-        let pred: Vec<usize> = (0..logits.rows()).map(|r| argmax(logits.row(r))).collect();
-        let m = multiclass_metrics(&pred, &test_y, num_classes);
-        (m.accuracy, Some(m))
-    };
-    let eval_secs = eval_start.elapsed().as_secs_f64();
+    let (auc, multiclass) = obs::timed(stage::TEST_SCORING, || {
+        let logits = score_set(&store, &test_idx);
+        if binary {
+            let scores: Vec<f32> = (0..logits.rows()).map(|r| logits.get(r, 0)).collect();
+            let ylab: Vec<f32> = test_y.iter().map(|&y| y as f32).collect();
+            (roc_auc(&ylab, &scores), None)
+        } else {
+            let pred: Vec<usize> = (0..logits.rows()).map(|r| argmax(logits.row(r))).collect();
+            let m = multiclass_metrics(&pred, &test_y, num_classes);
+            (m.accuracy, Some(m))
+        }
+    });
     let _ = train_y; // decoder batches re-derive labels; kept for clarity
 
-    let clock = model.take_compute_clock();
+    let rss = peak_rss_bytes();
+    obs::trace::emit_counters();
+    let profile = recorder.profile();
+    let stages = StageBreakdown::from_profile(&profile, job_start.elapsed().as_secs_f64());
     NodeClassificationRun {
         model: model.name().to_string(),
         dataset: graph.name.clone(),
@@ -570,18 +618,17 @@ pub fn train_node_classification(
         efficiency: EfficiencyReport {
             // Embedding collection dominates NC runtime; amortize over the
             // decoder epochs actually run, matching "seconds per epoch".
-            runtime_per_epoch_secs: (embed_secs + timer.total().as_secs_f64())
+            runtime_per_epoch_secs: (embed_secs + profile.total_secs(stage::TRAIN_EPOCH))
                 / monitor.epochs_seen().max(1) as f64,
             epochs_to_converge: monitor.best_epoch() + 1,
-            peak_rss_bytes: peak_rss_bytes(),
+            peak_rss_bytes: rss,
             model_state_bytes: (model.state_bytes() + store.heap_bytes()) as u64,
-            compute_utilization: clock.utilization().unwrap_or(0.0),
+            compute_utilization: stages.utilization().unwrap_or(0.0),
             inference_secs_per_100k: embed_secs / graph.num_events().max(1) as f64 * 100_000.0,
             timed_out: false,
             thread_count: pool().threads(),
-            dense_secs: clock.dense.as_secs_f64(),
-            sampling_secs: clock.sampling.as_secs_f64(),
-            eval_secs,
+            stages,
+            profile,
         },
     }
 }

@@ -108,12 +108,21 @@ impl EdgeSampler {
                 return cand;
             }
         }
-        // Pathological pool (single candidate == positive): fall back.
-        (positive.dst + 1).rem_euclid(self.dst_hi.max(1))
+        // Pathological pool (single candidate == positive): fall back to the
+        // adjacent id, staying inside `[dst_lo, dst_hi)`. A plain
+        // `rem_euclid(dst_hi)` could wrap below `dst_lo` and hand a
+        // bipartite job a *user* node as a negative destination.
+        let next = positive.dst + 1;
+        if next >= self.dst_lo && next < self.dst_hi {
+            next
+        } else {
+            self.dst_lo
+        }
     }
 
     /// Sample one negative destination per positive edge in the batch.
     pub fn sample_batch(&mut self, batch: &[Interaction]) -> Vec<usize> {
+        benchtemp_obs::counters::NEGATIVES_SAMPLED.add(batch.len() as u64);
         batch.iter().map(|e| self.sample_dst(e)).collect()
     }
 
@@ -197,6 +206,46 @@ mod tests {
         let mut s = EdgeSampler::new(&g, train, NegativeStrategy::Inductive, 7);
         let negs = s.sample_batch(&g.events[500..700]);
         assert!(negs.iter().all(|d| valid.contains(d)));
+    }
+
+    #[test]
+    fn pathological_pool_fallback_stays_in_item_range() {
+        use benchtemp_tensor::Matrix;
+        // Bipartite graph: users 0..3, items 3..5. Every training edge hits
+        // item 4 (the last id), so the Historical pool is the single
+        // candidate [4] — all 32 draws collide and the fallback fires.
+        let events: Vec<Interaction> = (0..6)
+            .map(|i| Interaction {
+                src: i % 3,
+                dst: 4,
+                t: i as f64,
+                feat_idx: 0,
+            })
+            .collect();
+        let g = TemporalGraph {
+            name: "bipartite-degenerate".into(),
+            bipartite: true,
+            num_nodes: 5,
+            num_users: 3,
+            events,
+            edge_features: Matrix::zeros(1, 4),
+            node_features: Matrix::zeros(5, 4),
+            labels: None,
+        };
+        g.validate().unwrap();
+        let mut s = EdgeSampler::new(&g, &g.events, NegativeStrategy::Historical, 9);
+        for ev in g.events.clone() {
+            let neg = s.sample_dst(&ev);
+            // The old `(dst + 1).rem_euclid(dst_hi)` fallback returned 0
+            // here — a *user* node. Negatives must stay in the item range.
+            assert!(
+                neg >= g.num_users && neg < g.num_nodes,
+                "negative {neg} is outside the item range [{}, {})",
+                g.num_users,
+                g.num_nodes
+            );
+            assert_ne!(neg, ev.dst);
+        }
     }
 
     #[test]

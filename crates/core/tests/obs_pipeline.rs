@@ -1,0 +1,238 @@
+//! Regression tests for the obs-instrumented pipeline (DESIGN.md §9).
+//!
+//! The central one pins down the `EpochTimer` bug this subsystem replaced:
+//! `runtime_per_epoch_secs` must cover *training only*. A stub model whose
+//! training batches sleep much longer than its scoring batches makes any
+//! contamination show up as a factor-of-two error.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use benchtemp_core::dataloader::LinkPredSplit;
+use benchtemp_core::efficiency::stage;
+use benchtemp_core::pipeline::{
+    train_link_prediction, Anatomy, StreamContext, TgnnModel, TrainConfig,
+};
+use benchtemp_core::NegativeStrategy;
+use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::temporal_graph::Interaction;
+use benchtemp_tensor::Matrix;
+
+/// The trace sink is process-global; tests that toggle it (or that must not
+/// observe another test's open spans in the file) serialize through here.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Stub model: training batches sleep `train_ms`, scoring batches sleep
+/// `eval_ms`. Scores are deterministic functions of the edge so the metric
+/// plumbing downstream stays exercised.
+struct SleepyModel {
+    train_ms: u64,
+    eval_ms: u64,
+}
+
+impl TgnnModel for SleepyModel {
+    fn name(&self) -> &'static str {
+        "Sleepy"
+    }
+
+    fn anatomy(&self) -> Anatomy {
+        Anatomy {
+            memory: false,
+            attention: false,
+            rnn: false,
+            temp_walk: false,
+            scalability: true,
+            supervision: "stub",
+        }
+    }
+
+    fn reset_state(&mut self) {}
+
+    fn train_batch(&mut self, _: &StreamContext, _: &[Interaction], _: &[usize]) -> f32 {
+        std::thread::sleep(Duration::from_millis(self.train_ms));
+        0.5
+    }
+
+    fn eval_batch(
+        &mut self,
+        _: &StreamContext,
+        batch: &[Interaction],
+        neg: &[usize],
+    ) -> (Vec<f32>, Vec<f32>) {
+        std::thread::sleep(Duration::from_millis(self.eval_ms));
+        let score = |a: usize, b: usize| ((a * 31 + b * 7) % 101) as f32 / 101.0;
+        (
+            batch.iter().map(|e| 1.0 + score(e.src, e.dst)).collect(),
+            batch
+                .iter()
+                .zip(neg)
+                .map(|(e, &n)| score(e.src, n))
+                .collect(),
+        )
+    }
+
+    fn embed_events(&mut self, _: &StreamContext, batch: &[Interaction]) -> Matrix {
+        Matrix::zeros(batch.len(), 4)
+    }
+
+    fn embed_dim(&self) -> usize {
+        4
+    }
+
+    fn snapshot(&self) -> Vec<Matrix> {
+        Vec::new()
+    }
+
+    fn restore(&mut self, _: &[Matrix]) {}
+
+    fn state_bytes(&self) -> usize {
+        0
+    }
+}
+
+fn run_job(model: &mut SleepyModel, max_epochs: usize) -> benchtemp_core::LinkPredictionRun {
+    let g = GeneratorConfig::small("obs-pipeline", 171).generate();
+    let split = LinkPredSplit::new(&g, 7);
+    let cfg = TrainConfig {
+        batch_size: 100_000, // one batch per stream pass → sleeps are exact
+        max_epochs,
+        patience: 10,
+        tolerance: 1e-9,
+        timeout: Duration::from_secs(600),
+        seed: 7,
+        neg_strategy: NegativeStrategy::Random,
+    };
+    train_link_prediction(model, &g, &split, &cfg)
+}
+
+#[test]
+fn runtime_per_epoch_excludes_eval_scoring() {
+    let _lock = TRACE_LOCK.lock().unwrap();
+    // Train sleeps 80 ms/epoch; val+test scoring sleeps 2×40 ms/epoch. The
+    // old EpochTimer (reset at epoch top, read after the next epoch's
+    // training) charged the scoring to the following epoch, reporting
+    // ~160 ms/epoch. The span-based clock must report ~80 ms.
+    let mut model = SleepyModel {
+        train_ms: 80,
+        eval_ms: 40,
+    };
+    let run = run_job(&mut model, 3);
+    let eff = &run.efficiency;
+
+    let rt = eff.runtime_per_epoch_secs;
+    assert!(rt >= 0.075, "runtime/epoch {rt} lost training time");
+    assert!(
+        rt < 0.130,
+        "runtime/epoch {rt} absorbed eval scoring (contaminated ≈ 0.160)"
+    );
+
+    // Every epoch opened exactly one span per protocol stage.
+    let p = &eff.profile;
+    assert_eq!(p.count(stage::TRAIN_EPOCH), 3);
+    assert_eq!(p.count(stage::VAL_SCORING), 3);
+    assert_eq!(p.count(stage::TEST_SCORING), 3);
+    assert_eq!(p.count(stage::FINAL_METRICS), 1);
+
+    // Scoring time landed in its own stages, not in training.
+    let s = &eff.stages;
+    assert!(s.val_secs >= 0.110, "val_secs {}", s.val_secs);
+    assert!(s.test_secs >= 0.110, "test_secs {}", s.test_secs);
+
+    // The breakdown accounts for the whole job: the sleeps all happen under
+    // stage spans, so the stage sum must be within 5% of job wall-clock.
+    let sum = s.stage_sum_secs();
+    assert!(
+        (s.job_secs - sum).abs() <= 0.05 * s.job_secs,
+        "stage sum {sum} vs job {}",
+        s.job_secs
+    );
+}
+
+#[test]
+fn trace_stream_is_valid_jsonl_with_paired_spans() {
+    let _lock = TRACE_LOCK.lock().unwrap();
+    let path =
+        std::env::temp_dir().join(format!("benchtemp-obs-test-{}.jsonl", std::process::id()));
+    benchtemp_obs::trace::set_path(Some(&path));
+    let mut model = SleepyModel {
+        train_ms: 1,
+        eval_ms: 1,
+    };
+    let run = run_job(&mut model, 2);
+    benchtemp_obs::trace::set_path(None); // flush + close
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(run.transductive.n_edges > 0);
+
+    let mut open: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+    let mut spans_seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut counters_seen = false;
+    for line in text.lines() {
+        let ev = benchtemp_util::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e:?}"));
+        match ev.get("ev").and_then(|v| v.as_str()) {
+            Some("open") => {
+                let key = (
+                    ev.get("tid").and_then(|v| v.as_u64()).unwrap(),
+                    ev.get("sid").and_then(|v| v.as_u64()).unwrap(),
+                );
+                assert!(ev.get("t_us").and_then(|v| v.as_u64()).is_some());
+                spans_seen.insert(ev.get("span").unwrap().as_str().unwrap().to_string());
+                assert!(open.insert(key), "duplicate open {key:?}");
+            }
+            Some("close") => {
+                let key = (
+                    ev.get("tid").and_then(|v| v.as_u64()).unwrap(),
+                    ev.get("sid").and_then(|v| v.as_u64()).unwrap(),
+                );
+                assert!(ev.get("dur_us").and_then(|v| v.as_u64()).is_some());
+                assert!(ev.get("self_us").and_then(|v| v.as_u64()).is_some());
+                assert!(open.remove(&key), "close without open {key:?}");
+            }
+            Some("counters") => counters_seen = true,
+            other => panic!("unknown trace event {other:?} in {line:?}"),
+        }
+    }
+    assert!(open.is_empty(), "unclosed spans in trace: {open:?}");
+    assert!(counters_seen, "no counters snapshot in trace");
+    for required in [
+        stage::SETUP,
+        stage::TRAIN_EPOCH,
+        stage::VAL_SCORING,
+        stage::TEST_SCORING,
+        stage::FINAL_METRICS,
+    ] {
+        assert!(spans_seen.contains(required), "stage {required} not traced");
+    }
+}
+
+#[test]
+fn metrics_are_identical_with_tracing_on_and_off() {
+    let _lock = TRACE_LOCK.lock().unwrap();
+    let mut m1 = SleepyModel {
+        train_ms: 0,
+        eval_ms: 0,
+    };
+    benchtemp_obs::trace::set_path(None);
+    let off = run_job(&mut m1, 2);
+
+    let path = std::env::temp_dir().join(format!("benchtemp-obs-det-{}.jsonl", std::process::id()));
+    benchtemp_obs::trace::set_path(Some(&path));
+    let mut m2 = SleepyModel {
+        train_ms: 0,
+        eval_ms: 0,
+    };
+    let on = run_job(&mut m2, 2);
+    benchtemp_obs::trace::set_path(None);
+    let _ = std::fs::remove_file(&path);
+
+    // Bit-identical metrics: tracing must be observation-only.
+    assert_eq!(
+        off.transductive.auc.to_bits(),
+        on.transductive.auc.to_bits()
+    );
+    assert_eq!(off.transductive.ap.to_bits(), on.transductive.ap.to_bits());
+    assert_eq!(off.new_new.auc.to_bits(), on.new_new.auc.to_bits());
+    assert_eq!(off.val_aps, on.val_aps);
+    assert_eq!(off.epoch_losses, on.epoch_losses);
+}

@@ -439,6 +439,7 @@ impl NeighborFinder {
 
         let p = pool();
         let total_slots: usize = levels.iter().map(FrontierHop::len).sum();
+        benchtemp_obs::counters::FRONTIER_NODES_EXPANDED.add(total_slots as u64);
         let chunk = if p.workers() == 1 || total_slots < FRONTIER_PAR_SLOTS {
             n
         } else {

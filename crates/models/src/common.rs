@@ -2,7 +2,6 @@
 //! store (the truncated-gradient memory scheme of the TGN family), neighbor
 //! batch assembly for attention models, and the shared hyperparameters.
 
-use benchtemp_core::efficiency::ComputeClock;
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::neighbors::{FrontierHop, SamplingStrategy};
 use benchtemp_graph::temporal_graph::Interaction;
@@ -58,13 +57,13 @@ impl ModelConfig {
     }
 }
 
-/// Parameter store + optimizer + RNG + compute clock: the bundle every
-/// model owns. Delegation target for the `TgnnModel` boilerplate.
+/// Parameter store + optimizer + RNG: the bundle every model owns.
+/// Delegation target for the `TgnnModel` boilerplate. Dense/sampling time
+/// is attributed by `benchtemp-obs` spans, not carried here.
 pub struct ModelCore {
     pub store: ParamStore,
     pub adam: Adam,
     pub rng: SeededRng,
-    pub clock: ComputeClock,
 }
 
 impl ModelCore {
@@ -73,7 +72,6 @@ impl ModelCore {
             store: ParamStore::new(),
             adam: Adam::new(lr),
             rng: init::rng(seed),
-            clock: ComputeClock::new(),
         }
     }
 
@@ -87,12 +85,6 @@ impl ModelCore {
 
     pub fn param_bytes(&self) -> usize {
         self.store.heap_bytes()
-    }
-
-    pub fn take_clock(&mut self) -> ComputeClock {
-        let c = self.clock;
-        self.clock.reset();
-        c
     }
 }
 

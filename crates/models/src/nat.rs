@@ -11,9 +11,10 @@
 //! inductive New-New (Table 3) and its weakness on node classification
 //! (Table 5), which doesn't reward joint structure.
 
-use benchtemp_core::efficiency::ComputeClock;
+use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_obs as obs;
 use benchtemp_tensor::nn::{GruCell, Linear, Mlp, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, Var};
 
@@ -184,12 +185,13 @@ impl Nat {
     ) -> (f32, Vec<f32>, Vec<f32>, Matrix) {
         let view = BatchView::new(batch, neg_dsts);
         let n = view.len();
-        let start = std::time::Instant::now();
+        // Whole-batch dense span; the nested sampling span below subtracts
+        // itself from its exclusive time.
+        let _dense = obs::span(stage::DENSE);
 
         // Structural features (cache reads are the "sampling" phase — they
         // are what NAT made fast).
-        let sample_start = std::time::Instant::now();
-        let (pos_struct, neg_struct) = {
+        let (pos_struct, neg_struct) = obs::timed(stage::SAMPLING, || {
             let mut ps = Matrix::zeros(n, N_STRUCT);
             let mut ns = Matrix::zeros(n, N_STRUCT);
             for i in 0..n {
@@ -197,8 +199,7 @@ impl Nat {
                 ns.set_row(i, &self.pair_struct(view.srcs[i], view.negs[i]));
             }
             (ps, ns)
-        };
-        self.core.clock.sampling += sample_start.elapsed();
+        });
 
         let src_dt = self.reps.deltas(&view.srcs, &view.times);
         let dst_dt = self.reps.deltas(&view.dsts, &view.times);
@@ -264,7 +265,6 @@ impl Nat {
         if let Some(grads) = grads {
             self.core.adam.step(&mut self.core.store, &grads);
         }
-        self.core.clock.dense += start.elapsed();
 
         self.reps.write(&view.srcs, &new_src_m, &view.times);
         self.reps.write(&view.dsts, &new_dst_m, &view.times);
@@ -334,12 +334,6 @@ impl TgnnModel for Nat {
             .map(|c| c.slots.capacity() * std::mem::size_of::<u32>())
             .sum();
         self.core.param_bytes() + self.reps.heap_bytes() + cache_bytes
-    }
-
-    fn take_compute_clock(&mut self) -> ComputeClock {
-        let mut c = self.core.take_clock();
-        c.dense = c.dense.saturating_sub(c.sampling);
-        c
     }
 }
 

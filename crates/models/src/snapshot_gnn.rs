@@ -13,10 +13,11 @@
 //! Gradients flow through the scoring head and through the state-refresh
 //! computation of the most recent boundary, truncated like the TGN family.
 
-use benchtemp_core::efficiency::ComputeClock;
+use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
 use benchtemp_graph::snapshots::SnapshotSequence;
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_obs as obs;
 use benchtemp_tensor::nn::{GruCell, Linear, MergeLayer, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix};
 
@@ -124,23 +125,26 @@ impl SnapshotGnn {
     ) -> (f32, Vec<f32>, Vec<f32>, Matrix) {
         let view = BatchView::new(batch, neg_dsts);
         let n = view.len();
-        let start = std::time::Instant::now();
+        // Whole-batch dense span; the nested sampling span below subtracts
+        // itself from its exclusive time.
+        let _dense = obs::span(stage::DENSE);
 
-        // Advance snapshot states if the batch crossed a window boundary.
-        let sample_start = std::time::Instant::now();
-        let seq = SnapshotSequence::build(ctx.graph, &ctx.graph.events, self.num_snapshots);
-        let target = seq.snapshot_at(view.times[0]) as isize;
-        let mut step = self.current_snapshot;
-        while step < target {
-            step += 1;
-            // Refresh from the previous completed window (step-1), so the
-            // states never see the current window's future edges.
-            if step > 0 {
-                self.refresh_states(ctx, (step - 1) as usize, view.times[0]);
+        // Advance snapshot states if the batch crossed a window boundary
+        // (snapshot construction plays the role of neighbor sampling here).
+        obs::timed(stage::SAMPLING, || {
+            let seq = SnapshotSequence::build(ctx.graph, &ctx.graph.events, self.num_snapshots);
+            let target = seq.snapshot_at(view.times[0]) as isize;
+            let mut step = self.current_snapshot;
+            while step < target {
+                step += 1;
+                // Refresh from the previous completed window (step-1), so the
+                // states never see the current window's future edges.
+                if step > 0 {
+                    self.refresh_states(ctx, (step - 1) as usize, view.times[0]);
+                }
+                self.current_snapshot = step;
             }
-            self.current_snapshot = step;
-        }
-        self.core.clock.sampling += sample_start.elapsed();
+        });
 
         let src_dt = self.states.deltas(&view.srcs, &view.times);
         let mut g = Graph::new(&self.core.store);
@@ -168,7 +172,6 @@ impl SnapshotGnn {
         if let Some(grads) = grads {
             self.core.adam.step(&mut self.core.store, &grads);
         }
-        self.core.clock.dense += start.elapsed();
         (loss_val, pos, negs, src_emb)
     }
 }
@@ -227,12 +230,6 @@ impl TgnnModel for SnapshotGnn {
 
     fn state_bytes(&self) -> usize {
         self.core.param_bytes() + self.states.heap_bytes()
-    }
-
-    fn take_compute_clock(&mut self) -> ComputeClock {
-        let mut c = self.core.take_clock();
-        c.dense = c.dense.saturating_sub(c.sampling);
-        c
     }
 }
 

@@ -15,9 +15,10 @@
 //! state footprint, high compute utilization) while staying behind the
 //! walk-based models on raw quality (Table 13).
 
-use benchtemp_core::efficiency::ComputeClock;
+use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_obs as obs;
 use benchtemp_tensor::nn::{GruCell, Linear, MergeLayer, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix};
 
@@ -161,13 +162,20 @@ impl Temp {
         }
         let view = BatchView::new(batch, neg_dsts);
         let n = view.len();
-        let start = std::time::Instant::now();
+        // Whole-batch dense span; the nested sampling span below subtracts
+        // itself from its exclusive time.
+        let _dense = obs::span(stage::DENSE);
 
-        let sample_start = std::time::Instant::now();
-        let (src_lpa, src_msg, src_ref) = self.aggregates(ctx, &view.srcs, &view.times);
-        let (dst_lpa, dst_msg, dst_ref) = self.aggregates(ctx, &view.dsts, &view.times);
-        let (neg_lpa, neg_msg, neg_ref) = self.aggregates(ctx, &view.negs, &view.times);
-        self.core.clock.sampling += sample_start.elapsed();
+        let (src_agg, dst_agg, neg_agg) = obs::timed(stage::SAMPLING, || {
+            (
+                self.aggregates(ctx, &view.srcs, &view.times),
+                self.aggregates(ctx, &view.dsts, &view.times),
+                self.aggregates(ctx, &view.negs, &view.times),
+            )
+        });
+        let (src_lpa, src_msg, src_ref) = src_agg;
+        let (dst_lpa, dst_msg, dst_ref) = dst_agg;
+        let (neg_lpa, neg_msg, neg_ref) = neg_agg;
 
         let mut g = Graph::new(&self.core.store);
         let w = &self.weights;
@@ -240,7 +248,6 @@ impl Temp {
         if let Some(grads) = grads {
             self.core.adam.step(&mut self.core.store, &grads);
         }
-        self.core.clock.dense += start.elapsed();
 
         self.memory.write(&view.srcs, &new_src_m, &view.times);
         self.memory.write(&view.dsts, &new_dst_m, &view.times);
@@ -302,12 +309,6 @@ impl TgnnModel for Temp {
 
     fn state_bytes(&self) -> usize {
         self.core.param_bytes() + self.memory.heap_bytes()
-    }
-
-    fn take_compute_clock(&mut self) -> ComputeClock {
-        let mut c = self.core.take_clock();
-        c.dense = c.dense.saturating_sub(c.sampling);
-        c
     }
 }
 

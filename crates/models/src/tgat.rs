@@ -8,10 +8,11 @@
 //! The layer stack respects the Appendix-C dimension constraint (Eq. 1):
 //! the attention model dim is divisible by the head count by construction.
 
-use benchtemp_core::efficiency::ComputeClock;
+use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
 use benchtemp_graph::neighbors::SamplingStrategy;
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_obs as obs;
 use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::{Linear, MergeLayer, MultiHeadAttention, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, Var};
@@ -37,7 +38,6 @@ impl Weights {
     /// the frontier from the deepest hop back up to the query nodes — the
     /// same computation the old per-level recursion performed, without
     /// re-entering the sampler at every level.
-    #[allow(clippy::too_many_arguments)]
     fn embed(
         &self,
         g: &mut Graph,
@@ -46,7 +46,6 @@ impl Weights {
         times: &[f64],
         depth: usize,
         rng: &mut SeededRng,
-        clock: &mut ComputeClock,
     ) -> Var {
         let base = |g: &mut Graph, ids: &[usize]| -> Var {
             let f = g.input(ctx.graph.node_features.gather_rows(ids));
@@ -56,7 +55,7 @@ impl Weights {
             return base(g, nodes);
         }
         let k = self.neighbors;
-        let frontier = clock.sampling(|| {
+        let frontier = obs::timed(stage::SAMPLING, || {
             ctx.neighbors.sample_frontier(
                 nodes,
                 times,
@@ -152,18 +151,15 @@ impl Tgat {
             ..
         } = self;
         let depth = *layers;
-        let ModelCore {
-            store,
-            adam,
-            rng,
-            clock,
-        } = core;
-        let start = std::time::Instant::now();
+        let ModelCore { store, adam, rng } = core;
+        // Whole-batch dense span; nested sampling spans subtract themselves
+        // from its exclusive time, so "dense" self-time = batch − sampling.
+        let _dense = obs::span(stage::DENSE);
 
         let mut g = Graph::new(store);
-        let src = weights.embed(&mut g, ctx, &view.srcs, &view.times, depth, rng, clock);
-        let dst = weights.embed(&mut g, ctx, &view.dsts, &view.times, depth, rng, clock);
-        let neg = weights.embed(&mut g, ctx, &view.negs, &view.times, depth, rng, clock);
+        let src = weights.embed(&mut g, ctx, &view.srcs, &view.times, depth, rng);
+        let dst = weights.embed(&mut g, ctx, &view.dsts, &view.times, depth, rng);
+        let neg = weights.embed(&mut g, ctx, &view.negs, &view.times, depth, rng);
         let pos_logit = weights.decoder.forward(&mut g, src, dst);
         let neg_logit = weights.decoder.forward(&mut g, src, neg);
         let logits = g.concat_rows(pos_logit, neg_logit);
@@ -180,7 +176,6 @@ impl Tgat {
         if let Some(grads) = grads {
             adam.step(store, &grads);
         }
-        clock.dense += start.elapsed();
         (loss_val, pos, negs, src_mat)
     }
 }
@@ -238,12 +233,6 @@ impl TgnnModel for Tgat {
 
     fn state_bytes(&self) -> usize {
         self.core.param_bytes()
-    }
-
-    fn take_compute_clock(&mut self) -> ComputeClock {
-        let mut c = self.core.take_clock();
-        c.dense = c.dense.saturating_sub(c.sampling);
-        c
     }
 }
 

@@ -17,10 +17,11 @@
 //! implementations' scheme): each batch backpropagates through its own
 //! computation, then writes detached memory values.
 
-use benchtemp_core::efficiency::ComputeClock;
+use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
 use benchtemp_graph::neighbors::SamplingStrategy;
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_obs as obs;
 use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::{Linear, MergeLayer, MultiHeadAttention, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, ParamId, Var};
@@ -111,10 +112,9 @@ impl Weights {
         nodes: &[usize],
         times: &[f64],
         rng: &mut SeededRng,
-        clock: &mut ComputeClock,
     ) -> Var {
         let k = self.neighbors;
-        let nb = clock.sampling(|| {
+        let nb = obs::timed(stage::SAMPLING, || {
             NeighborBatch::sample(ctx, nodes, times, k, SamplingStrategy::MostRecent, rng)
         });
         let nb_state = {
@@ -138,7 +138,6 @@ impl Weights {
     }
 
     /// Variant embedding of nodes at the given times.
-    #[allow(clippy::too_many_arguments)]
     fn embed(
         &self,
         g: &mut Graph,
@@ -147,7 +146,6 @@ impl Weights {
         nodes: &[usize],
         times: &[f64],
         rng: &mut SeededRng,
-        clock: &mut ComputeClock,
     ) -> Var {
         match self.variant {
             TgnVariant::Jodie => {
@@ -165,7 +163,7 @@ impl Weights {
             TgnVariant::DyRep => self.node_state(g, ctx, memory, nodes),
             TgnVariant::Tgn => {
                 let state = self.node_state(g, ctx, memory, nodes);
-                let attn = self.attend(g, ctx, memory, state, nodes, times, rng, clock);
+                let attn = self.attend(g, ctx, memory, state, nodes, times, rng);
                 g.add(attn, state)
             }
         }
@@ -173,7 +171,6 @@ impl Weights {
 
     /// Messages + GRU update for the batch's endpoints; returns new memory
     /// values (on tape → current-batch gradients flow).
-    #[allow(clippy::too_many_arguments)]
     fn new_memories(
         &self,
         g: &mut Graph,
@@ -181,7 +178,6 @@ impl Weights {
         memory: &NodeMemory,
         view: &BatchView,
         rng: &mut SeededRng,
-        clock: &mut ComputeClock,
     ) -> (Var, Var) {
         let edge = {
             let e = g.input(view.edge_feats(ctx));
@@ -202,26 +198,8 @@ impl Weights {
         let (other_for_src, other_for_dst) = if self.variant == TgnVariant::DyRep {
             let dst_state = self.node_state(g, ctx, memory, &view.dsts);
             let src_state = self.node_state(g, ctx, memory, &view.srcs);
-            let dst_agg = self.attend(
-                g,
-                ctx,
-                memory,
-                dst_state,
-                &view.dsts,
-                &view.times,
-                rng,
-                clock,
-            );
-            let src_agg = self.attend(
-                g,
-                ctx,
-                memory,
-                src_state,
-                &view.srcs,
-                &view.times,
-                rng,
-                clock,
-            );
+            let dst_agg = self.attend(g, ctx, memory, dst_state, &view.dsts, &view.times, rng);
+            let src_agg = self.attend(g, ctx, memory, src_state, &view.srcs, &view.times, rng);
             (g.add(dst_agg, dst_state), g.add(src_agg, src_state))
         } else {
             (dst_mem, src_mem)
@@ -304,15 +282,14 @@ impl TgnFamily {
         ctx: &StreamContext,
         view: &BatchView,
         rng: &mut SeededRng,
-        clock: &mut ComputeClock,
     ) -> (Var, Var, Var, Var) {
-        let src = weights.embed(g, ctx, memory, &view.srcs, &view.times, rng, clock);
-        let dst = weights.embed(g, ctx, memory, &view.dsts, &view.times, rng, clock);
-        let neg = weights.embed(g, ctx, memory, &view.negs, &view.times, rng, clock);
+        let src = weights.embed(g, ctx, memory, &view.srcs, &view.times, rng);
+        let dst = weights.embed(g, ctx, memory, &view.dsts, &view.times, rng);
+        let neg = weights.embed(g, ctx, memory, &view.negs, &view.times, rng);
         let pos_logit = weights.decoder.forward(g, src, dst);
         let neg_logit = weights.decoder.forward(g, src, neg);
         let logits = g.concat_rows(pos_logit, neg_logit);
-        let (new_src, new_dst) = weights.new_memories(g, ctx, memory, view, rng, clock);
+        let (new_src, new_dst) = weights.new_memories(g, ctx, memory, view, rng);
         (logits, src, new_src, new_dst)
     }
 
@@ -332,17 +309,14 @@ impl TgnFamily {
             memory,
             ..
         } = self;
-        let ModelCore {
-            store,
-            adam,
-            rng,
-            clock,
-        } = core;
-        let start = std::time::Instant::now();
+        let ModelCore { store, adam, rng } = core;
+        // Whole-batch dense span; nested sampling spans subtract themselves
+        // from its exclusive time, so "dense" self-time = batch − sampling.
+        let _dense = obs::span(stage::DENSE);
 
         let mut g = Graph::new(store);
         let (logits, src_emb, new_src, new_dst) =
-            Self::forward(&mut g, weights, memory, ctx, &view, rng, clock);
+            Self::forward(&mut g, weights, memory, ctx, &view, rng);
         let targets = pos_neg_targets(view.len());
         let loss = g.bce_with_logits(logits, &targets);
         let loss_val = g.value(loss).scalar();
@@ -360,9 +334,6 @@ impl TgnFamily {
         if let Some(grads) = grads {
             adam.step(store, &grads);
         }
-        // Whole-batch time accumulates into `dense`; the sampling share is
-        // carved out in `take_compute_clock` (dense ≈ total − sampling).
-        clock.dense += start.elapsed();
 
         memory.write(&view.srcs, &new_src_mat, &view.times);
         memory.write(&view.dsts, &new_dst_mat, &view.times);
@@ -446,12 +417,5 @@ impl TgnnModel for TgnFamily {
 
     fn state_bytes(&self) -> usize {
         self.core.param_bytes() + self.memory.heap_bytes()
-    }
-
-    fn take_compute_clock(&mut self) -> ComputeClock {
-        let mut c = self.core.take_clock();
-        // dense was accumulated as whole-batch time; remove the sampling part.
-        c.dense = c.dense.saturating_sub(c.sampling);
-        c
     }
 }

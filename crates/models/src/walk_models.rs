@@ -19,10 +19,11 @@
 
 use std::collections::HashMap;
 
-use benchtemp_core::efficiency::ComputeClock;
+use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
 use benchtemp_graph::neighbors::{SampleScratch, SamplingStrategy};
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
+use benchtemp_obs as obs;
 use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::{GruCell, Linear, Mlp, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, Var};
@@ -325,12 +326,15 @@ impl WalkModel {
         let view = BatchView::new(batch, neg_dsts);
         let strategy = self.strategy();
         let (m, l) = (self.m, self.l);
-        let start = std::time::Instant::now();
+        // Whole-batch dense span; the nested sampling span below subtracts
+        // itself from its exclusive time.
+        let _dense = obs::span(stage::DENSE);
         let sets = {
             let rng = &mut self.core.rng;
-            let clock = &mut self.core.clock;
             let scratch = &mut self.scratch;
-            clock.sampling(|| Self::sample_sets(ctx, &view, m, l, strategy, rng, scratch))
+            obs::timed(stage::SAMPLING, || {
+                Self::sample_sets(ctx, &view, m, l, strategy, rng, scratch)
+            })
         };
         let mut g = Graph::new(&self.core.store);
         let pair_emb = self.encode_pairs(&mut g, ctx, &view, &sets, true);
@@ -347,7 +351,6 @@ impl WalkModel {
         if let Some(grads) = grads {
             self.core.adam.step(&mut self.core.store, &grads);
         }
-        self.core.clock.dense += start.elapsed();
         (loss_val, pos, negs)
     }
 }
@@ -435,12 +438,6 @@ impl TgnnModel for WalkModel {
         // No persistent temporal state; the sampler scratch dominates and is
         // transient. Parameters + optimizer only.
         self.core.param_bytes()
-    }
-
-    fn take_compute_clock(&mut self) -> ComputeClock {
-        let mut c = self.core.take_clock();
-        c.dense = c.dense.saturating_sub(c.sampling);
-        c
     }
 }
 

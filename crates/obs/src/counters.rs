@@ -1,0 +1,134 @@
+//! Process-wide monotonic counters and high-water gauges.
+//!
+//! Counters are `static` atomics ticked by the hot path at batch
+//! granularity (one relaxed add per batch-level call, never per element),
+//! so the disabled-case overhead is a handful of uncontended atomic adds
+//! per batch. A [`crate::Recorder`] snapshots all counters at creation and
+//! reports deltas, giving per-job attribution on top of process-wide
+//! storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named high-water-mark gauge (monotone max).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record an observation; the gauge keeps the maximum seen.
+    #[inline]
+    pub fn sample(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Negative destinations drawn by `EdgeSampler::sample_batch`.
+pub static NEGATIVES_SAMPLED: Counter = Counter::new("negatives_sampled");
+/// Neighbor slots filled by `NeighborFinder::sample_frontier`.
+pub static FRONTIER_NODES_EXPANDED: Counter = Counter::new("frontier_nodes_expanded");
+/// Nodes pushed onto the autograd tape.
+pub static TAPE_NODES_ALLOCATED: Counter = Counter::new("tape_nodes_allocated");
+/// Floating-point operations issued by the matmul kernels (2·m·k·n each).
+pub static MATMUL_FLOPS: Counter = Counter::new("matmul_flops");
+/// Tasks handed to `benchtemp-tensor::pool` workers.
+pub static POOL_TASKS_DISPATCHED: Counter = Counter::new("pool_tasks_dispatched");
+/// Calls to `Adam::step`.
+pub static OPTIMIZER_STEPS: Counter = Counter::new("optimizer_steps");
+/// Times the peak-RSS gauge was sampled from /proc.
+pub static PEAK_RSS_SAMPLES: Counter = Counter::new("peak_rss_samples");
+
+/// Peak resident set size observed (bytes).
+pub static PEAK_RSS_BYTES: Gauge = Gauge::new("peak_rss_bytes");
+
+/// All counters, in a fixed order ([`crate::Recorder`] baselines index into
+/// this slice, so the order is part of the recorder contract).
+pub fn all() -> &'static [&'static Counter] {
+    static ALL: [&Counter; 7] = [
+        &NEGATIVES_SAMPLED,
+        &FRONTIER_NODES_EXPANDED,
+        &TAPE_NODES_ALLOCATED,
+        &MATMUL_FLOPS,
+        &POOL_TASKS_DISPATCHED,
+        &OPTIMIZER_STEPS,
+        &PEAK_RSS_SAMPLES,
+    ];
+    &ALL
+}
+
+/// All gauges, in a fixed order.
+pub fn gauges() -> &'static [&'static Gauge] {
+    static GAUGES: [&Gauge; 1] = [&PEAK_RSS_BYTES];
+    &GAUGES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|c| c.name()).collect();
+        names.extend(gauges().iter().map(|g| g.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn add_and_incr_accumulate() {
+        static LOCAL: Counter = Counter::new("local_test_counter");
+        LOCAL.add(3);
+        LOCAL.incr();
+        assert_eq!(LOCAL.get(), 4);
+    }
+}

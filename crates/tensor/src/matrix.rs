@@ -179,6 +179,7 @@ impl Matrix {
         if n == 0 || m == 0 {
             return;
         }
+        benchtemp_obs::counters::MATMUL_FLOPS.add(2 * (m * k * n) as u64);
         run_row_blocks(m, n, m * k * n, &mut out.data, |first, block| {
             matmul_block_kernel(&self.data, k, first, &rhs.data, n, block);
         });
@@ -199,6 +200,7 @@ impl Matrix {
         if m == 0 || n == 0 {
             return out;
         }
+        benchtemp_obs::counters::MATMUL_FLOPS.add(2 * (m * k * n) as u64);
         run_rows(m, n, m * k * n, &mut out.data, |i, out_row| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate() {
@@ -223,6 +225,7 @@ impl Matrix {
         if m == 0 || n == 0 {
             return out;
         }
+        benchtemp_obs::counters::MATMUL_FLOPS.add(2 * (m * k * n) as u64);
         let a_cols = self.cols;
         run_rows(m, n, m * k * n, &mut out.data, |i, out_row| {
             transpose_matmul_row_kernel(&self.data, a_cols, i, k, &rhs.data, n, out_row);

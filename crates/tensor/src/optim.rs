@@ -39,6 +39,7 @@ impl Adam {
 
     /// Apply one update from `(param, grad)` pairs harvested off a graph.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        benchtemp_obs::counters::OPTIMIZER_STEPS.incr();
         self.t += 1;
         let clip_scale = self.clip_scale(grads);
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);

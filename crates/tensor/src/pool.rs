@@ -174,6 +174,10 @@ impl ThreadPool {
             return;
         }
         let batch = Batch::new(tasks.len());
+        // Spans closed on workers must attribute to the job that dispatched
+        // them, so carry the submitting thread's recorder into each task.
+        let recorder = benchtemp_obs::current();
+        benchtemp_obs::counters::POOL_TASKS_DISPATCHED.add(tasks.len() as u64);
         {
             let mut jobs = self.queue.jobs.lock().unwrap();
             for task in tasks {
@@ -181,7 +185,9 @@ impl ThreadPool {
                 // the 'env borrows inside `task` outlive its execution.
                 let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
                 let b = Arc::clone(&batch);
+                let rec = recorder.clone();
                 jobs.push_back(Box::new(move || {
+                    let _obs = rec.as_ref().map(|r| r.install());
                     let result = catch_unwind(AssertUnwindSafe(task));
                     if let Err(p) = result {
                         *b.panic.lock().unwrap() = Some(p);

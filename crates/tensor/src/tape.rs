@@ -153,6 +153,7 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
+        benchtemp_obs::counters::TAPE_NODES_ALLOCATED.incr();
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
