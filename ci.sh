@@ -11,12 +11,22 @@ cargo fmt --all -- --check
 echo "== ci: cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== ci: workspace audit (lint rules + protocol model) =="
+cargo run --release --offline -p benchtemp-audit
+
+echo "== ci: audit negative self-test (seeded fixture + seeded race) =="
+cargo run --release --offline -p benchtemp-bench --bin audit_check
+
 echo "== ci: tier-1 verify =="
 cargo build --release --offline
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo "== ci: kernel smoke bench =="
 cargo run --release --offline -p benchtemp-bench --bin bench_kernels -- --smoke
+
+echo "== ci: sanitize-mode smoke (slot claims + tape checks armed) =="
+BENCHTEMP_SANITIZE=1 \
+    cargo run --release --offline -p benchtemp-bench --bin bench_kernels -- --smoke
 
 echo "== ci: traced smoke run (JSONL schema + span pairing) =="
 TRACE_FILE=$(mktemp /tmp/benchtemp-ci-trace.XXXXXX.jsonl)

@@ -1,0 +1,51 @@
+//! Seeded violations for the audit negative self-test. One per rule, plus
+//! one correctly waived hit and one malformed waiver. This file is lexed by
+//! the driver but never compiled.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn hash_iteration_hits() -> usize {
+    let mut counts: HashMap<usize, f64> = HashMap::new();
+    counts.insert(1, 2.0);
+    let mut total = 0;
+    // VIOLATION no-hashmap-iteration-in-numeric-path (for-loop form):
+    for (k, _v) in &counts {
+        total += k;
+    }
+    // VIOLATION no-hashmap-iteration-in-numeric-path (method form):
+    total += counts.keys().count();
+    total
+}
+
+fn wallclock_hits() {
+    // VIOLATION no-wallclock-outside-obs:
+    let _t = Instant::now();
+    // audit-allow(no-wallclock-outside-obs): seeded *waived* hit for the self-test
+    let _u = Instant::now();
+}
+
+fn thread_spawn_hit() {
+    // VIOLATION no-raw-thread-spawn:
+    std::thread::spawn(|| {});
+}
+
+fn missing_safety_comment() -> u8 {
+    // VIOLATION safety-comment-required (comment lacks the magic word):
+    unsafe { *[1u8, 2].as_ptr() }
+}
+
+fn env_hits() {
+    // This one is registered in the fixture README: clean.
+    let _ = std::env::var("BENCHTEMP_DOCUMENTED");
+    // VIOLATION env-read-registry (BENCHTEMP_* but not documented):
+    let _ = std::env::var("BENCHTEMP_UNDOCUMENTED");
+    // VIOLATION env-read-registry (non-BENCHTEMP variable):
+    let _ = std::env::var("HOME");
+}
+
+fn malformed_waiver() {
+    // VIOLATION waiver-syntax (reason is mandatory):
+    // audit-allow(no-raw-thread-spawn):
+    std::thread::spawn(|| {});
+}

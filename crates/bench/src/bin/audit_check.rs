@@ -1,0 +1,80 @@
+//! CI negative self-test for the audit subsystem: proves the gate can
+//! actually fail before ci.sh trusts its green.
+//!
+//! Three checks, all in-process:
+//!   1. the workspace audit passes (same invocation ci.sh gates on),
+//!   2. the seeded-violation fixture tree FAILS — every lint rule fires at
+//!      least once, so a silently-broken rule can't rot into a no-op,
+//!   3. the runtime sanitizer catches a deliberately overlapping chunk-slot
+//!      claim (the race seed) and names the contested slots.
+//!
+//! Prints `AUDIT_CHECK_OK` and exits 0 only if all three hold.
+
+use std::panic::catch_unwind;
+use std::path::PathBuf;
+
+use benchtemp_audit::rules;
+use benchtemp_audit::run_audit;
+use benchtemp_tensor::sanitize;
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+
+    // 1. The workspace itself is clean.
+    let ws = run_audit(&root).expect("walk workspace");
+    let unwaivered: Vec<_> = ws.unwaivered().collect();
+    assert!(
+        unwaivered.is_empty() && ws.ok(),
+        "workspace audit must pass, found: {unwaivered:?}"
+    );
+    println!(
+        "audit_check: workspace clean ({} files, {} waived hit(s))",
+        ws.files_scanned,
+        ws.violations.len()
+    );
+
+    // 2. The seeded fixture fails, with every rule represented — the lint
+    // driver's own negative control.
+    let fixture = root.join("crates/audit/tests/fixtures");
+    let fx = run_audit(&fixture).expect("walk fixture");
+    assert!(!fx.ok(), "seeded fixture must fail the audit");
+    for rule in [
+        rules::RULE_HASH_ITER,
+        rules::RULE_WALLCLOCK,
+        rules::RULE_THREAD_SPAWN,
+        rules::RULE_SAFETY_COMMENT,
+        rules::RULE_ENV_REGISTRY,
+        rules::RULE_WAIVER_SYNTAX,
+    ] {
+        assert!(
+            fx.unwaivered().any(|v| v.rule == rule),
+            "seeded fixture must trip `{rule}` — the rule has gone silent"
+        );
+    }
+    println!(
+        "audit_check: seeded fixture fails as designed ({} unwaivered hit(s), all 6 rules fire)",
+        fx.unwaivered().count()
+    );
+
+    // 3. The sanitizer rejects an overlapping claim set. Chunks 0 and 1
+    // both claim slots 5..10 — exactly the broken chunk arithmetic the
+    // checker exists to catch.
+    sanitize::set_forced(Some(true));
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // the panic is expected; keep CI logs clean
+    let r = catch_unwind(|| {
+        sanitize::check_slot_claims("audit_check_seeded_race", &[(0, 0..10), (1, 5..15)]);
+    });
+    std::panic::set_hook(default_hook);
+    sanitize::set_forced(None);
+    let err = r.expect_err("overlapping claims must panic under BENCHTEMP_SANITIZE");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("overlap") && msg.contains("audit_check_seeded_race"),
+        "sanitizer diagnostic must name the defect and the site: {msg:?}"
+    );
+    println!("audit_check: sanitizer caught the seeded overlapping-slot claim");
+
+    println!("AUDIT_CHECK_OK");
+}

@@ -442,11 +442,38 @@ fn run_child(smoke: bool) {
         (rec_ns, on_ns)
     };
 
+    // Sanitizer overhead (DESIGN.md §10): the same eval pass with the
+    // slot-claim checks forced off vs on. Off is the shipping default — the
+    // gate is one relaxed atomic load per dispatch — so the off ratio pins
+    // "no measurable overhead when unset". The on pass must also not change
+    // a single result bit: the checks observe claims, never the data.
+    let (san_off_ns, san_on_ns) = {
+        benchtemp_tensor::sanitize::set_forced(Some(false));
+        let off = timing::measure(&mut || std::hint::black_box(w.eval_pass()));
+        benchtemp_tensor::sanitize::set_forced(Some(true));
+        let on = timing::measure(&mut || std::hint::black_box(w.eval_pass()));
+        let (pos_s, neg_s) = w.eval_pass();
+        benchtemp_tensor::sanitize::set_forced(None);
+        assert!(
+            pos_s
+                .iter()
+                .zip(&pos)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+                && neg_s
+                    .iter()
+                    .zip(&neg)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sanitize mode must not change a single score bit"
+        );
+        (off, on)
+    };
+
     println!(
         "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x} \
          sample_seed_ns {} sample_csr_ns {} samples_per_pass {} mixed_seed_ns {} \
          mixed_csr_ns {} mixed_samples {} frontier_ns {} frontier_slots {} frontier_hash {:016x} \
-         trace_plain_ns {} trace_inert_ns {} trace_rec_ns {} trace_on_ns {}",
+         trace_plain_ns {} trace_inert_ns {} trace_rec_ns {} trace_on_ns {} \
+         pass_ns {} san_off_ns {} san_on_ns {}",
         pool().threads(),
         seed_ns,
         kernel_ns,
@@ -465,7 +492,10 @@ fn run_child(smoke: bool) {
         trace_plain_ns,
         trace_inert_ns,
         trace_rec_ns,
-        trace_on_ns
+        trace_on_ns,
+        pass_ns,
+        san_off_ns,
+        san_on_ns
     );
 }
 
@@ -490,6 +520,9 @@ struct ChildReport {
     trace_inert_ns: f64,
     trace_rec_ns: f64,
     trace_on_ns: f64,
+    pass_ns: f64,
+    san_off_ns: f64,
+    san_on_ns: f64,
 }
 
 fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
@@ -538,6 +571,9 @@ fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
         trace_inert_ns: field("trace_inert_ns").parse().unwrap(),
         trace_rec_ns: field("trace_rec_ns").parse().unwrap(),
         trace_on_ns: field("trace_on_ns").parse().unwrap(),
+        pass_ns: field("pass_ns").parse().unwrap(),
+        san_off_ns: field("san_off_ns").parse().unwrap(),
+        san_on_ns: field("san_on_ns").parse().unwrap(),
     }
 }
 
@@ -618,6 +654,18 @@ fn main() {
          (target <= 1.03x)"
     );
 
+    // Sanitizer overhead on the eval pass: off is the shipping default and
+    // must cost nothing measurable (the plain pass above ran with the env
+    // default, i.e. off — the ratio between the two is pure noise floor);
+    // on is a debug mode, reported for scale.
+    let san_off_ratio = single.san_off_ns / single.pass_ns;
+    let san_on_ratio = single.san_on_ns / single.san_off_ns;
+    println!(
+        "sanitizer overhead on eval pass (1 thread): off {san_off_ratio:.3}x vs plain \
+         (target ~1.00x), on {san_on_ratio:.3}x vs off (debug mode); scores \
+         bit-identical either way"
+    );
+
     if smoke {
         println!("smoke mode: all kernels and determinism assertions passed; skipping JSON");
         return;
@@ -663,6 +711,16 @@ fn main() {
             "recorder_overhead_ratio": rec_ratio,
             "jsonl_trace_overhead_ratio": traced_ratio,
             "jsonl_trace_overhead_target": 1.03,
+        },
+        "sanitizer": {
+            "workload": "full eval pass (batched gather + parallel matmul forward)",
+            "plain_ns_single_thread": single.pass_ns,
+            "sanitize_off_ns_single_thread": single.san_off_ns,
+            "sanitize_on_ns_single_thread": single.san_on_ns,
+            "off_overhead_ratio": san_off_ratio,
+            "off_overhead_target": 1.0,
+            "on_overhead_ratio": san_on_ratio,
+            "scores_bit_identical": true,
         },
     });
     save_json(std::path::Path::new("."), "BENCH_kernels.json", &report);

@@ -170,17 +170,18 @@ fn determinism_child_worker() {
     println!("RESULT {}", bits.join(" "));
 }
 
-fn run_child(threads: &str) -> String {
+fn run_child(envs: &[(&str, &str)]) -> String {
     let exe = std::env::current_exe().expect("current test binary");
-    let out = Command::new(exe)
-        .args(["determinism_child_worker", "--exact", "--nocapture"])
-        .env("BENCHTEMP_DETERMINISM_CHILD", "1")
-        .env("BENCHTEMP_THREADS", threads)
-        .output()
-        .expect("spawn child test process");
+    let mut cmd = Command::new(exe);
+    cmd.args(["determinism_child_worker", "--exact", "--nocapture"])
+        .env("BENCHTEMP_DETERMINISM_CHILD", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn child test process");
     assert!(
         out.status.success(),
-        "child with BENCHTEMP_THREADS={threads} failed:\n{}",
+        "child with {envs:?} failed:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -198,7 +199,20 @@ fn metrics_bit_identical_across_thread_counts() {
     if std::env::var("BENCHTEMP_DETERMINISM_CHILD").is_ok() {
         return; // don't recurse inside a child process
     }
-    let single = run_child("1");
-    let quad = run_child("4");
+    let single = run_child(&[("BENCHTEMP_THREADS", "1")]);
+    let quad = run_child(&[("BENCHTEMP_THREADS", "4")]);
     assert_eq!(single, quad, "metrics must not depend on the thread count");
+}
+
+/// The sanitizer is observation-only: arming `BENCHTEMP_SANITIZE=1` must
+/// not change a single metric bit (it only *checks* slot claims and tape
+/// accounting; it never reorders or perturbs work).
+#[test]
+fn metrics_bit_identical_with_sanitizer_on() {
+    if std::env::var("BENCHTEMP_DETERMINISM_CHILD").is_ok() {
+        return; // don't recurse inside a child process
+    }
+    let plain = run_child(&[("BENCHTEMP_THREADS", "4")]);
+    let sanitized = run_child(&[("BENCHTEMP_THREADS", "4"), ("BENCHTEMP_SANITIZE", "1")]);
+    assert_eq!(plain, sanitized, "sanitize mode must not reach results");
 }

@@ -482,6 +482,17 @@ impl NeighborFinder {
             }
         }
 
+        // Sanitizer claims in root units: task `ti` owns roots
+        // `ti·chunk ..`, and the lockstep column split above maps disjoint
+        // root ranges to disjoint slot memory at every hop.
+        let claims: Vec<benchtemp_tensor::sanitize::SlotClaim> =
+            if benchtemp_tensor::sanitize::enabled() {
+                (0..n_tasks)
+                    .map(|ti| (ti, ti * chunk..((ti + 1) * chunk).min(n)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = views
             .into_iter()
             .enumerate()
@@ -494,7 +505,7 @@ impl NeighborFinder {
                 task
             })
             .collect();
-        p.scope_run(tasks);
+        p.scope_run_claimed("sample_frontier", &claims, tasks);
 
         Frontier { k, hops: levels }
     }

@@ -143,6 +143,7 @@ mod tests {
         let raw = raw(&[(5, 50), (6, 60), (5, 60), (8, 80)]);
         let rx = reindex_heterogeneous(&raw);
         let mut seen = vec![false; rx.num_nodes];
+        // audit-allow(no-hashmap-iteration-in-numeric-path): injectivity check; the visited-flag result is order-independent
         for (&_, &v) in rx.user_map.iter().chain(rx.item_map.iter()) {
             assert!(!seen[v], "id {v} assigned twice");
             seen[v] = true;

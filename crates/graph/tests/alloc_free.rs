@@ -17,17 +17,27 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System`, which upholds every GlobalAlloc
+// contract; the only addition is an atomic counter bump, which allocates
+// nothing and cannot unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's layout preconditions; delegated
+    // verbatim to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from a prior alloc on this same allocator
+    // (we always delegate to `System`), so forwarding to `System.realloc`
+    // preserves its contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: same delegation argument as `realloc` — every pointer we are
+    // handed was produced by `System`, so `System.dealloc` may free it.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

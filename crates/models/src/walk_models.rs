@@ -17,7 +17,7 @@
 //!   (RK4-integrated gated flow) across each inter-event interval, the
 //!   component ablated in Table 23 (`use_nodes = false` removes it).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
@@ -57,9 +57,9 @@ struct WalkSets {
     src: Vec<Vec<TemporalWalk>>,
     dst: Vec<Vec<TemporalWalk>>,
     neg: Vec<Vec<TemporalWalk>>,
-    src_counts: Vec<HashMap<usize, Vec<f32>>>,
-    dst_counts: Vec<HashMap<usize, Vec<f32>>>,
-    neg_counts: Vec<HashMap<usize, Vec<f32>>>,
+    src_counts: Vec<BTreeMap<usize, Vec<f32>>>,
+    dst_counts: Vec<BTreeMap<usize, Vec<f32>>>,
+    neg_counts: Vec<BTreeMap<usize, Vec<f32>>>,
 }
 
 /// CAWN / NeurTW.

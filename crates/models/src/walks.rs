@@ -9,7 +9,7 @@
 //! vectors is the motif signal that makes walk-based models strong on
 //! inductive (New-New) link prediction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::neighbors::{SampleScratch, SamplingStrategy};
@@ -112,8 +112,13 @@ pub fn sample_walks_with(
 
 /// Position-hit counts of a walk set: node → (L+1)-vector of how many walks
 /// visit the node at each position. This is the `g(w, S)` function of CAW.
-pub fn position_counts(walks: &[TemporalWalk]) -> HashMap<usize, Vec<f32>> {
-    let mut counts: HashMap<usize, Vec<f32>> = HashMap::new();
+///
+/// Returns a `BTreeMap` so iteration emits position features in sorted
+/// node order — a `HashMap` here would feed `RandomState`-dependent order
+/// into anything that drains it, breaking cross-process bit-identity (the
+/// `no-hashmap-iteration-in-numeric-path` audit rule; see DESIGN.md §10).
+pub fn position_counts(walks: &[TemporalWalk]) -> BTreeMap<usize, Vec<f32>> {
+    let mut counts: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
     let budget = walks.first().map(|w| w.len_budget() + 1).unwrap_or(0);
     for w in walks {
         for (pos, &node) in w.nodes.iter().enumerate() {
@@ -131,8 +136,8 @@ pub fn position_counts(walks: &[TemporalWalk]) -> HashMap<usize, Vec<f32>> {
 /// sets: `[g(w, S_a) ; g(w, S_b)] / m` — dimension `2(L+1)`.
 pub fn anonymize(
     node: usize,
-    counts_a: &HashMap<usize, Vec<f32>>,
-    counts_b: &HashMap<usize, Vec<f32>>,
+    counts_a: &BTreeMap<usize, Vec<f32>>,
+    counts_b: &BTreeMap<usize, Vec<f32>>,
     l: usize,
     m: usize,
 ) -> Vec<f32> {
@@ -267,7 +272,7 @@ mod tests {
 
     #[test]
     fn anonymize_unknown_node_is_zero_vector() {
-        let counts = HashMap::new();
+        let counts = BTreeMap::new();
         let enc = anonymize(42, &counts, &counts, 2, 4);
         assert_eq!(enc, vec![0.0; 6]);
         assert_eq!(enc.len(), anon_dim(2));

@@ -1,0 +1,121 @@
+//! Cross-process bit-identity of the anonymized-walk features.
+//!
+//! `position_counts` used to return a `HashMap`, so anything draining it —
+//! the CAWN/NeurTW feature assembly — saw a `RandomState`-dependent order
+//! that differed *between processes* even with identical seeds. The
+//! `no-hashmap-iteration-in-numeric-path` audit rule now bans that, and
+//! `position_counts` emits sorted keys via `BTreeMap`. This regression test
+//! proves the property the fix restores: two separate processes (fresh
+//! `RandomState` each) hash the drained feature stream to the same bits.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use benchtemp_core::pipeline::StreamContext;
+use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::neighbors::{NeighborFinder, SamplingStrategy};
+use benchtemp_models::walks::{anonymize, position_counts, sample_walks};
+use benchtemp_tensor::init;
+
+/// FNV-1a over the drained feature stream — endian-stable and
+/// dependency-free.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The walk-feature pipeline a CAWN-style model runs per candidate edge,
+/// with the count maps drained in their iteration order — exactly the
+/// surface the HashMap bug corrupted.
+fn walk_feature_digest() -> u64 {
+    let g = GeneratorConfig::small("walkdet", 29).generate();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
+    let mut rng = init::rng(5);
+    let mut bytes: Vec<u8> = Vec::new();
+    for ev in &g.events[g.num_events() - 50..] {
+        let wu = sample_walks(
+            &ctx,
+            ev.src,
+            ev.t,
+            4,
+            2,
+            SamplingStrategy::Uniform,
+            &mut rng,
+        );
+        let wv = sample_walks(
+            &ctx,
+            ev.dst,
+            ev.t,
+            4,
+            2,
+            SamplingStrategy::Uniform,
+            &mut rng,
+        );
+        let cu: BTreeMap<usize, Vec<f32>> = position_counts(&wu);
+        let cv = position_counts(&wv);
+        // Drain in iteration order: sorted by construction after the fix.
+        for (node, hits) in cu.iter().chain(cv.iter()) {
+            bytes.extend(node.to_le_bytes());
+            for h in hits {
+                bytes.extend(h.to_bits().to_le_bytes());
+            }
+            for f in anonymize(*node, &cu, &cv, 2, 4) {
+                bytes.extend(f.to_bits().to_le_bytes());
+            }
+        }
+    }
+    fnv1a(bytes.into_iter())
+}
+
+/// Child-process worker: prints the digest. Skipped unless spawned below.
+#[test]
+fn walk_child_worker() {
+    if std::env::var("BENCHTEMP_WALK_CHILD").is_err() {
+        return;
+    }
+    println!("RESULT {:016x}", walk_feature_digest());
+}
+
+fn run_child() -> String {
+    let exe = std::env::current_exe().expect("current test binary");
+    let out = Command::new(exe)
+        .args(["walk_child_worker", "--exact", "--nocapture"])
+        .env("BENCHTEMP_WALK_CHILD", "1")
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "walk child failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.find("RESULT ").map(|at| l[at..].to_string()))
+        .unwrap_or_else(|| panic!("no RESULT line from child:\n{stdout}"))
+}
+
+/// Two fresh processes — two fresh `RandomState`s — one bit pattern.
+#[test]
+fn walk_features_bit_identical_across_processes() {
+    if std::env::var("BENCHTEMP_WALK_CHILD").is_ok() {
+        return; // don't recurse inside a child process
+    }
+    let a = run_child();
+    let b = run_child();
+    assert_eq!(
+        a, b,
+        "walk-feature emission order must not depend on RandomState"
+    );
+    // And the in-process digest agrees too: the order is a property of the
+    // data, not of the process.
+    assert_eq!(a, format!("RESULT {:016x}", walk_feature_digest()));
+}

@@ -85,6 +85,10 @@ pub static POOL_TASKS_DISPATCHED: Counter = Counter::new("pool_tasks_dispatched"
 pub static OPTIMIZER_STEPS: Counter = Counter::new("optimizer_steps");
 /// Times the peak-RSS gauge was sampled from /proc.
 pub static PEAK_RSS_SAMPLES: Counter = Counter::new("peak_rss_samples");
+/// Dispatch batches whose chunk-slot claims the sanitizer verified.
+pub static SANITIZE_BATCHES_CHECKED: Counter = Counter::new("sanitize_batches_checked");
+/// Individual chunk-slot claims the sanitizer verified for disjointness.
+pub static SANITIZE_CLAIMS_CHECKED: Counter = Counter::new("sanitize_claims_checked");
 
 /// Peak resident set size observed (bytes).
 pub static PEAK_RSS_BYTES: Gauge = Gauge::new("peak_rss_bytes");
@@ -92,7 +96,7 @@ pub static PEAK_RSS_BYTES: Gauge = Gauge::new("peak_rss_bytes");
 /// All counters, in a fixed order ([`crate::Recorder`] baselines index into
 /// this slice, so the order is part of the recorder contract).
 pub fn all() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 7] = [
+    static ALL: [&Counter; 9] = [
         &NEGATIVES_SAMPLED,
         &FRONTIER_NODES_EXPANDED,
         &TAPE_NODES_ALLOCATED,
@@ -100,6 +104,8 @@ pub fn all() -> &'static [&'static Counter] {
         &POOL_TASKS_DISPATCHED,
         &OPTIMIZER_STEPS,
         &PEAK_RSS_SAMPLES,
+        &SANITIZE_BATCHES_CHECKED,
+        &SANITIZE_CLAIMS_CHECKED,
     ];
     &ALL
 }

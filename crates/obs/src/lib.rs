@@ -420,6 +420,7 @@ mod tests {
         let rec = Recorder::new();
         let handle = {
             let rec = rec.clone();
+            // audit-allow(no-raw-thread-spawn): this test verifies recorder hand-off to a *foreign* thread; the pool would defeat it
             std::thread::spawn(move || {
                 let _g = rec.install();
                 timed("worker_span", || sleep_ms(3));

@@ -32,6 +32,7 @@ pub mod optim;
 pub mod params;
 pub mod pool;
 pub mod rng;
+pub mod sanitize;
 pub mod tape;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint};

@@ -450,6 +450,7 @@ where
         return;
     }
     let rows_per = m.div_ceil(p.threads()).max(1);
+    let claims = row_block_claims(m, n, rows_per);
     let kernel = &kernel;
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
         .chunks_mut(rows_per * n)
@@ -464,7 +465,7 @@ where
             task
         })
         .collect();
-    p.scope_run(tasks);
+    p.scope_run_claimed("matmul_rows", &claims, tasks);
 }
 
 /// Like [`run_rows`], but hands each worker its whole contiguous row slab
@@ -483,6 +484,7 @@ where
         return;
     }
     let rows_per = m.div_ceil(p.threads()).max(1);
+    let claims = row_block_claims(m, n, rows_per);
     let kernel = &kernel;
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
         .chunks_mut(rows_per * n)
@@ -492,7 +494,21 @@ where
             task
         })
         .collect();
-    p.scope_run(tasks);
+    p.scope_run_claimed("matmul_row_blocks", &claims, tasks);
+}
+
+/// Sanitizer claims for the row-slab split: slab `c` owns the flat element
+/// range of rows `c·rows_per ..` — mirrors the `chunks_mut(rows_per * n)`
+/// partition above. Empty when the sanitizer is off.
+fn row_block_claims(m: usize, n: usize, rows_per: usize) -> Vec<crate::sanitize::SlotClaim> {
+    if !crate::sanitize::enabled() {
+        return Vec::new();
+    }
+    (0..m)
+        .step_by(rows_per.max(1))
+        .enumerate()
+        .map(|(c, start)| (c, start * n..(start + rows_per).min(m) * n))
+        .collect()
 }
 
 /// One output row of `A·B`: k tiled in fours, four B rows streamed per pass

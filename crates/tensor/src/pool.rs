@@ -145,6 +145,15 @@ impl ThreadPool {
         }
     }
 
+    /// Build a pool with an explicit worker count, bypassing the host-core
+    /// cap — so tests can exercise the real queue machinery (not the inline
+    /// path) even on single-core hosts. Not for production call sites: use
+    /// [`pool`], which sizes itself from `BENCHTEMP_THREADS`.
+    #[doc(hidden)]
+    pub fn with_workers_for_tests(threads: usize, workers: usize) -> Self {
+        Self::with_workers(threads, workers)
+    }
+
     /// Number of worker threads this pool schedules across (≥ 1). Chunk
     /// boundaries are derived from this, never from [`ThreadPool::workers`],
     /// so results stay identical however many workers actually exist.
@@ -156,6 +165,25 @@ impl ThreadPool {
     /// Use this to decide whether parallel dispatch can possibly pay off.
     pub fn workers(&self) -> usize {
         self.workers.max(1)
+    }
+
+    /// [`ThreadPool::scope_run`] with the batch's chunk-slot write claims
+    /// declared up front. With `BENCHTEMP_SANITIZE=1` the claims are checked
+    /// for pairwise disjointness on the calling thread *before* any task is
+    /// dispatched (see [`crate::sanitize`]); otherwise the cost is one
+    /// relaxed atomic load. Callers that split `&mut` slot storage by chunk
+    /// arithmetic should prefer this over raw `scope_run` so the sanitizer
+    /// can see their ranges.
+    pub fn scope_run_claimed<'env>(
+        &self,
+        what: &str,
+        claims: &[crate::sanitize::SlotClaim],
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) {
+        if crate::sanitize::enabled() {
+            crate::sanitize::check_slot_claims(what, claims);
+        }
+        self.scope_run(tasks);
     }
 
     /// Run the given closures, blocking until all complete. Closures may
@@ -219,6 +247,7 @@ impl ThreadPool {
         out.resize_with(n, || None);
         {
             let chunk = n.div_ceil(self.threads).max(1);
+            let claims = chunk_claims(n, chunk);
             let f = &f;
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
                 .chunks(chunk)
@@ -232,7 +261,7 @@ impl ThreadPool {
                     task
                 })
                 .collect();
-            self.scope_run(tasks);
+            self.scope_run_claimed("par_map", &claims, tasks);
         }
         out.into_iter()
             .map(|v| v.expect("pool task completed"))
@@ -268,6 +297,7 @@ impl ThreadPool {
         let mut results: Vec<Option<U>> = Vec::with_capacity(n_chunks);
         results.resize_with(n_chunks, || None);
         {
+            let claims = chunk_claims(n, chunk);
             let f = &f;
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
                 .chunks(chunk)
@@ -279,7 +309,7 @@ impl ThreadPool {
                     task
                 })
                 .collect();
-            self.scope_run(tasks);
+            self.scope_run_claimed("par_chunks", &claims, tasks);
         }
         for r in results {
             reduce(r.expect("pool task completed"));
@@ -299,6 +329,7 @@ impl ThreadPool {
             return;
         }
         let chunk = total.div_ceil(self.threads).max(1);
+        let claims = chunk_claims(total, chunk);
         let f = &f;
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..total)
             .step_by(chunk)
@@ -308,8 +339,22 @@ impl ThreadPool {
                 task
             })
             .collect();
-        self.scope_run(tasks);
+        self.scope_run_claimed("par_ranges", &claims, tasks);
     }
+}
+
+/// The slot claims implied by splitting `0..n` into `chunk`-sized pieces —
+/// what `par_map`/`par_chunks`/`par_ranges` declare to the sanitizer. Empty
+/// when the sanitizer is off, so the hot path allocates nothing for it.
+fn chunk_claims(n: usize, chunk: usize) -> Vec<crate::sanitize::SlotClaim> {
+    if !crate::sanitize::enabled() {
+        return Vec::new();
+    }
+    (0..n)
+        .step_by(chunk.max(1))
+        .enumerate()
+        .map(|(i, start)| (i, start..(start + chunk).min(n)))
+        .collect()
 }
 
 /// Fixed chunk length for `n` items: depends only on the input length and

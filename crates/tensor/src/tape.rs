@@ -102,6 +102,14 @@ impl BufferPool {
 pub struct Tape {
     nodes: Vec<Node>,
     pool: BufferPool,
+    /// Matrices handed out by `alloc_raw`/`alloc_zeroed` since the last
+    /// [`Tape::reset`]. Every one must become a node value (and so return
+    /// to the buffer pool at the next reset); the sanitizer checks the
+    /// balance against `absorbed_since_reset`.
+    granted_since_reset: usize,
+    /// Allocator-granted matrices recorded as node values since the last
+    /// reset (every non-leaf `push`).
+    absorbed_since_reset: usize,
 }
 
 impl Tape {
@@ -109,6 +117,8 @@ impl Tape {
         Tape {
             nodes: Vec::with_capacity(256),
             pool: BufferPool::default(),
+            granted_since_reset: 0,
+            absorbed_since_reset: 0,
         }
     }
 
@@ -124,7 +134,24 @@ impl Tape {
     /// Clear all nodes while keeping the node arena's capacity and
     /// recycling node value storage into the shape-keyed buffer pool, so
     /// the next forward pass allocates (almost) nothing.
+    ///
+    /// With `BENCHTEMP_SANITIZE=1` this is also the matrix-buffer leak
+    /// check: every matrix granted by `alloc_raw`/`alloc_zeroed` must have
+    /// been recorded as a node value (and is recycled here). A granted
+    /// matrix that was dropped on an early-exit path instead would bleed
+    /// pool storage every batch; the sanitizer turns that into a panic.
     pub fn reset(&mut self) {
+        if crate::sanitize::enabled() {
+            assert_eq!(
+                self.granted_since_reset, self.absorbed_since_reset,
+                "sanitize[tape]: matrix-buffer leak: {} matrices granted by the tape \
+                 allocator since the last reset but only {} recorded as nodes — a \
+                 forward-op path dropped pooled storage",
+                self.granted_since_reset, self.absorbed_since_reset,
+            );
+        }
+        self.granted_since_reset = 0;
+        self.absorbed_since_reset = 0;
         for node in self.nodes.drain(..) {
             let (r, c) = node.value.shape();
             self.pool.put(r, c, node.value.into_vec());
@@ -134,6 +161,7 @@ impl Tape {
     /// Matrix with recycled (arbitrary-content) storage — for ops that
     /// overwrite every entry.
     fn alloc_raw(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.granted_since_reset += 1;
         match self.pool.take(rows, cols) {
             Some(buf) => Matrix::from_vec(rows, cols, buf),
             None => Matrix::zeros(rows, cols),
@@ -142,6 +170,7 @@ impl Tape {
 
     /// Matrix with recycled zero-filled storage — for accumulation ops.
     fn alloc_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.granted_since_reset += 1;
         match self.pool.take(rows, cols) {
             Some(buf) => {
                 let mut m = Matrix::from_vec(rows, cols, buf);
@@ -154,6 +183,11 @@ impl Tape {
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
         benchtemp_obs::counters::TAPE_NODES_ALLOCATED.incr();
+        // Leaves carry caller-provided storage; every other op's value came
+        // from `alloc_raw`/`alloc_zeroed` (the leak-check balance).
+        if !matches!(op, Op::Leaf) {
+            self.absorbed_since_reset += 1;
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -606,6 +640,21 @@ impl Tape {
             self.accumulate(i, &g, &mut grads);
             grads[i] = Some(g);
         }
+        // Sanitizer: a NaN/Inf gradient anywhere poisons the next optimizer
+        // step silently; fail loudly at the source instead.
+        if crate::sanitize::enabled() {
+            for (i, g) in grads.iter().enumerate() {
+                if let Some(m) = g {
+                    if let Some(bad) = m.as_slice().iter().find(|x| !x.is_finite()) {
+                        panic!(
+                            "sanitize[tape]: non-finite gradient {bad} at node {i} \
+                             (shape {:?}) after backward",
+                            m.shape(),
+                        );
+                    }
+                }
+            }
+        }
         Gradients { grads }
     }
 
@@ -919,4 +968,58 @@ pub(crate) fn softmax_into(src: &[f32], dst: &mut [f32]) {
     }
     let inv = 1.0 / sum;
     dst.iter_mut().for_each(|x| *x *= inv);
+}
+
+#[cfg(test)]
+mod sanitize_tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::MutexGuard;
+
+    /// `set_forced` is process-global; serialize the tests that flip it so
+    /// a concurrent restore can't disarm another test's check window.
+    fn forced_on() -> MutexGuard<'static, ()> {
+        let guard = crate::sanitize::forced_test_lock();
+        crate::sanitize::set_forced(Some(true));
+        guard
+    }
+
+    #[test]
+    fn leak_check_catches_granted_but_unrecorded_matrix() {
+        let _serial = forced_on();
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::full(2, 2, 1.0));
+        let _ = t.add(a, a);
+        t.reset(); // balanced: granted == absorbed
+        let _dropped = t.alloc_raw(2, 2); // granted, never pushed
+        let r = catch_unwind(AssertUnwindSafe(|| t.reset()));
+        crate::sanitize::set_forced(None);
+        assert!(r.is_err(), "leaked tape buffer must fail the reset check");
+    }
+
+    #[test]
+    fn backward_rejects_non_finite_gradients() {
+        let _serial = forced_on();
+        let mut t = Tape::new();
+        // exp(200) overflows f32 → Inf value → Inf gradient on the input.
+        let x = t.leaf(Matrix::full(1, 1, 200.0));
+        let y = t.exp(x);
+        let loss = t.sum_all(y);
+        let r = catch_unwind(AssertUnwindSafe(|| t.backward(loss)));
+        crate::sanitize::set_forced(None);
+        assert!(r.is_err(), "Inf gradient must trip the sanitizer");
+    }
+
+    #[test]
+    fn backward_accepts_finite_gradients_under_sanitize() {
+        let _serial = forced_on();
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::full(3, 2, 0.5));
+        let y = t.tanh(x);
+        let loss = t.mean_all(y);
+        let grads = t.backward(loss);
+        assert!(grads.get(x).is_some());
+        t.reset();
+        crate::sanitize::set_forced(None);
+    }
 }

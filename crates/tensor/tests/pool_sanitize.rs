@@ -1,0 +1,127 @@
+//! Pool panic propagation and the slot-claim sanitizer.
+//!
+//! Every test in this binary forces sanitize mode ON (process-wide) and
+//! never turns it back off — the `set_forced` override is global state, so
+//! a restore in one test could disarm a sibling running concurrently. The
+//! sanitize-off behavior (zero overhead, no checks) is covered by the
+//! determinism suite and `bench_kernels`, both of which run in their own
+//! processes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use benchtemp_tensor::pool::ThreadPool;
+use benchtemp_tensor::sanitize;
+
+fn sanitized_pool() -> ThreadPool {
+    sanitize::set_forced(Some(true));
+    // Bypass the host-core cap so the real queue machinery (not the inline
+    // path) runs even on single-core CI hosts.
+    ThreadPool::with_workers_for_tests(4, 4)
+}
+
+#[test]
+fn middle_chunk_panic_propagates_with_other_slots_intact() {
+    let p = sanitized_pool();
+    let slots: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+    let claims: Vec<sanitize::SlotClaim> = (0..4).map(|i| (i, i..i + 1)).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+        .map(|i| {
+            let slots = &slots;
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                if i == 2 {
+                    panic!("chunk 2 goes down");
+                }
+                slots[i].store(i + 1, Ordering::SeqCst);
+            });
+            task
+        })
+        .collect();
+
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        p.scope_run_claimed("panic_test", &claims, tasks)
+    }));
+    let err = r.expect_err("the middle chunk's panic must re-raise on the caller");
+    let msg = err
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("chunk 2"), "panic payload carried: {msg:?}");
+
+    // scope_run blocks on the whole batch before re-raising, so every other
+    // chunk's slot write has landed.
+    for (i, slot) in slots.iter().enumerate() {
+        let expect = if i == 2 { 0 } else { i + 1 };
+        assert_eq!(slot.load(Ordering::SeqCst), expect, "slot {i}");
+    }
+
+    // The pool survives a propagated panic and runs the next batch.
+    let items: Vec<usize> = (0..64).collect();
+    let doubled = p.par_map(&items, |&x| x * 2);
+    assert_eq!(doubled[63], 126);
+}
+
+#[test]
+fn overlapping_slot_claims_are_rejected_before_dispatch() {
+    let p = sanitized_pool();
+    let ran = AtomicUsize::new(0);
+    // Chunks 1 and 2 both claim element 5 — the deliberate race seed.
+    let claims: Vec<sanitize::SlotClaim> = vec![(0, 0..3), (1, 3..6), (2, 5..9)];
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+        .map(|_| {
+            let ran = &ran;
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            task
+        })
+        .collect();
+
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        p.scope_run_claimed("overlap_test", &claims, tasks)
+    }));
+    let err = r.expect_err("overlapping claims must be rejected");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("overlap") && msg.contains("overlap_test"),
+        "diagnostic names the batch and the defect: {msg:?}"
+    );
+    // The check runs on the submitting thread before dispatch: no task ran.
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        0,
+        "no task may run after a claim overlap"
+    );
+
+    // The pool itself is untouched and usable.
+    let items: Vec<usize> = (0..16).collect();
+    assert_eq!(p.par_map(&items, |&x| x + 1)[0], 1);
+}
+
+#[test]
+fn par_helpers_declare_clean_claims_under_sanitize() {
+    // With sanitize forced on, par_map/par_chunks/par_ranges all build and
+    // check their chunk claims; results must be exactly the sequential ones.
+    let p = sanitized_pool();
+    let items: Vec<u64> = (0..257).collect();
+    let expect: Vec<u64> = items.iter().map(|&x| x * 7 + 1).collect();
+    assert_eq!(p.par_map(&items, |&x| x * 7 + 1), expect);
+
+    let mut chunk_sums = Vec::new();
+    p.par_chunks(
+        &items,
+        32,
+        |_, c| c.iter().sum::<u64>(),
+        |s| chunk_sums.push(s),
+    );
+    assert_eq!(chunk_sums.iter().sum::<u64>(), items.iter().sum::<u64>());
+
+    let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+    p.par_ranges(100, |r| {
+        for i in r {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+}
