@@ -1,4 +1,4 @@
-//! The five workspace lint rules, each a pure function over one file's
+//! The six workspace lint rules, each a pure function over one file's
 //! token stream. See DESIGN.md §10 for the rationale behind every rule and
 //! the precise waiver semantics.
 //!
@@ -17,16 +17,18 @@ pub const RULE_WALLCLOCK: &str = "no-wallclock-outside-obs";
 pub const RULE_THREAD_SPAWN: &str = "no-raw-thread-spawn";
 pub const RULE_SAFETY_COMMENT: &str = "safety-comment-required";
 pub const RULE_ENV_REGISTRY: &str = "env-read-registry";
+pub const RULE_UNFUSED_AFFINE: &str = "no-unfused-affine-chain";
 /// Pseudo-rule for malformed `audit-allow` comments (unknown rule name or
 /// missing reason). Never waivable — a waiver that cannot be read is noise.
 pub const RULE_WAIVER_SYNTAX: &str = "waiver-syntax";
 
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 7] = [
     RULE_HASH_ITER,
     RULE_WALLCLOCK,
     RULE_THREAD_SPAWN,
     RULE_SAFETY_COMMENT,
     RULE_ENV_REGISTRY,
+    RULE_UNFUSED_AFFINE,
     RULE_WAIVER_SYNTAX,
 ];
 
@@ -116,6 +118,7 @@ pub fn check_file(
     thread_spawn(rel_path, &code, out);
     safety_comment(rel_path, raw, out);
     env_registry(rel_path, &code, registry, out);
+    unfused_affine_chain(rel_path, &code, out);
 }
 
 /// `no-hashmap-iteration-in-numeric-path`
@@ -402,6 +405,50 @@ fn env_registry(
     }
 }
 
+/// `no-unfused-affine-chain`
+///
+/// In `crates/models/`, a `.matmul(…)` call followed shortly by an
+/// `.add_row_broadcast(…)` call is the hand-rolled affine chain
+/// (`x·W + b`, usually with an activation on top) that
+/// `Tape::linear_affine` / `Linear::forward_act` replace with one fused
+/// node — same bits, one buffer, one backward arm. Model code should not
+/// grow new unfused copies of it. The matcher is a token-window heuristic
+/// (`add_row_broadcast` within 40 code tokens of a preceding `matmul`), in
+/// keeping with the tripwire-not-proof design of this driver; a genuinely
+/// unrelated adjacency can carry an `audit-allow` waiver saying why.
+fn unfused_affine_chain(rel_path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    if !rel_path.starts_with("crates/models/") {
+        return;
+    }
+    const WINDOW: usize = 40;
+    let mut last_matmul: Option<usize> = None;
+    for i in 0..code.len() {
+        // Method-call form only: `.name(` — a definition or doc mention of
+        // either name is not a chain.
+        let is_call = i >= 1
+            && is_punct(&code[i - 1].tok, '.')
+            && code.get(i + 1).is_some_and(|t| is_punct(&t.tok, '('));
+        if !is_call {
+            continue;
+        }
+        if is_ident(&code[i].tok, "matmul") {
+            last_matmul = Some(i);
+        } else if is_ident(&code[i].tok, "add_row_broadcast")
+            && last_matmul.is_some_and(|m| i - m <= WINDOW)
+        {
+            out.push(violation(
+                RULE_UNFUSED_AFFINE,
+                rel_path,
+                code[i].line,
+                "`matmul` + `add_row_broadcast` chain; use the fused \
+                 `Tape::linear_affine` (or `Linear::forward_act`) — same bits, \
+                 one node"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// Extract `audit-allow` waivers from a file's comments. Malformed waivers
 /// (unknown rule, missing reason) are reported as `waiver-syntax`
 /// violations.
@@ -588,6 +635,49 @@ mod tests {
         // Other env:: functions are not var reads.
         let tempdir = "fn f() { let _ = std::env::temp_dir(); }\n";
         assert!(run("crates/core/src/x.rs", tempdir).is_empty());
+    }
+
+    #[test]
+    fn unfused_affine_chain_flagged_only_in_models() {
+        let src = "fn f(g: &mut Tape, x: Var, w: Var, b: Var) -> Var {\n\
+                   let h = g.matmul(x, w);\n\
+                   let a = g.add_row_broadcast(h, b);\n\
+                   g.relu(a)\n\
+                   }\n";
+        let hits = run("crates/models/src/x.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_UNFUSED_AFFINE);
+        assert_eq!(hits[0].line, 3);
+        // The tape's own fallback implementation (crates/tensor) is exempt.
+        assert!(run("crates/tensor/src/tape.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unfused_affine_chain_needs_both_calls_nearby() {
+        let only_broadcast = "fn f(g: &mut Tape, h: Var, b: Var) -> Var {\n\
+                              g.add_row_broadcast(h, b)\n\
+                              }\n";
+        assert!(run("crates/models/src/x.rs", only_broadcast).is_empty());
+
+        let only_matmul = "fn f(g: &mut Tape, x: Var, w: Var) -> Var { g.matmul(x, w) }\n";
+        assert!(run("crates/models/src/x.rs", only_matmul).is_empty());
+
+        // Far apart (> 40 code tokens between the calls): separate
+        // computations, not a chain.
+        let filler = "let z0 = 0; let z1 = 0; let z2 = 0; let z3 = 0; let z4 = 0;\n\
+                      let z5 = 0; let z6 = 0; let z7 = 0; let z8 = 0; let z9 = 0;\n";
+        let far = format!(
+            "fn f(g: &mut Tape, x: Var, w: Var, h: Var, b: Var) {{\n\
+             let m = g.matmul(x, w);\n{filler}\
+             let a = g.add_row_broadcast(h, b);\n\
+             drop((m, a));\n\
+             }}\n"
+        );
+        assert!(run("crates/models/src/x.rs", &far).is_empty());
+
+        // Definition/mention of the names is not a call chain.
+        let defs = "fn matmul() {}\nfn add_row_broadcast() {}\n";
+        assert!(run("crates/models/src/x.rs", defs).is_empty());
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Seeded model-crate violation for the audit negative self-test: the
+//! unfused affine chain `no-unfused-affine-chain` exists to catch, plus a
+//! correctly waived instance. This file is lexed by the driver but never
+//! compiled.
+
+fn unfused_chain(g: &mut Tape, x: Var, w: Var, b: Var) -> Var {
+    let h = g.matmul(x, w);
+    // VIOLATION no-unfused-affine-chain (use Tape::linear_affine):
+    let a = g.add_row_broadcast(h, b);
+    g.relu(a)
+}
+
+fn waived_chain(g: &mut Tape, x: Var, w: Var, b: Var) -> Var {
+    let h = g.matmul(x, w);
+    // audit-allow(no-unfused-affine-chain): seeded *waived* chain for the self-test
+    g.add_row_broadcast(h, b)
+}

@@ -63,7 +63,7 @@ fn workspace_audits_clean() {
 fn seeded_fixture_fires_every_rule() {
     let root = manifest_dir().join("tests").join("fixtures");
     let report = run_audit(&root).expect("walk fixture tree");
-    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.files_scanned, 2);
     assert!(!report.ok(), "the seeded fixture must fail the audit");
 
     let unwaivered_of = |rule: &str| report.unwaivered().filter(|v| v.rule == rule).count();
@@ -98,21 +98,27 @@ fn seeded_fixture_fires_every_rule() {
         dump(&report)
     );
     assert_eq!(
+        unwaivered_of(rules::RULE_UNFUSED_AFFINE),
+        1,
+        "{:?}",
+        dump(&report)
+    );
+    assert_eq!(
         unwaivered_of(rules::RULE_WAIVER_SYNTAX),
         1,
         "{:?}",
         dump(&report)
     );
 
-    // Exactly one hit is waived, with its reason carried into the report.
+    // Exactly two hits are waived (one wallclock, one affine chain), with
+    // their reasons carried into the report.
     let waived: Vec<_> = report.violations.iter().filter(|v| v.waived).collect();
-    assert_eq!(waived.len(), 1);
-    assert_eq!(waived[0].rule, rules::RULE_WALLCLOCK);
-    assert!(waived[0]
-        .waive_reason
-        .as_deref()
-        .unwrap()
-        .contains("self-test"));
+    assert_eq!(waived.len(), 2, "{:?}", dump(&report));
+    assert!(waived.iter().any(|v| v.rule == rules::RULE_WALLCLOCK));
+    assert!(waived.iter().any(|v| v.rule == rules::RULE_UNFUSED_AFFINE));
+    assert!(waived
+        .iter()
+        .all(|v| v.waive_reason.as_deref().unwrap().contains("self-test")));
     assert!(report.waivers.iter().any(|w| w.used));
 
     // The registered fixture variable is accepted; only the undocumented

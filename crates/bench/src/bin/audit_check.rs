@@ -45,6 +45,7 @@ fn main() {
         rules::RULE_THREAD_SPAWN,
         rules::RULE_SAFETY_COMMENT,
         rules::RULE_ENV_REGISTRY,
+        rules::RULE_UNFUSED_AFFINE,
         rules::RULE_WAIVER_SYNTAX,
     ] {
         assert!(
@@ -53,7 +54,7 @@ fn main() {
         );
     }
     println!(
-        "audit_check: seeded fixture fails as designed ({} unwaivered hit(s), all 6 rules fire)",
+        "audit_check: seeded fixture fails as designed ({} unwaivered hit(s), all 7 rules fire)",
         fx.unwaivered().count()
     );
 

@@ -17,15 +17,19 @@ use std::process::Command;
 use benchtemp_bench::{save_json, timing};
 use benchtemp_core::efficiency::stage;
 use benchtemp_core::evaluator::auc_ap_pos_neg;
+use benchtemp_core::pipeline::{StreamContext, TgnnModel};
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::neighbors::{
     Frontier, NeighborEvent, NeighborFinder, SampleScratch, SamplingStrategy,
 };
 use benchtemp_graph::temporal_graph::TemporalGraph;
+use benchtemp_graph::Interaction;
+use benchtemp_models::common::ModelConfig;
+use benchtemp_models::zoo;
 use benchtemp_obs as obs;
 use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::Mlp;
-use benchtemp_tensor::{init, pool, Graph, Matrix, ParamStore};
+use benchtemp_tensor::{fusion, init, pool, Graph, Matrix, ParamStore};
 use benchtemp_util::json;
 
 const NODE_DIM: usize = 32;
@@ -268,6 +272,98 @@ impl SamplingWorkload {
     }
 }
 
+/// Training-step workload for the fused tape engine: TGAT and TGN — the
+/// attention-heavy and memory-family configs the fusion gate is measured
+/// on. One "step" is a 100-event `train_batch` (forward + backward + Adam)
+/// on a model whose temporal state was warmed by streaming the graph prefix.
+struct TrainStepWorkload {
+    graph: TemporalGraph,
+    nf: NeighborFinder,
+    /// Events streamed through `eval_batch` before the first training step.
+    warm: usize,
+    /// Consecutive training steps recorded for the loss trajectory.
+    steps: usize,
+}
+
+impl TrainStepWorkload {
+    fn new(smoke: bool) -> Self {
+        let mut cfg = GeneratorConfig::small("step", 11);
+        cfg.num_edges = if smoke { 1_500 } else { 5_000 };
+        let graph = cfg.generate();
+        let nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
+        TrainStepWorkload {
+            graph,
+            nf,
+            warm: if smoke { 300 } else { 1_000 },
+            steps: if smoke { 3 } else { 5 },
+        }
+    }
+
+    fn negs_for(&self, batch: &[Interaction]) -> Vec<usize> {
+        let items = self.graph.num_nodes - self.graph.num_users;
+        batch
+            .iter()
+            .enumerate()
+            .map(|(i, _)| self.graph.num_users + (i * 7) % items)
+            .collect()
+    }
+
+    /// Build + warm a model with fusion forced to `fused`, run `steps`
+    /// consecutive 100-event training steps, and return the per-step loss
+    /// bits plus the warmed model (reused by the timing measurement).
+    ///
+    /// Leaves the fusion override set to `fused` so the caller can time the
+    /// returned model on the same path; the caller restores `None`.
+    fn trajectory(&self, name: &str, fused: bool) -> (Vec<u32>, Box<dyn TgnnModel>) {
+        fusion::set_forced(Some(fused));
+        let ctx = StreamContext {
+            graph: &self.graph,
+            neighbors: &self.nf,
+        };
+        let mut model = zoo::build(
+            name,
+            ModelConfig {
+                seed: 1,
+                ..Default::default()
+            },
+            &self.graph,
+        );
+        let warm_negs: Vec<usize> = self.graph.events[..self.warm]
+            .iter()
+            .map(|e| e.dst)
+            .collect();
+        for (chunk, negs) in self.graph.events[..self.warm]
+            .chunks(100)
+            .zip(warm_negs.chunks(100))
+        {
+            let _ = model.eval_batch(&ctx, chunk, negs);
+        }
+        let bits = (0..self.steps)
+            .map(|s| {
+                let b = &self.graph.events[self.warm + s * 100..self.warm + (s + 1) * 100];
+                model.train_batch(&ctx, b, &self.negs_for(b)).to_bits()
+            })
+            .collect();
+        (bits, model)
+    }
+
+    /// Median ns of one more training step on an already-warmed model (the
+    /// fusion override the model was warmed under is still in force).
+    fn step_ns(&self, model: &mut Box<dyn TgnnModel>) -> f64 {
+        let ctx = StreamContext {
+            graph: &self.graph,
+            neighbors: &self.nf,
+        };
+        let batch = &self.graph.events[self.warm..self.warm + 100];
+        let negs = self.negs_for(batch);
+        timing::measure(&mut || std::hint::black_box(model.train_batch(&ctx, batch, &negs)))
+    }
+}
+
+fn fnv1a(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
 /// FNV-1a fold over every column of every hop level: any divergence in the
 /// sampled nodes, times, deltas, event indices, or masks changes the hash.
 fn frontier_hash(f: &Frontier) -> u64 {
@@ -468,12 +564,43 @@ fn run_child(smoke: bool) {
         (off, on)
     };
 
+    // Fused tape engine (DESIGN.md §11): `train_batch` on TGAT and TGN with
+    // the fused ops forced off vs on. Fusion is a pure execution-strategy
+    // switch, so the per-step loss trajectories must match bit-for-bit; the
+    // fused trajectory is also hashed so the parent can assert it does not
+    // depend on the thread count either (the fused backward runs on the
+    // slab-parallel claims protocol). Timing only in the single-thread
+    // child — the speedup target is a single-thread contract.
+    let ts = TrainStepWorkload::new(smoke);
+    let mut ts_traj_hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut ts_ns = [0.0f64; 4]; // [tgat_unfused, tgat_fused, tgn_unfused, tgn_fused]
+    for (mi, name) in ["TGAT", "TGN"].iter().enumerate() {
+        let (unfused_traj, mut unfused_model) = ts.trajectory(name, false);
+        if pool().threads() == 1 {
+            ts_ns[mi * 2] = ts.step_ns(&mut unfused_model);
+        }
+        let (fused_traj, mut fused_model) = ts.trajectory(name, true);
+        if pool().threads() == 1 {
+            ts_ns[mi * 2 + 1] = ts.step_ns(&mut fused_model);
+        }
+        fusion::set_forced(None);
+        assert_eq!(
+            unfused_traj, fused_traj,
+            "{name}: fused training loss trajectory must be bit-identical to unfused"
+        );
+        for &b in &fused_traj {
+            ts_traj_hash = fnv1a(ts_traj_hash, b as u64);
+        }
+    }
+
     println!(
         "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x} \
          sample_seed_ns {} sample_csr_ns {} samples_per_pass {} mixed_seed_ns {} \
          mixed_csr_ns {} mixed_samples {} frontier_ns {} frontier_slots {} frontier_hash {:016x} \
          trace_plain_ns {} trace_inert_ns {} trace_rec_ns {} trace_on_ns {} \
-         pass_ns {} san_off_ns {} san_on_ns {}",
+         pass_ns {} san_off_ns {} san_on_ns {} \
+         ts_tgat_unfused_ns {} ts_tgat_fused_ns {} ts_tgn_unfused_ns {} ts_tgn_fused_ns {} \
+         ts_traj_hash {:016x}",
         pool().threads(),
         seed_ns,
         kernel_ns,
@@ -495,7 +622,12 @@ fn run_child(smoke: bool) {
         trace_on_ns,
         pass_ns,
         san_off_ns,
-        san_on_ns
+        san_on_ns,
+        ts_ns[0],
+        ts_ns[1],
+        ts_ns[2],
+        ts_ns[3],
+        ts_traj_hash
     );
 }
 
@@ -523,6 +655,11 @@ struct ChildReport {
     pass_ns: f64,
     san_off_ns: f64,
     san_on_ns: f64,
+    ts_tgat_unfused_ns: f64,
+    ts_tgat_fused_ns: f64,
+    ts_tgn_unfused_ns: f64,
+    ts_tgn_fused_ns: f64,
+    ts_traj_hash: String,
 }
 
 fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
@@ -574,6 +711,11 @@ fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
         pass_ns: field("pass_ns").parse().unwrap(),
         san_off_ns: field("san_off_ns").parse().unwrap(),
         san_on_ns: field("san_on_ns").parse().unwrap(),
+        ts_tgat_unfused_ns: field("ts_tgat_unfused_ns").parse().unwrap(),
+        ts_tgat_fused_ns: field("ts_tgat_fused_ns").parse().unwrap(),
+        ts_tgn_unfused_ns: field("ts_tgn_unfused_ns").parse().unwrap(),
+        ts_tgn_fused_ns: field("ts_tgn_fused_ns").parse().unwrap(),
+        ts_traj_hash: field("ts_traj_hash"),
     }
 }
 
@@ -666,6 +808,30 @@ fn main() {
          bit-identical either way"
     );
 
+    // Fused tape engine: the loss-trajectory equality fused-vs-unfused is
+    // asserted inside each child; here the cross-thread contract.
+    assert_eq!(
+        single.ts_traj_hash, multi.ts_traj_hash,
+        "fused training loss trajectory must be bit-identical across thread counts"
+    );
+    let tgat_speedup = single.ts_tgat_unfused_ns / single.ts_tgat_fused_ns;
+    let tgn_speedup = single.ts_tgn_unfused_ns / single.ts_tgn_fused_ns;
+    println!(
+        "train_step TGAT (1 thread): unfused {:.0} ns -> fused {:.0} ns  ({tgat_speedup:.2}x, \
+         target 1.5x)",
+        single.ts_tgat_unfused_ns, single.ts_tgat_fused_ns
+    );
+    println!(
+        "train_step TGN (1 thread): unfused {:.0} ns -> fused {:.0} ns  ({tgn_speedup:.2}x, \
+         target 1.5x)",
+        single.ts_tgn_unfused_ns, single.ts_tgn_fused_ns
+    );
+    println!(
+        "train_step loss bit-identical: fused == unfused, and across thread counts \
+         (trajectory hash {})",
+        single.ts_traj_hash
+    );
+
     if smoke {
         println!("smoke mode: all kernels and determinism assertions passed; skipping JSON");
         return;
@@ -711,6 +877,17 @@ fn main() {
             "recorder_overhead_ratio": rec_ratio,
             "jsonl_trace_overhead_ratio": traced_ratio,
             "jsonl_trace_overhead_target": 1.03,
+        },
+        "train_step": {
+            "workload": "100-event train_batch (forward + backward + Adam) after warming temporal state on the graph prefix",
+            "tgat_unfused_ns_single_thread": single.ts_tgat_unfused_ns,
+            "tgat_fused_ns_single_thread": single.ts_tgat_fused_ns,
+            "tgat_fused_speedup": tgat_speedup,
+            "tgn_unfused_ns_single_thread": single.ts_tgn_unfused_ns,
+            "tgn_fused_ns_single_thread": single.ts_tgn_fused_ns,
+            "tgn_fused_speedup": tgn_speedup,
+            "single_thread_target": 1.5,
+            "loss_bit_identical": true,
         },
         "sanitizer": {
             "workload": "full eval pass (batched gather + parallel matmul forward)",

@@ -168,6 +168,10 @@ pub struct EfficiencyReport {
     pub epochs_to_converge: usize,
     /// Peak resident set size in bytes (Table 4 "RAM").
     pub peak_rss_bytes: u64,
+    /// Peak bytes held by the autograd tape's recycled matrix buffers
+    /// (`tape.pool_resident_bytes` gauge, sampled at each epoch-boundary
+    /// trim) — the pooled-allocator slice of the RAM number above.
+    pub tape_pool_resident_bytes: u64,
     /// Exact model state footprint: parameters + optimizer state + memory
     /// modules + caches (Table 4 "GPU Memory" analogue).
     pub model_state_bytes: u64,
@@ -193,6 +197,7 @@ impl ToJson for EfficiencyReport {
             "runtime_per_epoch_secs": self.runtime_per_epoch_secs,
             "epochs_to_converge": self.epochs_to_converge,
             "peak_rss_bytes": self.peak_rss_bytes,
+            "tape_pool_resident_bytes": self.tape_pool_resident_bytes,
             "model_state_bytes": self.model_state_bytes,
             "compute_utilization": self.compute_utilization,
             "inference_secs_per_100k": self.inference_secs_per_100k,

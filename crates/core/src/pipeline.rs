@@ -318,6 +318,9 @@ pub fn train_link_prediction(
         if monitor.should_stop() {
             break;
         }
+        // Epoch boundary: shed tape buffers beyond one batch's observed
+        // demand and record the `tape.pool_resident_bytes` gauge.
+        benchtemp_tensor::params::trim_tape_caches();
     }
 
     if let Some(snap) = &best_snapshot {
@@ -394,6 +397,7 @@ pub fn train_link_prediction(
             runtime_per_epoch_secs: profile.mean_secs(stage::TRAIN_EPOCH),
             epochs_to_converge: monitor.best_epoch() + 1,
             peak_rss_bytes: rss,
+            tape_pool_resident_bytes: benchtemp_obs::counters::TAPE_POOL_RESIDENT_BYTES.get(),
             model_state_bytes: model.state_bytes() as u64,
             compute_utilization: stages.utilization().unwrap_or(0.0),
             inference_secs_per_100k,
@@ -588,6 +592,7 @@ pub fn train_node_classification(
         if monitor.should_stop() {
             break;
         }
+        benchtemp_tensor::params::trim_tape_caches();
     }
     if let Some(snap) = &best_snapshot {
         store.restore(snap);
@@ -626,6 +631,7 @@ pub fn train_node_classification(
                 / monitor.epochs_seen().max(1) as f64,
             epochs_to_converge: monitor.best_epoch() + 1,
             peak_rss_bytes: rss,
+            tape_pool_resident_bytes: benchtemp_obs::counters::TAPE_POOL_RESIDENT_BYTES.get(),
             model_state_bytes: (model.state_bytes() + store.heap_bytes()) as u64,
             compute_utilization: stages.utilization().unwrap_or(0.0),
             inference_secs_per_100k: embed_secs / graph.num_events().max(1) as f64 * 100_000.0,

@@ -89,14 +89,24 @@ pub static PEAK_RSS_SAMPLES: Counter = Counter::new("peak_rss_samples");
 pub static SANITIZE_BATCHES_CHECKED: Counter = Counter::new("sanitize_batches_checked");
 /// Individual chunk-slot claims the sanitizer verified for disjointness.
 pub static SANITIZE_CLAIMS_CHECKED: Counter = Counter::new("sanitize_claims_checked");
+/// Fused tape nodes executed (`LinearAffine`, `TimeEncodeFused`).
+pub static FUSED_OPS_EXECUTED: Counter = Counter::new("fused_ops_executed");
+/// Tape forward/backward buffers served from the recycled `BufferPool`.
+pub static TAPE_POOL_HITS: Counter = Counter::new("tape_pool_hits");
+/// Tape buffer requests that fell through to a fresh heap allocation.
+pub static TAPE_POOL_MISSES: Counter = Counter::new("tape_pool_misses");
+/// Δt rows served by the `TimeEncode` per-batch memo instead of recompute.
+pub static TIME_ENCODE_MEMO_HITS: Counter = Counter::new("time_encode_memo_hits");
 
 /// Peak resident set size observed (bytes).
 pub static PEAK_RSS_BYTES: Gauge = Gauge::new("peak_rss_bytes");
+/// Bytes held by the tape's recycled matrix buffers after the last trim.
+pub static TAPE_POOL_RESIDENT_BYTES: Gauge = Gauge::new("tape.pool_resident_bytes");
 
 /// All counters, in a fixed order ([`crate::Recorder`] baselines index into
 /// this slice, so the order is part of the recorder contract).
 pub fn all() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 9] = [
+    static ALL: [&Counter; 13] = [
         &NEGATIVES_SAMPLED,
         &FRONTIER_NODES_EXPANDED,
         &TAPE_NODES_ALLOCATED,
@@ -106,13 +116,17 @@ pub fn all() -> &'static [&'static Counter] {
         &PEAK_RSS_SAMPLES,
         &SANITIZE_BATCHES_CHECKED,
         &SANITIZE_CLAIMS_CHECKED,
+        &FUSED_OPS_EXECUTED,
+        &TAPE_POOL_HITS,
+        &TAPE_POOL_MISSES,
+        &TIME_ENCODE_MEMO_HITS,
     ];
     &ALL
 }
 
 /// All gauges, in a fixed order.
 pub fn gauges() -> &'static [&'static Gauge] {
-    static GAUGES: [&Gauge; 1] = [&PEAK_RSS_BYTES];
+    static GAUGES: [&Gauge; 2] = [&PEAK_RSS_BYTES, &TAPE_POOL_RESIDENT_BYTES];
     &GAUGES
 }
 

@@ -1,0 +1,64 @@
+//! Fused-op toggle for the tape execution engine, gated by
+//! `BENCHTEMP_FUSION` (default **on**; set `BENCHTEMP_FUSION=0` to fall
+//! back to the unfused primitive chains).
+//!
+//! Fusion is a pure execution-strategy switch: every fused op
+//! ([`crate::tape::Tape::linear_affine`],
+//! [`crate::tape::Tape::time_encode_fused`]) computes each output element
+//! with the *same floating-point operation order* as the primitive chain it
+//! replaces, so results are bit-identical either way (see DESIGN.md §11 for
+//! the by-construction argument, and
+//! `crates/tensor/tests/fused_equivalence.rs` for the enforcement). The
+//! toggle exists so the equivalence suite and `bench_kernels` can compare
+//! both paths in one process, and as an escape hatch while debugging.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Tri-state test/bench override: 0 = follow the environment, 1 = forced
+/// off, 2 = forced on.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+static ENV_ENABLED: OnceLock<bool> = OnceLock::new();
+
+/// Is op fusion on? Reads `BENCHTEMP_FUSION` once per process (same policy
+/// as `BENCHTEMP_THREADS`); tests and benches can override with
+/// [`set_forced`]. Defaults to on — only an explicit `0` disables it.
+pub fn enabled() -> bool {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *ENV_ENABLED
+            .get_or_init(|| !matches!(std::env::var("BENCHTEMP_FUSION"), Ok(v) if v.trim() == "0")),
+    }
+}
+
+/// Test/bench hook: `Some(true)` forces fusion on, `Some(false)` forces it
+/// off, `None` restores environment control. Not for production call sites —
+/// the environment variable is the supported switch.
+#[doc(hidden)]
+pub fn set_forced(on: Option<bool>) {
+    FORCED.store(
+        match on {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_override_wins_over_env() {
+        let _serial = crate::sanitize::forced_test_lock();
+        set_forced(Some(true));
+        assert!(enabled());
+        set_forced(Some(false));
+        assert!(!enabled());
+        set_forced(None);
+    }
+}

@@ -25,6 +25,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod fusion;
 pub mod init;
 pub mod matrix;
 pub mod nn;
@@ -41,4 +42,4 @@ pub use optim::{Adam, Sgd};
 pub use params::{Graph, ParamId, ParamStore};
 pub use pool::{pool, ThreadPool};
 pub use rng::{Pcg32, SplitMix64};
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{Activation, Gradients, Tape, Var};

@@ -433,6 +433,24 @@ impl Matrix {
 /// per-batch model matmul (≤ 64³) stays inline.
 pub const PAR_FLOPS: usize = 1 << 18;
 
+/// Row-parallel fill for the tape's fused kernels: `kernel(i, row)` produces
+/// row `i` of `out` (the row keeps its prior contents, so read-modify-write
+/// epilogues work), fanned across the pool above [`PAR_FLOPS`] `work` units
+/// through the same claimed row partition as the matmul kernels. Each row is
+/// written by exactly one kernel call regardless of the partition, so the
+/// thread count cannot change result bits.
+pub(crate) fn fill_rows_par(
+    out: &mut Matrix,
+    work: usize,
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let (m, n) = out.shape();
+    if m == 0 || n == 0 {
+        return;
+    }
+    run_rows(m, n, work, &mut out.data, kernel);
+}
+
 /// Run `kernel(row_index, out_row)` over every `n`-wide row of `out`,
 /// fanning contiguous row blocks across the pool when `work` (total flops)
 /// crosses [`PAR_FLOPS`]. The kernel sees exactly the same `(i, row)` pairs

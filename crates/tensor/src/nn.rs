@@ -9,7 +9,7 @@
 use crate::init::{self, SeededRng};
 use crate::matrix::Matrix;
 use crate::params::{Graph, ParamId, ParamStore};
-use crate::tape::Var;
+use crate::tape::{Activation, Var};
 
 /// Fully-connected layer `y = xW + b`.
 pub struct Linear {
@@ -41,11 +41,16 @@ impl Linear {
     }
 
     pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        self.forward_act(g, x, Activation::None)
+    }
+
+    /// Forward with a fused activation epilogue — one tape node for
+    /// matmul + bias + activation (see [`crate::tape::Tape::linear_affine`]).
+    pub fn forward_act(&self, g: &mut Graph, x: Var, act: Activation) -> Var {
         debug_assert_eq!(g.shape(x).1, self.in_dim, "Linear: input width");
         let w = g.param(self.w);
         let b = g.param(self.b);
-        let xw = g.matmul(x, w);
-        g.add_row_broadcast(xw, b)
+        g.linear_affine(x, w, b, act)
     }
 }
 
@@ -71,8 +76,7 @@ impl Mlp {
     }
 
     pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
-        let h = self.fc1.forward(g, x);
-        let h = g.relu(h);
+        let h = self.fc1.forward_act(g, x, Activation::Relu);
         self.fc2.forward(g, h)
     }
 }
@@ -210,10 +214,15 @@ impl TimeEncode {
         g.cos(shifted)
     }
 
-    /// Convenience: encode a plain slice of deltas.
+    /// Encode a plain slice of deltas through the fused
+    /// [`crate::tape::Tape::time_encode_fused`] op: one node instead of the
+    /// four-node leaf → matmul → broadcast → cos chain, with repeated Δt
+    /// rows memoized within the call. Bit-identical to [`TimeEncode::forward`]
+    /// over `Matrix::column(dts)`.
     pub fn forward_slice(&self, g: &mut Graph, dts: &[f32]) -> Var {
-        let col = g.input(Matrix::column(dts));
-        self.forward(g, col)
+        let omega = g.param(self.omega);
+        let phase = g.param(self.phase);
+        g.time_encode_fused(dts, omega, phase)
     }
 }
 

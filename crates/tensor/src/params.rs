@@ -113,30 +113,50 @@ impl ParamStore {
 
 thread_local! {
     /// Recycled tapes: a dropped [`Graph`] parks its tape (reset, with node
-    /// capacity and its matrix buffer pool intact) here, and the next
-    /// `Graph::new` on this thread picks it up. Per-batch graph construction
-    /// in the training loops therefore stops churning the allocator without
-    /// any call-site changes.
-    static TAPE_CACHE: std::cell::RefCell<Vec<Tape>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// capacity and its matrix buffer pool intact) plus its binding scratch
+    /// here, and the next `Graph::new` on this thread picks both up.
+    /// Per-batch graph construction in the training loops therefore stops
+    /// churning the allocator without any call-site changes.
+    static TAPE_CACHE: std::cell::RefCell<Vec<(Tape, Vec<Option<Var>>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
-/// Owns a recycled tape and parks it back in [`TAPE_CACHE`] on drop.
+/// Epoch-boundary hook: apply the buffer-pool high-water trim
+/// ([`Tape::trim_pool`]) to every tape parked on this thread's recycle
+/// cache. Tapes parked on *other* threads (pool workers running parallel
+/// eval) keep their buffers until their own threads trim; the training-loop
+/// tape — the one that grows — lives on the caller's thread.
+pub fn trim_tape_caches() {
+    TAPE_CACHE.with(|c| {
+        for (tape, _) in c.borrow_mut().iter_mut() {
+            tape.trim_pool();
+        }
+    });
+}
+
+/// Owns a recycled tape (+ binding scratch) and parks both back in
+/// [`TAPE_CACHE`] on drop.
 ///
 /// The recycling `Drop` lives on this lifetime-free wrapper — not on
 /// [`Graph`] itself — so the borrow checker still ends a graph's `&ParamStore`
 /// borrow at its last use (dropping a `&T` field needs no liveness), and
 /// call sites can keep mutating the store while a finished graph is in scope.
-struct PooledTape(Tape);
+struct PooledTape {
+    tape: Tape,
+    bound: Vec<Option<Var>>,
+}
 
 impl Drop for PooledTape {
     fn drop(&mut self) {
-        let mut tape = std::mem::take(&mut self.0);
+        let mut tape = std::mem::take(&mut self.tape);
         tape.reset();
+        let mut bound = std::mem::take(&mut self.bound);
+        bound.clear();
         TAPE_CACHE.with(|c| {
             let mut cache = c.borrow_mut();
             // A handful of tapes covers nested graphs; don't hoard beyond that.
             if cache.len() < 4 {
-                cache.push(tape);
+                cache.push((tape, bound));
             }
         });
     }
@@ -146,46 +166,55 @@ impl Drop for PooledTape {
 pub struct Graph<'s> {
     tape: PooledTape,
     store: &'s ParamStore,
-    bound: Vec<Option<Var>>,
 }
 
 impl<'s> Graph<'s> {
     pub fn new(store: &'s ParamStore) -> Self {
-        let tape = TAPE_CACHE
+        let (tape, mut bound) = TAPE_CACHE
             .with(|c| c.borrow_mut().pop())
             .unwrap_or_default();
         debug_assert!(tape.is_empty(), "recycled tape must be reset");
+        debug_assert!(bound.is_empty(), "recycled binding scratch must be clear");
+        bound.resize(store.len(), None);
         Graph {
-            tape: PooledTape(tape),
+            tape: PooledTape { tape, bound },
             store,
-            bound: vec![None; store.len()],
         }
     }
 
     /// Bind a parameter onto the tape (once per graph; later calls return
-    /// the same [`Var`] so gradients accumulate correctly).
+    /// the same [`Var`] so gradients accumulate correctly). The leaf copy
+    /// lands in pooled storage, so steady-state batches re-bind without
+    /// allocating.
     pub fn param(&mut self, id: ParamId) -> Var {
-        if let Some(v) = self.bound[id.0] {
+        if let Some(v) = self.tape.bound[id.0] {
             return v;
         }
-        let v = self.tape.0.leaf(self.store.value(id).clone());
-        self.bound[id.0] = Some(v);
+        let v = self.tape.tape.leaf_copied(self.store.value(id));
+        self.tape.bound[id.0] = Some(v);
         v
     }
 
     /// Insert a non-trainable input.
     pub fn input(&mut self, value: Matrix) -> Var {
-        self.tape.0.leaf(value)
+        self.tape.tape.leaf(value)
+    }
+
+    /// Insert a non-trainable input by copy into pooled storage — the
+    /// allocation-free twin of [`Graph::input`] for callers that keep the
+    /// source matrix around.
+    pub fn input_from(&mut self, value: &Matrix) -> Var {
+        self.tape.tape.leaf_copied(value)
     }
 
     /// Backward pass from a scalar loss; returns gradients for every bound
     /// parameter (zero matrices for parameters the loss never touched).
     pub fn backward(&mut self, loss: Var) -> Vec<(ParamId, Matrix)> {
-        let grads = self.tape.0.backward(loss);
+        let grads = self.tape.tape.backward(loss);
         let mut out = Vec::new();
-        for (i, slot) in self.bound.iter().enumerate() {
+        for (i, slot) in self.tape.bound.iter().enumerate() {
             if let Some(var) = slot {
-                let shape = self.tape.0.shape(*var);
+                let shape = self.tape.tape.shape(*var);
                 out.push((ParamId(i), grads.get_or_zero(*var, shape)));
             }
         }
@@ -196,12 +225,12 @@ impl<'s> Graph<'s> {
 impl Deref for Graph<'_> {
     type Target = Tape;
     fn deref(&self) -> &Tape {
-        &self.tape.0
+        &self.tape.tape
     }
 }
 
 impl DerefMut for Graph<'_> {
     fn deref_mut(&mut self) -> &mut Tape {
-        &mut self.tape.0
+        &mut self.tape.tape
     }
 }

@@ -16,6 +16,29 @@ use crate::matrix::Matrix;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
+/// Activation fused into [`Tape::linear_affine`]. Each variant applies the
+/// exact elementwise function of the corresponding standalone tape op
+/// (`relu`/`sigmoid`/`tanh`), so fusing it changes no bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    None,
+    Relu,
+    Sigmoid,
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => stable_sigmoid(x),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+}
+
 /// Operation record; indices refer to parent nodes on the same tape.
 enum Op {
     Leaf,
@@ -55,6 +78,21 @@ enum Op {
         /// Saved softmax weights, one `group`-sized block per query row.
         weights: Vec<f32>,
     },
+    /// Fused `act(x·w + b)` — see [`Tape::linear_affine`].
+    LinearAffine {
+        x: usize,
+        w: usize,
+        b: usize,
+        act: Activation,
+    },
+    /// Fused `cos(dt·ω + φ)` — see [`Tape::time_encode_fused`]. The Δt
+    /// column is saved (pool-granted, recycled at reset) for the backward
+    /// `dtᵀ·gs` product.
+    TimeEncodeFused {
+        omega: usize,
+        phase: usize,
+        dts: Matrix,
+    },
     BceWithLogits {
         logits: usize,
         targets: Vec<f32>,
@@ -71,29 +109,84 @@ struct Node {
     op: Op,
 }
 
+/// One shape's free list plus the demand accounting behind the epoch trim.
+#[derive(Default)]
+struct ShapeBin {
+    free: Vec<Vec<f32>>,
+    /// Buffers taken since the last batch boundary — one batch's demand.
+    takes_this_batch: usize,
+    /// Max takes in any batch since the last trim: how many buffers this
+    /// shape needs resident to serve a batch allocation-free.
+    high_water: usize,
+}
+
 /// Shape-keyed recycler for node value storage. Buffers returned by
 /// [`Tape::reset`] are handed back out by the forward ops of the next batch,
 /// so steady-state training stops allocating per op.
+///
+/// A `BTreeMap` (not `HashMap`) keys the bins: the trim and accounting paths
+/// iterate the map, and the deterministic-order policy from PR 4's audit
+/// rule applies — iteration order must never depend on hash state.
 #[derive(Default)]
 struct BufferPool {
-    by_shape: std::collections::HashMap<(usize, usize), Vec<Vec<f32>>>,
+    by_shape: std::collections::BTreeMap<(usize, usize), ShapeBin>,
 }
 
 impl BufferPool {
     /// Per-shape retention cap: bounds steady-state memory while covering
-    /// every distinct shape one batch's forward pass produces.
+    /// every distinct shape one batch's forward pass produces. The epoch
+    /// trim ([`BufferPool::trim`]) tightens this to observed demand.
     const MAX_PER_SHAPE: usize = 32;
 
     fn take(&mut self, rows: usize, cols: usize) -> Option<Vec<f32>> {
-        self.by_shape.get_mut(&(rows, cols)).and_then(Vec::pop)
+        let bin = self.by_shape.entry((rows, cols)).or_default();
+        bin.takes_this_batch += 1;
+        let got = bin.free.pop();
+        if got.is_some() {
+            benchtemp_obs::counters::TAPE_POOL_HITS.incr();
+        } else {
+            benchtemp_obs::counters::TAPE_POOL_MISSES.incr();
+        }
+        got
     }
 
     fn put(&mut self, rows: usize, cols: usize, buf: Vec<f32>) {
         debug_assert_eq!(buf.len(), rows * cols);
-        let entry = self.by_shape.entry((rows, cols)).or_default();
-        if entry.len() < Self::MAX_PER_SHAPE {
-            entry.push(buf);
+        let bin = self.by_shape.entry((rows, cols)).or_default();
+        if bin.free.len() < Self::MAX_PER_SHAPE {
+            bin.free.push(buf);
         }
+    }
+
+    /// Close one batch's demand window: fold the batch take counts into the
+    /// per-shape high-water marks.
+    fn end_batch(&mut self) {
+        for bin in self.by_shape.values_mut() {
+            bin.high_water = bin.high_water.max(bin.takes_this_batch);
+            bin.takes_this_batch = 0;
+        }
+    }
+
+    /// Epoch-boundary trim: drop every free buffer beyond what the biggest
+    /// batch since the last trim actually took, and forget shapes no batch
+    /// touched. Restarts the high-water window.
+    fn trim(&mut self) {
+        self.end_batch();
+        self.by_shape.retain(|_, bin| {
+            bin.free.truncate(bin.high_water);
+            let keep = bin.high_water > 0;
+            bin.high_water = 0;
+            keep
+        });
+    }
+
+    /// Heap bytes resident in the free lists.
+    fn resident_bytes(&self) -> u64 {
+        self.by_shape
+            .values()
+            .flat_map(|bin| bin.free.iter())
+            .map(|buf| (buf.capacity() * std::mem::size_of::<f32>()) as u64)
+            .sum()
     }
 }
 
@@ -110,6 +203,11 @@ pub struct Tape {
     /// Allocator-granted matrices recorded as node values since the last
     /// reset (every non-leaf `push`).
     absorbed_since_reset: usize,
+    /// Δt-bits → first-row memo scratch for [`Tape::time_encode_fused`].
+    /// Cleared (capacity kept) at the start of each call; lives on the tape
+    /// so steady-state batches don't re-allocate it. Lookup-only — never
+    /// iterated — so hash order can't leak into results.
+    te_memo: std::collections::HashMap<u32, usize>,
 }
 
 impl Tape {
@@ -119,6 +217,7 @@ impl Tape {
             pool: BufferPool::default(),
             granted_since_reset: 0,
             absorbed_since_reset: 0,
+            te_memo: std::collections::HashMap::new(),
         }
     }
 
@@ -152,10 +251,32 @@ impl Tape {
         }
         self.granted_since_reset = 0;
         self.absorbed_since_reset = 0;
+        self.pool.end_batch();
         for node in self.nodes.drain(..) {
             let (r, c) = node.value.shape();
             self.pool.put(r, c, node.value.into_vec());
+            // The fused time-encode op carries a second pool-granted matrix
+            // (the saved Δt column); recycle it too.
+            if let Op::TimeEncodeFused { dts, .. } = node.op {
+                let (r, c) = dts.shape();
+                self.pool.put(r, c, dts.into_vec());
+            }
         }
+    }
+
+    /// Epoch-boundary pool trim: shed every recycled buffer beyond the
+    /// largest single-batch demand observed since the last trim (the
+    /// unbounded-growth fix — long runs with many distinct shapes no longer
+    /// hold peak RAM forever). Samples the `tape.pool_resident_bytes` gauge
+    /// with the pre-trim footprint so `EfficiencyReport` sees the peak.
+    pub fn trim_pool(&mut self) {
+        benchtemp_obs::counters::TAPE_POOL_RESIDENT_BYTES.sample(self.pool.resident_bytes());
+        self.pool.trim();
+    }
+
+    /// Heap bytes currently resident in the recycled buffer pool.
+    pub fn pool_resident_bytes(&self) -> u64 {
+        self.pool.resident_bytes()
     }
 
     /// Matrix with recycled (arbitrary-content) storage — for ops that
@@ -195,6 +316,19 @@ impl Tape {
     /// Insert a constant/input/parameter leaf.
     pub fn leaf(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf)
+    }
+
+    /// Leaf whose storage comes from the recycled buffer pool: copies `src`
+    /// into a pooled buffer. Bit-identical to `leaf(src.clone())`, minus
+    /// the steady-state allocation.
+    pub fn leaf_copied(&mut self, src: &Matrix) -> Var {
+        let (r, c) = src.shape();
+        let mut m = self.alloc_raw(r, c);
+        m.copy_from(src);
+        // `push` skips the grant balance for leaves (they normally carry
+        // caller storage); this leaf's storage is pool-granted, so count it.
+        self.absorbed_since_reset += 1;
+        self.push(m, Op::Leaf)
     }
 
     /// Read a node's value.
@@ -567,6 +701,132 @@ impl Tape {
         )
     }
 
+    // ---- fused affine & time encoding -------------------------------------
+
+    /// Fused `act(x·w + b)`: matmul, row-bias broadcast, and activation in
+    /// one node and one output buffer, with a fused backward. Bit-identical
+    /// to the chain `matmul` → `add_row_broadcast` → activation — the same
+    /// matmul kernel fills the buffer and the epilogue applies
+    /// `act(xw + b[j])` in the same per-element order the separate ops
+    /// would (see DESIGN.md §11). With fusion disabled (`BENCHTEMP_FUSION=0`
+    /// or [`crate::fusion::set_forced`]) it emits exactly that chain.
+    pub fn linear_affine(&mut self, x: Var, w: Var, b: Var, act: Activation) -> Var {
+        if !crate::fusion::enabled() {
+            let xw = self.matmul(x, w);
+            let t = self.add_row_broadcast(xw, b);
+            return match act {
+                Activation::None => t,
+                Activation::Relu => self.relu(t),
+                Activation::Sigmoid => self.sigmoid(t),
+                Activation::Tanh => self.tanh(t),
+            };
+        }
+        let (m, _) = self.shape(x);
+        let n = self.shape(w).1;
+        let mut out = self.alloc_raw(m, n);
+        {
+            let (xm, wm, bm) = (
+                &self.nodes[x.0].value,
+                &self.nodes[w.0].value,
+                &self.nodes[b.0].value,
+            );
+            assert_eq!(bm.rows(), 1, "linear_affine: b must be 1×n");
+            assert_eq!(bm.cols(), n, "linear_affine: bias width mismatch");
+            xm.matmul_into(wm, &mut out);
+            let brow = bm.row(0);
+            crate::matrix::fill_rows_par(&mut out, m * n, |_r, row| {
+                for (o, &bj) in row.iter_mut().zip(brow) {
+                    *o = act.apply(*o + bj);
+                }
+            });
+        }
+        benchtemp_obs::counters::FUSED_OPS_EXECUTED.incr();
+        self.push(
+            out,
+            Op::LinearAffine {
+                x: x.0,
+                w: w.0,
+                b: b.0,
+                act,
+            },
+        )
+    }
+
+    /// Fused time encoding `cos(dt·ω + φ)` over a Δt slice: the outer
+    /// product (n×1 · 1×d), bias broadcast, and cosine collapse into one
+    /// node, replacing the four-node chain `leaf(column)` → `matmul` →
+    /// `add_row_broadcast` → `cos`. Per element the fused pass computes
+    /// `cos((0 + dt·ω_j) + φ_j)` — exactly the k=1 matmul accumulation
+    /// followed by the broadcast add and `cos`, so the result is
+    /// bit-identical to the unfused chain (emitted verbatim when fusion is
+    /// off).
+    ///
+    /// Temporal batches repeat Δt values heavily, so rows are memoized by
+    /// Δt bit pattern within the call: a repeated Δt copies the
+    /// already-computed row, which is trivially bit-identical because the
+    /// row is a function of `(dt, ω, φ)` alone.
+    pub fn time_encode_fused(&mut self, dts: &[f32], omega: Var, phase: Var) -> Var {
+        if !crate::fusion::enabled() {
+            let col = self.leaf(Matrix::column(dts));
+            let mm = self.matmul(col, omega);
+            let t = self.add_row_broadcast(mm, phase);
+            return self.cos(t);
+        }
+        let n = dts.len();
+        let d = self.shape(omega).1;
+        let mut out = self.alloc_raw(n, d);
+        let mut col = self.alloc_raw(n, 1);
+        col.as_mut_slice().copy_from_slice(dts);
+        let mut memo = std::mem::take(&mut self.te_memo);
+        memo.clear();
+        let mut memo_hits = 0u64;
+        {
+            let (om, ph) = (&self.nodes[omega.0].value, &self.nodes[phase.0].value);
+            assert_eq!(om.rows(), 1, "time_encode_fused: omega must be 1×d");
+            assert_eq!(ph.shape(), (1, d), "time_encode_fused: phase must be 1×d");
+            let (om_row, ph_row) = (om.row(0), ph.row(0));
+            for (r, &dt) in dts.iter().enumerate() {
+                match memo.entry(dt.to_bits()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let src = *e.get();
+                        memo_hits += 1;
+                        out.as_mut_slice()
+                            .copy_within(src * d..(src + 1) * d, r * d);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(r);
+                        let row = out.row_mut(r);
+                        for j in 0..d {
+                            // k=1 matmul accumulation (0.0 + dt·ω, which the
+                            // kernel's zero-init `+=` produces — not folded
+                            // away, since 0.0 + x is not an f32 identity),
+                            // then the bias broadcast, then cos.
+                            let mut acc = 0.0f32;
+                            acc += dt * om_row[j];
+                            row[j] = (acc + ph_row[j]).cos();
+                        }
+                    }
+                }
+            }
+        }
+        self.te_memo = memo;
+        if memo_hits > 0 {
+            benchtemp_obs::counters::TIME_ENCODE_MEMO_HITS.add(memo_hits);
+        }
+        benchtemp_obs::counters::FUSED_OPS_EXECUTED.incr();
+        // Two pool-granted matrices live in this node (output + saved Δt
+        // column); `push` only counts the output, so balance the second.
+        self.absorbed_since_reset += 1;
+        self.push(
+            out,
+            Op::TimeEncodeFused {
+                omega: omega.0,
+                phase: phase.0,
+                dts: col,
+            },
+        )
+    }
+
     // ---- losses ------------------------------------------------------------
 
     /// Mean binary cross-entropy with logits; `logits` is n×1.
@@ -895,6 +1155,100 @@ impl Tape {
                 bump(*q, dq);
                 bump(*k, dk);
                 bump(*v, dv);
+            }
+            Op::LinearAffine { x, w, b, act } => {
+                let xm = &self.nodes[*x].value;
+                let wm = &self.nodes[*w].value;
+                let y = &node.value;
+                let (m, n) = y.shape();
+                // gp = g ⊙ act'(y), the derivative taken from the *output*
+                // exactly as the unfused activation nodes compute it (for
+                // ReLU, y > 0 ⟺ pre-activation > 0, so the output test is
+                // bitwise equal to the unfused pre-activation test; sigmoid
+                // and tanh backward already read the output). Row-parallel
+                // through the claimed pool partition — each element is
+                // written once, so worker count cannot change bits.
+                let gp_owned: Option<Matrix> = match act {
+                    // Identity activation: the incoming gradient passes
+                    // through untouched, so skip the scratch copy entirely
+                    // and feed `g` straight into the matmul backward.
+                    Activation::None => None,
+                    Activation::Relu => {
+                        let mut gp = Matrix::zeros(m, n);
+                        crate::matrix::fill_rows_par(&mut gp, m * n, |r, row| {
+                            for ((o, &gg), &yy) in row.iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                                *o = if yy > 0.0 { gg } else { 0.0 };
+                            }
+                        });
+                        Some(gp)
+                    }
+                    Activation::Sigmoid => {
+                        let mut gp = Matrix::zeros(m, n);
+                        crate::matrix::fill_rows_par(&mut gp, m * n, |r, row| {
+                            for ((o, &gg), &yy) in row.iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                                *o = gg * yy * (1.0 - yy);
+                            }
+                        });
+                        Some(gp)
+                    }
+                    Activation::Tanh => {
+                        let mut gp = Matrix::zeros(m, n);
+                        crate::matrix::fill_rows_par(&mut gp, m * n, |r, row| {
+                            for ((o, &gg), &yy) in row.iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                                *o = gg * (1.0 - yy * yy);
+                            }
+                        });
+                        Some(gp)
+                    }
+                };
+                let gp: &Matrix = gp_owned.as_ref().unwrap_or(g);
+                // Bias first: the unfused reverse walk reaches the broadcast
+                // node before the matmul node. Same column-sum loop order.
+                let mut db = Matrix::zeros(1, n);
+                for r in 0..m {
+                    for (o, &v) in db.row_mut(0).iter_mut().zip(gp.row(r)) {
+                        *o += v;
+                    }
+                }
+                bump(*b, db);
+                bump(*x, gp.matmul_transpose(wm));
+                bump(*w, xm.transpose_matmul(gp));
+            }
+            Op::TimeEncodeFused { omega, phase, dts } => {
+                let om = &self.nodes[*omega].value;
+                let ph = &self.nodes[*phase].value;
+                let (om_row, ph_row) = (om.row(0), ph.row(0));
+                let n = dts.rows();
+                let d = om.cols();
+                let dt_col = dts.as_slice();
+                // gs = -g ⊙ sin(s) with s recomputed in the forward's exact
+                // per-element order — the Cos backward rule applied to the
+                // never-materialized pre-cos matrix. Row-parallel through
+                // the claimed pool partition; one writer per element.
+                let mut gs = Matrix::zeros(n, d);
+                crate::matrix::fill_rows_par(&mut gs, 4 * n * d, |r, row| {
+                    let dt = dt_col[r];
+                    for (j, o) in row.iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        acc += dt * om_row[j];
+                        let s = acc + ph_row[j];
+                        *o = -g.get(r, j) * s.sin();
+                    }
+                });
+                // Phase first (broadcast node precedes the matmul node in
+                // the unfused reverse walk), then ω through the exact
+                // `transpose_matmul` kernel the unfused matmul backward
+                // uses. The Δt column is a non-trainable leaf in the
+                // unfused chain, so its gradient is never queried and the
+                // fused op skips computing it.
+                let mut dph = Matrix::zeros(1, d);
+                for r in 0..n {
+                    for (o, &v) in dph.row_mut(0).iter_mut().zip(gs.row(r)) {
+                        *o += v;
+                    }
+                }
+                bump(*phase, dph);
+                bump(*omega, dts.transpose_matmul(&gs));
             }
             Op::BceWithLogits { logits, targets } => {
                 let lm = &self.nodes[*logits].value;

@@ -1,0 +1,90 @@
+//! Zero-allocation contract of the steady-state training forward pass:
+//! once the tape recycle cache and its shape-keyed buffer pool are warm,
+//! building a [`Graph`], binding parameters, and running a fused
+//! `Linear→ReLU→Linear` forward must perform no heap allocations at all.
+//!
+//! Verified with a counting global allocator. This file holds exactly one
+//! test so no sibling test thread can allocate concurrently and pollute the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use benchtemp_tensor::nn::Mlp;
+use benchtemp_tensor::{init, Graph, Matrix, ParamStore};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: pure pass-through to `System`, which upholds every GlobalAlloc
+// contract; the only addition is an atomic counter bump, which allocates
+// nothing and cannot unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's layout preconditions; delegated
+    // verbatim to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    // SAFETY: `ptr`/`layout` come from a prior alloc on this same allocator
+    // (we always delegate to `System`), so forwarding to `System.realloc`
+    // preserves its contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    // SAFETY: same delegation argument as `realloc` — every pointer we are
+    // handed was produced by `System`, so `System.dealloc` may free it.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_forward_is_allocation_free_after_warmup() {
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(11);
+    let mlp = Mlp::new(&mut store, &mut rng, "steady", 8, 16, 4);
+    let x = init::uniform(12, 8, -1.0, 1.0, &mut rng);
+
+    // One forward step: graph from the recycle cache, pooled param/input
+    // leaves, fused Linear→ReLU→Linear. Returns a checksum so the work
+    // cannot be optimized away.
+    let step = |store: &ParamStore, x: &Matrix| -> f32 {
+        let mut g = Graph::new(store);
+        let xv = g.input_from(x);
+        let y = mlp.forward(&mut g, xv);
+        g.value(y).as_slice().iter().sum()
+    };
+
+    // Warm-up passes grow the tape's node arena, the buffer pool's
+    // per-shape free lists, and the binding scratch to their steady state.
+    let mut warm = 0.0f32;
+    for _ in 0..5 {
+        warm += step(&store, &x);
+    }
+    assert!(
+        warm.is_finite(),
+        "warm-up forward produced non-finite output"
+    );
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    let mut measured = 0.0f32;
+    for _ in 0..10 {
+        measured += step(&store, &x);
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert!(measured.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state forward allocated {} times after warm-up",
+        after - before
+    );
+}

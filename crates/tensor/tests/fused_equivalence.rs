@@ -1,0 +1,176 @@
+//! Bit-for-bit equivalence of the fused tape ops against the unfused
+//! primitive chains they replace.
+//!
+//! `BENCHTEMP_FUSION` is a pure execution-strategy switch: every fused op
+//! computes each output element with the same floating-point operation
+//! order as its unfused composition, so forward values *and* gradients must
+//! match exactly (`f32::to_bits`), not just approximately. These tests pin
+//! that contract across a grid of shapes (1×1, ragged, large), every
+//! activation, and the Δt-memoization fast path.
+//!
+//! `fusion::set_forced` is process-global, so every test flipping it holds
+//! [`FUSION_LOCK`] for its whole body.
+
+use std::sync::Mutex;
+
+use benchtemp_tensor::nn::Mlp;
+use benchtemp_tensor::tape::Activation;
+use benchtemp_tensor::{fusion, init, Graph, Matrix, ParamStore, Tape};
+
+static FUSION_LOCK: Mutex<()> = Mutex::new(());
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = init::rng(seed);
+    init::uniform(rows, cols, -1.5, 1.5, &mut rng)
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+const ACTS: [Activation; 4] = [
+    Activation::None,
+    Activation::Relu,
+    Activation::Sigmoid,
+    Activation::Tanh,
+];
+
+/// One linear_affine forward+backward; returns (y, dx, dw, db) as bits.
+fn run_linear(
+    fused: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    act: Activation,
+    seed: u64,
+) -> [Vec<u32>; 4] {
+    fusion::set_forced(Some(fused));
+    let mut t = Tape::new();
+    let x = t.leaf(mat(m, k, seed));
+    let w = t.leaf(mat(k, n, seed + 1));
+    let b = t.leaf(mat(1, n, seed + 2));
+    let y = t.linear_affine(x, w, b, act);
+    let loss = t.mean_all(y);
+    let grads = t.backward(loss);
+    let out = [
+        bits(t.value(y)),
+        bits(grads.get(x).expect("dx")),
+        bits(grads.get(w).expect("dw")),
+        bits(grads.get(b).expect("db")),
+    ];
+    fusion::set_forced(None);
+    out
+}
+
+#[test]
+fn linear_affine_matches_unfused_bitwise() {
+    let _serial = FUSION_LOCK.lock().unwrap();
+    // (batch m, in k, out n): degenerate, ragged, and large-enough-to-tile.
+    let shapes = [(1, 1, 1), (3, 5, 7), (8, 9, 2), (17, 4, 13), (33, 16, 8)];
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        for (j, &act) in ACTS.iter().enumerate() {
+            let seed = 100 + (i * ACTS.len() + j) as u64 * 3;
+            let unfused = run_linear(false, m, k, n, act, seed);
+            let fused = run_linear(true, m, k, n, act, seed);
+            assert_eq!(
+                unfused, fused,
+                "linear_affine bits diverged at shape ({m},{k},{n}), act {act:?}"
+            );
+        }
+    }
+}
+
+/// One time_encode forward+backward; returns (y, dω, dφ) as bits.
+fn run_time_encode(fused: bool, dts: &[f32], d: usize, seed: u64) -> [Vec<u32>; 3] {
+    fusion::set_forced(Some(fused));
+    let mut t = Tape::new();
+    let omega = t.leaf(mat(1, d, seed));
+    let phase = t.leaf(mat(1, d, seed + 1));
+    let y = t.time_encode_fused(dts, omega, phase);
+    let loss = t.mean_all(y);
+    let grads = t.backward(loss);
+    let out = [
+        bits(t.value(y)),
+        bits(grads.get(omega).expect("domega")),
+        bits(grads.get(phase).expect("dphase")),
+    ];
+    fusion::set_forced(None);
+    out
+}
+
+#[test]
+fn time_encode_fused_matches_unfused_bitwise() {
+    let _serial = FUSION_LOCK.lock().unwrap();
+    let mut rng = init::rng(7);
+    let distinct: Vec<f32> = init::uniform(33, 1, 0.0, 50.0, &mut rng)
+        .as_slice()
+        .to_vec();
+    // Duplicate-heavy batch: every Δt appears twice, so the fused path's
+    // memo serves half the rows via row copy.
+    let mut duplicated = distinct[..8].to_vec();
+    duplicated.extend_from_slice(&distinct[..8]);
+    let cases: Vec<(Vec<f32>, usize)> = vec![
+        (vec![0.0], 1),
+        (distinct[..7].to_vec(), 8),
+        (distinct.clone(), 16),
+        (duplicated, 8),
+        (vec![3.25; 12], 5), // all rows identical: memo serves n-1 of n
+    ];
+    for (i, (dts, d)) in cases.iter().enumerate() {
+        let seed = 500 + i as u64 * 11;
+        let unfused = run_time_encode(false, dts, *d, seed);
+        let fused = run_time_encode(true, dts, *d, seed);
+        assert_eq!(
+            unfused,
+            fused,
+            "time_encode bits diverged for case {i} (n={}, d={d})",
+            dts.len()
+        );
+    }
+}
+
+#[test]
+fn time_encode_memo_hits_on_duplicate_dts() {
+    let _serial = FUSION_LOCK.lock().unwrap();
+    let dts = vec![1.5f32; 16];
+    let before = benchtemp_obs::counters::TIME_ENCODE_MEMO_HITS.get();
+    let fused = run_time_encode(true, &dts, 4, 42);
+    let after = benchtemp_obs::counters::TIME_ENCODE_MEMO_HITS.get();
+    assert!(
+        after - before >= 15,
+        "memo should serve 15 of 16 identical rows (got {} hits)",
+        after - before
+    );
+    let unfused = run_time_encode(false, &dts, 4, 42);
+    assert_eq!(
+        unfused, fused,
+        "memoized rows diverged from recomputed rows"
+    );
+}
+
+/// Full model-shaped check: an MLP through [`Graph`] (param binding, fused
+/// `Linear→ReLU→Linear`, BCE loss) must produce bit-identical loss and
+/// per-parameter gradients with fusion on and off.
+#[test]
+fn mlp_graph_matches_unfused_bitwise() {
+    let _serial = FUSION_LOCK.lock().unwrap();
+    let run = |fused: bool| {
+        fusion::set_forced(Some(fused));
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(9);
+        let mlp = Mlp::new(&mut store, &mut rng, "eq", 6, 16, 1);
+        let x = mat(10, 6, 77);
+        let targets: Vec<f32> = (0..10).map(|i| (i % 2) as f32).collect();
+        let mut g = Graph::new(&store);
+        let xv = g.input_from(&x);
+        let logits = mlp.forward(&mut g, xv);
+        let loss = g.bce_with_logits(logits, &targets);
+        let loss_bits = bits(g.value(loss));
+        let grads = g.backward(loss);
+        let grad_bits: Vec<(usize, Vec<u32>)> =
+            grads.iter().map(|(id, m)| (id.index(), bits(m))).collect();
+        fusion::set_forced(None);
+        (loss_bits, grad_bits)
+    };
+    assert_eq!(run(false), run(true), "MLP loss/grad bits diverged");
+}
