@@ -1,4 +1,4 @@
-//! The six workspace lint rules, each a pure function over one file's
+//! The seven workspace lint rules, each a pure function over one file's
 //! token stream. See DESIGN.md §10 for the rationale behind every rule and
 //! the precise waiver semantics.
 //!
@@ -18,17 +18,19 @@ pub const RULE_THREAD_SPAWN: &str = "no-raw-thread-spawn";
 pub const RULE_SAFETY_COMMENT: &str = "safety-comment-required";
 pub const RULE_ENV_REGISTRY: &str = "env-read-registry";
 pub const RULE_UNFUSED_AFFINE: &str = "no-unfused-affine-chain";
+pub const RULE_PER_HEAD_ATTENTION: &str = "no-per-head-slice-attention";
 /// Pseudo-rule for malformed `audit-allow` comments (unknown rule name or
 /// missing reason). Never waivable — a waiver that cannot be read is noise.
 pub const RULE_WAIVER_SYNTAX: &str = "waiver-syntax";
 
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
     RULE_HASH_ITER,
     RULE_WALLCLOCK,
     RULE_THREAD_SPAWN,
     RULE_SAFETY_COMMENT,
     RULE_ENV_REGISTRY,
     RULE_UNFUSED_AFFINE,
+    RULE_PER_HEAD_ATTENTION,
     RULE_WAIVER_SYNTAX,
 ];
 
@@ -119,6 +121,7 @@ pub fn check_file(
     safety_comment(rel_path, raw, out);
     env_registry(rel_path, &code, registry, out);
     unfused_affine_chain(rel_path, &code, out);
+    per_head_slice_attention(rel_path, &code, out);
 }
 
 /// `no-hashmap-iteration-in-numeric-path`
@@ -449,6 +452,50 @@ fn unfused_affine_chain(rel_path: &str, code: &[Token], out: &mut Vec<Violation>
     }
 }
 
+/// `no-per-head-slice-attention`
+///
+/// A `.slice_cols(…)` call followed shortly by a `.grouped_attention(…)`
+/// call is the hand-rolled per-head attention chain (slice each head's
+/// Q/K/V stripe, attend, concatenate) that the fused
+/// `Tape::multi_head_grouped_attention` replaces with one node over
+/// strided per-head views — same bits, no per-head buffer copies, one
+/// backward arm. Only the tape's own unfused fallback
+/// (`crates/tensor/src/tape.rs`) may spell the chain out. Same
+/// token-window heuristic as `no-unfused-affine-chain`; a genuinely
+/// unrelated adjacency can carry an `audit-allow` waiver saying why.
+fn per_head_slice_attention(rel_path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    if rel_path == "crates/tensor/src/tape.rs" {
+        return;
+    }
+    const WINDOW: usize = 40;
+    let mut last_slice: Option<usize> = None;
+    for i in 0..code.len() {
+        // Method-call form only: `.name(` — a definition or doc mention of
+        // either name is not a chain.
+        let is_call = i >= 1
+            && is_punct(&code[i - 1].tok, '.')
+            && code.get(i + 1).is_some_and(|t| is_punct(&t.tok, '('));
+        if !is_call {
+            continue;
+        }
+        if is_ident(&code[i].tok, "slice_cols") {
+            last_slice = Some(i);
+        } else if is_ident(&code[i].tok, "grouped_attention")
+            && last_slice.is_some_and(|m| i - m <= WINDOW)
+        {
+            out.push(violation(
+                RULE_PER_HEAD_ATTENTION,
+                rel_path,
+                code[i].line,
+                "`slice_cols` + `grouped_attention` per-head chain; use the \
+                 fused `Tape::multi_head_grouped_attention` — same bits, no \
+                 per-head copies, one node"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// Extract `audit-allow` waivers from a file's comments. Malformed waivers
 /// (unknown rule, missing reason) are reported as `waiver-syntax`
 /// violations.
@@ -677,6 +724,53 @@ mod tests {
 
         // Definition/mention of the names is not a call chain.
         let defs = "fn matmul() {}\nfn add_row_broadcast() {}\n";
+        assert!(run("crates/models/src/x.rs", defs).is_empty());
+    }
+
+    #[test]
+    fn per_head_slice_attention_flagged_outside_tape() {
+        let src = "fn f(g: &mut Tape, q: Var, k: Var, v: Var, m: &[bool]) -> Var {\n\
+                   let qh = g.slice_cols(q, 0, 4);\n\
+                   let kh = g.slice_cols(k, 0, 4);\n\
+                   let vh = g.slice_cols(v, 0, 4);\n\
+                   g.grouped_attention(qh, kh, vh, 3, m)\n\
+                   }\n";
+        let hits = run("crates/models/src/x.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_PER_HEAD_ATTENTION);
+        assert_eq!(hits[0].line, 5);
+        // Unlike the affine rule this fires anywhere in the workspace…
+        assert_eq!(run("crates/tensor/src/nn.rs", src).len(), 1);
+        // …except the tape's own unfused fallback.
+        assert!(run("crates/tensor/src/tape.rs", src).is_empty());
+    }
+
+    #[test]
+    fn per_head_slice_attention_needs_both_calls_nearby() {
+        // A lone grouped_attention (single-head use) is fine.
+        let single = "fn f(g: &mut Tape, q: Var, k: Var, v: Var, m: &[bool]) -> Var {\n\
+                      g.grouped_attention(q, k, v, 3, m)\n\
+                      }\n";
+        assert!(run("crates/models/src/x.rs", single).is_empty());
+
+        // slice_cols on its own is fine too.
+        let slice = "fn f(g: &mut Tape, x: Var) -> Var { g.slice_cols(x, 0, 4) }\n";
+        assert!(run("crates/models/src/x.rs", slice).is_empty());
+
+        // Far apart (> 40 code tokens): separate computations, not a chain.
+        let filler = "let z0 = 0; let z1 = 0; let z2 = 0; let z3 = 0; let z4 = 0;\n\
+                      let z5 = 0; let z6 = 0; let z7 = 0; let z8 = 0; let z9 = 0;\n";
+        let far = format!(
+            "fn f(g: &mut Tape, x: Var, q: Var, k: Var, v: Var, m: &[bool]) {{\n\
+             let s = g.slice_cols(x, 0, 4);\n{filler}\
+             let a = g.grouped_attention(q, k, v, 3, m);\n\
+             drop((s, a));\n\
+             }}\n"
+        );
+        assert!(run("crates/models/src/x.rs", &far).is_empty());
+
+        // Definition/mention of the names is not a call chain.
+        let defs = "fn slice_cols() {}\nfn grouped_attention() {}\n";
         assert!(run("crates/models/src/x.rs", defs).is_empty());
     }
 

@@ -15,3 +15,17 @@ fn waived_chain(g: &mut Tape, x: Var, w: Var, b: Var) -> Var {
     // audit-allow(no-unfused-affine-chain): seeded *waived* chain for the self-test
     g.add_row_broadcast(h, b)
 }
+
+fn per_head_chain(g: &mut Tape, q: Var, k: Var, v: Var, mask: &[bool]) -> Var {
+    let qh = g.slice_cols(q, 0, 4);
+    let kh = g.slice_cols(k, 0, 4);
+    let vh = g.slice_cols(v, 0, 4);
+    // VIOLATION no-per-head-slice-attention (use Tape::multi_head_grouped_attention):
+    g.grouped_attention(qh, kh, vh, 3, mask)
+}
+
+fn waived_per_head_chain(g: &mut Tape, q: Var, k: Var, v: Var, mask: &[bool]) -> Var {
+    let qh = g.slice_cols(q, 0, 4);
+    // audit-allow(no-per-head-slice-attention): seeded *waived* chain for the self-test
+    g.grouped_attention(qh, k, v, 3, mask)
+}

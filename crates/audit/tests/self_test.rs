@@ -104,18 +104,27 @@ fn seeded_fixture_fires_every_rule() {
         dump(&report)
     );
     assert_eq!(
+        unwaivered_of(rules::RULE_PER_HEAD_ATTENTION),
+        1,
+        "{:?}",
+        dump(&report)
+    );
+    assert_eq!(
         unwaivered_of(rules::RULE_WAIVER_SYNTAX),
         1,
         "{:?}",
         dump(&report)
     );
 
-    // Exactly two hits are waived (one wallclock, one affine chain), with
-    // their reasons carried into the report.
+    // Exactly three hits are waived (one wallclock, one affine chain, one
+    // per-head attention chain), with their reasons carried into the report.
     let waived: Vec<_> = report.violations.iter().filter(|v| v.waived).collect();
-    assert_eq!(waived.len(), 2, "{:?}", dump(&report));
+    assert_eq!(waived.len(), 3, "{:?}", dump(&report));
     assert!(waived.iter().any(|v| v.rule == rules::RULE_WALLCLOCK));
     assert!(waived.iter().any(|v| v.rule == rules::RULE_UNFUSED_AFFINE));
+    assert!(waived
+        .iter()
+        .any(|v| v.rule == rules::RULE_PER_HEAD_ATTENTION));
     assert!(waived
         .iter()
         .all(|v| v.waive_reason.as_deref().unwrap().contains("self-test")));

@@ -46,6 +46,7 @@ fn main() {
         rules::RULE_SAFETY_COMMENT,
         rules::RULE_ENV_REGISTRY,
         rules::RULE_UNFUSED_AFFINE,
+        rules::RULE_PER_HEAD_ATTENTION,
         rules::RULE_WAIVER_SYNTAX,
     ] {
         assert!(
@@ -54,7 +55,7 @@ fn main() {
         );
     }
     println!(
-        "audit_check: seeded fixture fails as designed ({} unwaivered hit(s), all 7 rules fire)",
+        "audit_check: seeded fixture fails as designed ({} unwaivered hit(s), all 8 rules fire)",
         fx.unwaivered().count()
     );
 

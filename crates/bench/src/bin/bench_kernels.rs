@@ -347,16 +347,57 @@ impl TrainStepWorkload {
         (bits, model)
     }
 
-    /// Median ns of one more training step on an already-warmed model (the
-    /// fusion override the model was warmed under is still in force).
-    fn step_ns(&self, model: &mut Box<dyn TgnnModel>) -> f64 {
+    /// Median ns of one more training step on each of two already-warmed
+    /// models — the unfused- and fused-warmed pair — timed *interleaved*
+    /// (`timing::measure_paired`) so host drift between the two
+    /// measurements cannot masquerade as a fusion speedup or slowdown.
+    /// Each timed call re-pins the fusion override its model was warmed
+    /// under. Returns `(unfused_ns, fused_ns)`.
+    fn step_ns_pair(
+        &self,
+        unfused: &mut Box<dyn TgnnModel>,
+        fused: &mut Box<dyn TgnnModel>,
+    ) -> (f64, f64) {
         let ctx = StreamContext {
             graph: &self.graph,
             neighbors: &self.nf,
         };
         let batch = &self.graph.events[self.warm..self.warm + 100];
         let negs = self.negs_for(batch);
-        timing::measure(&mut || std::hint::black_box(model.train_batch(&ctx, batch, &negs)))
+        timing::measure_paired(
+            &mut || {
+                fusion::set_forced(Some(false));
+                std::hint::black_box(unfused.train_batch(&ctx, batch, &negs))
+            },
+            &mut || {
+                fusion::set_forced(Some(true));
+                std::hint::black_box(fused.train_batch(&ctx, batch, &negs))
+            },
+        )
+    }
+
+    /// Fraction of one training step's dense time spent inside the
+    /// attention kernel span — the Amdahl attribution for the train_step
+    /// gate, measured by running one instrumented step under a recorder.
+    fn attention_share(&self, model: &mut Box<dyn TgnnModel>) -> f64 {
+        let ctx = StreamContext {
+            graph: &self.graph,
+            neighbors: &self.nf,
+        };
+        let batch = &self.graph.events[self.warm..self.warm + 100];
+        let negs = self.negs_for(batch);
+        let rec = obs::Recorder::new();
+        {
+            let _g = rec.install();
+            let _ = std::hint::black_box(model.train_batch(&ctx, batch, &negs));
+        }
+        let prof = rec.profile();
+        let dense = prof.total_secs(stage::DENSE);
+        if dense > 0.0 {
+            prof.total_secs("attention") / dense
+        } else {
+            0.0
+        }
     }
 }
 
@@ -574,14 +615,20 @@ fn run_child(smoke: bool) {
     let ts = TrainStepWorkload::new(smoke);
     let mut ts_traj_hash = 0xcbf2_9ce4_8422_2325u64;
     let mut ts_ns = [0.0f64; 4]; // [tgat_unfused, tgat_fused, tgn_unfused, tgn_fused]
+    let mut ts_att_share = [0.0f64; 2]; // TGAT [unfused, fused] attention share of dense
     for (mi, name) in ["TGAT", "TGN"].iter().enumerate() {
         let (unfused_traj, mut unfused_model) = ts.trajectory(name, false);
-        if pool().threads() == 1 {
-            ts_ns[mi * 2] = ts.step_ns(&mut unfused_model);
-        }
         let (fused_traj, mut fused_model) = ts.trajectory(name, true);
         if pool().threads() == 1 {
-            ts_ns[mi * 2 + 1] = ts.step_ns(&mut fused_model);
+            let (u_ns, f_ns) = ts.step_ns_pair(&mut unfused_model, &mut fused_model);
+            ts_ns[mi * 2] = u_ns;
+            ts_ns[mi * 2 + 1] = f_ns;
+            if mi == 0 {
+                fusion::set_forced(Some(false));
+                ts_att_share[0] = ts.attention_share(&mut unfused_model);
+                fusion::set_forced(Some(true));
+                ts_att_share[1] = ts.attention_share(&mut fused_model);
+            }
         }
         fusion::set_forced(None);
         assert_eq!(
@@ -600,7 +647,7 @@ fn run_child(smoke: bool) {
          trace_plain_ns {} trace_inert_ns {} trace_rec_ns {} trace_on_ns {} \
          pass_ns {} san_off_ns {} san_on_ns {} \
          ts_tgat_unfused_ns {} ts_tgat_fused_ns {} ts_tgn_unfused_ns {} ts_tgn_fused_ns {} \
-         ts_traj_hash {:016x}",
+         ts_tgat_att_share_unfused {} ts_tgat_att_share_fused {} ts_traj_hash {:016x}",
         pool().threads(),
         seed_ns,
         kernel_ns,
@@ -627,6 +674,8 @@ fn run_child(smoke: bool) {
         ts_ns[1],
         ts_ns[2],
         ts_ns[3],
+        ts_att_share[0],
+        ts_att_share[1],
         ts_traj_hash
     );
 }
@@ -659,6 +708,8 @@ struct ChildReport {
     ts_tgat_fused_ns: f64,
     ts_tgn_unfused_ns: f64,
     ts_tgn_fused_ns: f64,
+    ts_tgat_att_share_unfused: f64,
+    ts_tgat_att_share_fused: f64,
     ts_traj_hash: String,
 }
 
@@ -715,6 +766,8 @@ fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
         ts_tgat_fused_ns: field("ts_tgat_fused_ns").parse().unwrap(),
         ts_tgn_unfused_ns: field("ts_tgn_unfused_ns").parse().unwrap(),
         ts_tgn_fused_ns: field("ts_tgn_fused_ns").parse().unwrap(),
+        ts_tgat_att_share_unfused: field("ts_tgat_att_share_unfused").parse().unwrap(),
+        ts_tgat_att_share_fused: field("ts_tgat_att_share_fused").parse().unwrap(),
         ts_traj_hash: field("ts_traj_hash"),
     }
 }
@@ -827,6 +880,12 @@ fn main() {
         single.ts_tgn_unfused_ns, single.ts_tgn_fused_ns
     );
     println!(
+        "train_step TGAT attention attribution (share of dense step time): \
+         unfused {:.1}% -> fused {:.1}%",
+        100.0 * single.ts_tgat_att_share_unfused,
+        100.0 * single.ts_tgat_att_share_fused
+    );
+    println!(
         "train_step loss bit-identical: fused == unfused, and across thread counts \
          (trajectory hash {})",
         single.ts_traj_hash
@@ -883,6 +942,9 @@ fn main() {
             "tgat_unfused_ns_single_thread": single.ts_tgat_unfused_ns,
             "tgat_fused_ns_single_thread": single.ts_tgat_fused_ns,
             "tgat_fused_speedup": tgat_speedup,
+            "tgat_attention_share_of_dense_unfused": single.ts_tgat_att_share_unfused,
+            "tgat_attention_share_of_dense_fused": single.ts_tgat_att_share_fused,
+            "tgat_attention_ns_single_thread": single.ts_tgat_fused_ns * single.ts_tgat_att_share_fused,
             "tgn_unfused_ns_single_thread": single.ts_tgn_unfused_ns,
             "tgn_fused_ns_single_thread": single.ts_tgn_fused_ns,
             "tgn_fused_speedup": tgn_speedup,

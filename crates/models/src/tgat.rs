@@ -136,12 +136,21 @@ impl Tgat {
         }
     }
 
+    /// One forward (and optional backward) pass over a batch.
+    ///
+    /// The src/dst/neg embedding towers are tri-batched: one `embed` over
+    /// the concatenated node list, so the L-hop frontier is sampled once
+    /// and every projection matmul and attention node is 3× taller, then
+    /// the result is split back with `slice_rows`. `want_embeddings` gates
+    /// the src-embedding clone — only [`TgnnModel::embed_events`] consumes
+    /// it, so train/eval batches skip that per-batch allocation.
     fn run_batch(
         &mut self,
         ctx: &StreamContext,
         batch: &[Interaction],
         neg_dsts: &[usize],
         train: bool,
+        want_embeddings: bool,
     ) -> (f32, Vec<f32>, Vec<f32>, Matrix) {
         let view = BatchView::new(batch, neg_dsts);
         let Tgat {
@@ -156,21 +165,34 @@ impl Tgat {
         // from its exclusive time, so "dense" self-time = batch − sampling.
         let _dense = obs::span(stage::DENSE);
 
+        let n = view.len();
+        let mut all_nodes = Vec::with_capacity(3 * n);
+        all_nodes.extend_from_slice(&view.srcs);
+        all_nodes.extend_from_slice(&view.dsts);
+        all_nodes.extend_from_slice(&view.negs);
+        let mut all_times = Vec::with_capacity(3 * n);
+        for _ in 0..3 {
+            all_times.extend_from_slice(&view.times);
+        }
         let mut g = Graph::new(store);
-        let src = weights.embed(&mut g, ctx, &view.srcs, &view.times, depth, rng);
-        let dst = weights.embed(&mut g, ctx, &view.dsts, &view.times, depth, rng);
-        let neg = weights.embed(&mut g, ctx, &view.negs, &view.times, depth, rng);
+        let all = weights.embed(&mut g, ctx, &all_nodes, &all_times, depth, rng);
+        let src = g.slice_rows(all, 0, n);
+        let dst = g.slice_rows(all, n, 2 * n);
+        let neg = g.slice_rows(all, 2 * n, 3 * n);
         let pos_logit = weights.decoder.forward(&mut g, src, dst);
         let neg_logit = weights.decoder.forward(&mut g, src, neg);
         let logits = g.concat_rows(pos_logit, neg_logit);
-        let targets = pos_neg_targets(view.len());
+        let targets = pos_neg_targets(n);
         let loss = g.bce_with_logits(logits, &targets);
         let loss_val = g.value(loss).scalar();
-        let n = view.len();
         let lm = g.value(logits).clone();
         let pos: Vec<f32> = (0..n).map(|r| lm.get(r, 0)).collect();
         let negs: Vec<f32> = (0..n).map(|r| lm.get(n + r, 0)).collect();
-        let src_mat = g.value(src).clone();
+        let src_mat = if want_embeddings {
+            g.value(src).clone()
+        } else {
+            Matrix::zeros(0, 0)
+        };
         let grads = if train { Some(g.backward(loss)) } else { None };
         drop(g);
         if let Some(grads) = grads {
@@ -201,7 +223,7 @@ impl TgnnModel for Tgat {
     }
 
     fn train_batch(&mut self, ctx: &StreamContext, batch: &[Interaction], neg: &[usize]) -> f32 {
-        self.run_batch(ctx, batch, neg, true).0
+        self.run_batch(ctx, batch, neg, true, false).0
     }
 
     fn eval_batch(
@@ -210,13 +232,13 @@ impl TgnnModel for Tgat {
         batch: &[Interaction],
         neg: &[usize],
     ) -> (Vec<f32>, Vec<f32>) {
-        let (_, pos, negs, _) = self.run_batch(ctx, batch, neg, false);
+        let (_, pos, negs, _) = self.run_batch(ctx, batch, neg, false, false);
         (pos, negs)
     }
 
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
         let negs: Vec<usize> = batch.iter().map(|e| e.dst).collect();
-        self.run_batch(ctx, batch, &negs, false).3
+        self.run_batch(ctx, batch, &negs, false, true).3
     }
 
     fn embed_dim(&self) -> usize {

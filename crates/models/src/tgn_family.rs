@@ -294,13 +294,17 @@ impl TgnFamily {
     }
 
     /// Run one batch; when `train` is set, backprop + Adam step. Returns
-    /// (loss, pos_scores, neg_scores, src_embeddings).
+    /// (loss, pos_scores, neg_scores, src_embeddings). `want_embeddings`
+    /// gates the src-embedding clone — only `embed_events` consumes it,
+    /// so train/eval batches skip that per-batch allocation (the memory
+    /// updates `new_src`/`new_dst` are still materialized every batch).
     fn run_batch(
         &mut self,
         ctx: &StreamContext,
         batch: &[Interaction],
         neg_dsts: &[usize],
         train: bool,
+        want_embeddings: bool,
     ) -> (f32, Vec<f32>, Vec<f32>, Matrix) {
         let view = BatchView::new(batch, neg_dsts);
         let TgnFamily {
@@ -325,7 +329,11 @@ impl TgnFamily {
         let n = view.len();
         let pos: Vec<f32> = (0..n).map(|r| probs.get(r, 0)).collect();
         let neg: Vec<f32> = (0..n).map(|r| probs.get(n + r, 0)).collect();
-        let src_mat = g.value(src_emb).clone();
+        let src_mat = if want_embeddings {
+            g.value(src_emb).clone()
+        } else {
+            Matrix::zeros(0, 0)
+        };
         let new_src_mat = g.value(new_src).clone();
         let new_dst_mat = g.value(new_dst).clone();
 
@@ -384,7 +392,7 @@ impl TgnnModel for TgnFamily {
     }
 
     fn train_batch(&mut self, ctx: &StreamContext, batch: &[Interaction], neg: &[usize]) -> f32 {
-        self.run_batch(ctx, batch, neg, true).0
+        self.run_batch(ctx, batch, neg, true, false).0
     }
 
     fn eval_batch(
@@ -393,14 +401,14 @@ impl TgnnModel for TgnFamily {
         batch: &[Interaction],
         neg: &[usize],
     ) -> (Vec<f32>, Vec<f32>) {
-        let (_, pos, neg_scores, _) = self.run_batch(ctx, batch, neg, false);
+        let (_, pos, neg_scores, _) = self.run_batch(ctx, batch, neg, false, false);
         (pos, neg_scores)
     }
 
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
         // Use the true destinations as "negatives" — scores are discarded.
         let negs: Vec<usize> = batch.iter().map(|e| e.dst).collect();
-        self.run_batch(ctx, batch, &negs, false).3
+        self.run_batch(ctx, batch, &negs, false, true).3
     }
 
     fn embed_dim(&self) -> usize {

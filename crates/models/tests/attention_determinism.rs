@@ -1,0 +1,118 @@
+//! Cross-process, cross-thread-count bit-identity of a TGAT training run
+//! through the fused multi-head attention engine.
+//!
+//! The fused `MultiHeadGroupedAttention` node fans its row-slab kernel
+//! across the worker pool, so the properties under test are (a) the slab
+//! decomposition preserves element-wise FP operation order at any thread
+//! count, and (b) a fresh process reproduces the exact trajectory. Each
+//! child process trains the same model and prints an FNV-1a hash over the
+//! per-batch loss bits and the final eval scores; 1-thread and 4-thread
+//! children must agree, and `BENCHTEMP_SANITIZE=1` (which activates the
+//! `grouped_attention_rows` slab-claim checking) must not perturb it.
+
+use std::process::Command;
+
+use benchtemp_core::pipeline::{StreamContext, TgnnModel};
+use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::NeighborFinder;
+use benchtemp_models::common::ModelConfig;
+use benchtemp_models::tgat::Tgat;
+
+/// FNV-1a over a byte stream — endian-stable and dependency-free.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Train a small TGAT for a few batches and digest the trajectory:
+/// every train loss bit pattern plus the final eval scores.
+fn tgat_trajectory_digest() -> u64 {
+    let g = GeneratorConfig::small("attdet", 31).generate();
+    let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
+    let ctx = StreamContext {
+        graph: &g,
+        neighbors: &nf,
+    };
+    let cfg = ModelConfig {
+        embed_dim: 16,
+        time_dim: 8,
+        heads: 2,
+        neighbors: 3,
+        layers: 2,
+        ..Default::default()
+    };
+    let mut model = Tgat::new(cfg, &g);
+    let mut bytes: Vec<u8> = Vec::new();
+    let batch_size = 20;
+    for (i, batch) in g.events.chunks(batch_size).take(6).enumerate() {
+        let negs: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .map(|(j, _)| g.num_users + (i * batch_size + j) % (g.num_nodes - g.num_users))
+            .collect();
+        let loss = model.train_batch(&ctx, batch, &negs);
+        bytes.extend(loss.to_bits().to_le_bytes());
+    }
+    let eval = &g.events[g.num_events() - batch_size..];
+    let negs: Vec<usize> = eval.iter().map(|_| g.num_users).collect();
+    let (pos, neg) = model.eval_batch(&ctx, eval, &negs);
+    for s in pos.iter().chain(neg.iter()) {
+        bytes.extend(s.to_bits().to_le_bytes());
+    }
+    fnv1a(bytes.into_iter())
+}
+
+/// Child-process worker: prints the digest. Skipped unless spawned below.
+#[test]
+fn attention_child_worker() {
+    if std::env::var("BENCHTEMP_ATTENTION_CHILD").is_err() {
+        return;
+    }
+    println!("RESULT {:016x}", tgat_trajectory_digest());
+}
+
+fn run_child(threads: &str, sanitize: bool) -> String {
+    let exe = std::env::current_exe().expect("current test binary");
+    let mut cmd = Command::new(exe);
+    cmd.args(["attention_child_worker", "--exact", "--nocapture"])
+        .env("BENCHTEMP_ATTENTION_CHILD", "1")
+        .env("BENCHTEMP_THREADS", threads);
+    if sanitize {
+        cmd.env("BENCHTEMP_SANITIZE", "1");
+    }
+    let out = cmd.output().expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "attention child (threads={threads}, sanitize={sanitize}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.find("RESULT ").map(|at| l[at..].to_string()))
+        .unwrap_or_else(|| panic!("no RESULT line from child:\n{stdout}"))
+}
+
+/// 1-thread vs 4-thread children, with and without the sanitizer: one bit
+/// pattern for the whole TGAT train/eval trajectory.
+#[test]
+fn tgat_trajectory_bit_identical_across_processes_and_threads() {
+    if std::env::var("BENCHTEMP_ATTENTION_CHILD").is_ok() {
+        return; // don't recurse inside a child process
+    }
+    let single = run_child("1", false);
+    let quad = run_child("4", false);
+    assert_eq!(
+        single, quad,
+        "fused attention trajectory must not depend on thread count"
+    );
+    let quad_sanitized = run_child("4", true);
+    assert_eq!(
+        single, quad_sanitized,
+        "sanitize-mode slab-claim checking must not perturb the trajectory"
+    );
+}

@@ -268,6 +268,12 @@ impl MultiHeadAttention {
     }
 
     /// `query` n×query_dim; `keys` (n·group)×key_dim; `mask` row-validity.
+    ///
+    /// All heads run inside one fused [`Op::MultiHeadGroupedAttention`] node
+    /// reading strided per-head views of the packed Q/K/V projections — no
+    /// per-head `slice_cols` copies, per-head attention nodes, or
+    /// `concat_cols_many`. With fusion disabled the tape emits exactly that
+    /// per-head chain, bit-identically.
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -279,18 +285,8 @@ impl MultiHeadAttention {
         let q = self.wq.forward(g, query);
         let k = self.wk.forward(g, keys);
         let v = self.wv.forward(g, keys);
-        let head_dim = self.model_dim / self.heads;
-        let mut head_outs = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
-            let lo = h * head_dim;
-            let hi = lo + head_dim;
-            let qh = g.slice_cols(q, lo, hi);
-            let kh = g.slice_cols(k, lo, hi);
-            let vh = g.slice_cols(v, lo, hi);
-            head_outs.push(g.grouped_attention(qh, kh, vh, group, mask));
-        }
-        let cat = g.concat_cols_many(&head_outs);
-        self.wo.forward(g, cat)
+        let att = g.multi_head_grouped_attention(q, k, v, self.heads, group, mask);
+        self.wo.forward(g, att)
     }
 }
 

@@ -69,14 +69,30 @@ enum Op {
     GatherRows(usize, Vec<usize>),
     SliceCols(usize, usize, usize),
     Dropout(usize, Vec<f32>),
+    SliceRows(usize, usize, usize),
     GroupedAttention {
         q: usize,
         k: usize,
         v: usize,
         group: usize,
         scale: f32,
-        /// Saved softmax weights, one `group`-sized block per query row.
-        weights: Vec<f32>,
+        /// Saved softmax weights, one `group`-sized block per query row
+        /// (pool-granted n×group matrix, recycled at reset).
+        weights: Matrix,
+    },
+    /// Fused multi-head grouped attention — see
+    /// [`Tape::multi_head_grouped_attention`]. One node per layer consumes
+    /// the packed Q/K/V projections through strided per-head views; the
+    /// saved softmax weights are a pool-granted n×(heads·group) matrix laid
+    /// out `[row][head][group]`, recycled at reset.
+    MultiHeadGroupedAttention {
+        q: usize,
+        k: usize,
+        v: usize,
+        heads: usize,
+        group: usize,
+        scale: f32,
+        weights: Matrix,
     },
     /// Fused `act(x·w + b)` — see [`Tape::linear_affine`].
     LinearAffine {
@@ -255,11 +271,20 @@ impl Tape {
         for node in self.nodes.drain(..) {
             let (r, c) = node.value.shape();
             self.pool.put(r, c, node.value.into_vec());
-            // The fused time-encode op carries a second pool-granted matrix
-            // (the saved Δt column); recycle it too.
-            if let Op::TimeEncodeFused { dts, .. } = node.op {
-                let (r, c) = dts.shape();
-                self.pool.put(r, c, dts.into_vec());
+            // Some fused ops carry a second pool-granted matrix beside the
+            // output (the time-encode Δt column, the attention softmax
+            // weights); recycle those too.
+            match node.op {
+                Op::TimeEncodeFused { dts, .. } => {
+                    let (r, c) = dts.shape();
+                    self.pool.put(r, c, dts.into_vec());
+                }
+                Op::GroupedAttention { weights, .. }
+                | Op::MultiHeadGroupedAttention { weights, .. } => {
+                    let (r, c) = weights.shape();
+                    self.pool.put(r, c, weights.into_vec());
+                }
+                _ => {}
             }
         }
     }
@@ -604,6 +629,23 @@ impl Tape {
         self.push(out, Op::SliceCols(a.0, start, end))
     }
 
+    /// Row slice `[start, end)` — one contiguous copy of the row range; the
+    /// backward pass writes the gradient back into that range. This is how
+    /// the tri-batched TGAT embedding splits the stacked src/dst/neg towers
+    /// back apart.
+    pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let (rows, cols) = self.shape(a);
+        assert!(
+            start < end && end <= rows,
+            "slice_rows: bad range {start}..{end}"
+        );
+        let mut out = self.alloc_raw(end - start, cols);
+        let m = &self.nodes[a.0].value;
+        out.as_mut_slice()
+            .copy_from_slice(&m.as_slice()[start * cols..end * cols]);
+        self.push(out, Op::SliceRows(a.0, start, end))
+    }
+
     /// Inverted dropout with keep-probability `keep`; `rng01` supplies
     /// uniform [0,1) samples so the caller controls the RNG stream.
     pub fn dropout(&mut self, a: Var, keep: f32, rng01: &mut impl FnMut() -> f32) -> Var {
@@ -646,54 +688,156 @@ impl Tape {
         let (n, d) = self.shape(q);
         let dv = self.shape(v).1;
         let mut out = self.alloc_zeroed(n, dv);
-        let (qm, km, vm) = (
-            &self.nodes[q.0].value,
-            &self.nodes[k.0].value,
-            &self.nodes[v.0].value,
-        );
-        assert_eq!(km.rows(), n * group, "grouped_attention: k rows != n*group");
-        assert_eq!(vm.rows(), n * group, "grouped_attention: v rows != n*group");
-        assert_eq!(km.cols(), d, "grouped_attention: k width != q width");
-        assert_eq!(mask.len(), n * group, "grouped_attention: mask length");
+        let mut weights = self.alloc_raw(n, group);
         let scale = 1.0 / (d as f32).sqrt();
-        let mut weights = vec![0.0f32; n * group];
-        let mut scores = vec![0.0f32; group];
-        #[allow(clippy::needless_range_loop)] // indices mirror the math
-        for i in 0..n {
-            let q_row = qm.row(i);
-            let mut any = false;
-            for j in 0..group {
-                let idx = i * group + j;
-                if mask[idx] {
-                    any = true;
-                    let k_row = km.row(idx);
-                    let s: f32 = q_row.iter().zip(k_row).map(|(&a, &b)| a * b).sum();
-                    scores[j] = s * scale;
-                } else {
-                    scores[j] = f32::NEG_INFINITY;
-                }
-            }
-            if !any {
-                continue;
-            }
-            softmax_into(&scores, &mut weights[i * group..(i + 1) * group]);
-            let out_row = out.row_mut(i);
-            for j in 0..group {
-                let w = weights[i * group + j];
-                if w == 0.0 {
-                    continue;
-                }
-                for (o, &x) in out_row.iter_mut().zip(vm.row(i * group + j)) {
-                    *o += w * x;
-                }
-            }
+        {
+            let (qm, km, vm) = (
+                &self.nodes[q.0].value,
+                &self.nodes[k.0].value,
+                &self.nodes[v.0].value,
+            );
+            assert_eq!(km.rows(), n * group, "grouped_attention: k rows != n*group");
+            assert_eq!(vm.rows(), n * group, "grouped_attention: v rows != n*group");
+            assert_eq!(km.cols(), d, "grouped_attention: k width != q width");
+            assert_eq!(mask.len(), n * group, "grouped_attention: mask length");
+            run_attention_rows(
+                qm,
+                km,
+                vm,
+                1,
+                group,
+                d,
+                dv,
+                scale,
+                mask,
+                &mut out,
+                &mut weights,
+            );
         }
+        // Two pool-granted matrices live in this node (output + saved
+        // softmax weights); `push` only counts the output, so balance the
+        // second.
+        self.absorbed_since_reset += 1;
         self.push(
             out,
             Op::GroupedAttention {
                 q: q.0,
                 k: k.0,
                 v: v.0,
+                group,
+                scale,
+                weights,
+            },
+        )
+    }
+
+    /// Fused multi-head grouped attention: every head of one attention
+    /// layer in a single tape node.
+    ///
+    /// `q` is n×model_dim and `k`/`v` are (n·group)×model_dim — the packed
+    /// projections, consumed through strided per-head column views
+    /// (`[h·hd, (h+1)·hd)` of each row, `hd = model_dim/heads`) instead of
+    /// the `3×heads` `slice_cols` buffer copies the per-head chain makes.
+    /// Head outputs land directly in their column stripe of the output, so
+    /// the `concat_cols_many` disappears too, and the hand-derived backward
+    /// writes each head's stripe straight into the shared Q/K/V gradient
+    /// buffers.
+    ///
+    /// Bit-identical to the unfused per-head chain (`slice_cols`×3 →
+    /// `grouped_attention` per head → `concat_cols_many`): each head's
+    /// scores, softmax, and accumulation run the same floating-point
+    /// operation order over the same values, stripes are disjoint, and a
+    /// `+=` accumulation from a zeroed buffer never produces `-0.0`, so the
+    /// unfused chain's cross-head gradient `add_assign` of disjoint-stripe
+    /// zero matrices is an exact no-op (see DESIGN.md §12). With fusion
+    /// disabled it emits exactly that chain.
+    pub fn multi_head_grouped_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        heads: usize,
+        group: usize,
+        mask: &[bool],
+    ) -> Var {
+        let (n, model_dim) = self.shape(q);
+        assert!(
+            heads > 0 && model_dim.is_multiple_of(heads),
+            "multi_head_grouped_attention: model_dim must divide by heads"
+        );
+        if !crate::fusion::enabled() {
+            let head_dim = model_dim / heads;
+            let mut head_outs = Vec::with_capacity(heads);
+            for h in 0..heads {
+                let lo = h * head_dim;
+                let hi = lo + head_dim;
+                let qh = self.slice_cols(q, lo, hi);
+                let kh = self.slice_cols(k, lo, hi);
+                let vh = self.slice_cols(v, lo, hi);
+                head_outs.push(self.grouped_attention(qh, kh, vh, group, mask));
+            }
+            return self.concat_cols_many(&head_outs);
+        }
+        let hd = model_dim / heads;
+        let mut out = self.alloc_zeroed(n, model_dim);
+        let mut weights = self.alloc_raw(n, heads * group);
+        let scale = 1.0 / (hd as f32).sqrt();
+        {
+            let (qm, km, vm) = (
+                &self.nodes[q.0].value,
+                &self.nodes[k.0].value,
+                &self.nodes[v.0].value,
+            );
+            assert_eq!(
+                km.rows(),
+                n * group,
+                "multi_head_grouped_attention: k rows != n*group"
+            );
+            assert_eq!(
+                vm.rows(),
+                n * group,
+                "multi_head_grouped_attention: v rows != n*group"
+            );
+            assert_eq!(
+                km.cols(),
+                model_dim,
+                "multi_head_grouped_attention: k width != q width"
+            );
+            assert_eq!(
+                vm.cols(),
+                model_dim,
+                "multi_head_grouped_attention: v width != q width"
+            );
+            assert_eq!(
+                mask.len(),
+                n * group,
+                "multi_head_grouped_attention: mask length"
+            );
+            run_attention_rows(
+                qm,
+                km,
+                vm,
+                heads,
+                group,
+                hd,
+                hd,
+                scale,
+                mask,
+                &mut out,
+                &mut weights,
+            );
+        }
+        benchtemp_obs::counters::FUSED_OPS_EXECUTED.incr();
+        // Output + saved softmax weights are both pool-granted; `push` only
+        // counts the output.
+        self.absorbed_since_reset += 1;
+        self.push(
+            out,
+            Op::MultiHeadGroupedAttention {
+                q: q.0,
+                k: k.0,
+                v: v.0,
+                heads,
                 group,
                 scale,
                 weights,
@@ -1092,6 +1236,12 @@ impl Tape {
                 }
                 bump(*a, dx);
             }
+            Op::SliceRows(a, start, _end) => {
+                let (r, c) = self.nodes[*a].value.shape();
+                let mut dx = Matrix::zeros(r, c);
+                dx.as_mut_slice()[*start * c..*start * c + g.len()].copy_from_slice(g.as_slice());
+                bump(*a, dx);
+            }
             Op::Dropout(a, mask) => {
                 let mut dx = g.clone();
                 for (o, &mk) in dx.as_mut_slice().iter_mut().zip(mask.iter()) {
@@ -1116,6 +1266,7 @@ impl Tape {
                 let mut dk = Matrix::zeros(km.rows(), d);
                 let mut dv = Matrix::zeros(vm.rows(), vm.cols());
                 let mut da = vec![0.0f32; *group];
+                let wts = weights.as_slice();
                 #[allow(clippy::needless_range_loop)] // indices mirror the math
                 for i in 0..n {
                     let g_row = g.row(i);
@@ -1123,7 +1274,7 @@ impl Tape {
                     let mut a_dot_da = 0.0f32;
                     for j in 0..*group {
                         let idx = i * group + j;
-                        let w = weights[idx];
+                        let w = wts[idx];
                         da[j] = g_row
                             .iter()
                             .zip(vm.row(idx))
@@ -1139,7 +1290,7 @@ impl Tape {
                     // ds_j = a_j (da_j - Σ a_l da_l); dq += scale Σ ds_j k_j; dk_j += scale ds_j q
                     for j in 0..*group {
                         let idx = i * group + j;
-                        let w = weights[idx];
+                        let w = wts[idx];
                         if w == 0.0 {
                             continue;
                         }
@@ -1149,6 +1300,84 @@ impl Tape {
                         }
                         for (o, &qq) in dk.row_mut(idx).iter_mut().zip(qm.row(i)) {
                             *o += ds * qq;
+                        }
+                    }
+                }
+                bump(*q, dq);
+                bump(*k, dk);
+                bump(*v, dv);
+            }
+            Op::MultiHeadGroupedAttention {
+                q,
+                k,
+                v,
+                heads,
+                group,
+                scale,
+                weights,
+            } => {
+                // Per head this is exactly the GroupedAttention backward
+                // above, applied to the `[h·hd, (h+1)·hd)` column stripe of
+                // every packed row and writing straight into the shared
+                // gradient buffers. In the unfused chain each head's
+                // contribution is a disjoint column stripe padded with
+                // zeros and summed across heads; because `+=` accumulation
+                // from a zeroed buffer never yields `-0.0`, adding those
+                // zero stripes is an exact no-op, so direct stripe writes
+                // are bit-identical (DESIGN.md §12).
+                let qm = &self.nodes[*q].value;
+                let km = &self.nodes[*k].value;
+                let vm = &self.nodes[*v].value;
+                let n = qm.rows();
+                let model_dim = qm.cols();
+                let hd = model_dim / heads;
+                let mut dq = Matrix::zeros(n, model_dim);
+                let mut dk = Matrix::zeros(km.rows(), model_dim);
+                let mut dv = Matrix::zeros(vm.rows(), vm.cols());
+                let mut da = vec![0.0f32; *group];
+                let wts = weights.as_slice();
+                let w_w = heads * group;
+                #[allow(clippy::needless_range_loop)] // indices mirror the math
+                for i in 0..n {
+                    for h in 0..*heads {
+                        let g_seg = &g.row(i)[h * hd..(h + 1) * hd];
+                        let mut a_dot_da = 0.0f32;
+                        for j in 0..*group {
+                            let idx = i * group + j;
+                            let w = wts[i * w_w + h * group + j];
+                            da[j] = g_seg
+                                .iter()
+                                .zip(&vm.row(idx)[h * hd..(h + 1) * hd])
+                                .map(|(&gg, &vv)| gg * vv)
+                                .sum();
+                            a_dot_da += w * da[j];
+                            if w != 0.0 {
+                                for (o, &gg) in
+                                    dv.row_mut(idx)[h * hd..(h + 1) * hd].iter_mut().zip(g_seg)
+                                {
+                                    *o += w * gg;
+                                }
+                            }
+                        }
+                        for j in 0..*group {
+                            let idx = i * group + j;
+                            let w = wts[i * w_w + h * group + j];
+                            if w == 0.0 {
+                                continue;
+                            }
+                            let ds = w * (da[j] - a_dot_da) * scale;
+                            for (o, &kk) in dq.row_mut(i)[h * hd..(h + 1) * hd]
+                                .iter_mut()
+                                .zip(&km.row(idx)[h * hd..(h + 1) * hd])
+                            {
+                                *o += ds * kk;
+                            }
+                            for (o, &qq) in dk.row_mut(idx)[h * hd..(h + 1) * hd]
+                                .iter_mut()
+                                .zip(&qm.row(i)[h * hd..(h + 1) * hd])
+                            {
+                                *o += ds * qq;
+                            }
                         }
                     }
                 }
@@ -1306,6 +1535,172 @@ pub(crate) fn stable_sigmoid(x: f32) -> f32 {
     }
 }
 
+/// Forward pass of grouped attention over the query rows, shared by the
+/// fused multi-head node and the single-head op (`heads = 1`): per-row
+/// blocked-dot scores written into the softmax-weight row segment, in-place
+/// softmax, and the value accumulation into the head's output stripe. Above
+/// [`crate::matrix::PAR_FLOPS`] of work, contiguous row slabs fan out
+/// across the worker pool under the claimed-slot protocol (the combined
+/// claim space covers the output elements and, offset past them, the weight
+/// elements). Each element is written by exactly one kernel call with an
+/// FP order independent of where slab boundaries fall, so the thread count
+/// cannot change result bits.
+#[allow(clippy::too_many_arguments)]
+fn run_attention_rows(
+    qm: &Matrix,
+    km: &Matrix,
+    vm: &Matrix,
+    heads: usize,
+    group: usize,
+    dk: usize,
+    dv: usize,
+    scale: f32,
+    mask: &[bool],
+    out: &mut Matrix,
+    weights: &mut Matrix,
+) {
+    let _span = benchtemp_obs::span("attention");
+    let n = qm.rows();
+    if n == 0 {
+        return;
+    }
+    let out_w = heads * dv;
+    let w_w = heads * group;
+    // Score + accumulate flops per query row ≈ 2·group·heads·(dk + dv).
+    let work = 2 * n * group * heads * (dk + dv);
+    let p = crate::pool::pool();
+    if work < crate::matrix::PAR_FLOPS || p.threads() == 1 || n == 1 {
+        attention_rows_kernel(
+            qm,
+            km,
+            vm,
+            heads,
+            group,
+            dk,
+            dv,
+            scale,
+            mask,
+            0,
+            out.as_mut_slice(),
+            weights.as_mut_slice(),
+        );
+        return;
+    }
+    let rows_per = n.div_ceil(p.threads()).max(1);
+    let claims = attention_row_claims(n, out_w, w_w, rows_per);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .as_mut_slice()
+        .chunks_mut(rows_per * out_w)
+        .zip(weights.as_mut_slice().chunks_mut(rows_per * w_w))
+        .enumerate()
+        .map(|(c, (out_block, w_block))| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                attention_rows_kernel(
+                    qm,
+                    km,
+                    vm,
+                    heads,
+                    group,
+                    dk,
+                    dv,
+                    scale,
+                    mask,
+                    c * rows_per,
+                    out_block,
+                    w_block,
+                )
+            });
+            task
+        })
+        .collect();
+    p.scope_run_claimed("grouped_attention_rows", &claims, tasks);
+}
+
+/// Sanitizer claims for the attention row-slab split. One combined claim
+/// space covers both buffers each slab writes: slab `c` owns the flat
+/// element range of its output rows, plus — offset past the whole output —
+/// the flat element range of its softmax-weight rows. Mirrors the paired
+/// `chunks_mut` partition in [`run_attention_rows`]. Empty when the
+/// sanitizer is off.
+fn attention_row_claims(
+    n: usize,
+    out_w: usize,
+    w_w: usize,
+    rows_per: usize,
+) -> Vec<crate::sanitize::SlotClaim> {
+    if !crate::sanitize::enabled() {
+        return Vec::new();
+    }
+    let w_base = n * out_w;
+    let mut claims = Vec::new();
+    for (c, start) in (0..n).step_by(rows_per.max(1)).enumerate() {
+        let end = (start + rows_per).min(n);
+        claims.push((c, start * out_w..end * out_w));
+        claims.push((c, w_base + start * w_w..w_base + end * w_w));
+    }
+    claims
+}
+
+/// One contiguous slab of attention query rows (`first` is the global index
+/// of the slab's first row). `out_block` rows must arrive zeroed;
+/// `w_block` rows are fully overwritten. Per head the scores go through
+/// [`crate::matrix::dot`] — the same blocked-dot primitive as the matmul
+/// kernels — then an in-place softmax, then the masked value accumulation,
+/// all over strided per-head column views of the packed rows.
+#[allow(clippy::too_many_arguments)]
+fn attention_rows_kernel(
+    qm: &Matrix,
+    km: &Matrix,
+    vm: &Matrix,
+    heads: usize,
+    group: usize,
+    dk: usize,
+    dv: usize,
+    scale: f32,
+    mask: &[bool],
+    first: usize,
+    out_block: &mut [f32],
+    w_block: &mut [f32],
+) {
+    let out_w = heads * dv;
+    let w_w = heads * group;
+    for (r, (out_row, w_row)) in out_block
+        .chunks_mut(out_w)
+        .zip(w_block.chunks_mut(w_w))
+        .enumerate()
+    {
+        let i = first + r;
+        let q_row = qm.row(i);
+        for h in 0..heads {
+            let q_sub = &q_row[h * dk..(h + 1) * dk];
+            let w_seg = &mut w_row[h * group..(h + 1) * group];
+            #[allow(clippy::needless_range_loop)] // indices mirror the math
+            for j in 0..group {
+                let idx = i * group + j;
+                w_seg[j] = if mask[idx] {
+                    crate::matrix::dot(q_sub, &km.row(idx)[h * dk..(h + 1) * dk]) * scale
+                } else {
+                    f32::NEG_INFINITY
+                };
+            }
+            // All-masked rows come out of the softmax as all-zero weights,
+            // leaving the (pre-zeroed) output row untouched — "no valid
+            // temporal neighbors" contributes nothing forward or backward.
+            softmax_inplace(w_seg);
+            let out_seg = &mut out_row[h * dv..(h + 1) * dv];
+            for (j, &w) in w_seg.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let v_sub = &vm.row(i * group + j)[h * dv..(h + 1) * dv];
+                for (o, &x) in out_seg.iter_mut().zip(v_sub) {
+                    *o += w * x;
+                }
+            }
+        }
+    }
+}
+
 /// Numerically stable softmax of `src` into `dst` (handles -inf masking;
 /// all -inf → all zeros).
 pub(crate) fn softmax_into(src: &[f32], dst: &mut [f32]) {
@@ -1322,6 +1717,28 @@ pub(crate) fn softmax_into(src: &[f32], dst: &mut [f32]) {
     }
     let inv = 1.0 / sum;
     dst.iter_mut().for_each(|x| *x *= inv);
+}
+
+/// In-place [`softmax_into`]: the attention kernel writes scores into the
+/// saved-weights row segment and softmaxes them where they sit, eliminating
+/// the per-call scores scratch. Element-for-element the same floating-point
+/// operation sequence as `softmax_into` (max fold, -inf short-circuit,
+/// exp/accumulate, reciprocal scale), so routing through either is
+/// bit-identical.
+pub(crate) fn softmax_inplace(buf: &mut [f32]) {
+    let max = buf.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        buf.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for d in buf.iter_mut() {
+        let e = (*d - max).exp();
+        *d = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    buf.iter_mut().for_each(|x| *x *= inv);
 }
 
 #[cfg(test)]

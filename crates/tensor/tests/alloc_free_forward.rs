@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use benchtemp_tensor::nn::Mlp;
+use benchtemp_tensor::nn::{Mlp, MultiHeadAttention};
 use benchtemp_tensor::{init, Graph, Matrix, ParamStore};
 
 struct CountingAlloc;
@@ -85,6 +85,47 @@ fn steady_state_forward_is_allocation_free_after_warmup() {
         after - before,
         0,
         "steady-state forward allocated {} times after warm-up",
+        after - before
+    );
+
+    // TGAT-shaped attention steady state: the fused multi-head node's
+    // output and its attention-weight scratch both come from the tape's
+    // buffer pool, so a full Q/K/V-projected attention forward is also
+    // allocation-free once warm. Shapes stay below the parallel dispatch
+    // threshold so the kernel runs inline (no task boxing).
+    let mut astore = ParamStore::new();
+    let heads = 2;
+    let group = 4;
+    let n = 12;
+    let attn = MultiHeadAttention::new(&mut astore, &mut rng, "att", 8, 8, 8, heads, 8);
+    let query = init::uniform(n, 8, -1.0, 1.0, &mut rng);
+    let keys = init::uniform(n * group, 8, -1.0, 1.0, &mut rng);
+    let mut mask = vec![true; n * group];
+    mask[..group].fill(false); // one fully-padded row
+    let att_step = |store: &ParamStore, q: &Matrix, k: &Matrix, mask: &[bool]| -> f32 {
+        let mut g = Graph::new(store);
+        let qv = g.input_from(q);
+        let kv = g.input_from(k);
+        let y = attn.forward(&mut g, qv, kv, group, mask);
+        g.value(y).as_slice().iter().sum()
+    };
+    let mut warm_att = 0.0f32;
+    for _ in 0..5 {
+        warm_att += att_step(&astore, &query, &keys, &mask);
+    }
+    assert!(warm_att.is_finite());
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    let mut measured_att = 0.0f32;
+    for _ in 0..10 {
+        measured_att += att_step(&astore, &query, &keys, &mask);
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert!(measured_att.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state attention forward allocated {} times after warm-up",
         after - before
     );
 }

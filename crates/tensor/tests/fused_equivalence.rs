@@ -148,6 +148,74 @@ fn time_encode_memo_hits_on_duplicate_dts() {
     );
 }
 
+/// One multi-head grouped attention forward+backward; returns
+/// (y, dq, dk, dv) as bits.
+fn run_mha(
+    fused: bool,
+    n: usize,
+    heads: usize,
+    group: usize,
+    model_dim: usize,
+    mask: &[bool],
+    seed: u64,
+) -> [Vec<u32>; 4] {
+    fusion::set_forced(Some(fused));
+    let mut t = Tape::new();
+    let q = t.leaf(mat(n, model_dim, seed));
+    let k = t.leaf(mat(n * group, model_dim, seed + 1));
+    let v = t.leaf(mat(n * group, model_dim, seed + 2));
+    let y = t.multi_head_grouped_attention(q, k, v, heads, group, mask);
+    let loss = t.mean_all(y);
+    let grads = t.backward(loss);
+    let out = [
+        bits(t.value(y)),
+        bits(grads.get(q).expect("dq")),
+        bits(grads.get(k).expect("dk")),
+        bits(grads.get(v).expect("dv")),
+    ];
+    fusion::set_forced(None);
+    out
+}
+
+/// The fused multi-head node vs the per-head `slice_cols` →
+/// `grouped_attention` → `concat_cols_many` chain it replaces, over a grid
+/// of head counts, group sizes, and mask patterns — including rows whose
+/// every neighbor slot is masked (the all-padded case), which must produce
+/// a zero output row with zero gradient flow in both modes.
+#[test]
+fn multi_head_attention_matches_unfused_bitwise() {
+    let _serial = FUSION_LOCK.lock().unwrap();
+    // (n, heads, group, model_dim)
+    let shapes = [
+        (1, 1, 1, 4),
+        (3, 1, 4, 8),
+        (4, 2, 3, 8),
+        (5, 4, 6, 16),
+        (9, 2, 5, 12),
+    ];
+    for (i, &(n, heads, group, model_dim)) in shapes.iter().enumerate() {
+        let slots = n * group;
+        let full = vec![true; slots];
+        // Every third slot padded out.
+        let partial: Vec<bool> = (0..slots).map(|s| !s.is_multiple_of(3)).collect();
+        // Whole rows fully masked (first and last query rows).
+        let mut row_masked = vec![true; slots];
+        row_masked[..group].fill(false);
+        row_masked[slots - group..].fill(false);
+        let all_masked = vec![false; slots];
+        for (j, mask) in [full, partial, row_masked, all_masked].iter().enumerate() {
+            let seed = 900 + (i * 4 + j) as u64 * 7;
+            let unfused = run_mha(false, n, heads, group, model_dim, mask, seed);
+            let fused = run_mha(true, n, heads, group, model_dim, mask, seed);
+            assert_eq!(
+                unfused, fused,
+                "multi-head attention bits diverged at shape \
+                 (n={n}, heads={heads}, group={group}, d={model_dim}), mask case {j}"
+            );
+        }
+    }
+}
+
 /// Full model-shaped check: an MLP through [`Graph`] (param binding, fused
 /// `Linear→ReLU→Linear`, BCE loss) must produce bit-identical loss and
 /// per-parameter gradients with fusion on and off.

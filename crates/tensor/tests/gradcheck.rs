@@ -264,6 +264,45 @@ fn grad_grouped_attention() {
 }
 
 #[test]
+fn grad_multi_head_grouped_attention() {
+    // 3 queries, 2 heads over model dim 8, group of 3, one fully-masked row.
+    let q = mat(3, 8, 48);
+    let k = mat(9, 8, 49);
+    let v = mat(9, 8, 55);
+    let mut mask = vec![true; 9];
+    mask[2] = false; // padded slot in row 0
+    mask[3..6].fill(false); // row 1 entirely padded
+    gradcheck(
+        "multi_head_grouped_attention",
+        &[q, k, v],
+        &move |t, ins| {
+            let q = t.leaf(ins[0].clone());
+            let k = t.leaf(ins[1].clone());
+            let v = t.leaf(ins[2].clone());
+            let y = t.multi_head_grouped_attention(q, k, v, 2, 3, &mask);
+            let loss = weighted_sum(t, y, &mut init::rng(99));
+            (vec![q, k, v], loss)
+        },
+        3e-2,
+    );
+}
+
+#[test]
+fn grad_slice_rows() {
+    gradcheck(
+        "slice_rows",
+        &[mat(5, 3, 56)],
+        &|t, ins| {
+            let x = t.leaf(ins[0].clone());
+            let y = t.slice_rows(x, 1, 4);
+            let loss = weighted_sum(t, y, &mut init::rng(99));
+            (vec![x], loss)
+        },
+        2e-2,
+    );
+}
+
+#[test]
 fn grad_composite_expression() {
     // A deeper graph mixing many ops: tanh(A·B + bias) ⊙ sigmoid(A) pooled.
     let a = mat(3, 3, 50);
