@@ -1,4 +1,4 @@
-//! The seven workspace lint rules, each a pure function over one file's
+//! The eight workspace lint rules, each a pure function over one file's
 //! token stream. See DESIGN.md §10 for the rationale behind every rule and
 //! the precise waiver semantics.
 //!
@@ -19,11 +19,12 @@ pub const RULE_SAFETY_COMMENT: &str = "safety-comment-required";
 pub const RULE_ENV_REGISTRY: &str = "env-read-registry";
 pub const RULE_UNFUSED_AFFINE: &str = "no-unfused-affine-chain";
 pub const RULE_PER_HEAD_ATTENTION: &str = "no-per-head-slice-attention";
+pub const RULE_SCALAR_GATHER: &str = "no-scalar-gather-in-hot-path";
 /// Pseudo-rule for malformed `audit-allow` comments (unknown rule name or
 /// missing reason). Never waivable — a waiver that cannot be read is noise.
 pub const RULE_WAIVER_SYNTAX: &str = "waiver-syntax";
 
-pub const ALL_RULES: [&str; 8] = [
+pub const ALL_RULES: [&str; 9] = [
     RULE_HASH_ITER,
     RULE_WALLCLOCK,
     RULE_THREAD_SPAWN,
@@ -31,6 +32,7 @@ pub const ALL_RULES: [&str; 8] = [
     RULE_ENV_REGISTRY,
     RULE_UNFUSED_AFFINE,
     RULE_PER_HEAD_ATTENTION,
+    RULE_SCALAR_GATHER,
     RULE_WAIVER_SYNTAX,
 ];
 
@@ -122,6 +124,7 @@ pub fn check_file(
     env_registry(rel_path, &code, registry, out);
     unfused_affine_chain(rel_path, &code, out);
     per_head_slice_attention(rel_path, &code, out);
+    scalar_gather_in_hot_path(rel_path, &code, out);
 }
 
 /// `no-hashmap-iteration-in-numeric-path`
@@ -496,6 +499,40 @@ fn per_head_slice_attention(rel_path: &str, code: &[Token], out: &mut Vec<Violat
     }
 }
 
+/// `no-scalar-gather-in-hot-path`
+///
+/// In `crates/models/`, a `.gather_rows(…)` call is the allocating scalar
+/// row-gather (one fresh `Matrix`, per-row copy loop) that
+/// `Tape::gather_rows_from` replaces with a pool-granted, run-length
+/// coalesced gather — same bits, zero steady-state allocations, and a
+/// `tape.gather_coalesced_runs` counter for free. Frontier-shaped index
+/// lists are exactly where the coalescing pays, so model code should not
+/// grow new scalar copies of the pattern. Method-call form only (a
+/// definition or doc mention is not a gather); a deliberate scalar
+/// baseline — e.g. one kept for equivalence tests — can carry an
+/// `audit-allow` waiver saying why.
+fn scalar_gather_in_hot_path(rel_path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    if !rel_path.starts_with("crates/models/") {
+        return;
+    }
+    for i in 0..code.len() {
+        let is_call = i >= 1
+            && is_punct(&code[i - 1].tok, '.')
+            && code.get(i + 1).is_some_and(|t| is_punct(&t.tok, '('));
+        if is_call && is_ident(&code[i].tok, "gather_rows") {
+            out.push(violation(
+                RULE_SCALAR_GATHER,
+                rel_path,
+                code[i].line,
+                "`.gather_rows(…)` scalar gather in model code; use the \
+                 coalesced `Tape::gather_rows_from` — same bits, pooled \
+                 storage, no per-row copy loop"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// Extract `audit-allow` waivers from a file's comments. Malformed waivers
 /// (unknown rule, missing reason) are reported as `waiver-syntax`
 /// violations.
@@ -772,6 +809,33 @@ mod tests {
         // Definition/mention of the names is not a call chain.
         let defs = "fn slice_cols() {}\nfn grouped_attention() {}\n";
         assert!(run("crates/models/src/x.rs", defs).is_empty());
+    }
+
+    #[test]
+    fn scalar_gather_flagged_only_in_models() {
+        let src = "fn f(m: &Matrix, ids: &[usize]) -> Matrix {\n\
+                   m.gather_rows(ids)\n\
+                   }\n";
+        let hits = run("crates/models/src/x.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_SCALAR_GATHER);
+        assert_eq!(hits[0].line, 2);
+        // The tensor crate owns the primitive — its definition, tests, and
+        // the tape's unfused fallback are all out of scope.
+        assert!(run("crates/tensor/src/matrix.rs", src).is_empty());
+        assert!(run("crates/tensor/src/tape.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scalar_gather_requires_method_call_form() {
+        // Definition/mention of the name is not a gather.
+        let defs = "fn gather_rows() {}\nconst GATHER: &str = \"gather_rows\";\n";
+        assert!(run("crates/models/src/x.rs", defs).is_empty());
+        // The coalesced tape entry point is the sanctioned spelling.
+        let fused = "fn f(g: &mut Graph, m: &Matrix, ids: &[usize]) -> Var {\n\
+                     g.gather_rows_from(m, ids)\n\
+                     }\n";
+        assert!(run("crates/models/src/x.rs", fused).is_empty());
     }
 
     #[test]

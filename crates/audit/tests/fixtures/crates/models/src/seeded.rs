@@ -29,3 +29,13 @@ fn waived_per_head_chain(g: &mut Tape, q: Var, k: Var, v: Var, mask: &[bool]) ->
     // audit-allow(no-per-head-slice-attention): seeded *waived* chain for the self-test
     g.grouped_attention(qh, k, v, 3, mask)
 }
+
+fn scalar_gather(m: &Matrix, ids: &[usize]) -> Matrix {
+    // VIOLATION no-scalar-gather-in-hot-path (use Tape::gather_rows_from):
+    m.gather_rows(ids)
+}
+
+fn waived_scalar_gather(m: &Matrix, ids: &[usize]) -> Matrix {
+    // audit-allow(no-scalar-gather-in-hot-path): seeded *waived* gather for the self-test
+    m.gather_rows(ids)
+}

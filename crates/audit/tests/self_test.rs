@@ -110,21 +110,29 @@ fn seeded_fixture_fires_every_rule() {
         dump(&report)
     );
     assert_eq!(
+        unwaivered_of(rules::RULE_SCALAR_GATHER),
+        1,
+        "{:?}",
+        dump(&report)
+    );
+    assert_eq!(
         unwaivered_of(rules::RULE_WAIVER_SYNTAX),
         1,
         "{:?}",
         dump(&report)
     );
 
-    // Exactly three hits are waived (one wallclock, one affine chain, one
-    // per-head attention chain), with their reasons carried into the report.
+    // Exactly four hits are waived (one wallclock, one affine chain, one
+    // per-head attention chain, one scalar gather), with their reasons
+    // carried into the report.
     let waived: Vec<_> = report.violations.iter().filter(|v| v.waived).collect();
-    assert_eq!(waived.len(), 3, "{:?}", dump(&report));
+    assert_eq!(waived.len(), 4, "{:?}", dump(&report));
     assert!(waived.iter().any(|v| v.rule == rules::RULE_WALLCLOCK));
     assert!(waived.iter().any(|v| v.rule == rules::RULE_UNFUSED_AFFINE));
     assert!(waived
         .iter()
         .any(|v| v.rule == rules::RULE_PER_HEAD_ATTENTION));
+    assert!(waived.iter().any(|v| v.rule == rules::RULE_SCALAR_GATHER));
     assert!(waived
         .iter()
         .all(|v| v.waive_reason.as_deref().unwrap().contains("self-test")));

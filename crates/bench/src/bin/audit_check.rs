@@ -47,6 +47,7 @@ fn main() {
         rules::RULE_ENV_REGISTRY,
         rules::RULE_UNFUSED_AFFINE,
         rules::RULE_PER_HEAD_ATTENTION,
+        rules::RULE_SCALAR_GATHER,
         rules::RULE_WAIVER_SYNTAX,
     ] {
         assert!(
@@ -55,7 +56,7 @@ fn main() {
         );
     }
     println!(
-        "audit_check: seeded fixture fails as designed ({} unwaivered hit(s), all 8 rules fire)",
+        "audit_check: seeded fixture fails as designed ({} unwaivered hit(s), all 9 rules fire)",
         fx.unwaivered().count()
     );
 

@@ -406,7 +406,8 @@ fn fnv1a(h: u64, x: u64) -> u64 {
 }
 
 /// FNV-1a fold over every column of every hop level: any divergence in the
-/// sampled nodes, times, deltas, event indices, or masks changes the hash.
+/// sampled nodes, times, deltas, event indices, feature rows, or masks
+/// changes the hash.
 fn frontier_hash(f: &Frontier) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut fold = |x: u64| {
@@ -426,8 +427,33 @@ fn frontier_hash(f: &Frontier) -> u64 {
         for &e in &hop.event_idx {
             fold(e as u64);
         }
+        for &fi in &hop.feat_idx {
+            fold(fi as u64);
+        }
         for &m in &hop.mask {
             fold(m as u64);
+        }
+    }
+    h
+}
+
+/// The seed repository's frontier feature gather, verbatim in spirit: a
+/// fresh zeroed output and one per-element indexed copy loop — the pattern
+/// the models used before the SoA gather path (and the pattern the
+/// `no-scalar-gather-in-hot-path` audit rule now rejects there).
+fn seed_scalar_gather(src: &Matrix, indices: &[usize], out: &mut Matrix) {
+    for (r, &i) in indices.iter().enumerate() {
+        for c in 0..src.cols() {
+            out.set(r, c, src.get(i, c));
+        }
+    }
+}
+
+fn matrix_hash(m: &Matrix) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for r in 0..m.rows() {
+        for &x in m.row(r) {
+            h = fnv1a(h, x.to_bits() as u64);
         }
     }
     h
@@ -551,6 +577,48 @@ fn run_child(smoke: bool) {
     let f = sw.frontier_pass();
     let frontier_slots: usize = f.hops.iter().map(|h| h.len()).sum();
 
+    // SoA frontier gather (DESIGN.md §13): materialize the hop-1 slot
+    // features three ways on the exact index list `sample_frontier` emits
+    // (duplicates and padding zeros included) — the seed's per-element
+    // scalar loop, the per-row `gather_rows`, and the run-length-coalesced
+    // `gather_rows_into` — asserting all three produce the same bytes.
+    let gather_idx: &[usize] = &f.hops[0].nodes;
+    let gather_dim = 64;
+    let gather_src = {
+        let n = gather_idx.iter().copied().max().unwrap_or(0) + 1;
+        let mut grng = init::rng(23);
+        init::randn(n, gather_dim, 1.0, &mut grng)
+    };
+    let scalar_out = {
+        let mut out = Matrix::zeros(gather_idx.len(), gather_dim);
+        seed_scalar_gather(&gather_src, gather_idx, &mut out);
+        out
+    };
+    let perrow_out = gather_src.gather_rows(gather_idx);
+    let mut coalesced_out = Matrix::zeros(gather_idx.len(), gather_dim);
+    let gather_runs = gather_src.gather_rows_into(gather_idx, &mut coalesced_out);
+    let ghash = matrix_hash(&coalesced_out);
+    assert_eq!(
+        matrix_hash(&scalar_out),
+        ghash,
+        "coalesced gather must match the scalar loop byte-for-byte"
+    );
+    assert_eq!(
+        matrix_hash(&perrow_out),
+        ghash,
+        "coalesced gather must match the per-row gather byte-for-byte"
+    );
+    let gather_scalar_ns = timing::measure(&mut || {
+        let mut out = Matrix::zeros(gather_idx.len(), gather_dim);
+        seed_scalar_gather(&gather_src, gather_idx, &mut out);
+        std::hint::black_box(out);
+    });
+    let gather_perrow_ns =
+        timing::measure(&mut || std::hint::black_box(gather_src.gather_rows(gather_idx)));
+    let gather_coalesced_ns = timing::measure(&mut || {
+        std::hint::black_box(gather_src.gather_rows_into(gather_idx, &mut coalesced_out))
+    });
+
     // Tracing overhead (DESIGN.md §9): the same chunked sampling pass
     // measured bare, with inert spans (no recorder, no sink — the shipping
     // default), with a recorder aggregating, and with the JSONL sink live.
@@ -644,6 +712,8 @@ fn run_child(smoke: bool) {
         "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x} \
          sample_seed_ns {} sample_csr_ns {} samples_per_pass {} mixed_seed_ns {} \
          mixed_csr_ns {} mixed_samples {} frontier_ns {} frontier_slots {} frontier_hash {:016x} \
+         gather_rows {} gather_runs {} gather_scalar_ns {} gather_perrow_ns {} \
+         gather_coalesced_ns {} gather_hash {:016x} \
          trace_plain_ns {} trace_inert_ns {} trace_rec_ns {} trace_on_ns {} \
          pass_ns {} san_off_ns {} san_on_ns {} \
          ts_tgat_unfused_ns {} ts_tgat_fused_ns {} ts_tgn_unfused_ns {} ts_tgn_fused_ns {} \
@@ -663,6 +733,12 @@ fn run_child(smoke: bool) {
         frontier_ns,
         frontier_slots,
         fhash,
+        gather_idx.len(),
+        gather_runs,
+        gather_scalar_ns,
+        gather_perrow_ns,
+        gather_coalesced_ns,
+        ghash,
         trace_plain_ns,
         trace_inert_ns,
         trace_rec_ns,
@@ -697,6 +773,12 @@ struct ChildReport {
     frontier_ns: f64,
     frontier_slots: f64,
     frontier_hash: String,
+    gather_rows: f64,
+    gather_runs: f64,
+    gather_scalar_ns: f64,
+    gather_perrow_ns: f64,
+    gather_coalesced_ns: f64,
+    gather_hash: String,
     trace_plain_ns: f64,
     trace_inert_ns: f64,
     trace_rec_ns: f64,
@@ -755,6 +837,12 @@ fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
         frontier_ns: field("frontier_ns").parse().unwrap(),
         frontier_slots: field("frontier_slots").parse().unwrap(),
         frontier_hash: field("frontier_hash"),
+        gather_rows: field("gather_rows").parse().unwrap(),
+        gather_runs: field("gather_runs").parse().unwrap(),
+        gather_scalar_ns: field("gather_scalar_ns").parse().unwrap(),
+        gather_perrow_ns: field("gather_perrow_ns").parse().unwrap(),
+        gather_coalesced_ns: field("gather_coalesced_ns").parse().unwrap(),
+        gather_hash: field("gather_hash"),
         trace_plain_ns: field("trace_plain_ns").parse().unwrap(),
         trace_inert_ns: field("trace_inert_ns").parse().unwrap(),
         trace_rec_ns: field("trace_rec_ns").parse().unwrap(),
@@ -795,18 +883,51 @@ fn main() {
         single.frontier_hash, multi.frontier_hash,
         "frontier samples must be bit-identical across thread counts"
     );
+    // And for the coalesced gather, which fans its runs across the pool.
+    assert_eq!(
+        single.gather_hash, multi.gather_hash,
+        "coalesced gather output must be bit-identical across thread counts"
+    );
+    // Run-length coalescing is a pure function of the index list — the
+    // chunk arithmetic must not reach the counter either.
+    assert_eq!(
+        single.gather_runs, multi.gather_runs,
+        "coalesced run count must not depend on the thread count"
+    );
 
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let matmul_speedup = single.seed_ns / single.kernel_ns;
     let eval_speedup = multi.events_per_sec / single.events_per_sec;
+    // The 4-thread eval throughput target only binds when the host can
+    // actually run 4 workers in parallel; on a smaller machine the ratio
+    // measures oversubscription, not the runtime, so the gate is skipped
+    // with the reason recorded rather than reported as a vacuous miss.
+    let eval_target_applies = host_cores >= multi.threads;
+    let eval_skip_reason = (!eval_target_applies).then(|| {
+        format!(
+            "host has {host_cores} core(s) < {} benchmark threads; \
+             multi-thread speedup not meaningful",
+            multi.threads
+        )
+    });
     println!(
         "matmul (1 thread): seed {:.0} ns -> kernel {:.0} ns  ({matmul_speedup:.2}x)",
         single.seed_ns, single.kernel_ns
     );
     println!("matmul (4 threads): kernel {:.0} ns", multi.kernel_ns);
-    println!(
-        "eval throughput: {:.0} ev/s (1 thread) -> {:.0} ev/s (4 threads)  ({eval_speedup:.2}x)",
-        single.events_per_sec, multi.events_per_sec
-    );
+    match &eval_skip_reason {
+        None => println!(
+            "eval throughput: {:.0} ev/s (1 thread) -> {:.0} ev/s (4 threads)  ({eval_speedup:.2}x)",
+            single.events_per_sec, multi.events_per_sec
+        ),
+        Some(reason) => println!(
+            "eval throughput: {:.0} ev/s (1 thread) -> {:.0} ev/s (4 threads)  \
+             (speedup target skipped: {reason})",
+            single.events_per_sec, multi.events_per_sec
+        ),
+    }
     println!(
         "metrics bit-identical across thread counts: auc {} ap {}",
         single.auc_bits, single.ap_bits
@@ -834,6 +955,22 @@ fn main() {
     println!(
         "frontier bit-identical across thread counts: hash {}",
         single.frontier_hash
+    );
+
+    let gather_rows = single.gather_rows;
+    let gather_scalar_rps = gather_rows / (single.gather_scalar_ns / 1e9);
+    let gather_perrow_rps = gather_rows / (single.gather_perrow_ns / 1e9);
+    let gather_coalesced_rps = gather_rows / (single.gather_coalesced_ns / 1e9);
+    let gather_speedup = single.gather_scalar_ns / single.gather_coalesced_ns;
+    println!(
+        "frontier feature gather (1 thread, {gather_rows:.0} rows, {:.0} coalesced runs): \
+         scalar {gather_scalar_rps:.0} rows/s -> per-row {gather_perrow_rps:.0} rows/s -> \
+         coalesced {gather_coalesced_rps:.0} rows/s  ({gather_speedup:.2}x, target 2.0x)",
+        single.gather_runs
+    );
+    println!(
+        "gather bit-identical across thread counts: hash {}",
+        single.gather_hash
     );
 
     // Span-instrumentation overhead on the sampling workload (targets from
@@ -897,7 +1034,7 @@ fn main() {
     }
 
     let report = json!({
-        "host_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "host_cores": host_cores,
         "matmul_256": {
             "seed_ns_single_thread": single.seed_ns,
             "kernel_ns_single_thread": single.kernel_ns,
@@ -910,6 +1047,8 @@ fn main() {
             "events_per_sec_4_threads": multi.events_per_sec,
             "speedup": eval_speedup,
             "speedup_target": 1.5,
+            "speedup_target_applies": eval_target_applies,
+            "speedup_target_skip_reason": eval_skip_reason,
             "threads": [single.threads, multi.threads],
             "metrics_bit_identical": true,
         },
@@ -924,6 +1063,17 @@ fn main() {
             "frontier_slots_per_sec_1_thread": frontier_sps_1,
             "frontier_slots_per_sec_4_threads": frontier_sps_4,
             "samples_bit_identical": true,
+        },
+        "gather": {
+            "workload": "hop-1 frontier slot features (duplicates + padding zeros), 64 cols: allocating per-element scalar loop vs allocating per-row gather_rows vs run-length-coalesced gather_rows_into reusing its output buffer",
+            "rows_per_pass": gather_rows,
+            "coalesced_runs": single.gather_runs,
+            "scalar_rows_per_sec_single_thread": gather_scalar_rps,
+            "per_row_rows_per_sec_single_thread": gather_perrow_rps,
+            "coalesced_rows_per_sec_single_thread": gather_coalesced_rps,
+            "single_thread_speedup": gather_speedup,
+            "single_thread_target": 2.0,
+            "rows_bit_identical": true,
         },
         "tracing": {
             "workload": "TemporalSafe sampling pass with a dense+sampling span pair per batch",

@@ -551,7 +551,7 @@ pub fn train_node_classification(
 
     let score_set = |store: &ParamStore, idx: &[usize]| -> Matrix {
         let mut g = Graph::new(store);
-        let x = g.input(embeddings.gather_rows(idx));
+        let x = g.gather_rows_from(&embeddings, idx);
         let logits = decoder.forward(&mut g, x);
         g.value(logits).clone()
     };
@@ -572,7 +572,7 @@ pub fn train_node_classification(
         obs::timed(stage::TRAIN_EPOCH, || {
             for chunk in train_idx.chunks(decoder_batch) {
                 let mut g = Graph::new(&store);
-                let x = g.input(embeddings.gather_rows(chunk));
+                let x = g.gather_rows_from(&embeddings, chunk);
                 let logits = decoder.forward(&mut g, x);
                 let ys: Vec<usize> = chunk.iter().map(|&i| labels.labels[i] as usize).collect();
                 let loss = if binary {

@@ -161,6 +161,11 @@ pub struct NeighborFinder {
     neighbor: Vec<u32>,
     ts: Vec<f64>,
     event_idx: Vec<u32>,
+    /// Edge-feature row of each event (indexed by event idx): frontier
+    /// expansion resolves sampled slots to feature rows inline, so model
+    /// code gathers edge features straight off the hop's SoA column
+    /// instead of chasing `events[e].feat_idx` per slot.
+    event_feat: Vec<u32>,
 }
 
 /// Slot threshold below which `sample_frontier` skips pool dispatch and
@@ -187,6 +192,9 @@ pub struct FrontierHop {
     pub times: Vec<f64>,
     /// Originating event index (0 for padded slots).
     pub event_idx: Vec<usize>,
+    /// Edge-feature row of the originating event (0 for padded slots) —
+    /// pre-resolved so feature gathers are straight index lists.
+    pub feat_idx: Vec<usize>,
     /// `parent_time − sample_time`, clamped at 0 — the Δt fed to time
     /// encoders (0 for padded slots).
     pub dts: Vec<f32>,
@@ -200,6 +208,7 @@ impl FrontierHop {
             nodes: vec![0; len],
             times: vec![0.0; len],
             event_idx: vec![0; len],
+            feat_idx: vec![0; len],
             dts: vec![0.0; len],
             mask: vec![false; len],
         }
@@ -221,12 +230,13 @@ pub struct Frontier {
     pub hops: Vec<FrontierHop>,
 }
 
-/// A task-owned window of one hop level's arrays (all five columns split in
+/// A task-owned window of one hop level's arrays (all six columns split in
 /// lockstep), so parallel expansion writes disjoint `&mut` slices.
 struct HopChunk<'a> {
     nodes: &'a mut [usize],
     times: &'a mut [f64],
     event_idx: &'a mut [usize],
+    feat_idx: &'a mut [usize],
     dts: &'a mut [f32],
     mask: &'a mut [bool],
 }
@@ -255,10 +265,16 @@ impl NeighborFinder {
         let mut neighbor = vec![0u32; acc];
         let mut ts = vec![0f64; acc];
         let mut event_idx = vec![0u32; acc];
+        let mut event_feat = vec![0u32; events.len()];
         // Events arrive time-sorted, so appending in stream order leaves
         // every per-node run sorted; assert in debug builds instead of
         // paying a sort.
         for (idx, ev) in events.iter().enumerate() {
+            debug_assert!(
+                ev.feat_idx <= u32::MAX as usize,
+                "feat rows are u32-indexed"
+            );
+            event_feat[idx] = ev.feat_idx as u32;
             for (node, other) in [(ev.src, ev.dst), (ev.dst, ev.src)] {
                 let c = cursor[node];
                 cursor[node] += 1;
@@ -277,6 +293,7 @@ impl NeighborFinder {
             neighbor,
             ts,
             event_idx,
+            event_feat,
         }
     }
 
@@ -447,7 +464,7 @@ impl NeighborFinder {
         };
         let n_tasks = n.div_ceil(chunk);
 
-        // Split all five columns of every level into per-task windows in
+        // Split all six columns of every level into per-task windows in
         // lockstep: task `ti` owns the slots of roots `ti*chunk..` at every
         // hop, so the expansion tasks write disjoint memory.
         let mut views: Vec<Vec<HopChunk<'_>>> =
@@ -458,6 +475,7 @@ impl NeighborFinder {
             let mut nodes = level.nodes.as_mut_slice();
             let mut ts = level.times.as_mut_slice();
             let mut evs = level.event_idx.as_mut_slice();
+            let mut feats = level.feat_idx.as_mut_slice();
             let mut dts = level.dts.as_mut_slice();
             let mut mask = level.mask.as_mut_slice();
             for (ti, view) in views.iter_mut().enumerate() {
@@ -468,6 +486,8 @@ impl NeighborFinder {
                 ts = rest;
                 let (c, rest) = std::mem::take(&mut evs).split_at_mut(take);
                 evs = rest;
+                let (f, rest) = std::mem::take(&mut feats).split_at_mut(take);
+                feats = rest;
                 let (d, rest) = std::mem::take(&mut dts).split_at_mut(take);
                 dts = rest;
                 let (e, rest) = std::mem::take(&mut mask).split_at_mut(take);
@@ -476,6 +496,7 @@ impl NeighborFinder {
                     nodes: a,
                     times: b,
                     event_idx: c,
+                    feat_idx: f,
                     dts: d,
                     mask: e,
                 });
@@ -541,7 +562,7 @@ impl NeighborFinder {
                         (prev.nodes[slot], prev.times[slot])
                     };
                     self.sample_into(pn, pt, k, strategy, &mut rng, &mut scratch, &mut buf);
-                    write_slots(&buf, pt, k, cur, slot * k);
+                    write_slots(&buf, &self.event_feat, pt, k, cur, slot * k);
                 }
                 parents *= k;
             }
@@ -554,6 +575,7 @@ impl NeighborFinder {
             + self.neighbor.capacity() * std::mem::size_of::<u32>()
             + self.ts.capacity() * std::mem::size_of::<f64>()
             + self.event_idx.capacity() * std::mem::size_of::<u32>()
+            + self.event_feat.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -624,9 +646,12 @@ fn fill_weighted(
 }
 
 /// Write one parent's `k` slots: real samples first, then padding carrying
-/// the parent's time with a `false` mask.
+/// the parent's time with a `false` mask. `event_feat` maps event idx →
+/// edge-feature row; padded slots resolve to row 0, matching the masked
+/// fallback the per-slot model code applied.
 fn write_slots(
     samples: &[NeighborEvent],
+    event_feat: &[u32],
     parent_t: f64,
     k: usize,
     out: &mut HopChunk<'_>,
@@ -637,6 +662,7 @@ fn write_slots(
         out.nodes[s] = ev.neighbor;
         out.times[s] = ev.t;
         out.event_idx[s] = ev.event_idx;
+        out.feat_idx[s] = event_feat[ev.event_idx] as usize;
         out.dts[s] = (parent_t - ev.t).max(0.0) as f32;
         out.mask[s] = true;
     }
@@ -644,6 +670,7 @@ fn write_slots(
         out.nodes[s] = 0;
         out.times[s] = parent_t;
         out.event_idx[s] = 0;
+        out.feat_idx[s] = 0;
         out.dts[s] = 0.0;
         out.mask[s] = false;
     }
@@ -916,6 +943,7 @@ mod tests {
                     assert_eq!(hop.nodes[s], buf[j].neighbor);
                     assert_eq!(hop.times[s].to_bits(), buf[j].t.to_bits());
                     assert_eq!(hop.event_idx[s], buf[j].event_idx);
+                    assert_eq!(hop.feat_idx[s], g.events[buf[j].event_idx].feat_idx);
                     assert_eq!(
                         hop.dts[s].to_bits(),
                         (((t - buf[j].t).max(0.0)) as f32).to_bits()
@@ -923,6 +951,7 @@ mod tests {
                 } else {
                     assert!(!hop.mask[s]);
                     assert_eq!(hop.nodes[s], 0);
+                    assert_eq!(hop.feat_idx[s], 0);
                     assert_eq!(hop.times[s].to_bits(), t.to_bits());
                 }
             }
@@ -941,6 +970,7 @@ mod tests {
         for (ha, hb) in a.hops.iter().zip(&b.hops) {
             assert_eq!(ha.nodes, hb.nodes);
             assert_eq!(ha.event_idx, hb.event_idx);
+            assert_eq!(ha.feat_idx, hb.feat_idx);
             assert_eq!(ha.mask, hb.mask);
             assert!(ha
                 .times

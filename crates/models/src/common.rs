@@ -6,7 +6,7 @@ use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::neighbors::{FrontierHop, SamplingStrategy};
 use benchtemp_graph::temporal_graph::Interaction;
 use benchtemp_tensor::init::{self, SeededRng};
-use benchtemp_tensor::{Adam, Matrix, ParamStore};
+use benchtemp_tensor::{Adam, Graph, Matrix, ParamStore, Var};
 
 /// Hyperparameters shared across the zoo. Defaults are sized for the CPU
 /// substrate; the paper's 172-dim attention stacks are available by raising
@@ -117,7 +117,16 @@ impl NodeMemory {
 
     /// Gather memory rows for a node list (detached copy).
     pub fn rows(&self, nodes: &[usize]) -> Matrix {
+        // audit-allow(no-scalar-gather-in-hot-path): scalar baseline kept for equivalence tests and non-tape consumers; tape paths use `rows_var`
         self.mem.gather_rows(nodes)
+    }
+
+    /// Memory rows as a pooled tape leaf: one run-length-coalesced SoA
+    /// gather straight into recycled tape storage — bit-identical to
+    /// `g.input(self.rows(nodes))` without the per-row copy loop or the
+    /// intermediate allocation.
+    pub fn rows_var(&self, g: &mut Graph, nodes: &[usize]) -> Var {
+        g.gather_rows_from(&self.mem, nodes)
     }
 
     pub fn row(&self, node: usize) -> &[f32] {
@@ -147,17 +156,6 @@ impl NodeMemory {
     pub fn heap_bytes(&self) -> usize {
         self.mem.heap_bytes() + self.last_update.capacity() * std::mem::size_of::<f64>()
     }
-}
-
-/// Edge features of a batch, gathered into one matrix.
-pub fn batch_edge_feats(ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
-    let idx: Vec<usize> = batch.iter().map(|e| e.feat_idx).collect();
-    ctx.graph.edge_features.gather_rows(&idx)
-}
-
-/// Node features for a node list.
-pub fn batch_node_feats(ctx: &StreamContext, nodes: &[usize]) -> Matrix {
-    ctx.graph.node_features.gather_rows(nodes)
 }
 
 /// Assembled temporal-neighbor block for grouped attention: for each of `n`
@@ -192,21 +190,17 @@ impl NeighborBatch {
         let f = ctx
             .neighbors
             .sample_frontier(nodes, times, k, 1, strategy, rng.next_u64());
-        Self::from_hop(ctx, f.hops.into_iter().next().expect("one hop level"), k)
+        Self::from_hop(f.hops.into_iter().next().expect("one hop level"), k)
     }
 
-    /// Wrap one expanded frontier hop as an attention block, resolving the
-    /// event indices to edge-feature rows (padded slots keep row 0).
-    pub fn from_hop(ctx: &StreamContext, hop: FrontierHop, k: usize) -> Self {
-        let feat_idx = hop
-            .event_idx
-            .iter()
-            .zip(&hop.mask)
-            .map(|(&e, &m)| if m { ctx.graph.events[e].feat_idx } else { 0 })
-            .collect();
+    /// Wrap one expanded frontier hop as an attention block. The hop's SoA
+    /// columns move in wholesale — the frontier engine already resolved
+    /// event indices to edge-feature rows (padded slots keep row 0), so no
+    /// per-slot resolution loop runs here.
+    pub fn from_hop(hop: FrontierHop, k: usize) -> Self {
         NeighborBatch {
             ids: hop.nodes,
-            feat_idx,
+            feat_idx: hop.feat_idx,
             dts: hop.dts,
             mask: hop.mask,
             k,
@@ -215,12 +209,26 @@ impl NeighborBatch {
 
     /// Node features of the neighbor slots ((n·k) × node_dim).
     pub fn node_feats(&self, ctx: &StreamContext) -> Matrix {
+        // audit-allow(no-scalar-gather-in-hot-path): scalar baseline kept for the gather equivalence tests; tape paths use `node_feats_var`
         ctx.graph.node_features.gather_rows(&self.ids)
     }
 
     /// Edge features of the originating events ((n·k) × edge_dim).
     pub fn edge_feats(&self, ctx: &StreamContext) -> Matrix {
+        // audit-allow(no-scalar-gather-in-hot-path): scalar baseline kept for the gather equivalence tests; tape paths use `edge_feats_var`
         ctx.graph.edge_features.gather_rows(&self.feat_idx)
+    }
+
+    /// Neighbor node features as a pooled tape leaf (coalesced SoA gather);
+    /// bit-identical to `g.input(self.node_feats(ctx))`.
+    pub fn node_feats_var(&self, g: &mut Graph, ctx: &StreamContext) -> Var {
+        g.gather_rows_from(&ctx.graph.node_features, &self.ids)
+    }
+
+    /// Originating-event edge features as a pooled tape leaf (coalesced SoA
+    /// gather); bit-identical to `g.input(self.edge_feats(ctx))`.
+    pub fn edge_feats_var(&self, g: &mut Graph, ctx: &StreamContext) -> Var {
+        g.gather_rows_from(&ctx.graph.edge_features, &self.feat_idx)
     }
 
     /// Times per (node,time) pair of the sampled events (for recursion).
@@ -263,7 +271,14 @@ impl BatchView {
 
     /// Edge features of the batch's events.
     pub fn edge_feats(&self, ctx: &StreamContext) -> Matrix {
+        // audit-allow(no-scalar-gather-in-hot-path): scalar baseline kept for the gather equivalence tests; tape paths use `edge_feats_var`
         ctx.graph.edge_features.gather_rows(&self.feat_idx)
+    }
+
+    /// Batch edge features as a pooled tape leaf (coalesced SoA gather);
+    /// bit-identical to `g.input(self.edge_feats(ctx))`.
+    pub fn edge_feats_var(&self, g: &mut Graph, ctx: &StreamContext) -> Var {
+        g.gather_rows_from(&ctx.graph.edge_features, &self.feat_idx)
     }
 
     pub fn len(&self) -> usize {

@@ -208,17 +208,17 @@ impl Nat {
         let mut g = Graph::new(&self.core.store);
         let w = &self.weights;
         let src_rep = {
-            let m = g.input(self.reps.rows(&view.srcs));
+            let m = self.reps.rows_var(&mut g, &view.srcs);
             let p = w.rep_proj.forward(&mut g, m);
             g.relu(p)
         };
         let dst_rep = {
-            let m = g.input(self.reps.rows(&view.dsts));
+            let m = self.reps.rows_var(&mut g, &view.dsts);
             let p = w.rep_proj.forward(&mut g, m);
             g.relu(p)
         };
         let neg_rep = {
-            let m = g.input(self.reps.rows(&view.negs));
+            let m = self.reps.rows_var(&mut g, &view.negs);
             let p = w.rep_proj.forward(&mut g, m);
             g.relu(p)
         };
@@ -243,14 +243,14 @@ impl Nat {
 
         // Recurrent self-representation update for both endpoints.
         let (new_src, new_dst) = {
-            let e = g.input(view.edge_feats(ctx));
+            let e = view.edge_feats_var(&mut g, ctx);
             let ep = w.edge_proj.forward(&mut g, e);
             let ste = w.time_enc.forward_slice(&mut g, &src_dt);
             let dte = w.time_enc.forward_slice(&mut g, &dst_dt);
             let sx = g.concat_cols(ep, ste);
             let dx = g.concat_cols(ep, dte);
-            let sm = g.input(self.reps.rows(&view.srcs));
-            let dm = g.input(self.reps.rows(&view.dsts));
+            let sm = self.reps.rows_var(&mut g, &view.srcs);
+            let dm = self.reps.rows_var(&mut g, &view.dsts);
             (
                 w.rep_gru.forward(&mut g, sx, sm),
                 w.rep_gru.forward(&mut g, dx, dm),

@@ -95,7 +95,7 @@ impl SnapshotGnn {
         let mut g = Graph::new(&self.core.store);
         let w = &self.weights;
         let h = {
-            let states = g.input(self.states.rows(&(0..n).collect::<Vec<_>>()));
+            let states = self.states.rows_var(&mut g, &(0..n).collect::<Vec<_>>());
             let feats = g.input(ctx.graph.node_features.clone());
             let fp = w.feat_proj.forward(&mut g, feats);
             g.add(states, fp)
@@ -149,9 +149,9 @@ impl SnapshotGnn {
         let src_dt = self.states.deltas(&view.srcs, &view.times);
         let mut g = Graph::new(&self.core.store);
         let w = &self.weights;
-        let src = g.input(self.states.rows(&view.srcs));
-        let dst = g.input(self.states.rows(&view.dsts));
-        let neg = g.input(self.states.rows(&view.negs));
+        let src = self.states.rows_var(&mut g, &view.srcs);
+        let dst = self.states.rows_var(&mut g, &view.dsts);
+        let neg = self.states.rows_var(&mut g, &view.negs);
         let te = w.time_enc.forward_slice(&mut g, &src_dt);
         let src_full = {
             let cat = g.concat_cols(src, src);

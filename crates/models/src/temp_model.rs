@@ -20,7 +20,7 @@ use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_obs as obs;
 use benchtemp_tensor::nn::{GruCell, Linear, MergeLayer, TimeEncode};
-use benchtemp_tensor::{Graph, Matrix};
+use benchtemp_tensor::{Graph, Matrix, Var};
 
 use crate::common::{pos_neg_targets, BatchView, ModelConfig, ModelCore, NodeMemory};
 
@@ -179,8 +179,7 @@ impl Temp {
 
         let mut g = Graph::new(&self.core.store);
         let w = &self.weights;
-        let embed = |g: &mut Graph, mem: Matrix, lpa: Matrix, msg: Matrix, ref_dt: &[f32]| {
-            let m = g.input(mem);
+        let embed = |g: &mut Graph, m: Var, lpa: Matrix, msg: Matrix, ref_dt: &[f32]| {
             let l = g.input(lpa);
             let e = {
                 let raw = g.input(msg);
@@ -191,27 +190,12 @@ impl Temp {
             let c = w.combine.forward(g, cat);
             g.relu(c)
         };
-        let src = embed(
-            &mut g,
-            self.memory.rows(&view.srcs),
-            src_lpa,
-            src_msg,
-            &src_ref,
-        );
-        let dst = embed(
-            &mut g,
-            self.memory.rows(&view.dsts),
-            dst_lpa,
-            dst_msg,
-            &dst_ref,
-        );
-        let neg = embed(
-            &mut g,
-            self.memory.rows(&view.negs),
-            neg_lpa,
-            neg_msg,
-            &neg_ref,
-        );
+        let src_m = self.memory.rows_var(&mut g, &view.srcs);
+        let src = embed(&mut g, src_m, src_lpa, src_msg, &src_ref);
+        let dst_m = self.memory.rows_var(&mut g, &view.dsts);
+        let dst = embed(&mut g, dst_m, dst_lpa, dst_msg, &dst_ref);
+        let neg_m = self.memory.rows_var(&mut g, &view.negs);
+        let neg = embed(&mut g, neg_m, neg_lpa, neg_msg, &neg_ref);
         let pos_logit = w.decoder.forward(&mut g, src, dst);
         let neg_logit = w.decoder.forward(&mut g, src, neg);
         let logits = g.concat_rows(pos_logit, neg_logit);
@@ -224,7 +208,7 @@ impl Temp {
 
         // Sequence updater: GRU over [edge | Δt-enc] advances the memory.
         let (new_src, new_dst) = {
-            let e = g.input(view.edge_feats(ctx));
+            let e = view.edge_feats_var(&mut g, ctx);
             let ep = w.edge_proj.forward(&mut g, e);
             let s_dt = self.memory.deltas(&view.srcs, &view.times);
             let d_dt = self.memory.deltas(&view.dsts, &view.times);
@@ -232,8 +216,8 @@ impl Temp {
             let dte = w.time_enc.forward_slice(&mut g, &d_dt);
             let sx = g.concat_cols(ep, ste);
             let dx = g.concat_cols(ep, dte);
-            let sm = g.input(self.memory.rows(&view.srcs));
-            let dm = g.input(self.memory.rows(&view.dsts));
+            let sm = self.memory.rows_var(&mut g, &view.srcs);
+            let dm = self.memory.rows_var(&mut g, &view.dsts);
             (
                 w.seq_gru.forward(&mut g, sx, sm),
                 w.seq_gru.forward(&mut g, dx, dm),

@@ -48,7 +48,7 @@ impl Weights {
         rng: &mut SeededRng,
     ) -> Var {
         let base = |g: &mut Graph, ids: &[usize]| -> Var {
-            let f = g.input(ctx.graph.node_features.gather_rows(ids));
+            let f = g.gather_rows_from(&ctx.graph.node_features, ids);
             self.feat_proj.forward(g, f)
         };
         if depth == 0 {
@@ -73,11 +73,11 @@ impl Weights {
         let mut rep = base(g, &hops[depth - 1].nodes);
         while let Some(hop) = hops.pop() {
             let l = hops.len();
-            let nb = NeighborBatch::from_hop(ctx, hop, k);
+            let nb = NeighborBatch::from_hop(hop, k);
             let level_ids: &[usize] = if l == 0 { nodes } else { &hops[l - 1].nodes };
             let base_l = base(g, level_ids);
             let nb_edge = {
-                let e = g.input(nb.edge_feats(ctx));
+                let e = nb.edge_feats_var(g, ctx);
                 self.edge_proj.forward(g, e)
             };
             let nb_te = self.time_enc.forward_slice(g, &nb.dts);

@@ -67,8 +67,8 @@ impl Weights {
         memory: &NodeMemory,
         nodes: &[usize],
     ) -> Var {
-        let mem = g.input(memory.rows(nodes));
-        let feats = g.input(ctx.graph.node_features.gather_rows(nodes));
+        let mem = memory.rows_var(g, nodes);
+        let feats = g.gather_rows_from(&ctx.graph.node_features, nodes);
         let proj = self.feat_proj.forward(g, feats);
         g.add(mem, proj)
     }
@@ -118,13 +118,13 @@ impl Weights {
             NeighborBatch::sample(ctx, nodes, times, k, SamplingStrategy::MostRecent, rng)
         });
         let nb_state = {
-            let mem = g.input(memory.rows(&nb.ids));
-            let feats = g.input(nb.node_feats(ctx));
+            let mem = memory.rows_var(g, &nb.ids);
+            let feats = nb.node_feats_var(g, ctx);
             let fp = self.feat_proj.forward(g, feats);
             g.add(mem, fp)
         };
         let nb_edge = {
-            let e = g.input(nb.edge_feats(ctx));
+            let e = nb.edge_feats_var(g, ctx);
             self.edge_proj.forward(g, e)
         };
         let nb_te = self.time_enc.forward_slice(g, &nb.dts);
@@ -149,14 +149,14 @@ impl Weights {
     ) -> Var {
         match self.variant {
             TgnVariant::Jodie => {
-                let mem = g.input(memory.rows(nodes));
+                let mem = memory.rows_var(g, nodes);
                 let dts = memory.deltas(nodes, times);
                 let dt_col = g.input(Matrix::column(&dts));
                 let w = g.param(self.jodie_proj.expect("jodie proj"));
                 let dtw = g.matmul(dt_col, w);
                 let scale = g.add_scalar(dtw, 1.0);
                 let projected = g.mul(scale, mem);
-                let feats = g.input(ctx.graph.node_features.gather_rows(nodes));
+                let feats = g.gather_rows_from(&ctx.graph.node_features, nodes);
                 let fp = self.feat_proj.forward(g, feats);
                 g.add(projected, fp)
             }
@@ -180,11 +180,11 @@ impl Weights {
         rng: &mut SeededRng,
     ) -> (Var, Var) {
         let edge = {
-            let e = g.input(view.edge_feats(ctx));
+            let e = view.edge_feats_var(g, ctx);
             self.edge_proj.forward(g, e)
         };
-        let src_mem = g.input(memory.rows(&view.srcs));
-        let dst_mem = g.input(memory.rows(&view.dsts));
+        let src_mem = memory.rows_var(g, &view.srcs);
+        let dst_mem = memory.rows_var(g, &view.dsts);
         let src_te = {
             let dt = memory.deltas(&view.srcs, &view.times);
             self.time_enc.forward_slice(g, &dt)

@@ -97,6 +97,9 @@ pub static TAPE_POOL_HITS: Counter = Counter::new("tape_pool_hits");
 pub static TAPE_POOL_MISSES: Counter = Counter::new("tape_pool_misses");
 /// Δt rows served by the `TimeEncode` per-batch memo instead of recompute.
 pub static TIME_ENCODE_MEMO_HITS: Counter = Counter::new("time_encode_memo_hits");
+/// Coalesced copy runs executed by the tape's pooled SoA gather leaf — a
+/// pure function of the gather index lists, so thread-count-invariant.
+pub static GATHER_COALESCED_RUNS: Counter = Counter::new("tape.gather_coalesced_runs");
 
 /// Peak resident set size observed (bytes).
 pub static PEAK_RSS_BYTES: Gauge = Gauge::new("peak_rss_bytes");
@@ -106,7 +109,7 @@ pub static TAPE_POOL_RESIDENT_BYTES: Gauge = Gauge::new("tape.pool_resident_byte
 /// All counters, in a fixed order ([`crate::Recorder`] baselines index into
 /// this slice, so the order is part of the recorder contract).
 pub fn all() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 13] = [
+    static ALL: [&Counter; 14] = [
         &NEGATIVES_SAMPLED,
         &FRONTIER_NODES_EXPANDED,
         &TAPE_NODES_ALLOCATED,
@@ -120,6 +123,7 @@ pub fn all() -> &'static [&'static Counter] {
         &TAPE_POOL_HITS,
         &TAPE_POOL_MISSES,
         &TIME_ENCODE_MEMO_HITS,
+        &GATHER_COALESCED_RUNS,
     ];
     &ALL
 }

@@ -382,6 +382,103 @@ impl Matrix {
         out
     }
 
+    /// Gather the listed rows into a preallocated `indices.len()×cols`
+    /// output, coalescing index runs into contiguous block copies — the
+    /// SoA fast path under the tape's pooled gather leaf.
+    ///
+    /// Frontier slot indices arrive with long structured stretches
+    /// (ascending CSR neighbors, repeated node-0 padding), so instead of one
+    /// `copy_from_slice` per destination row this first resolves the index
+    /// list into maximal runs — ascending-consecutive (`idx[i+1] == idx[i]+1`,
+    /// one memcpy of `len·cols`) or repeated (`idx[i+1] == idx[i]`, copy once
+    /// then replicate) — and issues one block move per run. Above
+    /// [`PAR_FLOPS`] copied elements, contiguous run groups fan out across
+    /// the worker pool under the claimed-slot protocol; every destination
+    /// element is written by exactly one plain copy regardless of the
+    /// partition, so results are byte-identical to [`Matrix::gather_rows`]
+    /// at any thread count.
+    ///
+    /// Returns the coalesced run count — a pure function of `indices`
+    /// (computed by one sequential scan, never of the thread partition), so
+    /// counters fed from it are thread-count-invariant.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) -> u64 {
+        assert_eq!(
+            out.shape(),
+            (indices.len(), self.cols),
+            "gather_rows_into: output is {}x{}, expected {}x{}",
+            out.rows,
+            out.cols,
+            indices.len(),
+            self.cols
+        );
+        if let Some(&bad) = indices.iter().find(|&&src| src >= self.rows) {
+            panic!("gather_rows_into: index {bad} out of {} rows", self.rows);
+        }
+        let cols = self.cols;
+        let total = indices.len() * cols;
+        let p = crate::pool::pool();
+        if cols == 0 || total < PAR_FLOPS || p.threads() == 1 {
+            // Streaming inline path: resolve and copy one run at a time so
+            // the steady state performs no heap allocation at all.
+            let mut count = 0u64;
+            let mut i = 0;
+            while i < indices.len() {
+                let run = next_gather_run(indices, i);
+                if cols > 0 {
+                    gather_runs_kernel(
+                        &self.data,
+                        cols,
+                        std::slice::from_ref(&run),
+                        0,
+                        &mut out.data,
+                    );
+                }
+                i += run.len;
+                count += 1;
+            }
+            return count;
+        }
+        let runs = coalesce_gather_runs(indices);
+        if runs.len() == 1 {
+            gather_runs_kernel(&self.data, cols, &runs, 0, &mut out.data);
+            return 1;
+        }
+        // Group whole runs into contiguous destination slabs of roughly
+        // `rows_per` rows each; runs never straddle a slab boundary, so each
+        // block copy stays a single contiguous move.
+        let rows_per = indices.len().div_ceil(p.threads()).max(1);
+        let mut claims: Vec<crate::sanitize::SlotClaim> = Vec::new();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest: &mut [f32] = &mut out.data;
+        let mut run_at = 0;
+        let mut base_row = 0;
+        let mut c = 0;
+        while run_at < runs.len() {
+            let mut rows_here = 0;
+            let mut end = run_at;
+            while end < runs.len() && rows_here < rows_per {
+                rows_here += runs[end].len;
+                end += 1;
+            }
+            let (block, tail) = rest.split_at_mut(rows_here * cols);
+            rest = tail;
+            let group = &runs[run_at..end];
+            let first = base_row;
+            if crate::sanitize::enabled() {
+                claims.push((c, first * cols..(first + rows_here) * cols));
+            }
+            let src = &self.data;
+            tasks.push(Box::new(move || {
+                gather_runs_kernel(src, cols, group, first, block)
+            }));
+            base_row += rows_here;
+            run_at = end;
+            c += 1;
+        }
+        p.scope_run_claimed("gather_rows", &claims, tasks);
+        runs.len() as u64
+    }
+
     /// Horizontal concatenation `[self | rhs]`.
     pub fn concat_cols(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "concat_cols: row count mismatch");
@@ -432,6 +529,123 @@ impl Matrix {
 /// Below it the per-call dispatch cost exceeds the win; chosen so a typical
 /// per-batch model matmul (≤ 64³) stays inline.
 pub const PAR_FLOPS: usize = 1 << 18;
+
+/// Fixed lane width of the blocked kernel epilogues. Eight `f32` lanes fill
+/// one AVX2 register (two NEON registers); the accumulator-array loops below
+/// are shaped so the autovectorizer lifts them to SIMD without changing the
+/// per-element floating-point operation order.
+pub(crate) const LANES: usize = 8;
+
+/// One [`LANES`]-wide block of the four-way axpy
+/// `out[l] += a0·b0[l] + a1·b1[l] + a2·b2[l] + a3·b3[l]` — the k-tiled inner
+/// step of every matmul kernel. Per element this is the exact left-associated
+/// expression the scalar loop computes, so lane-blocking cannot change result
+/// bits.
+#[inline(always)]
+pub(crate) fn axpy4_lanes(
+    out: &mut [f32; LANES],
+    a: [f32; 4],
+    b0: &[f32; LANES],
+    b1: &[f32; LANES],
+    b2: &[f32; LANES],
+    b3: &[f32; LANES],
+) {
+    for l in 0..LANES {
+        out[l] += a[0] * b0[l] + a[1] * b1[l] + a[2] * b2[l] + a[3] * b3[l];
+    }
+}
+
+/// One [`LANES`]-wide block of the single axpy `out[l] += a·b[l]` — the
+/// `k % 4` tail step. Same bit-equivalence argument as [`axpy4_lanes`].
+#[inline(always)]
+pub(crate) fn axpy_lanes(out: &mut [f32; LANES], a: f32, b: &[f32; LANES]) {
+    for l in 0..LANES {
+        out[l] += a * b[l];
+    }
+}
+
+/// One coalesced copy run of [`Matrix::gather_rows_into`]: `len` destination
+/// rows starting at row `dst` read from source row `src` stepping by `step`
+/// (1 = ascending-consecutive indices, one contiguous memcpy; 0 = the same
+/// index repeated, copy once then replicate).
+struct GatherRun {
+    dst: usize,
+    src: usize,
+    len: usize,
+    step: usize,
+}
+
+/// Resolve an index list into maximal coalesced runs. Greedy left-to-right:
+/// at each position take the longest ascending-consecutive stretch, else the
+/// longest repeated stretch (lone indices are a length-1 run of either
+/// kind). Pure function of `indices` — the run count it yields is the
+/// thread-count-invariant value `gather_rows_into` reports.
+fn coalesce_gather_runs(indices: &[usize]) -> Vec<GatherRun> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < indices.len() {
+        let run = next_gather_run(indices, i);
+        i += run.len;
+        runs.push(run);
+    }
+    runs
+}
+
+/// The maximal run starting at position `i`: the longest
+/// ascending-consecutive stretch if one starts here, else the longest
+/// repeated stretch (a lone index is a length-1 run of either kind).
+#[inline]
+fn next_gather_run(indices: &[usize], i: usize) -> GatherRun {
+    let src = indices[i];
+    let mut len = 1;
+    if indices.get(i + 1) == Some(&(src + 1)) {
+        while indices.get(i + len) == Some(&(src + len)) {
+            len += 1;
+        }
+        GatherRun {
+            dst: i,
+            src,
+            len,
+            step: 1,
+        }
+    } else {
+        while indices.get(i + len) == Some(&src) {
+            len += 1;
+        }
+        GatherRun {
+            dst: i,
+            src,
+            len,
+            step: 0,
+        }
+    }
+}
+
+/// Execute a contiguous group of gather runs into one destination slab
+/// (`block` holds the rows starting at global row `base_row`). Each run is
+/// either one block memcpy or a copy-then-replicate — plain byte moves, so
+/// where slab boundaries fall cannot change the output.
+fn gather_runs_kernel(
+    src: &[f32],
+    cols: usize,
+    runs: &[GatherRun],
+    base_row: usize,
+    block: &mut [f32],
+) {
+    for run in runs {
+        let at = (run.dst - base_row) * cols;
+        let seg = &mut block[at..at + run.len * cols];
+        if run.step == 1 {
+            seg.copy_from_slice(&src[run.src * cols..(run.src + run.len) * cols]);
+        } else {
+            let (first, rest) = seg.split_at_mut(cols);
+            first.copy_from_slice(&src[run.src * cols..(run.src + 1) * cols]);
+            for r in rest.chunks_exact_mut(cols) {
+                r.copy_from_slice(first);
+            }
+        }
+    }
+}
 
 /// Row-parallel fill for the tape's fused kernels: `kernel(i, row)` produces
 /// row `i` of `out` (the row keeps its prior contents, so read-modify-write
@@ -542,21 +756,42 @@ fn row_block_claims(m: usize, n: usize, rows_per: usize) -> Vec<crate::sanitize:
 fn matmul_row_kernel(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
     out_row.fill(0.0);
     let k = a_row.len();
+    let blocked = n / LANES * LANES;
     let mut kk = 0;
     while kk + 4 <= k {
-        let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+        let a = [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]];
         let bs = &b[kk * n..(kk + 4) * n];
         let (b0, b1) = (&bs[..n], &bs[n..2 * n]);
         let (b2, b3) = (&bs[2 * n..3 * n], &bs[3 * n..4 * n]);
-        for j in 0..n {
-            out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        let mut j = 0;
+        while j < blocked {
+            let o: &mut [f32; LANES] = (&mut out_row[j..j + LANES]).try_into().unwrap();
+            axpy4_lanes(
+                o,
+                a,
+                b0[j..j + LANES].try_into().unwrap(),
+                b1[j..j + LANES].try_into().unwrap(),
+                b2[j..j + LANES].try_into().unwrap(),
+                b3[j..j + LANES].try_into().unwrap(),
+            );
+            j += LANES;
+        }
+        while j < n {
+            out_row[j] += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+            j += 1;
         }
         kk += 4;
     }
     while kk < k {
         let a0 = a_row[kk];
         let b0 = &b[kk * n..kk * n + n];
-        for (o, &v0) in out_row.iter_mut().zip(b0) {
+        let mut j = 0;
+        while j < blocked {
+            let o: &mut [f32; LANES] = (&mut out_row[j..j + LANES]).try_into().unwrap();
+            axpy_lanes(o, a0, b0[j..j + LANES].try_into().unwrap());
+            j += LANES;
+        }
+        for (o, &v0) in out_row[j..].iter_mut().zip(&b0[j..]) {
             *o += a0 * v0;
         }
         kk += 1;
@@ -575,23 +810,65 @@ fn matmul_quad_kernel(a: &[&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]
     o2.fill(0.0);
     o3.fill(0.0);
     let k = a[0].len();
+    let blocked = n / LANES * LANES;
     let mut kk = 0;
     while kk + 4 <= k {
         let (r0, r1, r2, r3) = (
-            &a[0][kk..kk + 4],
-            &a[1][kk..kk + 4],
-            &a[2][kk..kk + 4],
-            &a[3][kk..kk + 4],
+            [a[0][kk], a[0][kk + 1], a[0][kk + 2], a[0][kk + 3]],
+            [a[1][kk], a[1][kk + 1], a[1][kk + 2], a[1][kk + 3]],
+            [a[2][kk], a[2][kk + 1], a[2][kk + 2], a[2][kk + 3]],
+            [a[3][kk], a[3][kk + 1], a[3][kk + 2], a[3][kk + 3]],
         );
         let bs = &b[kk * n..(kk + 4) * n];
         let (b0, b1) = (&bs[..n], &bs[n..2 * n]);
         let (b2, b3) = (&bs[2 * n..3 * n], &bs[3 * n..4 * n]);
-        for j in 0..n {
+        let mut j = 0;
+        while j < blocked {
+            let c0: &[f32; LANES] = b0[j..j + LANES].try_into().unwrap();
+            let c1: &[f32; LANES] = b1[j..j + LANES].try_into().unwrap();
+            let c2: &[f32; LANES] = b2[j..j + LANES].try_into().unwrap();
+            let c3: &[f32; LANES] = b3[j..j + LANES].try_into().unwrap();
+            axpy4_lanes(
+                (&mut o0[j..j + LANES]).try_into().unwrap(),
+                r0,
+                c0,
+                c1,
+                c2,
+                c3,
+            );
+            axpy4_lanes(
+                (&mut o1[j..j + LANES]).try_into().unwrap(),
+                r1,
+                c0,
+                c1,
+                c2,
+                c3,
+            );
+            axpy4_lanes(
+                (&mut o2[j..j + LANES]).try_into().unwrap(),
+                r2,
+                c0,
+                c1,
+                c2,
+                c3,
+            );
+            axpy4_lanes(
+                (&mut o3[j..j + LANES]).try_into().unwrap(),
+                r3,
+                c0,
+                c1,
+                c2,
+                c3,
+            );
+            j += LANES;
+        }
+        while j < n {
             let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
             o0[j] += r0[0] * v0 + r0[1] * v1 + r0[2] * v2 + r0[3] * v3;
             o1[j] += r1[0] * v0 + r1[1] * v1 + r1[2] * v2 + r1[3] * v3;
             o2[j] += r2[0] * v0 + r2[1] * v1 + r2[2] * v2 + r2[3] * v3;
             o3[j] += r3[0] * v0 + r3[1] * v1 + r3[2] * v2 + r3[3] * v3;
+            j += 1;
         }
         kk += 4;
     }
@@ -600,7 +877,13 @@ fn matmul_quad_kernel(a: &[&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]
         for t in kk..k {
             let a0 = a_row[t];
             let b0 = &b[t * n..t * n + n];
-            for (o, &v0) in o.iter_mut().zip(b0) {
+            let mut j = 0;
+            while j < blocked {
+                let ob: &mut [f32; LANES] = (&mut o[j..j + LANES]).try_into().unwrap();
+                axpy_lanes(ob, a0, b0[j..j + LANES].try_into().unwrap());
+                j += LANES;
+            }
+            for (o, &v0) in o[j..].iter_mut().zip(&b0[j..]) {
                 *o += a0 * v0;
             }
         }
@@ -654,25 +937,48 @@ fn transpose_matmul_row_kernel(
     out_row: &mut [f32],
 ) {
     out_row.fill(0.0);
+    let blocked = n / LANES * LANES;
     let mut kk = 0;
     while kk + 4 <= k {
-        let a0 = a[kk * a_cols + i];
-        let a1 = a[(kk + 1) * a_cols + i];
-        let a2 = a[(kk + 2) * a_cols + i];
-        let a3 = a[(kk + 3) * a_cols + i];
+        let av = [
+            a[kk * a_cols + i],
+            a[(kk + 1) * a_cols + i],
+            a[(kk + 2) * a_cols + i],
+            a[(kk + 3) * a_cols + i],
+        ];
         let b0 = &b[kk * n..kk * n + n];
         let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
         let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
         let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
-        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-            *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+        let mut j = 0;
+        while j < blocked {
+            let o: &mut [f32; LANES] = (&mut out_row[j..j + LANES]).try_into().unwrap();
+            axpy4_lanes(
+                o,
+                av,
+                b0[j..j + LANES].try_into().unwrap(),
+                b1[j..j + LANES].try_into().unwrap(),
+                b2[j..j + LANES].try_into().unwrap(),
+                b3[j..j + LANES].try_into().unwrap(),
+            );
+            j += LANES;
+        }
+        while j < n {
+            out_row[j] += av[0] * b0[j] + av[1] * b1[j] + av[2] * b2[j] + av[3] * b3[j];
+            j += 1;
         }
         kk += 4;
     }
     while kk < k {
         let a0 = a[kk * a_cols + i];
         let b0 = &b[kk * n..kk * n + n];
-        for (o, &v0) in out_row.iter_mut().zip(b0) {
+        let mut j = 0;
+        while j < blocked {
+            let o: &mut [f32; LANES] = (&mut out_row[j..j + LANES]).try_into().unwrap();
+            axpy_lanes(o, a0, b0[j..j + LANES].try_into().unwrap());
+            j += LANES;
+        }
+        for (o, &v0) in out_row[j..].iter_mut().zip(&b0[j..]) {
             *o += a0 * v0;
         }
         kk += 1;
@@ -777,6 +1083,66 @@ mod tests {
             g,
             Matrix::from_rows(&[&[3.0, 3.0], &[1.0, 1.0], &[3.0, 3.0]])
         );
+    }
+
+    #[test]
+    fn gather_rows_into_matches_per_row_gather_bytewise() {
+        let src = pseudo_random(37, 13, 5);
+        let patterns: Vec<Vec<usize>> = vec![
+            vec![],            // nothing to gather
+            vec![4],           // single row
+            (0..37).collect(), // identity: one whole-matrix memcpy
+            // Frontier shape: ascending real slots then node-0 padding.
+            (5..20).chain(std::iter::repeat_n(0, 9)).collect(),
+            vec![3; 12],                                // one replicated run
+            (0..30).rev().collect(),                    // descending: every row its own run
+            vec![1, 2, 3, 3, 3, 7, 8, 0, 0, 36, 36, 1], // mixed runs
+        ];
+        for idx in &patterns {
+            let want = src.gather_rows(idx);
+            let mut got = Matrix::full(idx.len(), 13, f32::NAN);
+            let runs = src.gather_rows_into(idx, &mut got);
+            let want_bits: Vec<u32> = want.as_slice().iter().map(|x| x.to_bits()).collect();
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(want_bits, got_bits, "pattern {idx:?}");
+            assert!(runs as usize <= idx.len().max(1), "pattern {idx:?}");
+        }
+    }
+
+    #[test]
+    fn gather_run_count_is_a_pure_function_of_indices() {
+        let src = pseudo_random(10, 4, 9);
+        let mut out = Matrix::zeros(7, 4);
+        // [2,3,4] ascending, [6,6] repeated, [1], [9] → exactly 4 runs.
+        assert_eq!(src.gather_rows_into(&[2, 3, 4, 6, 6, 1, 9], &mut out), 4);
+        let mut whole = Matrix::zeros(10, 4);
+        let ids: Vec<usize> = (0..10).collect();
+        assert_eq!(src.gather_rows_into(&ids, &mut whole), 1);
+    }
+
+    #[test]
+    fn gather_rows_into_above_parallel_threshold_matches() {
+        // 4352 rows × 64 cols > PAR_FLOPS elements: exercises the run-group
+        // slab partition (inline on a 1-thread pool, fanned out otherwise).
+        let src = pseudo_random(512, 64, 21);
+        let mut idx = Vec::with_capacity(4352);
+        for rep in 0..17 {
+            idx.extend((rep % 7)..(rep % 7) + 200); // ascending stretches
+            idx.extend(std::iter::repeat_n(rep % 512, 56)); // repeated padding
+        }
+        let want = src.gather_rows(&idx);
+        let mut got = Matrix::full(idx.len(), 64, f32::NAN);
+        let runs = src.gather_rows_into(&idx, &mut got);
+        assert_eq!(runs, 34, "17 × (one ascending + one repeated run)");
+        assert!(want == got, "parallel gather diverged from per-row gather");
+    }
+
+    #[test]
+    #[should_panic(expected = "gather_rows_into")]
+    fn gather_rows_into_rejects_out_of_range_index() {
+        let src = Matrix::zeros(3, 2);
+        let mut out = Matrix::zeros(1, 2);
+        let _ = src.gather_rows_into(&[3], &mut out);
     }
 
     #[test]

@@ -57,8 +57,46 @@ impl Adam {
                 p.m.as_mut_slice(),
                 p.v.as_mut_slice(),
             );
-            for i in 0..value.len() {
-                let g = grad.as_slice()[i] * clip_scale;
+            let gs = grad.as_slice();
+            // Lane-blocked update: each element's moment/step arithmetic is
+            // the exact expression of the scalar loop below (elements are
+            // independent, so blocking cannot change bits). Non-finite
+            // gradients substitute 0 into the lane so the block stays
+            // branch-free, then the conditional writeback drops the lane —
+            // preserving the skip semantics exactly.
+            const L: usize = crate::matrix::LANES;
+            let blocked = value.len() / L * L;
+            let mut i = 0;
+            while i < blocked {
+                let gl: &[f32; L] = gs[i..i + L].try_into().unwrap();
+                let ml: &mut [f32; L] = (&mut m[i..i + L]).try_into().unwrap();
+                let vl: &mut [f32; L] = (&mut v[i..i + L]).try_into().unwrap();
+                let wl: &mut [f32; L] = (&mut value[i..i + L]).try_into().unwrap();
+                let mut fin = [false; L];
+                let mut mn = [0.0f32; L];
+                let mut vn = [0.0f32; L];
+                let mut upd = [0.0f32; L];
+                for l in 0..L {
+                    let g = gl[l] * clip_scale;
+                    fin[l] = g.is_finite();
+                    let g = if fin[l] { g } else { 0.0 };
+                    mn[l] = self.beta1 * ml[l] + (1.0 - self.beta1) * g;
+                    vn[l] = self.beta2 * vl[l] + (1.0 - self.beta2) * g * g;
+                    let m_hat = mn[l] / bc1;
+                    let v_hat = vn[l] / bc2;
+                    upd[l] = self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+                for l in 0..L {
+                    if fin[l] {
+                        ml[l] = mn[l];
+                        vl[l] = vn[l];
+                        wl[l] -= upd[l];
+                    }
+                }
+                i += L;
+            }
+            for i in blocked..value.len() {
+                let g = gs[i] * clip_scale;
                 if !g.is_finite() {
                     continue; // never propagate NaN/inf into parameters
                 }
@@ -170,5 +208,27 @@ mod tests {
         let grads = vec![(w, Matrix::full(1, 1, f32::NAN))];
         adam.step(&mut store, &grads);
         assert_eq!(store.value(w).scalar(), 1.5);
+    }
+
+    #[test]
+    fn lane_blocked_update_skips_non_finite_inside_blocks() {
+        // 19 elements: two full lane blocks + a 3-wide scalar tail. One bad
+        // gradient inside a block and one in the tail must both leave their
+        // element (value AND moments) untouched while neighbors update.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 19, 1.0));
+        let mut adam = Adam::new(0.1);
+        adam.clip_norm = 0.0;
+        let mut g = vec![0.5f32; 19];
+        g[3] = f32::NAN;
+        g[17] = f32::INFINITY;
+        let grads = vec![(w, Matrix::from_vec(1, 19, g))];
+        adam.step(&mut store, &grads);
+        let vals = store.value(w).as_slice();
+        assert_eq!(vals[3], 1.0, "NaN lane must not write back");
+        assert_eq!(vals[17], 1.0, "Inf tail element must not write back");
+        assert!(vals[0] < 1.0 && vals[18] < 1.0, "finite lanes must update");
+        assert_eq!(store.params[w.0].m.get(0, 3), 0.0);
+        assert_eq!(store.params[w.0].v.get(0, 17), 0.0);
     }
 }

@@ -614,6 +614,32 @@ impl Tape {
         self.push(out, Op::GatherRows(a.0, indices.to_vec()))
     }
 
+    /// Pooled SoA gather leaf: rows of an external matrix (node/edge
+    /// feature tables, memory states) land in one pool-granted buffer via
+    /// run-length-coalesced contiguous copies
+    /// ([`Matrix::gather_rows_into`]), replacing the per-element scalar
+    /// gather + `leaf` pair the models used to build. Each destination row
+    /// is byte-for-byte the source row, so coalescing cannot change bits;
+    /// the run count is a pure function of the index list and is ticked
+    /// into `tape.gather_coalesced_runs`. Like `gather_rows` on a leaf,
+    /// no gradient flows to `src`. With fusion disabled it emits exactly
+    /// the allocating scalar path.
+    pub fn gather_rows_from(&mut self, src: &Matrix, indices: &[usize]) -> Var {
+        if !crate::fusion::enabled() {
+            return self.leaf(src.gather_rows(indices));
+        }
+        let _span = benchtemp_obs::span("gather");
+        let mut out = self.alloc_raw(indices.len(), src.cols());
+        let runs = src.gather_rows_into(indices, &mut out);
+        benchtemp_obs::counters::GATHER_COALESCED_RUNS.add(runs);
+        benchtemp_obs::counters::FUSED_OPS_EXECUTED.incr();
+        // Pool-granted storage behind a leaf: `push` skips leaves in the
+        // grant balance (they normally carry caller storage), so count it —
+        // same pattern as `leaf_copied`.
+        self.absorbed_since_reset += 1;
+        self.push(out, Op::Leaf)
+    }
+
     /// Column slice `[start, end)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
         let (rows, cols) = self.shape(a);
@@ -879,9 +905,7 @@ impl Tape {
             xm.matmul_into(wm, &mut out);
             let brow = bm.row(0);
             crate::matrix::fill_rows_par(&mut out, m * n, |_r, row| {
-                for (o, &bj) in row.iter_mut().zip(brow) {
-                    *o = act.apply(*o + bj);
-                }
+                bias_act_epilogue(row, brow, act);
             });
         }
         benchtemp_obs::counters::FUSED_OPS_EXECUTED.incr();
@@ -1522,6 +1546,29 @@ impl Gradients {
         self.get(v)
             .cloned()
             .unwrap_or_else(|| Matrix::zeros(shape.0, shape.1))
+    }
+}
+
+/// Lane-blocked bias+activation epilogue of [`Tape::linear_affine`]:
+/// fixed-width accumulator blocks the autovectorizer compiles to SIMD,
+/// with a scalar remainder. Per element both paths compute exactly
+/// `act(out[j] + bias[j])` — same order, same expression — so blocking
+/// cannot change bits.
+#[inline]
+fn bias_act_epilogue(row: &mut [f32], bias: &[f32], act: Activation) {
+    const L: usize = crate::matrix::LANES;
+    let blocked = row.len() / L * L;
+    let mut j = 0;
+    while j < blocked {
+        let o: &mut [f32; L] = (&mut row[j..j + L]).try_into().unwrap();
+        let b: &[f32; L] = bias[j..j + L].try_into().unwrap();
+        for l in 0..L {
+            o[l] = act.apply(o[l] + b[l]);
+        }
+        j += L;
+    }
+    for (o, &bj) in row[blocked..].iter_mut().zip(&bias[blocked..]) {
+        *o = act.apply(*o + bj);
     }
 }
 

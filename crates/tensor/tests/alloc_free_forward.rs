@@ -128,4 +128,38 @@ fn steady_state_forward_is_allocation_free_after_warmup() {
         "steady-state attention forward allocated {} times after warm-up",
         after - before
     );
+
+    // Coalesced frontier gathers join the same contract: `gather_rows_from`
+    // takes pool-granted storage and copies runs straight in, so a
+    // gather-then-forward step is allocation-free once warm. The index list
+    // is frontier-shaped (repeats, an ascending run, back-jumps) and small
+    // enough to run inline below the parallel dispatch threshold.
+    let table = init::uniform(40, 8, -1.0, 1.0, &mut rng);
+    let mut idx: Vec<usize> = vec![7, 7, 7, 3, 0, 39, 12];
+    idx.extend(20..25);
+    let gather_step = |store: &ParamStore, table: &Matrix, idx: &[usize]| -> f32 {
+        let mut g = Graph::new(store);
+        let rows = g.gather_rows_from(table, idx);
+        let y = mlp.forward(&mut g, rows);
+        g.value(y).as_slice().iter().sum()
+    };
+    let mut warm_gather = 0.0f32;
+    for _ in 0..5 {
+        warm_gather += gather_step(&store, &table, &idx);
+    }
+    assert!(warm_gather.is_finite());
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    let mut measured_gather = 0.0f32;
+    for _ in 0..10 {
+        measured_gather += gather_step(&store, &table, &idx);
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert!(measured_gather.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state gather+forward allocated {} times after warm-up",
+        after - before
+    );
 }

@@ -146,6 +146,26 @@ fn time_encode_memo_hits_on_duplicate_dts() {
         unfused, fused,
         "memoized rows diverged from recomputed rows"
     );
+
+    // Duplicate-heavy mixed batch — the shape a frontier hop actually
+    // produces (a few distinct Δt values, each repeated across slots, plus
+    // padding zeros). The memo must fire (counter strictly increases) and
+    // the memoized rows must still match the recomputed path bitwise.
+    let mixed: Vec<f32> = (0..24)
+        .map(|i| [0.0f32, 2.75, 0.0, 9.5, 2.75, 0.0][i % 6])
+        .collect();
+    let before = benchtemp_obs::counters::TIME_ENCODE_MEMO_HITS.get();
+    let fused = run_time_encode(true, &mixed, 6, 43);
+    let after = benchtemp_obs::counters::TIME_ENCODE_MEMO_HITS.get();
+    assert!(
+        after > before,
+        "memo must register hits on a duplicate-heavy mixed batch"
+    );
+    let unfused = run_time_encode(false, &mixed, 6, 43);
+    assert_eq!(
+        unfused, fused,
+        "memoized rows diverged from recomputed rows on the mixed batch"
+    );
 }
 
 /// One multi-head grouped attention forward+backward; returns
