@@ -28,6 +28,13 @@ echo "== ci: sanitize-mode smoke (slot claims + tape checks armed) =="
 BENCHTEMP_SANITIZE=1 \
     cargo run --release --offline -p benchtemp-bench --bin bench_kernels -- --smoke
 
+echo "== ci: ranking smoke (diagnostics zoo + filtered-negative MRR) =="
+RANK_OUT=$(mktemp -d /tmp/benchtemp-ci-rank.XXXXXX)
+cargo run --release --offline -p benchtemp-bench --bin diagnostics -- \
+    --quick --epochs 2 --models TGN,TGAT --rank-negs 10 --out "$RANK_OUT"
+test -s "$RANK_OUT/diagnostics.json" || { echo "diagnostics.json missing"; exit 1; }
+rm -rf "$RANK_OUT"
+
 echo "== ci: traced smoke run (JSONL schema + span pairing) =="
 TRACE_FILE=$(mktemp /tmp/benchtemp-ci-trace.XXXXXX.jsonl)
 BENCHTEMP_TRACE="$TRACE_FILE" \

@@ -15,9 +15,11 @@
 use std::process::Command;
 
 use benchtemp_bench::{save_json, timing};
+use benchtemp_core::dataloader::LinkPredSplit;
 use benchtemp_core::efficiency::stage;
 use benchtemp_core::evaluator::auc_ap_pos_neg;
 use benchtemp_core::pipeline::{StreamContext, TgnnModel};
+use benchtemp_core::{ranking_metrics_flat, FilteredNegativeSet, NegativeStrategy};
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::neighbors::{
     Frontier, NeighborEvent, NeighborFinder, SampleScratch, SamplingStrategy,
@@ -708,8 +710,42 @@ fn run_child(smoke: bool) {
         }
     }
 
+    // Filtered-negative ranking (DESIGN.md §14): candidate-set construction
+    // throughput plus the metric kernel over deterministic scores. The
+    // digest and MRR bits ride along in the KCHILD line so the parent can
+    // assert the cross-thread / cross-process determinism contract on the
+    // exact artifacts the leaderboard consumes.
+    let rank_k = if smoke { 10 } else { 20 };
+    let rank_split = LinkPredSplit::new(&w.graph, 7);
+    let rank_build = || {
+        FilteredNegativeSet::build(
+            &w.graph,
+            &rank_split.train,
+            &rank_split.test,
+            NegativeStrategy::Random,
+            rank_k,
+            0xf117,
+        )
+    };
+    let rank_set = rank_build();
+    let rank_digest = rank_set.digest();
+    let rank_queries = rank_set.len();
+    let rank_build_ns = timing::measure(&mut || std::hint::black_box(rank_build()));
+    let rank_pos: Vec<f32> = (0..rank_queries)
+        .map(|i| ((i * 37) % 101) as f32 / 101.0)
+        .collect();
+    let rank_cands: Vec<f32> = (0..rank_queries * rank_k)
+        .map(|i| ((i * 53) % 97) as f32 / 97.0)
+        .collect();
+    let rank_metrics = ranking_metrics_flat(&rank_pos, &rank_cands, rank_k, None);
+    let rank_metric_ns = timing::measure(&mut || {
+        std::hint::black_box(ranking_metrics_flat(&rank_pos, &rank_cands, rank_k, None))
+    });
+
     println!(
         "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x} \
+         rank_queries {} rank_k {} rank_build_ns {} rank_metric_ns {} rank_digest {:016x} \
+         rank_mrr {:016x} \
          sample_seed_ns {} sample_csr_ns {} samples_per_pass {} mixed_seed_ns {} \
          mixed_csr_ns {} mixed_samples {} frontier_ns {} frontier_slots {} frontier_hash {:016x} \
          gather_rows {} gather_runs {} gather_scalar_ns {} gather_perrow_ns {} \
@@ -724,6 +760,12 @@ fn run_child(smoke: bool) {
         events_per_sec,
         auc.to_bits(),
         ap.to_bits(),
+        rank_queries,
+        rank_k,
+        rank_build_ns,
+        rank_metric_ns,
+        rank_digest,
+        rank_metrics.mrr.to_bits(),
         sample_seed_ns,
         sample_csr_ns,
         samples_per_pass,
@@ -764,6 +806,12 @@ struct ChildReport {
     events_per_sec: f64,
     auc_bits: String,
     ap_bits: String,
+    rank_queries: f64,
+    rank_k: f64,
+    rank_build_ns: f64,
+    rank_metric_ns: f64,
+    rank_digest: String,
+    rank_mrr: String,
     sample_seed_ns: f64,
     sample_csr_ns: f64,
     samples_per_pass: f64,
@@ -828,6 +876,12 @@ fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
         events_per_sec: field("events_per_sec").parse().unwrap(),
         auc_bits: field("auc"),
         ap_bits: field("ap"),
+        rank_queries: field("rank_queries").parse().unwrap(),
+        rank_k: field("rank_k").parse().unwrap(),
+        rank_build_ns: field("rank_build_ns").parse().unwrap(),
+        rank_metric_ns: field("rank_metric_ns").parse().unwrap(),
+        rank_digest: field("rank_digest"),
+        rank_mrr: field("rank_mrr"),
         sample_seed_ns: field("sample_seed_ns").parse().unwrap(),
         sample_csr_ns: field("sample_csr_ns").parse().unwrap(),
         samples_per_pass: field("samples_per_pass").parse().unwrap(),
@@ -931,6 +985,27 @@ fn main() {
     println!(
         "metrics bit-identical across thread counts: auc {} ap {}",
         single.auc_bits, single.ap_bits
+    );
+
+    // Filtered-negative ranking: the candidate sets and the MRR computed
+    // from them are leaderboard artifacts — they must be bit-identical at
+    // any thread count (each child is its own process, so this is also the
+    // cross-process witness).
+    assert_eq!(
+        (&single.rank_digest, &single.rank_mrr),
+        (&multi.rank_digest, &multi.rank_mrr),
+        "filtered-negative candidate sets / MRR must not depend on the thread count"
+    );
+    let rank_build_qps = single.rank_queries / (single.rank_build_ns / 1e9);
+    let rank_metric_qps = single.rank_queries / (single.rank_metric_ns / 1e9);
+    println!(
+        "filtered-negative ranking (1 thread, K={:.0}): candidate-set build \
+         {rank_build_qps:.0} queries/s, MRR/Hits kernel {rank_metric_qps:.0} queries/s",
+        single.rank_k
+    );
+    println!(
+        "ranking bit-identical across thread counts and processes: digest {} mrr {}",
+        single.rank_digest, single.rank_mrr
     );
 
     let seed_sps = single.samples_per_pass / (single.sample_seed_ns / 1e9);
@@ -1051,6 +1126,15 @@ fn main() {
             "speedup_target_skip_reason": eval_skip_reason,
             "threads": [single.threads, multi.threads],
             "metrics_bit_identical": true,
+        },
+        "ranking": {
+            "workload": "filtered-negative candidate-set build (Random pool, collision filtering) over the test split, plus the pessimistic-tie MRR/Hits kernel on deterministic scores",
+            "rank_negatives": single.rank_k,
+            "queries": single.rank_queries,
+            "build_queries_per_sec_single_thread": rank_build_qps,
+            "metric_queries_per_sec_single_thread": rank_metric_qps,
+            "candidate_sets_bit_identical": true,
+            "mrr_bit_identical": true,
         },
         "neighbor_sampling": {
             "workload": "TemporalSafe k=10 over every event endpoint at its own timestamp",

@@ -31,6 +31,18 @@ fn main() {
         .iter()
         .map(|&s| (s, TableBuilder::new()))
         .collect();
+    // Filtered-negative ranking tables (one per setting per metric),
+    // populated only when the protocol runs with `--rank-negs > 0`.
+    let per_setting = || -> Vec<(Setting, TableBuilder)> {
+        Setting::all()
+            .iter()
+            .map(|&s| (s, TableBuilder::new()))
+            .collect()
+    };
+    let mut mrr = per_setting();
+    let mut hits1 = per_setting();
+    let mut hits3 = per_setting();
+    let mut hits10 = per_setting();
     let mut runtime = TableBuilder::new();
     let mut epochs = TableBuilder::new();
     let mut rss = TableBuilder::new();
@@ -63,6 +75,21 @@ fn main() {
                 for (setting, table) in ap.iter_mut() {
                     table.add(ds, model, run.metrics_for(*setting).ap);
                 }
+                for (tables, pick) in [
+                    (
+                        &mut mrr,
+                        (|r| r.mrr) as fn(&benchtemp_core::RankingMetrics) -> f64,
+                    ),
+                    (&mut hits1, |r| r.hits_at_1),
+                    (&mut hits3, |r| r.hits_at_3),
+                    (&mut hits10, |r| r.hits_at_10),
+                ] {
+                    for (setting, table) in tables.iter_mut() {
+                        if let Some(r) = &run.metrics_for(*setting).ranking {
+                            table.add(ds, model, pick(r));
+                        }
+                    }
+                }
                 runtime.add(ds, model, run.efficiency.runtime_per_epoch_secs);
                 epochs.add(ds, model, run.efficiency.epochs_to_converge as f64);
                 rss.add(ds, model, run.efficiency.peak_rss_bytes as f64 / 1e6);
@@ -88,6 +115,32 @@ fn main() {
             "{}",
             table.render(&format!("Table 10 ({}) — AP", setting.name()), "Dataset")
         );
+    }
+    for (setting, table) in &mrr {
+        if !table.rows().is_empty() {
+            println!(
+                "{}",
+                table.render(
+                    &format!(
+                        "Ranking ({}) — filtered-negative MRR (K={})",
+                        setting.name(),
+                        protocol.rank_negatives
+                    ),
+                    "Dataset"
+                )
+            );
+        }
+    }
+    for (setting, table) in &hits10 {
+        if !table.rows().is_empty() {
+            println!(
+                "{}",
+                table.render(
+                    &format!("Ranking ({}) — Hits@10", setting.name()),
+                    "Dataset"
+                )
+            );
+        }
     }
     println!(
         "{}",
@@ -135,6 +188,29 @@ fn main() {
             "model_state_mb": state.to_entries(),
             "table11_utilization_pct": util.to_entries(),
             "fig7_inference_s_per_100k": inference.to_entries(),
+        }),
+    );
+    save_json(
+        &protocol.out_dir,
+        "table3_ranking.json",
+        &json!({
+            "rank_negatives": protocol.rank_negatives,
+            "mrr": mrr
+                .iter()
+                .map(|(s, t)| json!({ "setting": s.name(), "cells": t.to_entries() }))
+                .collect::<Vec<_>>(),
+            "hits_at_1": hits1
+                .iter()
+                .map(|(s, t)| json!({ "setting": s.name(), "cells": t.to_entries() }))
+                .collect::<Vec<_>>(),
+            "hits_at_3": hits3
+                .iter()
+                .map(|(s, t)| json!({ "setting": s.name(), "cells": t.to_entries() }))
+                .collect::<Vec<_>>(),
+            "hits_at_10": hits10
+                .iter()
+                .map(|(s, t)| json!({ "setting": s.name(), "cells": t.to_entries() }))
+                .collect::<Vec<_>>(),
         }),
     );
     save_json(&protocol.out_dir, "table3_raw_runs.json", &raw_runs);

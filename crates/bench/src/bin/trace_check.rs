@@ -54,6 +54,7 @@ fn main() {
         timeout: Duration::from_secs(600),
         seed: 13,
         neg_strategy: NegativeStrategy::Random,
+        rank_negatives: 0,
     };
     let run = train_link_prediction(model.as_mut(), &graph, &split, &cfg);
     assert!(run.transductive.n_edges > 0, "smoke job scored no edges");

@@ -32,6 +32,9 @@ pub struct Protocol {
     pub batch_size: usize,
     /// Per-job wall-clock budget (the paper's 48 h, scaled).
     pub timeout: Duration,
+    /// Filtered-negative candidates per test edge for MRR/Hits@K ranking
+    /// (0 disables the ranking pass entirely).
+    pub rank_negatives: usize,
     /// Restrict to these models (paper names); empty = binary default.
     pub models: Vec<String>,
     /// Restrict to these datasets by name; empty = binary default.
@@ -48,6 +51,7 @@ impl Default for Protocol {
             max_epochs: 10,
             batch_size: 100,
             timeout: Duration::from_secs(300),
+            rank_negatives: 20,
             models: Vec::new(),
             datasets: Vec::new(),
             out_dir: PathBuf::from("results"),
@@ -77,6 +81,7 @@ impl Protocol {
                 "--timeout-secs" => {
                     p.timeout = Duration::from_secs(next(&mut i).parse().expect("--timeout-secs"))
                 }
+                "--rank-negs" => p.rank_negatives = next(&mut i).parse().expect("--rank-negs"),
                 "--models" => p.models = next(&mut i).split(',').map(str::to_string).collect(),
                 "--datasets" => p.datasets = next(&mut i).split(',').map(str::to_string).collect(),
                 "--out" => p.out_dir = PathBuf::from(next(&mut i)),
@@ -128,6 +133,7 @@ impl Protocol {
             timeout: self.timeout,
             seed,
             neg_strategy: NegativeStrategy::Random,
+            rank_negatives: self.rank_negatives,
         }
     }
 

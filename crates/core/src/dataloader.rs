@@ -207,11 +207,36 @@ impl NodeClassSplit {
 
 /// Timestamp boundaries at the given quantiles of event *timestamps*
 /// (chronological, matching the paper's "according to edge timestamps").
+///
+/// Splitting buckets with strict `<` against these boundaries, so heavy
+/// timestamp ties can silently swallow a window: if every event up to the
+/// q1 quantile carries the same timestamp as the boundary event, the train
+/// window is empty; if the two boundaries coincide, the val window is. Both
+/// used to surface only much later as an opaque model/pipeline failure —
+/// now they panic here with the offending timestamps.
 fn chronological_boundaries(graph: &TemporalGraph, q1: f64, q2: f64) -> (f64, f64) {
     let n = graph.events.len();
     assert!(n >= 10, "dataset too small to split");
     let at = |q: f64| graph.events[((n as f64 * q) as usize).min(n - 1)].t;
-    (at(q1), at(q2))
+    let (t1, t2) = (at(q1), at(q2));
+    let (p1, p2) = (q1 * 100.0, q2 * 100.0);
+    let first_t = graph.events[0].t;
+    assert!(
+        first_t < t1,
+        "degenerate chronological split for '{}': the {p1:.0}%-quantile \
+         timestamp ({t1}) is tied with the stream's first timestamp \
+         ({first_t}), leaving an empty train window — the dataset's \
+         timestamps are too coarse to split with strict '<' boundaries",
+        graph.name
+    );
+    assert!(
+        t1 < t2,
+        "degenerate chronological split for '{}': the {p1:.0}%- and \
+         {p2:.0}%-quantile timestamps coincide at {t1}, leaving an empty \
+         val window — timestamp ties straddle the quantile boundary",
+        graph.name
+    );
+    (t1, t2)
 }
 
 /// Statistics for one event set (Table 6 columns).
@@ -385,5 +410,35 @@ mod tests {
     fn nc_split_requires_labels() {
         let g = graph();
         let _ = NodeClassSplit::new(&g);
+    }
+
+    /// Regression: a stream whose timestamps are all identical used to
+    /// produce an empty train window silently (every event fails `t <
+    /// val_time`); now the boundary computation itself fails with a
+    /// diagnostic naming the tie.
+    #[test]
+    #[should_panic(expected = "empty train window")]
+    fn all_tied_timestamps_fail_loudly() {
+        let mut g = graph();
+        for e in &mut g.events {
+            e.t = 5.0;
+        }
+        let _ = LinkPredSplit::new(&g, 1);
+    }
+
+    /// Regression: ties straddling only the *upper* quantile boundary
+    /// (train is fine, but the 70%- and 85%-quantile timestamps coincide)
+    /// used to yield an empty val window; now it panics with the boundary
+    /// timestamp in the message.
+    #[test]
+    #[should_panic(expected = "empty val window")]
+    fn tied_upper_boundary_fails_loudly() {
+        let mut g = graph();
+        let n = g.events.len();
+        let cut = (n as f64 * 0.5) as usize;
+        for (i, e) in g.events.iter_mut().enumerate() {
+            e.t = if i < cut { 1.0 } else { 2.0 };
+        }
+        let _ = LinkPredSplit::new(&g, 1);
     }
 }

@@ -33,10 +33,18 @@ impl EarlyStopMonitor {
     /// Record a validation metric for the next epoch. Returns `true` if the
     /// metric improved on the best by more than the tolerance (callers
     /// snapshot parameters on `true`).
+    ///
+    /// A NaN metric is an explicit *non-improvement* (it burns one patience
+    /// round like any bad epoch) rather than relying on NaN's
+    /// compare-false-with-everything behavior: before this was made
+    /// explicit, an all-NaN run silently exhausted patience while
+    /// `best_epoch()`/`best_metric()` still reported epoch 0 / `-inf` as if
+    /// a snapshot existed. Callers should consult [`improved_ever`] before
+    /// trusting either value.
     pub fn record(&mut self, metric: f64) -> bool {
         let epoch = self.epochs_seen;
         self.epochs_seen += 1;
-        if metric > self.best + self.tolerance {
+        if !metric.is_nan() && metric > self.best + self.tolerance {
             self.best = metric;
             self.best_epoch = epoch;
             self.rounds_without_improvement = 0;
@@ -59,6 +67,13 @@ impl EarlyStopMonitor {
     /// Epoch index (0-based) that achieved the best metric.
     pub fn best_epoch(&self) -> usize {
         self.best_epoch
+    }
+
+    /// Whether any recorded epoch ever improved on the initial `-inf` best.
+    /// When `false`, `best_metric()` is still `-inf` and `best_epoch()` is a
+    /// meaningless 0 — no parameter snapshot was ever taken.
+    pub fn improved_ever(&self) -> bool {
+        self.best > f64::NEG_INFINITY
     }
 
     pub fn epochs_seen(&self) -> usize {
@@ -103,6 +118,36 @@ mod tests {
         assert_eq!(m.best_metric(), 0.500);
         // +0.02 clears it.
         assert!(m.record(0.52));
+        assert_eq!(m.best_epoch(), 2);
+    }
+
+    /// Regression: a NaN validation metric must be an explicit
+    /// non-improvement, and the monitor must admit that nothing was ever
+    /// recorded. Pre-fix, `improved_ever()` did not exist and callers read
+    /// `best_epoch() == 0` / `best_metric() == -inf` as a real epoch-0
+    /// snapshot.
+    #[test]
+    fn nan_metric_never_improves_and_is_reported() {
+        let mut m = EarlyStopMonitor::new(2, 1e-3);
+        assert!(!m.record(f64::NAN));
+        assert!(!m.improved_ever());
+        assert!(!m.record(f64::NAN));
+        assert!(m.should_stop());
+        assert!(!m.improved_ever());
+        assert_eq!(m.best_metric(), f64::NEG_INFINITY);
+        assert_eq!(m.epochs_seen(), 2);
+    }
+
+    #[test]
+    fn nan_after_real_improvement_keeps_best() {
+        let mut m = EarlyStopMonitor::new(3, 1e-3);
+        assert!(m.record(0.7));
+        assert!(m.improved_ever());
+        assert!(!m.record(f64::NAN));
+        assert_eq!(m.best_metric(), 0.7);
+        assert_eq!(m.best_epoch(), 0);
+        // Recovery after a NaN epoch still registers.
+        assert!(m.record(0.8));
         assert_eq!(m.best_epoch(), 2);
     }
 

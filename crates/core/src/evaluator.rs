@@ -11,20 +11,31 @@
 /// precision@k for AP. Returns `(auc, ap)` with the usual degenerate-case
 /// conventions: AUC is 0.5 when either class is empty, AP is 0.0 with no
 /// positives.
+///
+/// **NaN policy**: scores must be finite — a NaN score is a model bug, and
+/// debug builds assert it loudly. Release builds do not pay for the scan;
+/// they instead sort with [`f32::total_cmp`], a *total* order that places
+/// each NaN bit pattern at a fixed position (positive NaN above `+inf`,
+/// negative NaN below `-inf`), so the sort — and hence AUC/AP — is a pure
+/// function of the score multiset rather than of its input permutation.
+/// Before this fix the comparator was `partial_cmp(..).unwrap_or(Equal)`,
+/// which is non-transitive in the presence of NaN and made the metrics
+/// input-order-dependent.
 pub fn auc_ap(labels: &[f32], scores: &[f32]) -> (f64, f64) {
     assert_eq!(labels.len(), scores.len(), "auc_ap: length mismatch");
+    debug_assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "auc_ap: non-finite score (NaN/inf) — upstream model bug"
+    );
     let n = labels.len();
     let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
     let n_neg = n - n_pos;
 
     // Descending by score; stable so ties keep input order (AP's tie
     // convention), with midranks making AUC tie-order independent.
+    // `total_cmp` keeps the comparator total even on non-finite input.
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     let mut rank_sum_pos = 0.0f64;
     let mut hits = 0usize;
@@ -292,6 +303,43 @@ mod tests {
         let harmonic = 2.0 * m.precision_weighted * m.recall_weighted
             / (m.precision_weighted + m.recall_weighted);
         assert!((m.f1_weighted - harmonic).abs() > 1e-3);
+    }
+
+    /// Regression (debug builds): a NaN score is a model bug and must be
+    /// reported at the metric boundary, not silently folded into a
+    /// non-total comparator.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite score")]
+    fn nan_score_asserts_in_debug() {
+        let _ = auc_ap(&[1.0, 0.0], &[f32::NAN, 0.5]);
+    }
+
+    /// Regression (release builds): with the old
+    /// `partial_cmp(..).unwrap_or(Equal)` comparator, a NaN score made the
+    /// sort order — and the resulting AUC/AP — depend on the input
+    /// permutation. `total_cmp` places NaN deterministically, so every
+    /// permutation of the same multiset must yield identical metrics.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn nan_scores_are_permutation_invariant_in_release() {
+        let labels = [1.0f32, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let scores = [0.9f32, f32::NAN, 0.6, 0.5, 0.2, 0.1];
+        let base = auc_ap(&labels, &scores);
+        // Walk a handful of distinct permutations.
+        let perms: [[usize; 6]; 4] = [
+            [5, 4, 3, 2, 1, 0],
+            [1, 4, 0, 2, 5, 3],
+            [4, 1, 5, 0, 3, 2],
+            [2, 0, 4, 5, 3, 1],
+        ];
+        for perm in perms {
+            let l: Vec<f32> = perm.iter().map(|&i| labels[i]).collect();
+            let s: Vec<f32> = perm.iter().map(|&i| scores[i]).collect();
+            let got = auc_ap(&l, &s);
+            assert_eq!(base.0.to_bits(), got.0.to_bits(), "AUC varies with order");
+            assert_eq!(base.1.to_bits(), got.1.to_bits(), "AP varies with order");
+        }
     }
 
     #[test]

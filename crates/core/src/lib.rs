@@ -10,6 +10,7 @@ pub mod dataloader;
 pub mod early_stop;
 pub mod efficiency;
 pub mod evaluator;
+pub mod filtered_negatives;
 pub mod leaderboard;
 pub mod pipeline;
 pub mod ranking;
@@ -19,10 +20,11 @@ pub use dataloader::{LinkPredSplit, NodeClassSplit, Setting, SplitStats};
 pub use early_stop::EarlyStopMonitor;
 pub use efficiency::{EfficiencyReport, StageBreakdown};
 pub use evaluator::{average_precision, multiclass_metrics, roc_auc, MultiClassMetrics};
+pub use filtered_negatives::FilteredNegativeSet;
 pub use leaderboard::{Entry, Leaderboard};
 pub use pipeline::{
     train_link_prediction, train_node_classification, Anatomy, LinkPredictionRun,
     NodeClassificationRun, SettingMetrics, StreamContext, TgnnModel, TrainConfig,
 };
-pub use ranking::{ranking_metrics, RankingMetrics};
+pub use ranking::{ranking_metrics, ranking_metrics_flat, RankingMetrics};
 pub use sampler::{EdgeSampler, NegativeStrategy};

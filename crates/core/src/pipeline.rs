@@ -29,7 +29,14 @@ use crate::efficiency::{peak_rss_bytes, stage, EfficiencyReport, StageBreakdown}
 use crate::evaluator::{
     auc_ap_pos_neg, average_precision_pos_neg, multiclass_metrics, roc_auc, MultiClassMetrics,
 };
+use crate::filtered_negatives::FilteredNegativeSet;
+use crate::ranking::{ranking_metrics_flat, RankingMetrics};
 use crate::sampler::{EdgeSampler, NegativeStrategy};
+
+/// Per-job seed salt for the test-stream filtered negative sets, distinct
+/// from the val/test sampler salts so candidate draws never correlate with
+/// the paired AUC/AP negatives.
+const RANK_NEG_SEED_SALT: u64 = 0xf117_0003;
 
 /// Minimum total score count (pos + neg across all four settings) before the
 /// final metrics fan out over the worker pool; below this, pool dispatch
@@ -87,6 +94,29 @@ pub trait TgnnModel {
         neg_dsts: &[usize],
     ) -> (Vec<f32>, Vec<f32>);
 
+    /// Score each positive edge and `k` alternative candidate destinations
+    /// under the *current* temporal state, WITHOUT advancing it — the
+    /// filtered-negative ranking path (DESIGN.md §14). `cand_dsts` is in
+    /// block layout: `cand_dsts[j * n + i]` is the j-th candidate
+    /// destination for `batch[i]` (`n = batch.len()`), so source
+    /// embeddings are shared across the K candidate blocks.
+    ///
+    /// Returns `(pos, cands)`: `pos[i]` is a *fresh* score of the true edge
+    /// and `cands` mirrors the input layout. Both are computed under the
+    /// same pre-batch state so each ranking query is self-consistent (for
+    /// snapshot/memory models, `eval_batch`'s positives may reflect a
+    /// state advance this path must not perform). Implementations must not
+    /// draw from the model's training RNG stream — randomized sampling
+    /// (neighbors, walks) derives a private RNG from the batch content so
+    /// enabling ranking never perturbs AUC/AP.
+    fn score_candidates(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>);
+
     /// Dynamic embedding of each event's source node at event time, for the
     /// node-classification decoder. Temporal state advances past the batch.
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix;
@@ -113,6 +143,11 @@ pub struct TrainConfig {
     pub timeout: Duration,
     pub seed: u64,
     pub neg_strategy: NegativeStrategy,
+    /// Candidate negatives per test query for filtered MRR/Hits@K ranking
+    /// (DESIGN.md §14). 0 disables ranking entirely — no candidate sets
+    /// are built and no `score_candidates` calls happen, so AUC/AP-only
+    /// runs cost exactly what they did before ranking existed.
+    pub rank_negatives: usize,
 }
 
 impl Default for TrainConfig {
@@ -125,6 +160,7 @@ impl Default for TrainConfig {
             timeout: Duration::from_secs(600),
             seed: 0,
             neg_strategy: NegativeStrategy::Random,
+            rank_negatives: 0,
         }
     }
 }
@@ -135,11 +171,19 @@ pub struct SettingMetrics {
     pub auc: f64,
     pub ap: f64,
     pub n_edges: usize,
+    /// Filtered-negative MRR/Hits@K — present when the run had
+    /// `rank_negatives > 0`.
+    pub ranking: Option<RankingMetrics>,
 }
 
 impl ToJson for SettingMetrics {
     fn to_json(&self) -> Json {
-        json!({ "auc": self.auc, "ap": self.ap, "n_edges": self.n_edges })
+        json!({
+            "auc": self.auc,
+            "ap": self.ap,
+            "n_edges": self.n_edges,
+            "ranking": self.ranking.as_ref(),
+        })
     }
 }
 
@@ -237,6 +281,19 @@ pub fn train_link_prediction(
         .iter()
         .map(|e| split.unseen[e.src] && split.unseen[e.dst])
         .collect();
+
+    // Filtered negative candidate sets for ranking, precomputed once per
+    // job so every epoch's test pass ranks against identical candidates.
+    let filtered_negs = (cfg.rank_negatives > 0).then(|| {
+        FilteredNegativeSet::build(
+            graph,
+            &split.train,
+            &split.test,
+            cfg.neg_strategy,
+            cfg.rank_negatives,
+            cfg.seed ^ RANK_NEG_SEED_SALT,
+        )
+    });
     drop(setup_span);
 
     let mut monitor = EarlyStopMonitor::new(cfg.patience, cfg.tolerance);
@@ -244,7 +301,7 @@ pub fn train_link_prediction(
 
     let mut epoch_losses = Vec::new();
     let mut val_aps = Vec::new();
-    let mut best_test_scores: Option<(Vec<f32>, Vec<f32>)> = None;
+    let mut best_test_scores: Option<StreamScores> = None;
     let mut best_snapshot: Option<Vec<Matrix>> = None;
     let mut inference_secs_per_100k = 0.0;
 
@@ -283,6 +340,7 @@ pub fn train_link_prediction(
                 &mut val_sampler,
                 cfg.batch_size,
                 Some(deadline),
+                None,
             )
         });
         if !val_scores.completed {
@@ -302,6 +360,7 @@ pub fn train_link_prediction(
                 &mut test_sampler,
                 cfg.batch_size,
                 Some(deadline),
+                filtered_negs.as_ref(),
             )
         });
         if !test_scores.completed {
@@ -311,9 +370,17 @@ pub fn train_link_prediction(
 
         let improved = monitor.record(val_ap);
         if improved || best_test_scores.is_none() {
-            best_test_scores = Some((test_scores.pos, test_scores.neg));
             best_snapshot = Some(model.snapshot());
-            inference_secs_per_100k = infer / (split.test.len().max(1) as f64 * 2.0) * 100_000.0;
+            // Scored pairs per test event: 1 positive + 1 AUC/AP negative
+            // + K ranking candidates (+1 fresh ranking positive).
+            let pairs_per_event = if cfg.rank_negatives > 0 {
+                3.0 + cfg.rank_negatives as f64
+            } else {
+                2.0
+            };
+            inference_secs_per_100k =
+                infer / (split.test.len().max(1) as f64 * pairs_per_event) * 100_000.0;
+            best_test_scores = Some(test_scores);
         }
         if monitor.should_stop() {
             break;
@@ -326,7 +393,14 @@ pub fn train_link_prediction(
     if let Some(snap) = &best_snapshot {
         model.restore(snap);
     }
-    let (tpos, tneg) = best_test_scores.unwrap_or_default();
+    let best = best_test_scores.unwrap_or(StreamScores {
+        pos: Vec::new(),
+        neg: Vec::new(),
+        rank_pos: Vec::new(),
+        rank_cands: Vec::new(),
+        completed: false,
+    });
+    let (tpos, tneg) = (best.pos, best.neg);
 
     // Score subsets for the four settings: each inductive setting is a
     // membership filter over the same scored test stream. The AUC/AP
@@ -359,6 +433,7 @@ pub fn train_link_prediction(
                 auc,
                 ap,
                 n_edges: pos.len(),
+                ranking: None,
             }
         };
         // Dispatch through the pool only when it can actually help: with a
@@ -367,12 +442,32 @@ pub fn train_link_prediction(
         // the per-setting kernel is identical either way, so the metrics are
         // bit-identical regardless of which path runs.
         let total_scores: usize = score_sets.iter().map(|(p, n)| p.len() + n.len()).sum();
-        let metrics: Vec<SettingMetrics> =
+        let mut metrics: Vec<SettingMetrics> =
             if pool().workers() == 1 || total_scores < PAR_EVAL_MIN_SCORES {
                 score_sets.iter().map(setting_metrics).collect()
             } else {
                 pool().par_map(&score_sets, setting_metrics)
             };
+        // Ranking metrics: one pessimistic-rank scan per setting over the
+        // same query-major candidate scores (sequential — O(n·k) per
+        // setting, far below the AUC sort above).
+        if let Some(fneg) = &filtered_negs {
+            let (rp, rc) = (&best.rank_pos, &best.rank_cands);
+            if rp.len() == split.test.len() {
+                let new_old_mask: Vec<bool> = inductive_mask
+                    .iter()
+                    .zip(&new_new_mask)
+                    .map(|(&i, &n)| i && !n)
+                    .collect();
+                metrics[0].ranking = Some(ranking_metrics_flat(rp, rc, fneg.k, None));
+                metrics[1].ranking =
+                    Some(ranking_metrics_flat(rp, rc, fneg.k, Some(&inductive_mask)));
+                metrics[2].ranking =
+                    Some(ranking_metrics_flat(rp, rc, fneg.k, Some(&new_old_mask)));
+                metrics[3].ranking =
+                    Some(ranking_metrics_flat(rp, rc, fneg.k, Some(&new_new_mask)));
+            }
+        }
         metrics
     });
 
@@ -415,6 +510,12 @@ pub fn train_link_prediction(
 struct StreamScores {
     pos: Vec<f32>,
     neg: Vec<f32>,
+    /// Fresh positive scores from the ranking path (one per event; empty
+    /// when ranking is off). Scored under pre-batch state, so they pair
+    /// with `rank_cands`, not with `pos`.
+    rank_pos: Vec<f32>,
+    /// Candidate scores in query-major layout: `rank_cands[q * k + j]`.
+    rank_cands: Vec<f32>,
     completed: bool,
 }
 
@@ -422,6 +523,11 @@ struct StreamScores {
 /// sampled negative. Scores align with the window's events. Stops early
 /// (with `completed: false`) once `deadline` passes, so a timed-out job
 /// does not burn its overrun on full val+test scoring.
+///
+/// When `ranking` is set, each batch additionally scores its precomputed
+/// K-candidate sets through [`TgnnModel::score_candidates`] *before*
+/// `eval_batch` advances the temporal state, so ranking queries see exactly
+/// the state a deployed model would have at that point in the stream.
 fn score_stream(
     model: &mut dyn TgnnModel,
     ctx: &StreamContext,
@@ -429,17 +535,38 @@ fn score_stream(
     sampler: &mut EdgeSampler,
     batch_size: usize,
     deadline: Option<Instant>,
+    ranking: Option<&FilteredNegativeSet>,
 ) -> StreamScores {
     let mut pos = Vec::with_capacity(events.len());
     let mut neg = Vec::with_capacity(events.len());
+    let k = ranking.map_or(0, |f| f.k);
+    let mut rank_pos = Vec::with_capacity(events.len() * usize::from(k > 0));
+    let mut rank_cands = Vec::with_capacity(events.len() * k);
+    let mut offset = 0usize;
     for batch in events.chunks(batch_size) {
         // audit-allow(no-wallclock-outside-obs): timeout guard; aborts scoring, never shapes it
         if deadline.is_some_and(|d| Instant::now() > d) {
             return StreamScores {
                 pos,
                 neg,
+                rank_pos,
+                rank_cands,
                 completed: false,
             };
+        }
+        if let Some(fneg) = ranking {
+            let n = batch.len();
+            let cand_ids = fneg.block(offset, n);
+            let (rp, rc) = model.score_candidates(ctx, batch, &cand_ids, k);
+            debug_assert_eq!(rp.len(), n);
+            debug_assert_eq!(rc.len(), n * k);
+            rank_pos.extend_from_slice(&rp);
+            // Transpose candidate blocks to query-major for aggregation.
+            for i in 0..n {
+                for j in 0..k {
+                    rank_cands.push(rc[j * n + i]);
+                }
+            }
         }
         let negs = sampler.sample_batch(batch);
         let (p, n) = model.eval_batch(ctx, batch, &negs);
@@ -447,10 +574,13 @@ fn score_stream(
         debug_assert_eq!(n.len(), batch.len());
         pos.extend(p);
         neg.extend(n);
+        offset += batch.len();
     }
     StreamScores {
         pos,
         neg,
+        rank_pos,
+        rank_cands,
         completed: true,
     }
 }

@@ -21,6 +21,52 @@ pub enum NegativeStrategy {
     Inductive,
 }
 
+/// Valid destination range for negatives: items for bipartite graphs, all
+/// nodes otherwise. Shared by [`EdgeSampler`] and the filtered-negative
+/// ranking builder so both draw from the identical candidate universe.
+pub fn destination_range(graph: &TemporalGraph) -> (usize, usize) {
+    if graph.bipartite {
+        (graph.num_users, graph.num_nodes)
+    } else {
+        (0, graph.num_nodes)
+    }
+}
+
+/// Candidate destination pool for a strategy: empty for Random (the whole
+/// destination range is the pool), distinct training destinations for
+/// Historical, destinations of `E_all \ E_train` for Inductive. Sorted and
+/// deduplicated, so pool indices are deterministic.
+pub fn candidate_pool(
+    graph: &TemporalGraph,
+    train: &[Interaction],
+    strategy: NegativeStrategy,
+) -> Vec<usize> {
+    match strategy {
+        NegativeStrategy::Random => Vec::new(),
+        NegativeStrategy::Historical => {
+            // Distinct destinations seen in training edges.
+            let mut v: Vec<usize> = train.iter().map(|e| e.dst).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        NegativeStrategy::Inductive => {
+            // Destinations of edges in E_all \ E_train.
+            let train_edges: std::collections::HashSet<(usize, usize)> =
+                train.iter().map(|e| (e.src, e.dst)).collect();
+            let mut v: Vec<usize> = graph
+                .events
+                .iter()
+                .filter(|e| !train_edges.contains(&(e.src, e.dst)))
+                .map(|e| e.dst)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    }
+}
+
 /// Seeded negative-edge sampler over one dataset split.
 pub struct EdgeSampler {
     seed: u64,
@@ -42,35 +88,8 @@ impl EdgeSampler {
         strategy: NegativeStrategy,
         seed: u64,
     ) -> Self {
-        let (dst_lo, dst_hi) = if graph.bipartite {
-            (graph.num_users, graph.num_nodes)
-        } else {
-            (0, graph.num_nodes)
-        };
-        let pool = match strategy {
-            NegativeStrategy::Random => Vec::new(),
-            NegativeStrategy::Historical => {
-                // Distinct destinations seen in training edges.
-                let mut v: Vec<usize> = train.iter().map(|e| e.dst).collect();
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-            NegativeStrategy::Inductive => {
-                // Destinations of edges in E_all \ E_train.
-                let train_edges: std::collections::HashSet<(usize, usize)> =
-                    train.iter().map(|e| (e.src, e.dst)).collect();
-                let mut v: Vec<usize> = graph
-                    .events
-                    .iter()
-                    .filter(|e| !train_edges.contains(&(e.src, e.dst)))
-                    .map(|e| e.dst)
-                    .collect();
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-        };
+        let (dst_lo, dst_hi) = destination_range(graph);
+        let pool = candidate_pool(graph, train, strategy);
         EdgeSampler {
             seed,
             rng: init::rng(seed),

@@ -8,135 +8,12 @@
 //! parallel matmul threshold) and prints the exact bit patterns of every
 //! metric, and the driver compares the lines across thread counts.
 
-use std::process::Command;
+mod common;
 
 use benchtemp_core::dataloader::LinkPredSplit;
-use benchtemp_core::pipeline::{
-    train_link_prediction, Anatomy, StreamContext, TgnnModel, TrainConfig,
-};
+use benchtemp_core::pipeline::{train_link_prediction, TrainConfig};
 use benchtemp_graph::generators::GeneratorConfig;
-use benchtemp_graph::temporal_graph::Interaction;
-use benchtemp_tensor::nn::Mlp;
-use benchtemp_tensor::{init, Adam, Graph, Matrix, ParamStore};
-
-const NODE_DIM: usize = 16;
-const HIDDEN: usize = 80;
-
-/// Minimal pipeline-conformant model: scores an edge by running the
-/// concatenated endpoint features through an MLP. Stateless in time, but it
-/// exercises the full tensor stack — pooled tapes, parallel matmul (batch
-/// rows × concat width × hidden crosses `PAR_FLOPS`), backward, Adam.
-struct MlpEdgeModel {
-    store: ParamStore,
-    mlp: Mlp,
-    adam: Adam,
-}
-
-impl MlpEdgeModel {
-    fn new(seed: u64) -> Self {
-        let mut store = ParamStore::new();
-        let mut rng = init::rng(seed);
-        let mlp = Mlp::new(&mut store, &mut rng, "edge", 2 * NODE_DIM, HIDDEN, 1);
-        MlpEdgeModel {
-            store,
-            mlp,
-            adam: Adam::new(1e-3),
-        }
-    }
-
-    fn pair_features(&self, ctx: &StreamContext, srcs: &[usize], dsts: &[usize]) -> Matrix {
-        let mut x = Matrix::zeros(srcs.len(), 2 * NODE_DIM);
-        for (r, (&s, &d)) in srcs.iter().zip(dsts).enumerate() {
-            x.row_mut(r)[..NODE_DIM].copy_from_slice(ctx.graph.node_features.row(s));
-            x.row_mut(r)[NODE_DIM..].copy_from_slice(ctx.graph.node_features.row(d));
-        }
-        x
-    }
-}
-
-impl TgnnModel for MlpEdgeModel {
-    fn name(&self) -> &'static str {
-        "MlpEdge"
-    }
-
-    fn anatomy(&self) -> Anatomy {
-        Anatomy {
-            memory: false,
-            attention: false,
-            rnn: false,
-            temp_walk: false,
-            scalability: true,
-            supervision: "self-supervised",
-        }
-    }
-
-    fn reset_state(&mut self) {}
-
-    fn train_batch(
-        &mut self,
-        ctx: &StreamContext,
-        batch: &[Interaction],
-        neg_dsts: &[usize],
-    ) -> f32 {
-        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
-        let pos_dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
-        let mut x = self.pair_features(ctx, &srcs, &pos_dsts);
-        let xn = self.pair_features(ctx, &srcs, neg_dsts);
-        x = x.concat_rows(&xn);
-        let mut targets = vec![1.0f32; batch.len()];
-        targets.extend(std::iter::repeat_n(0.0, batch.len()));
-
-        let mut g = Graph::new(&self.store);
-        let xv = g.input(x);
-        let logits = self.mlp.forward(&mut g, xv);
-        let loss = g.bce_with_logits(logits, &targets);
-        let loss_val = g.value(loss).get(0, 0);
-        let grads = g.backward(loss);
-        drop(g);
-        self.adam.step(&mut self.store, &grads);
-        loss_val
-    }
-
-    fn eval_batch(
-        &mut self,
-        ctx: &StreamContext,
-        batch: &[Interaction],
-        neg_dsts: &[usize],
-    ) -> (Vec<f32>, Vec<f32>) {
-        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
-        let pos_dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
-        let score = |dsts: &[usize]| -> Vec<f32> {
-            let mut g = Graph::new(&self.store);
-            let xv = g.input(self.pair_features(ctx, &srcs, dsts));
-            let logits = self.mlp.forward(&mut g, xv);
-            let probs = g.sigmoid(logits);
-            let m = g.value(probs);
-            (0..m.rows()).map(|r| m.get(r, 0)).collect()
-        };
-        (score(&pos_dsts), score(neg_dsts))
-    }
-
-    fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
-        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
-        ctx.graph.node_features.gather_rows(&srcs)
-    }
-
-    fn embed_dim(&self) -> usize {
-        NODE_DIM
-    }
-
-    fn snapshot(&self) -> Vec<Matrix> {
-        self.store.snapshot()
-    }
-
-    fn restore(&mut self, snapshot: &[Matrix]) {
-        self.store.restore(snapshot);
-    }
-
-    fn state_bytes(&self) -> usize {
-        self.store.heap_bytes()
-    }
-}
+use common::{MlpEdgeModel, NODE_DIM};
 
 /// Child-process worker: runs the pipeline and prints every metric's exact
 /// bit pattern. Skipped unless spawned by the driver below.
@@ -171,26 +48,7 @@ fn determinism_child_worker() {
 }
 
 fn run_child(envs: &[(&str, &str)]) -> String {
-    let exe = std::env::current_exe().expect("current test binary");
-    let mut cmd = Command::new(exe);
-    cmd.args(["determinism_child_worker", "--exact", "--nocapture"])
-        .env("BENCHTEMP_DETERMINISM_CHILD", "1");
-    for (k, v) in envs {
-        cmd.env(k, v);
-    }
-    let out = cmd.output().expect("spawn child test process");
-    assert!(
-        out.status.success(),
-        "child with {envs:?} failed:\n{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    // libtest's unbuffered "test … ok" progress text can share a line with
-    // the worker's output, so match the marker anywhere in the line.
-    stdout
-        .lines()
-        .find_map(|l| l.find("RESULT ").map(|at| l[at..].to_string()))
-        .unwrap_or_else(|| panic!("no RESULT line from child:\n{stdout}"))
+    common::run_child("determinism_child_worker", envs)
 }
 
 /// The contract itself: one thread vs four threads, bit-identical metrics.

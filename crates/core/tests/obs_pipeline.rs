@@ -71,6 +71,22 @@ impl TgnnModel for SleepyModel {
         )
     }
 
+    fn score_candidates(
+        &mut self,
+        _: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let score = |a: usize, b: usize| ((a * 31 + b * 7) % 101) as f32 / 101.0;
+        let pos = batch.iter().map(|e| 1.0 + score(e.src, e.dst)).collect();
+        let n = batch.len();
+        let cands = (0..n * k)
+            .map(|i| score(batch[i % n].src, cand_dsts[i]))
+            .collect();
+        (pos, cands)
+    }
+
     fn embed_events(&mut self, _: &StreamContext, batch: &[Interaction]) -> Matrix {
         Matrix::zeros(batch.len(), 4)
     }
@@ -101,6 +117,7 @@ fn run_job(model: &mut SleepyModel, max_epochs: usize) -> benchtemp_core::LinkPr
         timeout: Duration::from_secs(600),
         seed: 7,
         neg_strategy: NegativeStrategy::Random,
+        rank_negatives: 0,
     };
     train_link_prediction(model, &g, &split, &cfg)
 }

@@ -345,6 +345,216 @@ impl GeneratorConfig {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Diagnostic workloads (T-GRAB style)
+// ---------------------------------------------------------------------------
+
+/// Which isolated temporal-reasoning skill a diagnostic stream probes.
+///
+/// Unlike the organic [`GeneratorConfig`] streams, each diagnostic stream is
+/// built around exactly ONE deterministic temporal rule, so a model's
+/// filtered-negative ranking on it measures that skill in isolation
+/// (the T-GRAB methodology): a model that has the skill can rank the true
+/// destination above every negative; one that lacks it cannot beat the
+/// distractor pool no matter how well it fits static structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiagnosticSkill {
+    /// **Periodicity**: time is divided into equal steps and each user's
+    /// destination is a fixed per-phase partner, `partner[u][step % cycle]`.
+    /// Predicting the next edge requires decoding the phase from the
+    /// timestamp — pure recurrence (EdgeBank) sees `cycle` equally-frequent
+    /// partners and cannot tell which one is due *now*.
+    Periodicity { cycle: usize },
+    /// **Delayed cause–effect**: a cause edge `(u, trigger_i)` schedules the
+    /// effect edge `(u, effect_i)` exactly `lag` events later. Predicting
+    /// effects requires holding the pending cause in memory across the lag
+    /// window; models whose receptive field is shorter than `lag` reduce to
+    /// guessing.
+    DelayedEffect { lag: usize },
+    /// **Long-range memory**: each user meets its `home` item in a short
+    /// prologue, then a long distractor phase buries that edge, and the
+    /// final segment (the chronological test window) replays exactly the
+    /// home edges. Ranking home above the recently-seen distractors requires
+    /// memory over the whole stream; recency-biased models fail.
+    LongRangeMemory,
+}
+
+impl DiagnosticSkill {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiagnosticSkill::Periodicity { .. } => "periodicity",
+            DiagnosticSkill::DelayedEffect { .. } => "delayed-effect",
+            DiagnosticSkill::LongRangeMemory => "long-range-memory",
+        }
+    }
+}
+
+/// Configuration of one diagnostic stream.
+#[derive(Clone, Debug)]
+pub struct DiagnosticConfig {
+    pub name: String,
+    pub skill: DiagnosticSkill,
+    pub num_users: usize,
+    pub num_items: usize,
+    pub num_edges: usize,
+    pub node_dim: usize,
+    pub edge_dim: usize,
+    pub time_span: f64,
+    /// Std-dev of the (uninformative) edge-feature noise. The features carry
+    /// no signal by construction — the temporal rule is the only signal.
+    pub feature_noise: f32,
+    pub seed: u64,
+}
+
+impl DiagnosticConfig {
+    /// Sized preset: `scale` maps the same way as the dataset presets
+    /// (events ≈ 200k·scale, clamped to a tractable diagnostic range).
+    pub fn preset(skill: DiagnosticSkill, scale: f64, seed: u64) -> Self {
+        let num_edges = ((200_000.0 * scale) as usize).clamp(1_200, 20_000);
+        DiagnosticConfig {
+            name: format!("diag-{}", skill.name()),
+            skill,
+            num_users: 40,
+            num_items: 60,
+            num_edges,
+            node_dim: 16,
+            edge_dim: 8,
+            time_span: 1000.0,
+            feature_noise: 0.1,
+            seed,
+        }
+    }
+
+    /// The three-skill suite at one scale (periodicity cycle 4, lag 40).
+    pub fn suite(scale: f64, seed: u64) -> Vec<DiagnosticConfig> {
+        vec![
+            Self::preset(DiagnosticSkill::Periodicity { cycle: 4 }, scale, seed),
+            Self::preset(DiagnosticSkill::DelayedEffect { lag: 40 }, scale, seed),
+            Self::preset(DiagnosticSkill::LongRangeMemory, scale, seed),
+        ]
+    }
+
+    /// Generate the diagnostic stream.
+    pub fn generate(&self) -> TemporalGraph {
+        assert!(self.num_users >= 2 && self.num_items >= 4);
+        assert!(self.num_edges >= 16);
+        let mut rng = init::rng(self.seed ^ 0xd1a6);
+        let n = self.num_users + self.num_items;
+        let item = |i: usize| self.num_users + i; // global id of item i
+
+        let pairs: Vec<(usize, usize)> = match self.skill {
+            DiagnosticSkill::Periodicity { cycle } => {
+                let cycle = cycle.max(2);
+                // Fixed per-(user, phase) partner table; partners within one
+                // user's row are distinct so the phases are distinguishable.
+                let partners: Vec<Vec<usize>> = (0..self.num_users)
+                    .map(|_| {
+                        let mut row = Vec::with_capacity(cycle);
+                        while row.len() < cycle {
+                            let cand = item(rng.gen_range(0..self.num_items));
+                            if !row.contains(&cand) {
+                                row.push(cand);
+                            }
+                        }
+                        row
+                    })
+                    .collect();
+                // One phase step per `num_users` events: every timestamp
+                // region maps to one phase, so time alone determines the
+                // active partner set.
+                let step_len = self.num_users.max(1);
+                (0..self.num_edges)
+                    .map(|e| {
+                        let phase = (e / step_len) % cycle;
+                        let u = rng.gen_range(0..self.num_users);
+                        (u, partners[u][phase])
+                    })
+                    .collect()
+            }
+            DiagnosticSkill::DelayedEffect { lag } => {
+                let lag = lag.max(1);
+                // Triggers are the first half of the item range, effects the
+                // second half, paired index-to-index: trigger i → effect i.
+                let half = self.num_items / 2;
+                let mut pending: std::collections::VecDeque<(usize, usize, usize)> =
+                    std::collections::VecDeque::new(); // (due_idx, user, effect)
+                (0..self.num_edges)
+                    .map(|e| {
+                        if let Some(&(due, u, eff)) = pending.front() {
+                            if due <= e {
+                                pending.pop_front();
+                                return (u, eff);
+                            }
+                        }
+                        let u = rng.gen_range(0..self.num_users);
+                        let trig = rng.gen_range(0..half);
+                        pending.push_back((e + lag, u, item(half + trig)));
+                        (u, item(trig))
+                    })
+                    .collect()
+            }
+            DiagnosticSkill::LongRangeMemory => {
+                // Home items are a reserved prefix of the item range; the
+                // distractor phase only touches the remaining items, so the
+                // final replay cannot be answered from recent history.
+                let homes: Vec<usize> = (0..self.num_users)
+                    .map(|_| item(rng.gen_range(0..self.num_items / 4)))
+                    .collect();
+                let prologue = self.num_edges / 10;
+                assert!(prologue >= self.num_users, "prologue must cover all users");
+                let replay = self.num_edges * 85 / 100; // start of final 15%
+                (0..self.num_edges)
+                    .map(|e| {
+                        if e < prologue {
+                            // Round-robin so every user's home is established
+                            // before the distractor phase buries it.
+                            let u = e % self.num_users;
+                            return (u, homes[u]);
+                        }
+                        let u = rng.gen_range(0..self.num_users);
+                        if e >= replay {
+                            (u, homes[u])
+                        } else {
+                            let d = rng.gen_range(self.num_items / 4..self.num_items);
+                            (u, item(d))
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        // Evenly spaced strictly-increasing timestamps: the temporal rule is
+        // a function of time, and no quantile boundary can degenerate.
+        let dt = self.time_span / self.num_edges as f64;
+        let events: Vec<Interaction> = pairs
+            .iter()
+            .enumerate()
+            .map(|(r, &(src, dst))| Interaction {
+                src,
+                dst,
+                t: (r + 1) as f64 * dt,
+                feat_idx: r,
+            })
+            .collect();
+
+        // Pure-noise edge features: the only signal is the temporal rule.
+        let edge_features = init::randn(events.len(), self.edge_dim, self.feature_noise, &mut rng);
+
+        let graph = TemporalGraph {
+            name: self.name.clone(),
+            bipartite: true,
+            num_nodes: n,
+            num_users: self.num_users,
+            events,
+            edge_features,
+            node_features: FeatureInit::default_random().build(n, self.node_dim),
+            labels: None,
+        };
+        debug_assert_eq!(graph.validate(), Ok(()));
+        graph
+    }
+}
+
 /// Round-robin community assignment shuffled by the RNG so communities are
 /// size-balanced but node ids uninformative.
 fn assign_communities(n: usize, c: usize, rng: &mut SeededRng) -> Vec<usize> {
@@ -559,5 +769,140 @@ mod tests {
         assert!(lo >= 0.0);
         assert!(hi <= 1000.0 + 1e-6);
         assert!(hi > 500.0, "stream should fill most of the span, got {hi}");
+    }
+
+    // --- diagnostic workloads ------------------------------------------------
+
+    #[test]
+    fn diagnostic_streams_are_valid_and_deterministic() {
+        for skill in [
+            DiagnosticSkill::Periodicity { cycle: 4 },
+            DiagnosticSkill::DelayedEffect { lag: 40 },
+            DiagnosticSkill::LongRangeMemory,
+        ] {
+            let cfg = DiagnosticConfig::preset(skill, 0.01, 5);
+            let a = cfg.generate();
+            let b = cfg.generate();
+            assert_eq!(a.validate(), Ok(()), "{} invalid", skill.name());
+            assert_eq!(a.events, b.events, "{} nondeterministic", skill.name());
+            assert_eq!(a.edge_features, b.edge_features);
+            let other = DiagnosticConfig {
+                seed: 6,
+                ..cfg.clone()
+            }
+            .generate();
+            assert_ne!(a.events, other.events, "{} ignores seed", skill.name());
+        }
+    }
+
+    #[test]
+    fn periodicity_destination_is_a_function_of_user_and_phase() {
+        let cycle = 4;
+        let cfg = DiagnosticConfig::preset(DiagnosticSkill::Periodicity { cycle }, 0.01, 9);
+        let g = cfg.generate();
+        // Recover the partner table from the stream: within one (user, phase)
+        // cell every destination must be identical, and each user's partners
+        // must differ across phases (otherwise the phase carries no signal).
+        let step_len = cfg.num_users;
+        let mut table: std::collections::HashMap<(usize, usize), usize> = Default::default();
+        for (e, ev) in g.events.iter().enumerate() {
+            let phase = (e / step_len) % cycle;
+            let prev = table.insert((ev.src, phase), ev.dst);
+            if let Some(p) = prev {
+                assert_eq!(p, ev.dst, "user {} phase {phase} not periodic", ev.src);
+            }
+        }
+        let multi_phase_users = (0..cfg.num_users)
+            .filter(|&u| {
+                let partners: std::collections::HashSet<_> =
+                    (0..cycle).filter_map(|p| table.get(&(u, p))).collect();
+                partners.len() > 1
+            })
+            .count();
+        assert!(
+            multi_phase_users > cfg.num_users / 2,
+            "only {multi_phase_users} users have phase-dependent partners"
+        );
+    }
+
+    #[test]
+    fn delayed_effect_follows_every_cause_after_the_lag() {
+        let lag = 40;
+        let cfg = DiagnosticConfig::preset(DiagnosticSkill::DelayedEffect { lag }, 0.01, 21);
+        let g = cfg.generate();
+        let half = cfg.num_items / 2;
+        let is_cause = |d: usize| d < cfg.num_users + half;
+        let effect_of = |d: usize| d + half;
+        let mut effects = 0usize;
+        for (e, ev) in g.events.iter().enumerate() {
+            if !is_cause(ev.dst) {
+                continue;
+            }
+            // The scheduled effect fires at e+lag, or slightly later when
+            // several effects queue up; it must appear within 2×lag.
+            let want = (ev.src, effect_of(ev.dst));
+            let fired = g.events[(e + lag).min(g.events.len())..(e + 2 * lag).min(g.events.len())]
+                .iter()
+                .any(|f| (f.src, f.dst) == want);
+            if e + 2 * lag <= g.events.len() {
+                assert!(fired, "cause at {e} ({want:?}) never took effect");
+                effects += 1;
+            }
+        }
+        assert!(effects > 100, "only {effects} cause edges checked");
+    }
+
+    #[test]
+    fn long_range_memory_replays_the_prologue_homes() {
+        let cfg = DiagnosticConfig::preset(DiagnosticSkill::LongRangeMemory, 0.01, 33);
+        let g = cfg.generate();
+        let n = g.events.len();
+        let (prologue, replay) = (n / 10, n * 85 / 100);
+        // Home table from the prologue…
+        let mut home: std::collections::BTreeMap<usize, usize> = Default::default();
+        for ev in &g.events[..prologue] {
+            let prev = home.insert(ev.src, ev.dst);
+            if let Some(p) = prev {
+                assert_eq!(p, ev.dst, "user {} has two homes", ev.src);
+            }
+        }
+        // …the distractor phase never touches a home item…
+        let home_items: std::collections::BTreeSet<_> = home.values().copied().collect();
+        for ev in &g.events[prologue..replay] {
+            assert!(
+                !home_items.contains(&ev.dst),
+                "distractor phase leaked home item {}",
+                ev.dst
+            );
+        }
+        // …and the replay tail is exactly the home edges again.
+        for ev in &g.events[replay..] {
+            assert_eq!(
+                home.get(&ev.src),
+                Some(&ev.dst),
+                "replay of user {} is not its home",
+                ev.src
+            );
+        }
+        // The replay tail lands inside the chronological test split (last
+        // 15% of time = last 15% of evenly spaced events).
+        assert!(n - replay > 100, "replay tail too small: {}", n - replay);
+    }
+
+    #[test]
+    fn diagnostic_suite_covers_all_three_skills() {
+        let suite = DiagnosticConfig::suite(0.01, 1);
+        let names: Vec<_> = suite.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "diag-periodicity",
+                "diag-delayed-effect",
+                "diag-long-range-memory"
+            ]
+        );
+        for cfg in &suite {
+            assert_eq!(cfg.generate().validate(), Ok(()));
+        }
     }
 }

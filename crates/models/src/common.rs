@@ -297,6 +297,32 @@ pub fn pos_neg_targets(n: usize) -> Vec<f32> {
     t
 }
 
+/// Private RNG for the filtered-negative ranking path
+/// (`TgnnModel::score_candidates`): an FNV-1a hash of the batch content and
+/// candidate ids seeds a fresh stream, so candidate scoring never draws
+/// from the model's own RNG — enabling ranking cannot perturb training or
+/// AUC/AP sampling — and the stream is identical at any thread count and
+/// across processes.
+pub fn ranking_rng(batch: &[Interaction], cand_dsts: &[usize]) -> SeededRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(batch.len() as u64);
+    for e in batch {
+        eat(e.src as u64);
+        eat(e.dst as u64);
+        eat(e.t.to_bits());
+    }
+    for &c in cand_dsts {
+        eat(c as u64);
+    }
+    init::rng(h)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,29 @@ impl TgnnModel for EdgeBank {
         (pos, neg)
     }
 
+    fn score_candidates(
+        &mut self,
+        _ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        // Pure reads of the bank — no `observe`, so ranking never advances
+        // the memory ahead of `eval_batch`.
+        let n = batch.len();
+        let pos = batch
+            .iter()
+            .map(|e| self.score(e.src, e.dst, e.t))
+            .collect();
+        let cands = (0..n * k)
+            .map(|i| {
+                let ev = &batch[i % n];
+                self.score(ev.src, cand_dsts[i], ev.t)
+            })
+            .collect();
+        (pos, cands)
+    }
+
     fn embed_events(&mut self, _ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
         // EdgeBank has no node representation; expose the source's current
         // out-degree as a 1-dim "embedding" so the NC pipeline still runs.

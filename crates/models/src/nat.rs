@@ -309,6 +309,60 @@ impl TgnnModel for Nat {
         (pos, negs)
     }
 
+    fn score_candidates(
+        &mut self,
+        _ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        // Pure reads of reps + N-caches: no GRU step, no `reps.write`, no
+        // cache bookkeeping — `eval_batch` observes exactly the pre-batch
+        // state. NAT needs no RNG here (cache reads are deterministic).
+        let n = batch.len();
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        let dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+        let times: Vec<f64> = batch.iter().map(|e| e.t).collect();
+        let src_dt = self.reps.deltas(&srcs, &times);
+        let mut g = Graph::new(&self.core.store);
+        let w = &self.weights;
+        let src_rep = {
+            let m = self.reps.rows_var(&mut g, &srcs);
+            let p = w.rep_proj.forward(&mut g, m);
+            g.relu(p)
+        };
+        // Mirrors `run_batch`'s scoring: the pair's structural features, the
+        // other endpoint's rep, and the *other endpoint's* time delta.
+        let score_block = |g: &mut Graph, block: &[usize], dt: &[f32]| -> Vec<f32> {
+            let mut st = Matrix::zeros(n, N_STRUCT);
+            for i in 0..n {
+                st.set_row(i, &self.pair_struct(srcs[i], block[i]));
+            }
+            let b_rep = {
+                let m = self.reps.rows_var(g, block);
+                let p = w.rep_proj.forward(g, m);
+                g.relu(p)
+            };
+            let sp = {
+                let s = g.input(st);
+                w.struct_proj.forward(g, s)
+            };
+            let te = w.time_enc.forward_slice(g, dt);
+            let cat = g.concat_cols_many(&[src_rep, b_rep, sp, te]);
+            let logit = w.head.forward(g, cat);
+            let m = g.value(logit);
+            (0..n).map(|r| m.get(r, 0)).collect()
+        };
+        let pos = score_block(&mut g, &dsts, &src_dt);
+        let mut cands = Vec::with_capacity(n * k);
+        for j in 0..k {
+            let block = &cand_dsts[j * n..(j + 1) * n];
+            let dt = self.reps.deltas(block, &times);
+            cands.extend(score_block(&mut g, block, &dt));
+        }
+        (pos, cands)
+    }
+
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
         let negs: Vec<usize> = batch.iter().map(|e| e.dst).collect();
         self.run_batch(ctx, batch, &negs, false).3

@@ -211,6 +211,45 @@ impl TgnnModel for SnapshotGnn {
         (pos, negs)
     }
 
+    fn score_candidates(
+        &mut self,
+        _ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        // Score from the *current* snapshot states without advancing the
+        // snapshot cursor — the positives are scored fresh under the same
+        // (possibly one-window-stale) state as the candidates, so ranking
+        // queries are self-consistent, and `eval_batch` still performs the
+        // boundary crossing itself.
+        let n = batch.len();
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        let dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+        let times: Vec<f64> = batch.iter().map(|e| e.t).collect();
+        let src_dt = self.states.deltas(&srcs, &times);
+        let mut g = Graph::new(&self.core.store);
+        let w = &self.weights;
+        let src = self.states.rows_var(&mut g, &srcs);
+        let te = w.time_enc.forward_slice(&mut g, &src_dt);
+        let src_full = {
+            let cat = g.concat_cols(src, src);
+            g.concat_cols(cat, te)
+        };
+        let score_block = |g: &mut Graph, this: &Self, block: &[usize]| -> Vec<f32> {
+            let b = this.states.rows_var(g, block);
+            let logit = w.decoder.forward(g, src_full, b);
+            let lm = g.value(logit);
+            (0..n).map(|r| lm.get(r, 0)).collect()
+        };
+        let pos = score_block(&mut g, self, &dsts);
+        let mut cands = Vec::with_capacity(n * k);
+        for j in 0..k {
+            cands.extend(score_block(&mut g, self, &cand_dsts[j * n..(j + 1) * n]));
+        }
+        (pos, cands)
+    }
+
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
         let negs: Vec<usize> = batch.iter().map(|e| e.dst).collect();
         self.run_batch(ctx, batch, &negs, false).3

@@ -274,6 +274,57 @@ impl TgnnModel for Temp {
         (pos, negs)
     }
 
+    fn score_candidates(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        // Ranking reads the pre-batch memory only: aggregates + embed +
+        // decode, with no GRU sequence update and no `memory.write`. The
+        // lazy pre-initialization still has to run (it is part of "current
+        // state", not an advance of it). TeMP needs no RNG here — its
+        // aggregations are deterministic means.
+        if !self.preinit_done {
+            self.preinit(ctx);
+        }
+        let n = batch.len();
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        let dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+        let times: Vec<f64> = batch.iter().map(|e| e.t).collect();
+        let (src_lpa, src_msg, src_ref) = self.aggregates(ctx, &srcs, &times);
+        let mut g = Graph::new(&self.core.store);
+        let w = &self.weights;
+        let embed = |g: &mut Graph, m: Var, lpa: Matrix, msg: Matrix, ref_dt: &[f32]| {
+            let l = g.input(lpa);
+            let e = {
+                let raw = g.input(msg);
+                w.edge_proj.forward(g, raw)
+            };
+            let te = w.time_enc.forward_slice(g, ref_dt);
+            let cat = g.concat_cols_many(&[m, l, e, te]);
+            let c = w.combine.forward(g, cat);
+            g.relu(c)
+        };
+        let src_m = self.memory.rows_var(&mut g, &srcs);
+        let src = embed(&mut g, src_m, src_lpa, src_msg, &src_ref);
+        let score_block = |g: &mut Graph, this: &Self, block: &[usize]| -> Vec<f32> {
+            let (lpa, msg, ref_dt) = this.aggregates(ctx, block, &times);
+            let m = this.memory.rows_var(g, block);
+            let emb = embed(g, m, lpa, msg, &ref_dt);
+            let logit = w.decoder.forward(g, src, emb);
+            let lm = g.value(logit);
+            (0..n).map(|r| lm.get(r, 0)).collect()
+        };
+        let pos = score_block(&mut g, self, &dsts);
+        let mut cands = Vec::with_capacity(n * k);
+        for j in 0..k {
+            cands.extend(score_block(&mut g, self, &cand_dsts[j * n..(j + 1) * n]));
+        }
+        (pos, cands)
+    }
+
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {
         let negs: Vec<usize> = batch.iter().map(|e| e.dst).collect();
         self.run_batch(ctx, batch, &negs, false).3

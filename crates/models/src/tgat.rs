@@ -17,7 +17,9 @@ use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::{Linear, MergeLayer, MultiHeadAttention, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, Var};
 
-use crate::common::{pos_neg_targets, BatchView, ModelConfig, ModelCore, NeighborBatch};
+use crate::common::{
+    pos_neg_targets, ranking_rng, BatchView, ModelConfig, ModelCore, NeighborBatch,
+};
 
 struct Weights {
     feat_proj: Linear,
@@ -234,6 +236,56 @@ impl TgnnModel for Tgat {
     ) -> (Vec<f32>, Vec<f32>) {
         let (_, pos, negs, _) = self.run_batch(ctx, batch, neg, false, false);
         (pos, negs)
+    }
+
+    fn score_candidates(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        // TGAT is stateless, so ranking shares `run_batch`'s tri-batch idea
+        // with a (2+k)-way concatenation: one frontier sample and one
+        // attention stack over [srcs ++ dsts ++ k candidate blocks], sliced
+        // back per role. The RNG is derived from the query content
+        // (`ranking_rng`) so the model's own stream is untouched and AUC/AP
+        // stay bit-identical whether or not ranking is enabled.
+        let n = batch.len();
+        let Tgat {
+            weights,
+            core,
+            layers,
+            ..
+        } = self;
+        let depth = *layers;
+        let mut rng = ranking_rng(batch, cand_dsts);
+        let times: Vec<f64> = batch.iter().map(|e| e.t).collect();
+        let mut all_nodes = Vec::with_capacity((2 + k) * n);
+        all_nodes.extend(batch.iter().map(|e| e.src));
+        all_nodes.extend(batch.iter().map(|e| e.dst));
+        all_nodes.extend_from_slice(cand_dsts);
+        let mut all_times = Vec::with_capacity((2 + k) * n);
+        for _ in 0..2 + k {
+            all_times.extend_from_slice(&times);
+        }
+        let mut g = Graph::new(&core.store);
+        let all = weights.embed(&mut g, ctx, &all_nodes, &all_times, depth, &mut rng);
+        let src = g.slice_rows(all, 0, n);
+        let dst = g.slice_rows(all, n, 2 * n);
+        let pos_logit = weights.decoder.forward(&mut g, src, dst);
+        let pos: Vec<f32> = {
+            let m = g.value(pos_logit);
+            (0..n).map(|r| m.get(r, 0)).collect()
+        };
+        let mut cands = Vec::with_capacity(n * k);
+        for j in 0..k {
+            let cand = g.slice_rows(all, (2 + j) * n, (3 + j) * n);
+            let logit = weights.decoder.forward(&mut g, src, cand);
+            let m = g.value(logit);
+            cands.extend((0..n).map(|r| m.get(r, 0)));
+        }
+        (pos, cands)
     }
 
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {

@@ -27,7 +27,7 @@ use benchtemp_tensor::nn::{Linear, MergeLayer, MultiHeadAttention, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, ParamId, Var};
 
 use crate::common::{
-    pos_neg_targets, BatchView, ModelConfig, ModelCore, NeighborBatch, NodeMemory,
+    pos_neg_targets, ranking_rng, BatchView, ModelConfig, ModelCore, NeighborBatch, NodeMemory,
 };
 
 /// Which member of the family this instance is.
@@ -403,6 +403,48 @@ impl TgnnModel for TgnFamily {
     ) -> (Vec<f32>, Vec<f32>) {
         let (_, pos, neg_scores, _) = self.run_batch(ctx, batch, neg, false, false);
         (pos, neg_scores)
+    }
+
+    fn score_candidates(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        // Ranking is a pure read of the pre-batch memory: embed + decode only
+        // — no messages, no GRU step, no `memory.write` — so the model's
+        // stream state is exactly what `eval_batch` will see next. The RNG is
+        // derived from the query content (`ranking_rng`), leaving the model's
+        // own stream untouched.
+        let n = batch.len();
+        let TgnFamily {
+            weights,
+            core,
+            memory,
+            ..
+        } = self;
+        let mut rng = ranking_rng(batch, cand_dsts);
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        let dsts: Vec<usize> = batch.iter().map(|e| e.dst).collect();
+        let times: Vec<f64> = batch.iter().map(|e| e.t).collect();
+        let mut g = Graph::new(&core.store);
+        let src = weights.embed(&mut g, ctx, memory, &srcs, &times, &mut rng);
+        let dst = weights.embed(&mut g, ctx, memory, &dsts, &times, &mut rng);
+        let pos_logit = weights.decoder.forward(&mut g, src, dst);
+        let pos: Vec<f32> = {
+            let m = g.value(pos_logit);
+            (0..n).map(|r| m.get(r, 0)).collect()
+        };
+        let mut cands = Vec::with_capacity(n * k);
+        for j in 0..k {
+            let block = &cand_dsts[j * n..(j + 1) * n];
+            let cand = weights.embed(&mut g, ctx, memory, block, &times, &mut rng);
+            let logit = weights.decoder.forward(&mut g, src, cand);
+            let m = g.value(logit);
+            cands.extend((0..n).map(|r| m.get(r, 0)));
+        }
+        (pos, cands)
     }
 
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {

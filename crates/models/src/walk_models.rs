@@ -28,7 +28,7 @@ use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::nn::{GruCell, Linear, Mlp, TimeEncode};
 use benchtemp_tensor::{Graph, Matrix, Var};
 
-use crate::common::{pos_neg_targets, BatchView, ModelConfig, ModelCore};
+use crate::common::{pos_neg_targets, ranking_rng, BatchView, ModelConfig, ModelCore};
 use crate::walks::{anon_dim, anonymize, position_counts, sample_walks_with, TemporalWalk};
 
 /// Which walk model this instance is.
@@ -316,6 +316,30 @@ impl WalkModel {
         g.add(h, delta)
     }
 
+    /// Score the (src, dst) pairs of `view` with freshly sampled walks from
+    /// the caller-provided RNG — the ranking path (no training, no neg
+    /// role: pass `negs: Vec::new()` and `with_neg = false` never reads it).
+    fn rank_block(
+        &mut self,
+        ctx: &StreamContext,
+        view: &BatchView,
+        rng: &mut SeededRng,
+    ) -> Vec<f32> {
+        let strategy = self.strategy();
+        let (m, l) = (self.m, self.l);
+        let sets = {
+            let scratch = &mut self.scratch;
+            obs::timed(stage::SAMPLING, || {
+                Self::sample_sets(ctx, view, m, l, strategy, rng, scratch)
+            })
+        };
+        let mut g = Graph::new(&self.core.store);
+        let emb = self.encode_pairs(&mut g, ctx, view, &sets, false);
+        let logits = self.weights.head.forward(&mut g, emb);
+        let lm = g.value(logits);
+        (0..view.len()).map(|r| lm.get(r, 0)).collect()
+    }
+
     fn run_batch(
         &mut self,
         ctx: &StreamContext,
@@ -401,6 +425,38 @@ impl TgnnModel for WalkModel {
     ) -> (Vec<f32>, Vec<f32>) {
         let (_, pos, negs) = self.run_batch(ctx, batch, neg, false);
         (pos, negs)
+    }
+
+    fn score_candidates(
+        &mut self,
+        ctx: &StreamContext,
+        batch: &[Interaction],
+        cand_dsts: &[usize],
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        // Walk models are stateless in memory but their own RNG advances per
+        // sampled walk — ranking draws all its walks from a query-derived RNG
+        // (`ranking_rng`) so `core.rng` (and thus AUC/AP) is untouched.
+        let n = batch.len();
+        let mut rng = ranking_rng(batch, cand_dsts);
+        let srcs: Vec<usize> = batch.iter().map(|e| e.src).collect();
+        let times: Vec<f64> = batch.iter().map(|e| e.t).collect();
+        let feat_idx: Vec<usize> = batch.iter().map(|e| e.feat_idx).collect();
+        let mk_view = |dsts: Vec<usize>| BatchView {
+            srcs: srcs.clone(),
+            dsts,
+            negs: Vec::new(),
+            times: times.clone(),
+            feat_idx: feat_idx.clone(),
+        };
+        let pos_view = mk_view(batch.iter().map(|e| e.dst).collect());
+        let pos = self.rank_block(ctx, &pos_view, &mut rng);
+        let mut cands = Vec::with_capacity(n * k);
+        for j in 0..k {
+            let view = mk_view(cand_dsts[j * n..(j + 1) * n].to_vec());
+            cands.extend(self.rank_block(ctx, &view, &mut rng));
+        }
+        (pos, cands)
     }
 
     fn embed_events(&mut self, ctx: &StreamContext, batch: &[Interaction]) -> Matrix {

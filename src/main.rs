@@ -82,8 +82,9 @@ USAGE:
   benchtemp stats     (--dataset NAME [--scale F] | --dir DIR)
   benchtemp train     (--dataset NAME [--scale F] | --dir DIR) --model NAME
                       [--task lp|nc] [--seed N] [--epochs N] [--batch N]
-                      [--timeout-secs N] [--leaderboard FILE]
+                      [--timeout-secs N] [--rank-negs K] [--leaderboard FILE]
   benchtemp leaderboard --file FILE [--dataset NAME] [--setting NAME]
+                      [--metric AUC|AP|MRR|Hits@1|Hits@3|Hits@10]
   benchtemp models | datasets | help";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -213,6 +214,10 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|_| "--timeout-secs")?,
         ),
         seed,
+        rank_negatives: flag(flags, "rank-negs")
+            .unwrap_or("20")
+            .parse()
+            .map_err(|_| "--rank-negs")?,
         ..Default::default()
     };
     let mut model = zoo::build(
@@ -231,13 +236,26 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("{model_name} on {} (link prediction):", graph.name);
             for setting in Setting::all() {
                 let m = run.metrics_for(setting);
-                println!(
-                    "  {:<20} AUC {:.4}  AP {:.4}  ({} edges)",
-                    setting.name(),
-                    m.auc,
-                    m.ap,
-                    m.n_edges
-                );
+                match &m.ranking {
+                    Some(r) => println!(
+                        "  {:<20} AUC {:.4}  AP {:.4}  MRR {:.4}  Hits@1/3/10 {:.3}/{:.3}/{:.3}  ({} edges)",
+                        setting.name(),
+                        m.auc,
+                        m.ap,
+                        r.mrr,
+                        r.hits_at_1,
+                        r.hits_at_3,
+                        r.hits_at_10,
+                        m.n_edges
+                    ),
+                    None => println!(
+                        "  {:<20} AUC {:.4}  AP {:.4}  ({} edges)",
+                        setting.name(),
+                        m.auc,
+                        m.ap,
+                        m.n_edges
+                    ),
+                }
             }
             println!(
                 "  {:.2}s/epoch, {} epochs, state {:.2} MB, util {:.0}%",
@@ -250,14 +268,26 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
                 let path = PathBuf::from(file);
                 let mut lb = Leaderboard::load(&path).map_err(|e| e.to_string())?;
                 for setting in Setting::all() {
-                    lb.push_runs(
-                        model_name,
-                        &graph.name,
-                        "link_prediction",
-                        setting.name(),
-                        "AUC",
-                        &[run.metrics_for(setting).auc],
-                    );
+                    let m = run.metrics_for(setting);
+                    let mut metrics = vec![("AUC", m.auc), ("AP", m.ap)];
+                    if let Some(r) = &m.ranking {
+                        metrics.extend([
+                            ("MRR", r.mrr),
+                            ("Hits@1", r.hits_at_1),
+                            ("Hits@3", r.hits_at_3),
+                            ("Hits@10", r.hits_at_10),
+                        ]);
+                    }
+                    for (name, value) in metrics {
+                        lb.push_runs(
+                            model_name,
+                            &graph.name,
+                            "link_prediction",
+                            setting.name(),
+                            name,
+                            &[value],
+                        );
+                    }
                 }
                 lb.save(&path).map_err(|e| e.to_string())?;
                 println!("  pushed to {}", path.display());
@@ -295,6 +325,7 @@ fn cmd_leaderboard(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
     let setting = flag(flags, "setting").unwrap_or("Transductive");
+    let metric = flag(flags, "metric").unwrap_or("AUC");
     let datasets: Vec<String> = match flag(flags, "dataset") {
         Some(d) => vec![d.to_string()],
         None => {
@@ -305,11 +336,14 @@ fn cmd_leaderboard(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     for ds in &datasets {
-        println!("\n--- {ds} / {setting} ---");
-        print!("{}", lb.render_group(ds, "link_prediction", setting, "AUC"));
+        println!("\n--- {ds} / {setting} / {metric} ---");
+        print!(
+            "{}",
+            lb.render_group(ds, "link_prediction", setting, metric)
+        );
     }
     let refs: Vec<&str> = datasets.iter().map(String::as_str).collect();
-    let ranks = lb.average_rank(&refs, "link_prediction", setting, "AUC");
+    let ranks = lb.average_rank(&refs, "link_prediction", setting, metric);
     if !ranks.is_empty() {
         println!("\naverage rank: {ranks:?}");
     }
