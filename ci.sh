@@ -11,8 +11,23 @@ cargo fmt --all -- --check
 echo "== ci: cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== ci: workspace audit (lint rules + protocol model) =="
+echo "== ci: workspace audit (lint rules + call graph + protocol model) =="
 cargo run --release --offline -p benchtemp-audit
+
+echo "== ci: audit report schema (benchtemp-audit/v2, zero unwaivered) =="
+python3 - <<'EOF'
+import json
+r = json.load(open('AUDIT_report.json'))
+assert r.get('schema') == 'benchtemp-audit/v2', f"bad schema: {r.get('schema')!r}"
+assert r.get('ok') is True, "AUDIT_report.json not ok"
+unwaivered = [v for v in r['violations'] if not v.get('waived')]
+assert not unwaivered, f"{len(unwaivered)} unwaivered finding(s) in AUDIT_report.json"
+g = r['call_graph']
+assert g['functions'] > 0 and g['edges'] > 0 and 0.0 < g['resolved_call_ratio'] <= 1.0
+print(f"schema ok: {len(r['violations'])} finding(s) all waived; "
+      f"{g['functions']} fns, {g['edges']} edges, "
+      f"resolved ratio {g['resolved_call_ratio']:.2f}")
+EOF
 
 echo "== ci: audit negative self-test (seeded fixture + seeded race) =="
 cargo run --release --offline -p benchtemp-bench --bin audit_check

@@ -87,7 +87,13 @@ impl Lexer {
                     self.bump();
                     self.string(line);
                 }
+                'b' if self.peek(1) == Some('\'') => {
+                    // Byte char literal `b'x'` — same shape as a char.
+                    self.bump();
+                    self.char_or_lifetime(line);
+                }
                 'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                'r' if self.raw_ident_ahead() => self.raw_ident(line),
                 '\'' => self.char_or_lifetime(line),
                 c if c.is_alphabetic() || c == '_' => self.ident(line),
                 c if c.is_ascii_digit() => self.number(line),
@@ -154,6 +160,20 @@ impl Lexer {
             }
         }
         self.push(Tok::Str(text), line);
+    }
+
+    /// Is the cursor at a raw identifier `r#name`? (A raw *string* `r#"…"#`
+    /// wins first in `run`, so here `#` must be followed by an ident start.)
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(1) == Some('#') && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_')
+    }
+
+    /// Lex `r#name` as the identifier `name`: the `r#` escape exists only to
+    /// use keywords as names, so symbol matching wants the bare spelling.
+    fn raw_ident(&mut self, line: u32) {
+        self.bump(); // 'r'
+        self.bump(); // '#'
+        self.ident(line);
     }
 
     /// Is the cursor at `r"`, `r#…#"`, `br"`, or `br#…#"`?
@@ -346,6 +366,63 @@ mod tests {
         assert_eq!(find("a"), 1);
         assert_eq!(find("b"), 4);
         assert_eq!(find("c"), 7);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let toks = kinds("let r#type = r#match.r#fn(); type_ok");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, ["let", "type", "match", "fn", "type_ok"]);
+        // No stray `#` puncts survive from the raw-ident escape.
+        assert!(toks.iter().all(|t| !matches!(t, Tok::Punct('#'))));
+    }
+
+    #[test]
+    fn raw_identifier_does_not_break_raw_strings() {
+        // `r#"…"#` must still lex as a raw string, not as `r#` + ident.
+        let toks = kinds(r###"let a = r#"text"#; let r#b = 1;"###);
+        assert!(toks.iter().any(|t| matches!(t, Tok::Str(s) if s == "text")));
+        assert!(toks.iter().any(|t| matches!(t, Tok::Ident(i) if i == "b")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_keep_their_payload() {
+        let toks = kinds(r###"let a = b"magic\x00"; let b = br#"raw // bytes"#;"###);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Tok::Str(s) if s.contains("magic"))));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Tok::Str(s) if s == "raw // bytes")));
+        // No comment was minted from the `//` inside the raw byte string.
+        assert!(toks.iter().all(|t| !matches!(t, Tok::Comment(_))));
+    }
+
+    #[test]
+    fn byte_char_literals_are_chars_not_idents() {
+        let toks = kinds("let nl = b'\\n'; let x = b'a'; after");
+        let chars = toks.iter().filter(|t| matches!(t, Tok::Char)).count();
+        assert_eq!(chars, 2);
+        // The `b` prefix must not leak as a one-letter identifier.
+        assert!(toks.iter().all(|t| !matches!(t, Tok::Ident(i) if i == "b")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Tok::Ident(i) if i == "after")));
+    }
+
+    #[test]
+    fn shift_right_in_nested_generics_splits_into_two_closes() {
+        // The parser closes nested generics one `>` at a time, so `>>` must
+        // arrive as two puncts (the lexer never glues multi-char operators).
+        let toks = kinds("let v: Vec<Vec<u32>> = make(); a >> b");
+        let gts = toks.iter().filter(|t| matches!(t, Tok::Punct('>'))).count();
+        assert_eq!(gts, 4, "two generic closes + the real shift operator");
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! non-zero exit for CI.
 
 pub mod interleave;
+pub mod interproc;
 pub mod lexer;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
 
 use std::collections::BTreeSet;
@@ -40,6 +43,9 @@ pub struct AuditReport {
     /// False when README.md or its registry markers are missing.
     pub registry_found: bool,
     pub protocol: interleave::ProtocolReport,
+    /// Call-graph statistics from the interprocedural pass (over
+    /// `crates/*/src` only — integration tests are not part of the graph).
+    pub graph: resolve::GraphStats,
 }
 
 impl AuditReport {
@@ -75,6 +81,7 @@ impl AuditReport {
             .violations
             .iter()
             .map(|v| {
+                let trace: Vec<Json> = v.trace.iter().map(|s| Json::Str(s.clone())).collect();
                 json!({
                     "rule": v.rule,
                     "file": v.file.as_str(),
@@ -82,6 +89,7 @@ impl AuditReport {
                     "message": v.message.as_str(),
                     "waived": v.waived,
                     "reason": v.waive_reason.as_deref(),
+                    "trace": Json::Arr(trace),
                 })
             })
             .collect();
@@ -93,6 +101,7 @@ impl AuditReport {
                     "rule": w.rule.as_str(),
                     "file": w.file.as_str(),
                     "line": w.line,
+                    "scope": if w.file_scoped { "file" } else { "line" },
                     "reason": w.reason.as_str(),
                     "used": w.used,
                 })
@@ -100,9 +109,19 @@ impl AuditReport {
             .collect();
         let registry: Vec<Json> = self.registry.iter().map(|v| Json::Str(v.clone())).collect();
         json!({
-            "schema": "benchtemp-audit/v1",
+            "schema": "benchtemp-audit/v2",
             "files_scanned": self.files_scanned,
             "ok": self.ok(),
+            "call_graph": {
+                "files_parsed": self.graph.files_parsed,
+                "functions": self.graph.functions,
+                "edges": self.graph.edges,
+                "calls_total": self.graph.calls_total,
+                "calls_resolved": self.graph.calls_resolved,
+                "calls_external": self.graph.calls_external,
+                "calls_unknown": self.graph.calls_unknown,
+                "resolved_call_ratio": self.graph.resolved_ratio(),
+            },
             "rules": rule_summary,
             "violations": violations,
             "waivers": waivers,
@@ -235,15 +254,27 @@ pub fn run_audit(root: &Path) -> std::io::Result<AuditReport> {
             message: "env registry markers not found in README.md".to_string(),
             waived: false,
             waive_reason: None,
+            trace: Vec::new(),
         });
     }
+    let mut parsed: Vec<parser::ParsedFile> = Vec::new();
     for path in &files {
         let src = std::fs::read_to_string(path)?;
         let raw = lexer::lex(&src);
         let rel = rel_path(root, path);
         rules::check_file(&rel, &raw, &registry, &mut violations);
         rules::collect_waivers(&rel, &raw, &mut waivers, &mut violations);
+        // The call graph covers library/binary sources only: integration
+        // tests allocate and read clocks at will, and their helper names
+        // would pollute method-union resolution.
+        if rel.starts_with("crates/") && rel.contains("/src/") {
+            parsed.push(parser::parse_file(&rel, &raw));
+        }
     }
+    let ws = resolve::Workspace::build(parsed);
+    interproc::check(&ws, &mut violations);
+    let mut seen = std::collections::BTreeSet::new();
+    violations.retain(|v| seen.insert((v.rule, v.file.clone(), v.line, v.message.clone())));
     rules::apply_waivers(&mut violations, &mut waivers);
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
 
@@ -255,6 +286,7 @@ pub fn run_audit(root: &Path) -> std::io::Result<AuditReport> {
         registry,
         registry_found,
         protocol: interleave::check_pool_protocol(),
+        graph: ws.stats.clone(),
     })
 }
 
@@ -297,17 +329,22 @@ mod tests {
             registry: BTreeSet::new(),
             registry_found: true,
             protocol: interleave::check_pool_protocol(),
+            graph: resolve::GraphStats::default(),
         };
         let j = report.to_json();
         assert_eq!(
             j.get("schema").unwrap().as_str(),
-            Some("benchtemp-audit/v1")
+            Some("benchtemp-audit/v2")
         );
         assert_eq!(j.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(
             j.get("rules").unwrap().as_array().unwrap().len(),
             ALL_RULES.len()
         );
+        let cg = j.get("call_graph").unwrap();
+        assert!(cg.get("functions").is_some());
+        assert!(cg.get("edges").is_some());
+        assert!(cg.get("resolved_call_ratio").is_some());
         let proto = j.get("protocol_model").unwrap();
         assert_eq!(proto.get("verified").unwrap().as_bool(), Some(true));
         // Round-trips through the util parser.

@@ -1,0 +1,1187 @@
+//! A dependency-free recursive-descent item parser over [`crate::lexer`]
+//! tokens — just enough structure for interprocedural analysis.
+//!
+//! The parser builds, per file: the item tree (`mod` / `use` / `fn` /
+//! `impl` / `trait` / `type` / `struct`), and for every function a list of
+//! call expressions, its parameter and `let`-binding types, and the token
+//! span of its body. It is *heuristic by design*: no expression AST, no
+//! precedence, no macro expansion. The invariant it does keep — the one the
+//! v1 token rules could not — is that every call is attributed to the
+//! function (and `impl` type) that syntactically contains it, so a
+//! workspace-level resolver can chain calls across files. Soundness caveats
+//! are catalogued in DESIGN.md §15.
+//!
+//! `#[cfg(test)]` modules are skipped entirely: unit tests allocate and
+//! read clocks at will, and nothing in a hot path can reach them.
+
+use crate::lexer::{Tok, Token};
+
+/// The outermost path of a type, generics stripped: `&mut Vec<f32>` →
+/// `["Vec"]`, `graph::DegreeCache` → `["graph", "DegreeCache"]`. Empty for
+/// shapes the parser does not model (tuples, slices, `impl Trait`, `dyn`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypePath(pub Vec<String>);
+
+impl TypePath {
+    pub fn last(&self) -> Option<&str> {
+        self.0.last().map(|s| s.as_str())
+    }
+}
+
+/// How a method call's receiver was spelled — the resolver turns this into
+/// a type when it can.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// `name.method(…)` — a plain local/param receiver.
+    Name(String),
+    /// `self.field.method(…)` — a field of the `impl` type.
+    SelfField(String),
+    /// `self.method(…)`.
+    Slf,
+    /// Anything else (chained calls, index expressions, …).
+    Expr,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `foo(…)`, `a::b::foo(…)`, `Type::assoc(…)`, `Self::f(…)`.
+    Path(Vec<String>),
+    /// `.method(…)` with the receiver spelling.
+    Method { recv: Recv, name: String },
+    /// `name!(…)` / `name![…]` / `name!{…}`.
+    Mac(String),
+}
+
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub callee: Callee,
+    pub line: u32,
+    /// First string literal directly after the opening paren, when present —
+    /// enough to check `env::var("NAME")` against the registry.
+    pub str_arg: Option<String>,
+}
+
+/// One function (free, inherent, trait-impl, or trait-default).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// `impl` type this method belongs to (`impl Foo` / `impl Tr for Foo`
+    /// both record `Foo`). `None` for free functions and trait signatures.
+    pub self_ty: Option<String>,
+    /// Trait name for `impl Tr for T` methods and `trait Tr { … }` bodies.
+    pub trait_of: Option<String>,
+    /// Inline-module path within the file (file-level module prefix is on
+    /// [`ParsedFile`]).
+    pub module: Vec<String>,
+    pub line: u32,
+    pub has_self: bool,
+    /// Declared parameter types, pattern name → outermost type path.
+    pub params: Vec<(String, TypePath)>,
+    /// `let` bindings with a type ascription or a `Type::ctor(…)` /
+    /// `Type { … }` initializer.
+    pub locals: Vec<(String, TypePath)>,
+    pub calls: Vec<Call>,
+    /// Body token range in [`ParsedFile::code`] (after `{`, before the
+    /// matching `}`). `None` for bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    pub line: u32,
+    /// Named fields only — tuple structs record none.
+    pub fields: Vec<(String, TypePath)>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// Repo-relative path with forward slashes.
+    pub rel_path: String,
+    /// Underscore crate name derived from `crates/<dir>/…` → `benchtemp_<dir>`.
+    pub crate_name: String,
+    /// Module path derived from the file's location under `src/`.
+    pub module: Vec<String>,
+    /// Comment-stripped token stream (spans in [`FnDef::body`] index this).
+    pub code: Vec<Token>,
+    /// `use` leaves: local name → full path (`Matrix` →
+    /// `["benchtemp_tensor", "Matrix"]`).
+    pub uses: Vec<(String, Vec<String>)>,
+    /// `type Alias = Target;` declarations.
+    pub aliases: Vec<(String, TypePath)>,
+    pub structs: Vec<StructDef>,
+    pub fns: Vec<FnDef>,
+}
+
+/// Crate name from a repo-relative path: `crates/tensor/src/…` →
+/// `benchtemp_tensor`. Unknown layouts get the first path component.
+pub fn crate_name_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(dir)) => format!("benchtemp_{}", dir.replace('-', "_")),
+        (Some(first), _) => first.to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Module path from the file's location under `src/`: `src/lib.rs`,
+/// `src/main.rs`, and `src/bin/*` are the crate root; `src/a.rs` → `[a]`;
+/// `src/a/b.rs` → `[a, b]`; `src/a/mod.rs` → `[a]`.
+pub fn module_of(rel_path: &str) -> Vec<String> {
+    let Some(at) = rel_path.find("/src/") else {
+        return Vec::new();
+    };
+    let tail = &rel_path[at + "/src/".len()..];
+    let tail = tail.strip_suffix(".rs").unwrap_or(tail);
+    let mut segs: Vec<String> = tail.split('/').map(str::to_string).collect();
+    if segs
+        .last()
+        .is_some_and(|s| s == "lib" || s == "main" || s == "mod")
+    {
+        segs.pop();
+    }
+    if segs.first().is_some_and(|s| s == "bin") {
+        return Vec::new();
+    }
+    segs
+}
+
+/// Parse one file's token stream into its item tree.
+pub fn parse_file(rel_path: &str, raw: &[Token]) -> ParsedFile {
+    let code: Vec<Token> = raw
+        .iter()
+        .filter(|t| !matches!(t.tok, Tok::Comment(_)))
+        .cloned()
+        .collect();
+    let mut p = Parser {
+        code: &code,
+        pos: 0,
+        file: ParsedFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name_of(rel_path),
+            module: module_of(rel_path),
+            code: Vec::new(),
+            uses: Vec::new(),
+            aliases: Vec::new(),
+            structs: Vec::new(),
+            fns: Vec::new(),
+        },
+    };
+    let mut module = Vec::new();
+    p.items(&mut module, None, None, false);
+    let mut file = p.file;
+    file.code = code;
+    file
+}
+
+struct Parser<'a> {
+    code: &'a [Token],
+    pos: usize,
+    file: ParsedFile,
+}
+
+fn ident_of(t: Option<&Token>) -> Option<&str> {
+    match t.map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, at: usize) -> Option<&'a Token> {
+        self.code.get(at)
+    }
+
+    fn ident(&self, at: usize) -> Option<&'a str> {
+        ident_of(self.tok(at))
+    }
+
+    fn punct(&self, at: usize, c: char) -> bool {
+        matches!(self.tok(at).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    fn line(&self, at: usize) -> u32 {
+        self.tok(at).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Skip a balanced `open…close` group starting at `pos` (which must sit
+    /// on `open`); leaves `pos` one past the matching close. EOF-tolerant.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct(p) if *p == open => depth += 1,
+                Tok::Punct(p) if *p == close => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skip a generics group `<…>`, tolerating `->` inside fn-pointer types.
+    fn skip_generics(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    if self.pos > 0 && self.punct(self.pos - 1, '-') {
+                        // `->` return arrow inside the generic body.
+                    } else {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            self.pos += 1;
+                            return;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skip to one past the next `;` at the current nesting level.
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct(';') => {
+                    self.pos += 1;
+                    return;
+                }
+                Tok::Punct('{') => self.skip_balanced('{', '}'),
+                Tok::Punct('(') => self.skip_balanced('(', ')'),
+                Tok::Punct('[') => self.skip_balanced('[', ']'),
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Parse an attribute `#[…]` / `#![…]` at `pos`; returns true when it is
+    /// a `#[cfg(test)]`-style test gate.
+    fn attribute_is_test_gate(&mut self) -> bool {
+        self.pos += 1; // '#'
+        if self.punct(self.pos, '!') {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        if self.punct(self.pos, '[') {
+            self.skip_balanced('[', ']');
+        }
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        for t in &self.code[start..self.pos] {
+            if let Tok::Ident(i) = &t.tok {
+                saw_cfg |= i == "cfg";
+                saw_test |= i == "test";
+            }
+        }
+        saw_cfg && saw_test
+    }
+
+    /// Parse items until the matching `}` (when `inside_block`) or EOF.
+    fn items(
+        &mut self,
+        module: &mut Vec<String>,
+        self_ty: Option<&str>,
+        trait_of: Option<&str>,
+        inside_block: bool,
+    ) {
+        let mut skip_next_item = false;
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct('}') if inside_block => {
+                    self.pos += 1;
+                    return;
+                }
+                Tok::Punct('#')
+                    if self.punct(self.pos + 1, '[') || self.punct(self.pos + 1, '!') =>
+                {
+                    skip_next_item |= self.attribute_is_test_gate();
+                }
+                Tok::Ident(kw) => {
+                    let kw = kw.clone();
+                    let skipped = std::mem::take(&mut skip_next_item);
+                    self.item(&kw, module, self_ty, trait_of, skipped);
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn item(
+        &mut self,
+        kw: &str,
+        module: &mut Vec<String>,
+        self_ty: Option<&str>,
+        trait_of: Option<&str>,
+        test_gated: bool,
+    ) {
+        match kw {
+            "pub" => {
+                self.pos += 1;
+                if self.punct(self.pos, '(') {
+                    self.skip_balanced('(', ')');
+                }
+            }
+            "mod" => {
+                let name = self.ident(self.pos + 1).unwrap_or("").to_string();
+                self.pos += 2;
+                if self.punct(self.pos, ';') {
+                    self.pos += 1; // out-of-line module: covered by its own file
+                } else if self.punct(self.pos, '{') {
+                    if test_gated || name == "tests" {
+                        self.skip_balanced('{', '}');
+                    } else {
+                        self.pos += 1;
+                        module.push(name);
+                        self.items(module, None, None, true);
+                        module.pop();
+                    }
+                }
+            }
+            "use" => {
+                self.pos += 1;
+                self.parse_use();
+            }
+            "type" => {
+                // `type X = Target;` — associated types inside traits have
+                // no `=` and are skipped by the same path.
+                let name = self.ident(self.pos + 1).map(str::to_string);
+                self.pos += 2;
+                if self.punct(self.pos, '<') {
+                    self.skip_generics();
+                }
+                if self.punct(self.pos, '=') {
+                    self.pos += 1;
+                    let target = self.parse_type_path();
+                    if let (Some(name), false) = (name, target.0.is_empty()) {
+                        self.file.aliases.push((name, target));
+                    }
+                }
+                self.skip_to_semi();
+            }
+            "struct" => self.parse_struct(test_gated),
+            "enum" | "union" => {
+                self.pos += 1;
+                while let Some(t) = self.tok(self.pos) {
+                    match &t.tok {
+                        Tok::Punct('{') => {
+                            self.skip_balanced('{', '}');
+                            break;
+                        }
+                        Tok::Punct(';') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Tok::Punct('<') => self.skip_generics(),
+                        _ => self.pos += 1,
+                    }
+                }
+            }
+            "const" | "static" => {
+                // `const fn` falls through to fn; `const X: T = …;` skips.
+                if self.ident(self.pos + 1) == Some("fn") {
+                    self.pos += 1;
+                } else {
+                    self.skip_to_semi();
+                }
+            }
+            "unsafe" | "extern" | "async" | "default" => {
+                self.pos += 1;
+                if let Some(Tok::Str(_)) = self.tok(self.pos).map(|t| &t.tok) {
+                    self.pos += 1; // extern "C"
+                }
+            }
+            "impl" => self.parse_impl(module, test_gated),
+            "trait" => self.parse_trait(module, test_gated),
+            "fn" => self.parse_fn(module, self_ty, trait_of, test_gated),
+            "macro_rules" => {
+                self.pos += 1; // macro_rules
+                if self.punct(self.pos, '!') {
+                    self.pos += 1;
+                }
+                self.pos += 1; // name
+                if self.punct(self.pos, '{') {
+                    self.skip_balanced('{', '}');
+                } else {
+                    self.skip_to_semi();
+                }
+            }
+            _ => self.pos += 1,
+        }
+    }
+
+    /// `use a::b::{c, d as e, f::g};` → leaf name → full path entries.
+    fn parse_use(&mut self) {
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut prefix);
+        self.skip_to_semi();
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.tok(self.pos).map(|t| &t.tok) {
+                Some(Tok::Ident(seg)) => {
+                    let seg = seg.clone();
+                    self.pos += 1;
+                    if self.punct(self.pos, ':') && self.punct(self.pos + 1, ':') {
+                        self.pos += 2;
+                        if self.punct(self.pos, '{') {
+                            self.pos += 1;
+                            prefix.push(seg);
+                            // Group: comma-separated subtrees.
+                            loop {
+                                match self.tok(self.pos).map(|t| &t.tok) {
+                                    Some(Tok::Punct('}')) => {
+                                        self.pos += 1;
+                                        break;
+                                    }
+                                    Some(Tok::Punct(',')) => self.pos += 1,
+                                    Some(_) => self.use_tree(prefix),
+                                    None => break,
+                                }
+                            }
+                            prefix.truncate(depth_at_entry);
+                            return;
+                        }
+                        prefix.push(seg);
+                        continue;
+                    }
+                    // Leaf: optional `as rename`.
+                    let mut local = seg.clone();
+                    if self.ident(self.pos) == Some("as") {
+                        local = self.ident(self.pos + 1).unwrap_or(&local).to_string();
+                        self.pos += 2;
+                    }
+                    let mut full = prefix.clone();
+                    full.push(seg);
+                    if local != "_" {
+                        self.file.uses.push((local, full));
+                    }
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                Some(Tok::Punct('*')) => {
+                    self.pos += 1; // glob: not modelled
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                Some(Tok::Punct('{')) => {
+                    // `use {a, b};` bare group.
+                    self.pos += 1;
+                    loop {
+                        match self.tok(self.pos).map(|t| &t.tok) {
+                            Some(Tok::Punct('}')) => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(Tok::Punct(',')) => self.pos += 1,
+                            Some(_) => self.use_tree(prefix),
+                            None => break,
+                        }
+                    }
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// A type at the cursor → its outermost path; stops before `,` `)` `;`
+    /// `=` `{` `>` at this nesting level. `&`/`mut`/lifetimes skipped;
+    /// tuples, slices, `impl`/`dyn` unmodelled (empty path).
+    fn parse_type_path(&mut self) -> TypePath {
+        loop {
+            match self.tok(self.pos).map(|t| &t.tok) {
+                Some(Tok::Punct('&')) | Some(Tok::Punct('*')) | Some(Tok::Lifetime) => {
+                    self.pos += 1
+                }
+                Some(Tok::Ident(k)) if k == "mut" || k == "const" => self.pos += 1,
+                _ => break,
+            }
+        }
+        match self.tok(self.pos).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) => {
+                self.skip_balanced('(', ')');
+                return TypePath::default();
+            }
+            Some(Tok::Punct('[')) => {
+                self.skip_balanced('[', ']');
+                return TypePath::default();
+            }
+            Some(Tok::Ident(k)) if k == "impl" || k == "dyn" || k == "fn" => {
+                // Bound soup — skip segments until a stop token.
+                while let Some(t) = self.tok(self.pos) {
+                    match &t.tok {
+                        Tok::Punct('<') => self.skip_generics(),
+                        Tok::Punct('(') => self.skip_balanced('(', ')'),
+                        Tok::Punct(',')
+                        | Tok::Punct(')')
+                        | Tok::Punct(';')
+                        | Tok::Punct('{')
+                        | Tok::Punct('>')
+                        | Tok::Punct('=') => break,
+                        _ => self.pos += 1,
+                    }
+                }
+                return TypePath::default();
+            }
+            _ => {}
+        }
+        let mut segs = Vec::new();
+        while let Some(Tok::Ident(seg)) = self.tok(self.pos).map(|t| &t.tok) {
+            segs.push(seg.clone());
+            self.pos += 1;
+            if self.punct(self.pos, '<') {
+                self.skip_generics();
+            }
+            if self.punct(self.pos, ':') && self.punct(self.pos + 1, ':') {
+                self.pos += 2;
+            } else {
+                break;
+            }
+        }
+        TypePath(segs)
+    }
+
+    fn parse_struct(&mut self, test_gated: bool) {
+        let line = self.line(self.pos);
+        let name = self.ident(self.pos + 1).unwrap_or("").to_string();
+        self.pos += 2;
+        if self.punct(self.pos, '<') {
+            self.skip_generics();
+        }
+        // Skip a where clause.
+        while self.ident(self.pos) == Some("where")
+            || (!self.punct(self.pos, '{')
+                && !self.punct(self.pos, '(')
+                && !self.punct(self.pos, ';')
+                && self.tok(self.pos).is_some())
+        {
+            match self.tok(self.pos).map(|t| &t.tok) {
+                Some(Tok::Punct('<')) => self.skip_generics(),
+                _ => self.pos += 1,
+            }
+        }
+        let mut fields = Vec::new();
+        if self.punct(self.pos, '(') {
+            self.skip_balanced('(', ')'); // tuple struct: fields unmodelled
+            self.skip_to_semi();
+        } else if self.punct(self.pos, '{') {
+            self.pos += 1;
+            loop {
+                match self.tok(self.pos).map(|t| &t.tok) {
+                    None | Some(Tok::Punct('}')) => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(Tok::Punct('#')) => {
+                        self.pos += 1;
+                        if self.punct(self.pos, '[') {
+                            self.skip_balanced('[', ']');
+                        }
+                    }
+                    Some(Tok::Ident(k)) if k == "pub" => {
+                        self.pos += 1;
+                        if self.punct(self.pos, '(') {
+                            self.skip_balanced('(', ')');
+                        }
+                    }
+                    Some(Tok::Ident(fname)) if self.punct(self.pos + 1, ':') => {
+                        let fname = fname.clone();
+                        self.pos += 2;
+                        let ty = self.parse_type_path();
+                        fields.push((fname, ty));
+                        // Consume through the field separator.
+                        while let Some(t) = self.tok(self.pos) {
+                            match &t.tok {
+                                Tok::Punct(',') => {
+                                    self.pos += 1;
+                                    break;
+                                }
+                                Tok::Punct('}') => break,
+                                Tok::Punct('<') => self.skip_generics(),
+                                Tok::Punct('(') => self.skip_balanced('(', ')'),
+                                Tok::Punct('[') => self.skip_balanced('[', ']'),
+                                _ => self.pos += 1,
+                            }
+                        }
+                    }
+                    Some(_) => self.pos += 1,
+                }
+            }
+        } else {
+            self.pos += 1; // unit struct `;`
+        }
+        if !test_gated {
+            self.file.structs.push(StructDef { name, line, fields });
+        }
+    }
+
+    fn parse_impl(&mut self, module: &mut Vec<String>, test_gated: bool) {
+        self.pos += 1; // impl
+        if self.punct(self.pos, '<') {
+            self.skip_generics();
+        }
+        let first = self.parse_type_path();
+        let (self_ty, trait_of) = if self.ident(self.pos) == Some("for") {
+            self.pos += 1;
+            let target = self.parse_type_path();
+            (target, first.last().map(str::to_string))
+        } else {
+            (first, None)
+        };
+        // Skip the where clause.
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct('{') => break,
+                Tok::Punct('<') => self.skip_generics(),
+                Tok::Punct('(') => self.skip_balanced('(', ')'),
+                _ => self.pos += 1,
+            }
+        }
+        if !self.punct(self.pos, '{') {
+            return;
+        }
+        if test_gated {
+            self.skip_balanced('{', '}');
+            return;
+        }
+        self.pos += 1;
+        let ty_name = self_ty.last().map(str::to_string);
+        self.items(module, ty_name.as_deref(), trait_of.as_deref(), true);
+    }
+
+    fn parse_trait(&mut self, module: &mut Vec<String>, test_gated: bool) {
+        let name = self.ident(self.pos + 1).unwrap_or("").to_string();
+        self.pos += 2;
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct('{') => break,
+                Tok::Punct(';') => {
+                    self.pos += 1;
+                    return; // trait alias
+                }
+                Tok::Punct('<') => self.skip_generics(),
+                Tok::Punct('(') => self.skip_balanced('(', ')'),
+                _ => self.pos += 1,
+            }
+        }
+        if !self.punct(self.pos, '{') {
+            return;
+        }
+        if test_gated {
+            self.skip_balanced('{', '}');
+            return;
+        }
+        self.pos += 1;
+        self.items(module, None, Some(&name), true);
+    }
+
+    fn parse_fn(
+        &mut self,
+        module: &[String],
+        self_ty: Option<&str>,
+        trait_of: Option<&str>,
+        test_gated: bool,
+    ) {
+        let line = self.line(self.pos);
+        let name = self.ident(self.pos + 1).unwrap_or("").to_string();
+        self.pos += 2;
+        if self.punct(self.pos, '<') {
+            self.skip_generics();
+        }
+        let mut def = FnDef {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            trait_of: trait_of.map(str::to_string),
+            module: module.to_vec(),
+            line,
+            has_self: false,
+            params: Vec::new(),
+            locals: Vec::new(),
+            calls: Vec::new(),
+            body: None,
+        };
+        if self.punct(self.pos, '(') {
+            self.parse_params(&mut def);
+        }
+        // Return type / where clause: scan to `{` or `;`.
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct('{') | Tok::Punct(';') => break,
+                Tok::Punct('<') => self.skip_generics(),
+                Tok::Punct('(') => self.skip_balanced('(', ')'),
+                Tok::Punct('[') => self.skip_balanced('[', ']'),
+                _ => self.pos += 1,
+            }
+        }
+        if self.punct(self.pos, ';') {
+            self.pos += 1;
+            if !test_gated {
+                self.file.fns.push(def);
+            }
+            return;
+        }
+        if !self.punct(self.pos, '{') {
+            return;
+        }
+        // Body: find the span, scan it for calls and locals.
+        let open = self.pos;
+        self.skip_balanced('{', '}');
+        let body = (open + 1, self.pos.saturating_sub(1));
+        if test_gated {
+            return;
+        }
+        def.body = Some(body);
+        scan_body(self.code, body, &mut def);
+        self.file.fns.push(def);
+    }
+
+    fn parse_params(&mut self, def: &mut FnDef) {
+        self.pos += 1; // '('
+        let mut depth = 1usize;
+        while let Some(t) = self.tok(self.pos) {
+            match &t.tok {
+                Tok::Punct('(') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    self.pos += 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                Tok::Punct('<') => self.skip_generics(),
+                Tok::Punct('[') => self.skip_balanced('[', ']'),
+                Tok::Ident(i) if depth == 1 && i == "self" => {
+                    def.has_self = true;
+                    self.pos += 1;
+                }
+                Tok::Ident(i)
+                    if depth == 1
+                        && i != "mut"
+                        && self.punct(self.pos + 1, ':')
+                        && !self.punct(self.pos + 2, ':') =>
+                {
+                    let pname = i.clone();
+                    self.pos += 2;
+                    let ty = self.parse_type_path();
+                    def.params.push((pname, ty));
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+/// Identifiers that look like calls but are control flow or binders.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "fn", "let", "move", "else",
+    "where", "unsafe",
+];
+
+/// Scan a fn body span for calls and `let` bindings. Linear, lookback-based
+/// — closures and nested blocks are scanned in place, so their calls belong
+/// to the enclosing function (exactly what reachability wants: a task
+/// closure's work is triggered by its dispatching function).
+fn scan_body(code: &[Token], (start, end): (usize, usize), def: &mut FnDef) {
+    let punct_at =
+        |i: usize, c: char| i < code.len() && matches!(&code[i].tok, Tok::Punct(p) if *p == c);
+    let ident_at = |i: usize| match code.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+
+    let mut i = start;
+    while i < end {
+        let Some(name) = ident_at(i) else {
+            i += 1;
+            continue;
+        };
+
+        // `let [mut] name …` — type ascription or constructor-shaped init.
+        if name == "let" {
+            let mut j = i + 1;
+            if ident_at(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(bind) = ident_at(j) {
+                if punct_at(j + 1, ':') && !punct_at(j + 2, ':') {
+                    // Ascribed: parse the type with a throwaway cursor.
+                    let mut sub = Parser {
+                        code,
+                        pos: j + 2,
+                        file: ParsedFile {
+                            rel_path: String::new(),
+                            crate_name: String::new(),
+                            module: Vec::new(),
+                            code: Vec::new(),
+                            uses: Vec::new(),
+                            aliases: Vec::new(),
+                            structs: Vec::new(),
+                            fns: Vec::new(),
+                        },
+                    };
+                    let ty = sub.parse_type_path();
+                    if !ty.0.is_empty() {
+                        def.locals.push((bind.to_string(), ty));
+                    }
+                } else if punct_at(j + 1, '=') && !punct_at(j + 2, '=') {
+                    // `let x = Type::ctor(…)` / `let x = Type { … }`.
+                    let mut segs = Vec::new();
+                    let mut k = j + 2;
+                    while let Some(seg) = ident_at(k) {
+                        segs.push(seg.to_string());
+                        if punct_at(k + 1, ':') && punct_at(k + 2, ':') {
+                            k += 3;
+                        } else {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    let ctor_call = punct_at(k, '(') && segs.len() >= 2;
+                    let struct_lit = punct_at(k, '{') && segs.len() == 1;
+                    if (ctor_call || struct_lit)
+                        && segs[0].chars().next().is_some_and(char::is_uppercase)
+                    {
+                        let ty_len = if ctor_call {
+                            segs.len() - 1
+                        } else {
+                            segs.len()
+                        };
+                        def.locals
+                            .push((bind.to_string(), TypePath(segs[..ty_len].to_vec())));
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if NON_CALL_KEYWORDS.contains(&name) {
+            i += 1;
+            continue;
+        }
+
+        // Macro call `name!(…)` (but not `!=`).
+        if punct_at(i + 1, '!') && !punct_at(i + 2, '=') {
+            def.calls.push(Call {
+                callee: Callee::Mac(name.to_string()),
+                line: code[i].line,
+                str_arg: first_str_arg(code, i + 2),
+            });
+            i += 2;
+            continue;
+        }
+
+        // Call position: optional turbofish `::<…>` then `(`.
+        let mut after = i + 1;
+        if punct_at(after, ':') && punct_at(after + 1, ':') && punct_at(after + 2, '<') {
+            let mut depth = 0usize;
+            let mut k = after + 2;
+            while k < code.len() {
+                match &code[k].tok {
+                    Tok::Punct('<') => depth += 1,
+                    Tok::Punct('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            after = k + 1;
+        }
+        if !punct_at(after, '(') {
+            i += 1;
+            continue;
+        }
+        // Skip definitions (`fn name(` is consumed by the item parser, but
+        // nested items inside bodies land here).
+        if i >= 1 && ident_at(i - 1) == Some("fn") {
+            i = after;
+            continue;
+        }
+
+        let line = code[i].line;
+        let str_arg = first_str_arg(code, after);
+
+        if i >= 1 && punct_at(i - 1, '.') {
+            // Method call: classify the receiver spelling.
+            let recv = if i >= 2 {
+                match ident_at(i - 2) {
+                    Some("self") => Recv::Slf,
+                    Some(field)
+                        if i >= 4
+                            && punct_at(i - 3, '.')
+                            && ident_at(i - 4) == Some("self")
+                            && !punct_at(i - 3 + 1, '(') =>
+                    {
+                        Recv::SelfField(field.to_string())
+                    }
+                    Some(r) => {
+                        // Plain receiver only when `r` starts the expression
+                        // (not itself a field access or call result).
+                        if i >= 3 && (punct_at(i - 3, '.') || punct_at(i - 3, ')')) {
+                            Recv::Expr
+                        } else {
+                            Recv::Name(r.to_string())
+                        }
+                    }
+                    None => Recv::Expr,
+                }
+            } else {
+                Recv::Expr
+            };
+            def.calls.push(Call {
+                callee: Callee::Method {
+                    recv,
+                    name: name.to_string(),
+                },
+                line,
+                str_arg,
+            });
+            i = after;
+            continue;
+        }
+
+        // Path call: walk `seg::seg::name` backwards.
+        let mut segs = vec![name.to_string()];
+        let mut back = i;
+        while back >= 3 && punct_at(back - 1, ':') && punct_at(back - 2, ':') {
+            match ident_at(back - 3) {
+                Some(seg) => {
+                    segs.insert(0, seg.to_string());
+                    back -= 3;
+                }
+                None => break,
+            }
+        }
+        def.calls.push(Call {
+            callee: Callee::Path(segs),
+            line,
+            str_arg,
+        });
+        i = after;
+    }
+}
+
+/// The string literal directly after an opening paren, if any.
+fn first_str_arg(code: &[Token], open: usize) -> Option<String> {
+    match (
+        code.get(open).map(|t| &t.tok),
+        code.get(open + 1).map(|t| &t.tok),
+    ) {
+        (Some(Tok::Punct('(')), Some(Tok::Str(s))) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/tensor/src/x.rs", &lex(src))
+    }
+
+    #[test]
+    fn crate_and_module_derivation() {
+        assert_eq!(
+            crate_name_of("crates/tensor/src/tape.rs"),
+            "benchtemp_tensor"
+        );
+        assert_eq!(module_of("crates/tensor/src/lib.rs"), Vec::<String>::new());
+        assert_eq!(module_of("crates/tensor/src/tape.rs"), ["tape"]);
+        assert_eq!(module_of("crates/core/src/datasets/mod.rs"), ["datasets"]);
+        assert_eq!(
+            module_of("crates/bench/src/bin/bench_kernels.rs"),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn free_fn_with_calls_and_locals() {
+        let f = parse(
+            "fn go(x: &Matrix, k: usize) -> f32 {\n\
+             let mut s = Scratch::new(k);\n\
+             let t: Vec<f32> = helper(x);\n\
+             s.fill(t.len());\n\
+             inner::finish(&s)\n\
+             }\n",
+        );
+        assert_eq!(f.fns.len(), 1);
+        let go = &f.fns[0];
+        assert_eq!(go.name, "go");
+        assert_eq!(go.params.len(), 2);
+        assert_eq!(go.params[0].1, TypePath(vec!["Matrix".into()]));
+        assert!(go
+            .locals
+            .contains(&("s".into(), TypePath(vec!["Scratch".into()]))));
+        assert!(go
+            .locals
+            .contains(&("t".into(), TypePath(vec!["Vec".into()]))));
+        let callees: Vec<&Callee> = go.calls.iter().map(|c| &c.callee).collect();
+        assert!(callees.contains(&&Callee::Path(vec!["Scratch".into(), "new".into()])));
+        assert!(callees.contains(&&Callee::Path(vec!["helper".into()])));
+        assert!(callees.contains(&&Callee::Method {
+            recv: Recv::Name("s".into()),
+            name: "fill".into()
+        }));
+        assert!(callees.contains(&&Callee::Path(vec!["inner".into(), "finish".into()])));
+    }
+
+    #[test]
+    fn impl_and_trait_attribution() {
+        let f = parse(
+            "struct Widget { cache: HashMap<u32, f32> }\n\
+             impl Widget {\n\
+             fn poke(&self) { self.cache.len(); }\n\
+             }\n\
+             impl Display for Widget {\n\
+             fn fmt(&self, f: &mut Formatter) -> Result { write!(f, \"w\") }\n\
+             }\n\
+             trait Runner {\n\
+             fn run(&self);\n\
+             fn twice(&self) { self.run(); self.run(); }\n\
+             }\n",
+        );
+        assert_eq!(f.structs.len(), 1);
+        assert_eq!(f.structs[0].fields[0].0, "cache");
+        assert_eq!(f.structs[0].fields[0].1, TypePath(vec!["HashMap".into()]));
+        let poke = f.fns.iter().find(|d| d.name == "poke").unwrap();
+        assert_eq!(poke.self_ty.as_deref(), Some("Widget"));
+        assert_eq!(poke.trait_of, None);
+        let fmt = f.fns.iter().find(|d| d.name == "fmt").unwrap();
+        assert_eq!(fmt.self_ty.as_deref(), Some("Widget"));
+        assert_eq!(fmt.trait_of.as_deref(), Some("Display"));
+        let run = f.fns.iter().find(|d| d.name == "run").unwrap();
+        assert_eq!(run.self_ty, None);
+        assert_eq!(run.trait_of.as_deref(), Some("Runner"));
+        assert!(run.body.is_none());
+        let twice = f.fns.iter().find(|d| d.name == "twice").unwrap();
+        assert_eq!(twice.calls.len(), 2);
+        assert!(matches!(
+            &twice.calls[0].callee,
+            Callee::Method { recv: Recv::Slf, name } if name == "run"
+        ));
+    }
+
+    #[test]
+    fn use_tree_flattening() {
+        let f = parse(
+            "use std::collections::{HashMap, HashSet};\n\
+             use benchtemp_tensor::{Matrix, pool::ThreadPool as Pool};\n\
+             use benchtemp_graph::neighbors::NeighborFinder;\n",
+        );
+        let find = |n: &str| f.uses.iter().find(|(l, _)| l == n).map(|(_, p)| p.clone());
+        assert_eq!(
+            find("HashMap").unwrap(),
+            vec!["std", "collections", "HashMap"]
+        );
+        assert_eq!(
+            find("Pool").unwrap(),
+            vec!["benchtemp_tensor", "pool", "ThreadPool"]
+        );
+        assert_eq!(
+            find("NeighborFinder").unwrap(),
+            vec!["benchtemp_graph", "neighbors", "NeighborFinder"]
+        );
+    }
+
+    #[test]
+    fn type_aliases_and_self_field_receivers() {
+        let f = parse(
+            "type Cache = HashMap<u32, f32>;\n\
+             struct S { seen: Cache }\n\
+             impl S {\n\
+             fn total(&self) -> usize { self.seen.keys().count() }\n\
+             }\n",
+        );
+        assert_eq!(f.aliases[0].0, "Cache");
+        assert_eq!(f.aliases[0].1, TypePath(vec!["HashMap".into()]));
+        let total = f.fns.iter().find(|d| d.name == "total").unwrap();
+        assert!(total.calls.iter().any(|c| matches!(
+            &c.callee,
+            Callee::Method { recv: Recv::SelfField(fld), name } if fld == "seen" && name == "keys"
+        )));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_invisible() {
+        let f = parse(
+            "fn real() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn helper() { std::thread::spawn(|| {}); }\n\
+             #[test]\n\
+             fn t() { helper(); }\n\
+             }\n",
+        );
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "real");
+    }
+
+    #[test]
+    fn macro_and_turbofish_calls() {
+        let f = parse(
+            "fn go(xs: &[usize]) -> Vec<usize> {\n\
+             let v = xs.iter().copied().collect::<Vec<_>>();\n\
+             assert!(v.len() > 0);\n\
+             format!(\"n={}\", v.len());\n\
+             v\n\
+             }\n",
+        );
+        let go = &f.fns[0];
+        assert!(go.calls.iter().any(|c| matches!(
+            &c.callee,
+            Callee::Method { name, .. } if name == "collect"
+        )));
+        assert!(go
+            .calls
+            .iter()
+            .any(|c| matches!(&c.callee, Callee::Mac(m) if m == "format")));
+        assert!(go
+            .calls
+            .iter()
+            .any(|c| matches!(&c.callee, Callee::Mac(m) if m == "assert")));
+    }
+
+    #[test]
+    fn env_var_string_argument_is_captured() {
+        let f = parse("fn go() { let _ = std::env::var(\"BENCHTEMP_THREADS\"); }\n");
+        let call = f.fns[0]
+            .calls
+            .iter()
+            .find(|c| matches!(&c.callee, Callee::Path(p) if p.ends_with(&["env".into(), "var".into()])))
+            .unwrap();
+        assert_eq!(call.str_arg.as_deref(), Some("BENCHTEMP_THREADS"));
+    }
+
+    #[test]
+    fn nested_generics_close_with_double_gt() {
+        let f = parse("fn go(m: &mut Vec<Vec<HashMap<u32, Vec<f32>>>>) -> usize { m.len() }\n");
+        let go = &f.fns[0];
+        assert_eq!(go.params[0].1, TypePath(vec!["Vec".into()]));
+        assert!(go.body.is_some(), "body must be found past the generics");
+        assert!(go
+            .calls
+            .iter()
+            .any(|c| matches!(&c.callee, Callee::Method { name, .. } if name == "len")));
+    }
+}

@@ -1,0 +1,759 @@
+//! Workspace symbol index, heuristic name resolution, and the call graph.
+//!
+//! Built from every [`crate::parser::ParsedFile`] under `crates/*/src`, the
+//! [`Workspace`] resolves each recorded call to the workspace function(s)
+//! it may reach. Resolution is *heuristic and over-approximate on purpose*:
+//! when a method receiver's type cannot be inferred, the call links to every
+//! workspace method of that name, so reachability-based rules err toward
+//! flagging (a false positive costs one reasoned waiver; a false negative
+//! costs a nondeterministic benchmark). The tiers, in order:
+//!
+//! 1. receiver type known (param / local / `self` / `self.field` via the
+//!    struct index) → inherent + trait-impl methods on that type, type
+//!    aliases chased first;
+//! 2. qualified paths: `Self::f`, `Type::f`, `crate::m::f`,
+//!    `benchtemp_x::…::f`, `module::f`, with `use`-edges applied to the
+//!    first segment;
+//! 3. free calls: same file → same crate → `use`-import → workspace-unique;
+//! 4. method calls with unknown receivers: union of all same-name workspace
+//!    methods;
+//! 5. otherwise: *external* when the leading segment or method name is a
+//!    known std shape, *unknown* when nothing matches.
+//!
+//! Soundness caveats (trait objects, shadowed names, macro-generated items)
+//! are catalogued in DESIGN.md §15.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{Call, Callee, FnDef, ParsedFile, Recv, TypePath};
+
+/// Index of one function in [`Workspace::fns`] (flat across files).
+pub type FnId = usize;
+
+/// Where a call ended up after resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// One or more workspace functions (union for ambiguous receivers).
+    Workspace(Vec<FnId>),
+    /// A known non-workspace callee (std / core); the segments are kept so
+    /// taint rules can match sinks like `Instant::now`.
+    External,
+    /// Nothing matched — counted against the resolved-call ratio.
+    Unknown,
+}
+
+/// One resolved call edge, kept per function in call order.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub call_index: usize,
+    pub resolution: Resolution,
+}
+
+/// Aggregate call-graph statistics for the report.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    pub files_parsed: usize,
+    pub functions: usize,
+    /// Workspace-to-workspace edges (deduplicated per caller/callee pair).
+    pub edges: usize,
+    pub calls_total: usize,
+    pub calls_resolved: usize,
+    pub calls_external: usize,
+    pub calls_unknown: usize,
+}
+
+impl GraphStats {
+    /// Share of calls that either resolved to a workspace function or were
+    /// recognized as external std shapes — the complement is the resolver's
+    /// blind spot.
+    pub fn resolved_ratio(&self) -> f64 {
+        if self.calls_total == 0 {
+            return 1.0;
+        }
+        (self.calls_resolved + self.calls_external) as f64 / self.calls_total as f64
+    }
+}
+
+/// A function's stable display path: `benchtemp_tensor::tape::Tape::matmul`.
+pub fn fn_path(ws: &Workspace, id: FnId) -> String {
+    let (file_idx, fn_idx) = ws.fns[id];
+    let file = &ws.files[file_idx];
+    let def = &file.fns[fn_idx];
+    let mut parts: Vec<&str> = vec![&file.crate_name];
+    for m in &file.module {
+        parts.push(m);
+    }
+    for m in &def.module {
+        parts.push(m);
+    }
+    if let Some(ty) = &def.self_ty {
+        parts.push(ty);
+    }
+    parts.push(&def.name);
+    parts.join("::")
+}
+
+pub struct Workspace {
+    pub files: Vec<ParsedFile>,
+    /// Flat function list: `fns[id] = (file index, fn index within file)`.
+    pub fns: Vec<(usize, usize)>,
+    /// Resolved edges per function, same indexing as `fns`.
+    pub edges: Vec<Vec<Edge>>,
+    pub stats: GraphStats,
+
+    free_by_name: BTreeMap<String, Vec<FnId>>,
+    method_by_type: BTreeMap<(String, String), Vec<FnId>>,
+    method_by_name: BTreeMap<String, Vec<FnId>>,
+    aliases: BTreeMap<String, TypePath>,
+    struct_fields: BTreeMap<(String, String), TypePath>,
+    crate_names: BTreeSet<String>,
+}
+
+/// Leading path segments that mark a callee as non-workspace std/core.
+const EXTERNAL_ROOTS: [&str; 36] = [
+    "std",
+    "core",
+    "alloc",
+    "Vec",
+    "VecDeque",
+    "Box",
+    "String",
+    "str",
+    "Arc",
+    "Rc",
+    "Cell",
+    "RefCell",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Option",
+    "Result",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "Instant",
+    "Duration",
+    "SystemTime",
+    "Ordering",
+    "AtomicUsize",
+    "AtomicU64",
+    "AtomicU8",
+    "AtomicBool",
+    "OnceLock",
+    "Mutex",
+    "Condvar",
+    "PathBuf",
+    "Path",
+];
+
+/// Free-function names from the std prelude (called bare).
+const EXTERNAL_FREE: [&str; 6] = ["drop", "panic", "todo", "unimplemented", "matches", "print"];
+
+/// Method names that are std-intrinsic when no workspace method matches.
+/// (Workspace methods of the same name still win — `iter` on a workspace
+/// type resolves to it.)
+const EXTERNAL_METHODS: [&str; 60] = [
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "clone",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "collect",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "min",
+    "max",
+    "rev",
+    "zip",
+    "enumerate",
+    "chain",
+    "flat_map",
+    "filter_map",
+    "find",
+    "position",
+    "any",
+    "all",
+    "count",
+    "take",
+    "skip",
+    "step_by",
+    "chunks",
+    "chunks_mut",
+    "split_at",
+    "split_at_mut",
+    "copy_from_slice",
+    "fill",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "binary_search",
+    "unwrap",
+    "unwrap_or",
+    "expect",
+    "as_ref",
+    "as_mut",
+    "abs",
+    "sqrt",
+];
+
+impl Workspace {
+    pub fn build(files: Vec<ParsedFile>) -> Workspace {
+        let mut ws = Workspace {
+            files,
+            fns: Vec::new(),
+            edges: Vec::new(),
+            stats: GraphStats::default(),
+            free_by_name: BTreeMap::new(),
+            method_by_type: BTreeMap::new(),
+            method_by_name: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+            struct_fields: BTreeMap::new(),
+            crate_names: BTreeSet::new(),
+        };
+
+        for (fi, file) in ws.files.iter().enumerate() {
+            ws.crate_names.insert(file.crate_name.clone());
+            for (ni, def) in file.fns.iter().enumerate() {
+                let id = ws.fns.len();
+                ws.fns.push((fi, ni));
+                match &def.self_ty {
+                    Some(ty) => {
+                        ws.method_by_type
+                            .entry((ty.clone(), def.name.clone()))
+                            .or_default()
+                            .push(id);
+                        ws.method_by_name
+                            .entry(def.name.clone())
+                            .or_default()
+                            .push(id);
+                    }
+                    None if def.trait_of.is_some() => {
+                        // Trait declaration / default body: addressable as a
+                        // method of unknown receiver type.
+                        ws.method_by_name
+                            .entry(def.name.clone())
+                            .or_default()
+                            .push(id);
+                    }
+                    None => {
+                        ws.free_by_name
+                            .entry(def.name.clone())
+                            .or_default()
+                            .push(id);
+                    }
+                }
+            }
+            for (name, target) in &file.aliases {
+                ws.aliases.entry(name.clone()).or_insert(target.clone());
+            }
+            for s in &file.structs {
+                for (fname, ty) in &s.fields {
+                    ws.struct_fields
+                        .entry((s.name.clone(), fname.clone()))
+                        .or_insert(ty.clone());
+                }
+            }
+        }
+
+        ws.stats.files_parsed = ws.files.len();
+        ws.stats.functions = ws.fns.len();
+
+        // Resolve every call of every function.
+        let mut all_edges: Vec<Vec<Edge>> = Vec::with_capacity(ws.fns.len());
+        let mut edge_pairs: BTreeSet<(FnId, FnId)> = BTreeSet::new();
+        for id in 0..ws.fns.len() {
+            let (fi, ni) = ws.fns[id];
+            let calls = &ws.files[fi].fns[ni].calls;
+            let mut edges = Vec::with_capacity(calls.len());
+            for (ci, call) in calls.iter().enumerate() {
+                let resolution = ws.resolve_call(fi, ni, call);
+                ws.stats.calls_total += 1;
+                match &resolution {
+                    Resolution::Workspace(targets) => {
+                        ws.stats.calls_resolved += 1;
+                        for t in targets {
+                            edge_pairs.insert((id, *t));
+                        }
+                    }
+                    Resolution::External => ws.stats.calls_external += 1,
+                    Resolution::Unknown => ws.stats.calls_unknown += 1,
+                }
+                edges.push(Edge {
+                    call_index: ci,
+                    resolution,
+                });
+            }
+            all_edges.push(edges);
+        }
+        ws.edges = all_edges;
+        ws.stats.edges = edge_pairs.len();
+        ws
+    }
+
+    pub fn fn_def(&self, id: FnId) -> &FnDef {
+        let (fi, ni) = self.fns[id];
+        &self.files[fi].fns[ni]
+    }
+
+    pub fn file_of(&self, id: FnId) -> &ParsedFile {
+        &self.files[self.fns[id].0]
+    }
+
+    /// Chase `use`-renames and type aliases from a syntactic type path down
+    /// to a terminal type name (last segment). Alias chains are capped to
+    /// guard against cycles.
+    pub fn resolve_type_name(&self, file: &ParsedFile, ty: &TypePath) -> Option<String> {
+        let mut name = ty.last()?.to_string();
+        // A `use` of the name may rename it: `use x::HashMap as Map`.
+        if ty.0.len() == 1 {
+            if let Some((_, full)) = file.uses.iter().find(|(l, _)| *l == name) {
+                if let Some(last) = full.last() {
+                    name = last.clone();
+                }
+            }
+        }
+        for _ in 0..8 {
+            match self.aliases.get(&name) {
+                Some(target) => {
+                    let next = target.last()?.to_string();
+                    if next == name {
+                        break;
+                    }
+                    name = next;
+                }
+                None => break,
+            }
+        }
+        Some(name)
+    }
+
+    /// The declared type of `name` inside `def` (param or local), if any.
+    fn local_type<'b>(&self, def: &'b FnDef, name: &str) -> Option<&'b TypePath> {
+        def.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .or_else(|| def.params.iter().find(|(n, _)| n == name).map(|(_, t)| t))
+    }
+
+    fn resolve_call(&self, file_idx: usize, fn_idx: usize, call: &Call) -> Resolution {
+        let file = &self.files[file_idx];
+        let def = &file.fns[fn_idx];
+        match &call.callee {
+            Callee::Mac(_) => Resolution::External,
+            Callee::Path(segs) => self.resolve_path_call(file, segs),
+            Callee::Method { recv, name } => self.resolve_method_call(file, def, recv, name),
+        }
+    }
+
+    fn resolve_path_call(&self, file: &ParsedFile, segs: &[String]) -> Resolution {
+        let name = segs.last().expect("path call has segments").clone();
+        if segs.len() == 1 {
+            // Bare call: same file (any module), then `use` import, then
+            // same crate, then workspace-unique.
+            if let Some(ids) = self.free_by_name.get(&name) {
+                let same_file: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|id| std::ptr::eq(self.file_of(*id), file))
+                    .collect();
+                if !same_file.is_empty() {
+                    return Resolution::Workspace(same_file);
+                }
+                if let Some((_, full)) = file.uses.iter().find(|(l, _)| *l == name) {
+                    return self.resolve_full_path(file, full);
+                }
+                let same_crate: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|id| self.file_of(*id).crate_name == file.crate_name)
+                    .collect();
+                if !same_crate.is_empty() {
+                    return Resolution::Workspace(same_crate);
+                }
+                if ids.len() == 1 {
+                    return Resolution::Workspace(ids.clone());
+                }
+            }
+            if let Some((_, full)) = file.uses.iter().find(|(l, _)| *l == name) {
+                return self.resolve_full_path(file, full);
+            }
+            if EXTERNAL_FREE.contains(&name.as_str()) {
+                return Resolution::External;
+            }
+            return Resolution::Unknown;
+        }
+
+        // Qualified call. Apply a `use`-rename to the first segment, then
+        // dispatch on what the leading segment is.
+        let mut segs: Vec<String> = segs.to_vec();
+        if let Some((_, full)) = file.uses.iter().find(|(l, _)| *l == segs[0]) {
+            let mut widened = full.clone();
+            widened.extend(segs[1..].iter().cloned());
+            segs = widened;
+        }
+        self.resolve_full_path(file, &segs)
+    }
+
+    /// Resolve a fully-spelled path (`use`-expansion already applied).
+    fn resolve_full_path(&self, file: &ParsedFile, segs: &[String]) -> Resolution {
+        let name = segs.last().expect("non-empty path").clone();
+        let first = segs[0].as_str();
+
+        if first == "Self" {
+            if let Some(ty) = &file.fns.iter().find_map(|d| d.self_ty.clone()) {
+                // `Self::f` — methods of the current impl type. (The fn's
+                // own self_ty is checked first below; this is the fallback.)
+                if let Some(ids) = self.method_by_type.get(&(ty.clone(), name.clone())) {
+                    return Resolution::Workspace(ids.clone());
+                }
+            }
+        }
+
+        // Penultimate segment as a type: `Type::method` / `alias::method`.
+        if segs.len() >= 2 {
+            let penult = &segs[segs.len() - 2];
+            if penult.chars().next().is_some_and(char::is_uppercase) {
+                let ty = self
+                    .resolve_type_name(file, &TypePath(vec![penult.clone()]))
+                    .unwrap_or_else(|| penult.clone());
+                if ty == "Self" {
+                    // `Self::method` inside an impl — try every fn's impl
+                    // type in this file that matches.
+                    for d in &file.fns {
+                        if let Some(sty) = &d.self_ty {
+                            if let Some(ids) = self.method_by_type.get(&(sty.clone(), name.clone()))
+                            {
+                                return Resolution::Workspace(ids.clone());
+                            }
+                        }
+                    }
+                } else if let Some(ids) = self.method_by_type.get(&(ty.clone(), name.clone())) {
+                    return Resolution::Workspace(ids.clone());
+                }
+            }
+        }
+
+        if EXTERNAL_ROOTS.contains(&first) {
+            return Resolution::External;
+        }
+
+        // Crate-qualified free fn: `benchtemp_x::…::f` / `crate::…::f`.
+        let target_crate = if first == "crate" || first == "self" || first == "super" {
+            Some(file.crate_name.clone())
+        } else if self.crate_names.contains(first) {
+            Some(first.to_string())
+        } else {
+            None
+        };
+        if let Some(krate) = target_crate {
+            if let Some(ids) = self.free_by_name.get(&name) {
+                let in_crate: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|id| self.file_of(*id).crate_name == krate)
+                    .collect();
+                if !in_crate.is_empty() {
+                    return Resolution::Workspace(in_crate);
+                }
+            }
+            // `benchtemp_x::Type::method` with the type re-exported at the
+            // crate root was handled by the penultimate-segment branch.
+            return Resolution::Unknown;
+        }
+
+        // `module::f` — a sibling module of the same crate.
+        if let Some(ids) = self.free_by_name.get(&name) {
+            let penult = &segs[segs.len() - 2];
+            let matching: Vec<FnId> = ids
+                .iter()
+                .copied()
+                .filter(|id| {
+                    let f = self.file_of(*id);
+                    f.crate_name == file.crate_name
+                        && (f.module.last() == Some(penult)
+                            || self.fn_def(*id).module.last() == Some(penult))
+                })
+                .collect();
+            if !matching.is_empty() {
+                return Resolution::Workspace(matching);
+            }
+        }
+        Resolution::Unknown
+    }
+
+    /// Infer the terminal type name of a method receiver, chasing `use`
+    /// renames and type aliases. `None` when the spelling is not a plain
+    /// param/local/`self`/`self.field` receiver or its type is unknown.
+    pub fn receiver_type(&self, file: &ParsedFile, def: &FnDef, recv: &Recv) -> Option<String> {
+        match recv {
+            Recv::Slf => def.self_ty.clone(),
+            Recv::SelfField(field) => def.self_ty.as_ref().and_then(|ty| {
+                self.struct_fields
+                    .get(&(ty.clone(), field.clone()))
+                    .and_then(|ft| self.resolve_type_name(file, ft))
+            }),
+            Recv::Name(n) => self
+                .local_type(def, n)
+                .and_then(|ty| self.resolve_type_name(file, ty)),
+            Recv::Expr => None,
+        }
+    }
+
+    fn resolve_method_call(
+        &self,
+        file: &ParsedFile,
+        def: &FnDef,
+        recv: &Recv,
+        name: &str,
+    ) -> Resolution {
+        // Receivers spelled in SCREAMING_CASE are statics — atomics,
+        // OnceLocks, counters. Their methods (`load`, `store`, `get_or_init`)
+        // are std shapes; unioning them with same-name workspace methods
+        // (e.g. a workspace `load`) would invent absurd cross-crate edges.
+        if let Recv::Name(n) = recv {
+            if !n.is_empty()
+                && n.chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+            {
+                return Resolution::External;
+            }
+        }
+
+        // Tier 1: infer the receiver type.
+        let recv_ty = self.receiver_type(file, def, recv);
+
+        if let Some(ty) = recv_ty {
+            if let Some(ids) = self.method_by_type.get(&(ty.clone(), name.to_string())) {
+                return Resolution::Workspace(ids.clone());
+            }
+            // Known receiver type, but the method is not defined on it in
+            // the workspace: a std container/iterator method.
+            if EXTERNAL_ROOTS.contains(&ty.as_str()) || EXTERNAL_METHODS.contains(&name) {
+                return Resolution::External;
+            }
+            // The type is a workspace type whose method we cannot see
+            // (macro-generated, derive, deref) — fall through to the union.
+        }
+
+        // Tier 4: unknown receiver — union every workspace method.
+        if let Some(ids) = self.method_by_name.get(name) {
+            // Prefer impls over bodyless trait signatures when both exist.
+            let with_body: Vec<FnId> = ids
+                .iter()
+                .copied()
+                .filter(|id| self.fn_def(*id).body.is_some())
+                .collect();
+            return Resolution::Workspace(if with_body.is_empty() {
+                ids.clone()
+            } else {
+                with_body
+            });
+        }
+        if EXTERNAL_METHODS.contains(&name) {
+            return Resolution::External;
+        }
+        Resolution::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn build(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(path, src)| parse_file(path, &lex(src)))
+                .collect(),
+        )
+    }
+
+    fn id_of(ws: &Workspace, path_suffix: &str) -> FnId {
+        (0..ws.fns.len())
+            .find(|id| fn_path(ws, *id).ends_with(path_suffix))
+            .unwrap_or_else(|| panic!("no fn matching {path_suffix}"))
+    }
+
+    fn targets_of(ws: &Workspace, caller: FnId, call_name: &str) -> Vec<String> {
+        let (fi, ni) = ws.fns[caller];
+        let def = &ws.files[fi].fns[ni];
+        let mut out = Vec::new();
+        for e in &ws.edges[caller] {
+            let callee = &def.calls[e.call_index].callee;
+            let matches_name = match callee {
+                Callee::Path(p) => p.last().map(String::as_str) == Some(call_name),
+                Callee::Method { name, .. } => name == call_name,
+                Callee::Mac(m) => m == call_name,
+            };
+            if matches_name {
+                if let Resolution::Workspace(ids) = &e.resolution {
+                    out.extend(ids.iter().map(|t| fn_path(ws, *t)));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn free_fn_resolution_prefers_same_file_then_crate() {
+        let ws = build(&[
+            (
+                "crates/core/src/a.rs",
+                "fn helper() {}\nfn caller() { helper(); other(); }\n",
+            ),
+            ("crates/core/src/b.rs", "pub fn other() {}\n"),
+            ("crates/graph/src/c.rs", "pub fn other() {}\n"),
+        ]);
+        let caller = id_of(&ws, "a::caller");
+        assert_eq!(
+            targets_of(&ws, caller, "helper"),
+            ["benchtemp_core::a::helper"]
+        );
+        // Same-crate `other` wins over the graph-crate one.
+        assert_eq!(
+            targets_of(&ws, caller, "other"),
+            ["benchtemp_core::b::other"]
+        );
+    }
+
+    #[test]
+    fn cross_crate_resolution_via_use_edge() {
+        let ws = build(&[
+            (
+                "crates/models/src/m.rs",
+                "use benchtemp_graph::neighbors::expand;\n\
+                 fn go() { expand(); }\n",
+            ),
+            ("crates/graph/src/neighbors.rs", "pub fn expand() {}\n"),
+        ]);
+        let go = id_of(&ws, "m::go");
+        assert_eq!(
+            targets_of(&ws, go, "expand"),
+            ["benchtemp_graph::neighbors::expand"]
+        );
+    }
+
+    #[test]
+    fn method_resolution_by_receiver_type() {
+        let ws = build(&[
+            (
+                "crates/tensor/src/m.rs",
+                "pub struct Matrix;\n\
+                 impl Matrix { pub fn rows(&self) -> usize { 0 } }\n\
+                 pub struct Other;\n\
+                 impl Other { pub fn rows(&self) -> usize { 1 } }\n",
+            ),
+            (
+                "crates/models/src/u.rs",
+                "use benchtemp_tensor::Matrix;\n\
+                 fn go(m: &Matrix) -> usize { m.rows() }\n",
+            ),
+        ]);
+        let go = id_of(&ws, "u::go");
+        assert_eq!(
+            targets_of(&ws, go, "rows"),
+            ["benchtemp_tensor::m::Matrix::rows"]
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_unions_all_candidates() {
+        let ws = build(&[
+            (
+                "crates/tensor/src/m.rs",
+                "pub struct A;\nimpl A { pub fn poke(&self) {} }\n\
+                 pub struct B;\nimpl B { pub fn poke(&self) {} }\n",
+            ),
+            (
+                "crates/models/src/u.rs",
+                "fn go(x: &impl Pokeable) { x.thing().poke(); }\n",
+            ),
+        ]);
+        let go = id_of(&ws, "u::go");
+        let mut t = targets_of(&ws, go, "poke");
+        t.sort();
+        assert_eq!(
+            t,
+            [
+                "benchtemp_tensor::m::A::poke",
+                "benchtemp_tensor::m::B::poke"
+            ]
+        );
+    }
+
+    #[test]
+    fn type_alias_chain_resolves_receiver() {
+        let ws = build(&[
+            (
+                "crates/graph/src/alias.rs",
+                "pub type Cache = HashMap<u32, f32>;\n",
+            ),
+            (
+                "crates/graph/src/u.rs",
+                "use crate::alias::Cache;\n\
+                 fn go(c: &Cache) -> usize { c.len() }\n",
+            ),
+        ]);
+        let file = &ws.files[1];
+        let resolved = ws.resolve_type_name(file, &TypePath(vec!["Cache".into()]));
+        assert_eq!(resolved.as_deref(), Some("HashMap"));
+    }
+
+    #[test]
+    fn self_field_methods_resolve_via_struct_index() {
+        let ws = build(&[(
+            "crates/models/src/m.rs",
+            "pub struct Inner;\n\
+             impl Inner { pub fn work(&self) {} }\n\
+             pub struct Outer { inner: Inner }\n\
+             impl Outer { pub fn go(&self) { self.inner.work(); } }\n",
+        )]);
+        let go = id_of(&ws, "Outer::go");
+        assert_eq!(
+            targets_of(&ws, go, "work"),
+            ["benchtemp_models::m::Inner::work"]
+        );
+    }
+
+    #[test]
+    fn stats_track_resolution_classes() {
+        let ws = build(&[(
+            "crates/core/src/a.rs",
+            "fn helper() {}\n\
+             fn go() { helper(); std::mem::drop(1); mystery_external(); }\n",
+        )]);
+        assert_eq!(ws.stats.functions, 2);
+        assert_eq!(ws.stats.calls_total, 3);
+        assert_eq!(ws.stats.calls_resolved, 1);
+        assert_eq!(ws.stats.calls_external, 1);
+        assert_eq!(ws.stats.calls_unknown, 1);
+        assert!(ws.stats.resolved_ratio() > 0.6 && ws.stats.resolved_ratio() < 0.7);
+    }
+}

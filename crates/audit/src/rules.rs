@@ -23,8 +23,13 @@ pub const RULE_SCALAR_GATHER: &str = "no-scalar-gather-in-hot-path";
 /// Pseudo-rule for malformed `audit-allow` comments (unknown rule name or
 /// missing reason). Never waivable — a waiver that cannot be read is noise.
 pub const RULE_WAIVER_SYNTAX: &str = "waiver-syntax";
+// Interprocedural rules over the workspace call graph (see
+// [`crate::interproc`]); hits carry full call-path traces.
+pub const RULE_DETERMINISM_TAINT: &str = "determinism-taint-hot-path";
+pub const RULE_ALLOC_REACH: &str = "hot-path-alloc-reachability";
+pub const RULE_CLAIMED_WRITE: &str = "claimed-write-audit";
 
-pub const ALL_RULES: [&str; 9] = [
+pub const ALL_RULES: [&str; 12] = [
     RULE_HASH_ITER,
     RULE_WALLCLOCK,
     RULE_THREAD_SPAWN,
@@ -34,6 +39,9 @@ pub const ALL_RULES: [&str; 9] = [
     RULE_PER_HEAD_ATTENTION,
     RULE_SCALAR_GATHER,
     RULE_WAIVER_SYNTAX,
+    RULE_DETERMINISM_TAINT,
+    RULE_ALLOC_REACH,
+    RULE_CLAIMED_WRITE,
 ];
 
 /// One rule hit in one file.
@@ -47,17 +55,24 @@ pub struct Violation {
     /// Filled in by the driver when an `audit-allow` covers this hit.
     pub waived: bool,
     pub waive_reason: Option<String>,
+    /// For interprocedural rules: the shortest call path from the entry
+    /// point to the function containing the hit. Empty for token rules.
+    pub trace: Vec<String>,
 }
 
 /// An `audit-allow` comment — the rule name in parentheses, then a colon
 /// and a mandatory reason. Covers violations of that rule on its own line
-/// and the line directly below it.
+/// and the line directly below it. The `audit-allow-file` form instead
+/// covers every violation of that rule anywhere in the file.
 #[derive(Debug, Clone)]
 pub struct Waiver {
     pub rule: String,
     pub file: String,
     pub line: u32,
     pub reason: String,
+    /// True for the file-scoped waiver form (`audit-allow-file`, with the
+    /// same rule-in-parens-then-reason syntax as the line form).
+    pub file_scoped: bool,
     /// Set by the driver when the waiver actually absorbed a hit.
     pub used: bool,
 }
@@ -70,6 +85,7 @@ fn violation(rule: &'static str, file: &str, line: u32, message: String) -> Viol
         message,
         waived: false,
         waive_reason: None,
+        trace: Vec::new(),
     }
 }
 
@@ -533,9 +549,9 @@ fn scalar_gather_in_hot_path(rel_path: &str, code: &[Token], out: &mut Vec<Viola
     }
 }
 
-/// Extract `audit-allow` waivers from a file's comments. Malformed waivers
-/// (unknown rule, missing reason) are reported as `waiver-syntax`
-/// violations.
+/// Extract `audit-allow` / `audit-allow-file` waivers from a file's
+/// comments. Malformed waivers (unknown rule, missing reason) are reported
+/// as `waiver-syntax` violations.
 pub fn collect_waivers(
     rel_path: &str,
     raw: &[Token],
@@ -544,16 +560,30 @@ pub fn collect_waivers(
 ) {
     for t in raw {
         let Tok::Comment(c) = &t.tok else { continue };
-        let Some(at) = c.find("audit-allow(") else {
-            continue;
+        // The file form is probed first; the line form's needle ends in an
+        // open paren where the file form has `-file`, so a comment can only
+        // ever match one of the two.
+        const FILE_FORM: &str = concat!("audit-allow-file", "(");
+        const LINE_FORM: &str = concat!("audit-allow", "(");
+        let (at, file_scoped) = match c.find(FILE_FORM) {
+            Some(at) => (at + FILE_FORM.len(), true),
+            None => match c.find(LINE_FORM) {
+                Some(at) => (at + LINE_FORM.len(), false),
+                None => continue,
+            },
         };
-        let rest = &c[at + "audit-allow(".len()..];
+        let form = if file_scoped {
+            "audit-allow-file"
+        } else {
+            "audit-allow"
+        };
+        let rest = &c[at..];
         let Some(close) = rest.find(')') else {
             out.push(violation(
                 RULE_WAIVER_SYNTAX,
                 rel_path,
                 t.line,
-                "unclosed `audit-allow(` waiver".to_string(),
+                format!("unclosed `{form}(` waiver"),
             ));
             continue;
         };
@@ -563,7 +593,7 @@ pub fn collect_waivers(
                 RULE_WAIVER_SYNTAX,
                 rel_path,
                 t.line,
-                format!("`audit-allow({rule})` names no known rule"),
+                format!("`{form}({rule})` names no known rule"),
             ));
             continue;
         }
@@ -574,7 +604,7 @@ pub fn collect_waivers(
                 RULE_WAIVER_SYNTAX,
                 rel_path,
                 t.line,
-                format!("`audit-allow({rule})` has no reason; a waiver must say why"),
+                format!("`{form}({rule})` has no reason; a waiver must say why"),
             ));
             continue;
         }
@@ -583,26 +613,43 @@ pub fn collect_waivers(
             file: rel_path.to_string(),
             line: t.line,
             reason: reason.to_string(),
+            file_scoped,
             used: false,
         });
     }
 }
 
-/// Mark violations covered by a waiver of the same rule in the same file on
-/// the waiver's line or the line directly below it.
+/// Mark violations covered by a waiver of the same rule in the same file —
+/// line waivers cover their own line and the line directly below; file
+/// waivers cover the whole file. Line waivers are matched first so the
+/// specific annotation absorbs the hit (and is marked used) before a
+/// blanket file waiver would.
 pub fn apply_waivers(violations: &mut [Violation], waivers: &mut [Waiver]) {
     for v in violations.iter_mut() {
         if v.rule == RULE_WAIVER_SYNTAX {
             continue;
         }
-        for w in waivers.iter_mut() {
-            if w.rule == v.rule && w.file == v.file && (v.line == w.line || v.line == w.line + 1) {
-                v.waived = true;
-                v.waive_reason = Some(w.reason.clone());
-                w.used = true;
-                break;
+        let line_hit = waivers.iter_mut().find(|w| {
+            !w.file_scoped
+                && w.rule == v.rule
+                && w.file == v.file
+                && (v.line == w.line || v.line == w.line + 1)
+        });
+        let w = match line_hit {
+            Some(w) => w,
+            None => {
+                let Some(w) = waivers
+                    .iter_mut()
+                    .find(|w| w.file_scoped && w.rule == v.rule && w.file == v.file)
+                else {
+                    continue;
+                };
+                w
             }
-        }
+        };
+        v.waived = true;
+        v.waive_reason = Some(w.reason.clone());
+        w.used = true;
     }
 }
 
@@ -861,15 +908,64 @@ mod tests {
     }
 
     #[test]
+    fn file_waiver_covers_whole_file_and_line_waiver_wins() {
+        let src = "// audit-allow-file(no-wallclock-outside-obs): harness timing helpers\n\
+                   fn f() {\n\
+                   let t = Instant::now();\n\
+                   // audit-allow(no-wallclock-outside-obs): this one specifically\n\
+                   let u = Instant::now();\n\
+                   let v = Instant::now();\n\
+                   drop((t, u, v));\n\
+                   }\n";
+        let raw = lex(src);
+        let mut violations = Vec::new();
+        let registry = BTreeSet::new();
+        check_file("crates/core/src/x.rs", &raw, &registry, &mut violations);
+        let mut waivers = Vec::new();
+        collect_waivers("crates/core/src/x.rs", &raw, &mut waivers, &mut violations);
+        apply_waivers(&mut violations, &mut waivers);
+        assert_eq!(violations.len(), 3);
+        assert!(violations.iter().all(|v| v.waived), "{violations:?}");
+        // The specific line waiver absorbed line 5; the file waiver the rest.
+        let line5 = violations.iter().find(|v| v.line == 5).unwrap();
+        assert_eq!(line5.waive_reason.as_deref(), Some("this one specifically"));
+        let line3 = violations.iter().find(|v| v.line == 3).unwrap();
+        assert_eq!(
+            line3.waive_reason.as_deref(),
+            Some("harness timing helpers")
+        );
+        assert!(waivers.iter().all(|w| w.used));
+    }
+
+    #[test]
+    fn unused_file_waivers_are_reported_like_line_waivers() {
+        let src = "// audit-allow-file(no-raw-thread-spawn): nothing spawns here\n\
+                   fn f() {}\n";
+        let raw = lex(src);
+        let mut violations = Vec::new();
+        let mut waivers = Vec::new();
+        collect_waivers("crates/core/src/x.rs", &raw, &mut waivers, &mut violations);
+        apply_waivers(&mut violations, &mut waivers);
+        assert_eq!(waivers.len(), 1);
+        assert!(waivers[0].file_scoped);
+        assert!(
+            !waivers[0].used,
+            "unused file waiver must surface as unused"
+        );
+    }
+
+    #[test]
     fn malformed_waivers_are_violations() {
         let src = "// audit-allow(no-such-rule): whatever\n\
-                   // audit-allow(no-wallclock-outside-obs):\n";
+                   // audit-allow(no-wallclock-outside-obs):\n\
+                   // audit-allow-file(no-such-rule): whatever\n\
+                   // audit-allow-file(no-raw-thread-spawn):\n";
         let raw = lex(src);
         let mut violations = Vec::new();
         let mut waivers = Vec::new();
         collect_waivers("crates/core/src/x.rs", &raw, &mut waivers, &mut violations);
         assert!(waivers.is_empty());
-        assert_eq!(violations.len(), 2);
+        assert_eq!(violations.len(), 4);
         assert!(violations.iter().all(|v| v.rule == RULE_WAIVER_SYNTAX));
     }
 }

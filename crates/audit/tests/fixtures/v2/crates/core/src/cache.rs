@@ -1,0 +1,6 @@
+//! The alias that hides a HashMap from per-file analysis.
+
+use std::collections::HashMap;
+
+/// Scores keyed by candidate id — a hash map behind an innocent name.
+pub type ScoreCache = HashMap<u64, f64>;

@@ -1,0 +1,11 @@
+//! Seeded bug: this file is on v1's wallclock sanction list, so the
+//! token rule never looks at it — but the helper below is called from a
+//! hot entry one crate away, which the taint rule must catch.
+
+use std::time::Instant;
+
+/// Looks like an innocent metrics helper; actually reads the wall clock.
+pub fn stamp_now() -> u64 {
+    let _t = Instant::now();
+    0
+}

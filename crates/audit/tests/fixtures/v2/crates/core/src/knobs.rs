@@ -1,0 +1,8 @@
+//! Seeded bug: the variable is documented in the fixture registry, so
+//! the v1 `env-read-registry` rule is satisfied — only the taint rule
+//! notices the read sits on a hot path.
+
+/// Reads the environment on every call.
+pub fn fixture_knob() -> bool {
+    std::env::var("BENCHTEMP_FIXTURE_KNOB").is_ok()
+}

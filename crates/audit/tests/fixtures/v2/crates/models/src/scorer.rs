@@ -1,0 +1,14 @@
+//! Seeded bug: iterates the aliased map inside a ranking hot entry —
+//! only resolvable with the cross-crate alias index. The per-file rule
+//! tracks names declared as `HashMap`; `ScoreCache` is not one of those.
+
+use benchtemp_core::cache::ScoreCache;
+
+/// Hot entry (ranking): sums scores in RandomState order.
+pub fn score_candidates(cache: &ScoreCache) -> f64 {
+    let mut acc = 0.0;
+    for v in cache.values() {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+//! A training hot entry whose helpers hide the seeded taints one call
+//! away, in a different crate.
+
+/// Hot entry by name; both callees land on the taint list.
+pub fn train_batch() -> u64 {
+    if benchtemp_core::knobs::fixture_knob() {
+        return 0;
+    }
+    benchtemp_core::efficiency::stamp_now()
+}

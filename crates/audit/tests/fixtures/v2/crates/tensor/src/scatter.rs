@@ -1,0 +1,19 @@
+//! Seeded bug: a claimed-scope task that writes through a fn-level
+//! capture instead of a binding carved out of the claim partition —
+//! every task would hit the same buffer, the exact overlap the claims
+//! protocol exists to rule out.
+
+use crate::pool;
+
+/// Claims slots, then ignores the partition and scatters into the
+/// captured `dst` wholesale.
+pub fn broken_scatter(dst: &mut [f32], src: &[f32]) {
+    let claims = [(0usize, 0..src.len())];
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    tasks.push(Box::new(|| {
+        for (i, s) in src.iter().enumerate() {
+            dst[i] = *s;
+        }
+    }));
+    pool::scope_run_claimed("fixture_scatter", &claims, tasks);
+}

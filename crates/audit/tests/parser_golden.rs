@@ -1,0 +1,127 @@
+//! Golden-file regression test for the item parser and resolver.
+//!
+//! The v2 fixture tree is parsed, the item tree (uses, aliases, structs)
+//! and every function with its resolved call edges are serialized to a
+//! stable text form, and the result is diffed line-by-line against
+//! `tests/golden/v2_workspace.txt`. Any drift in parsing or resolution —
+//! a call suddenly unresolved, an alias no longer chased, a method union
+//! growing — shows up as a readable one-line diff. After an intentional
+//! change, run with `BENCHTEMP_BLESS=1` to rewrite the golden file.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use benchtemp_audit::parser::{parse_file, Callee, Recv};
+use benchtemp_audit::resolve::{fn_path, Resolution, Workspace};
+use benchtemp_audit::{collect_files, lexer};
+
+fn render(ws: &Workspace) -> String {
+    let mut out = String::new();
+    for file in &ws.files {
+        writeln!(out, "file {}", file.rel_path).unwrap();
+        for (name, path) in &file.uses {
+            writeln!(out, "  use {name} = {}", path.join("::")).unwrap();
+        }
+        for (name, ty) in &file.aliases {
+            writeln!(out, "  alias {name} = {}", ty.0.join("::")).unwrap();
+        }
+        for s in &file.structs {
+            let fields: Vec<String> = s
+                .fields
+                .iter()
+                .map(|(n, t)| format!("{n}: {}", t.0.join("::")))
+                .collect();
+            writeln!(out, "  struct {} {{ {} }}", s.name, fields.join(", ")).unwrap();
+        }
+    }
+    for id in 0..ws.fns.len() {
+        let def = ws.fn_def(id);
+        let params: Vec<String> = def
+            .params
+            .iter()
+            .map(|(n, t)| format!("{n}: {}", t.0.join("::")))
+            .collect();
+        writeln!(
+            out,
+            "fn {} ({}) line {}",
+            fn_path(ws, id),
+            params.join(", "),
+            def.line
+        )
+        .unwrap();
+        for edge in &ws.edges[id] {
+            let call = &def.calls[edge.call_index];
+            let callee = match &call.callee {
+                Callee::Path(segs) => segs.join("::"),
+                Callee::Method { recv, name } => {
+                    let r = match recv {
+                        Recv::Name(n) => n.clone(),
+                        Recv::SelfField(f) => format!("self.{f}"),
+                        Recv::Slf => "self".to_string(),
+                        Recv::Expr => "<expr>".to_string(),
+                    };
+                    format!("{r}.{name}")
+                }
+                Callee::Mac(m) => format!("{m}!"),
+            };
+            let resolved = match &edge.resolution {
+                Resolution::Workspace(ids) => {
+                    let mut names: Vec<String> = ids.iter().map(|&t| fn_path(ws, t)).collect();
+                    names.sort();
+                    format!("workspace({})", names.join(" | "))
+                }
+                Resolution::External => "external".to_string(),
+                Resolution::Unknown => "unknown".to_string(),
+            };
+            writeln!(out, "  call L{} {callee} -> {resolved}", call.line).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn parser_and_resolver_match_golden() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let fixture = dir.join("tests").join("fixtures").join("v2");
+    let files = collect_files(&fixture).expect("walk v2 fixture");
+    assert!(!files.is_empty(), "v2 fixture tree is missing");
+    let parsed: Vec<_> = files
+        .iter()
+        .map(|p| {
+            let src = std::fs::read_to_string(p).expect("read fixture file");
+            let rel = p
+                .strip_prefix(&fixture)
+                .unwrap()
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            parse_file(&rel, &lexer::lex(&src))
+        })
+        .collect();
+    let ws = Workspace::build(parsed);
+    let got = render(&ws);
+
+    let golden_path = dir.join("tests").join("golden").join("v2_workspace.txt");
+    if std::env::var("BENCHTEMP_BLESS").is_ok() {
+        std::fs::write(&golden_path, &got).expect("bless golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing — run once with BENCHTEMP_BLESS=1 to create it");
+    if got != want {
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "parser/resolver drift vs golden at line {} (BENCHTEMP_BLESS=1 rewrites after an intentional change)",
+                i + 1
+            );
+        }
+        panic!(
+            "golden length mismatch: got {} lines, want {} (BENCHTEMP_BLESS=1 rewrites)",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}

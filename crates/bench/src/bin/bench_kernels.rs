@@ -1103,6 +1103,29 @@ fn main() {
         single.ts_traj_hash
     );
 
+    // Audit engine timing: the full-workspace interprocedural analysis
+    // (walk + lex + parse + call graph + taint) gates CI ahead of tier-1,
+    // so it must stay cheap — the budget is 5 s single-threaded.
+    let audit_root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    // audit-allow(no-wallclock-outside-obs): timing the audit analysis itself; reported, not fed back
+    let audit_start = std::time::Instant::now();
+    let audit = benchtemp_audit::run_audit(&audit_root).expect("walk workspace");
+    let audit_ms = audit_start.elapsed().as_secs_f64() * 1e3;
+    const AUDIT_BUDGET_MS: f64 = 5000.0;
+    assert!(audit.ok(), "workspace audit must pass under timing");
+    assert!(
+        audit_ms <= AUDIT_BUDGET_MS,
+        "full-workspace audit took {audit_ms:.0} ms, budget {AUDIT_BUDGET_MS:.0} ms"
+    );
+    println!(
+        "audit: full workspace in {audit_ms:.0} ms (budget {AUDIT_BUDGET_MS:.0} ms) — \
+         {} files, {} fns, {} edges, resolved ratio {:.2}",
+        audit.graph.files_parsed,
+        audit.graph.functions,
+        audit.graph.edges,
+        audit.graph.resolved_ratio()
+    );
+
     if smoke {
         println!("smoke mode: all kernels and determinism assertions passed; skipping JSON");
         return;
@@ -1184,6 +1207,16 @@ fn main() {
             "tgn_fused_speedup": tgn_speedup,
             "single_thread_target": 1.5,
             "loss_bit_identical": true,
+        },
+        "audit": {
+            "workload": "full-workspace static analysis: walk + lex + token rules + item parse + call-graph resolution + interprocedural taint, single thread",
+            "full_workspace_ms": audit_ms,
+            "budget_ms": AUDIT_BUDGET_MS,
+            "within_budget": audit_ms <= AUDIT_BUDGET_MS,
+            "files_parsed": audit.graph.files_parsed,
+            "functions": audit.graph.functions,
+            "edges": audit.graph.edges,
+            "resolved_call_ratio": audit.graph.resolved_ratio(),
         },
         "sanitizer": {
             "workload": "full eval pass (batched gather + parallel matmul forward)",

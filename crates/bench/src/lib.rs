@@ -7,6 +7,10 @@
 //! by `--scale` (see `BenchDataset::config`); results are written both as
 //! aligned text (stdout) and JSON under `results/`.
 
+// audit-allow-file(no-wallclock-outside-obs): the bench harness *is* a
+// wall-clock; every Instant in this file is a calibration or sample timer
+// whose readings are reported, never fed back into the computation.
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -257,7 +261,6 @@ pub mod timing {
     /// Median ns/iter of `f` without printing.
     pub fn measure<T, F: FnMut() -> T>(f: &mut F) -> f64 {
         // Warm-up doubles as calibration.
-        // audit-allow(no-wallclock-outside-obs): the bench harness *is* a wall-clock; readings are reported, not fed back
         let start = Instant::now();
         std::hint::black_box(f());
         let once = start.elapsed();
@@ -266,7 +269,6 @@ pub mod timing {
             .clamp(1.0, 1e7) as u64;
         let mut samples = [0.0f64; SAMPLES];
         for s in samples.iter_mut() {
-            // audit-allow(no-wallclock-outside-obs): sample timer of the bench harness; reported, not fed back
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(f());
@@ -287,11 +289,9 @@ pub mod timing {
         b: &mut B,
     ) -> (f64, f64) {
         // Warm-up doubles as per-side calibration.
-        // audit-allow(no-wallclock-outside-obs): the bench harness *is* a wall-clock; readings are reported, not fed back
         let start = Instant::now();
         std::hint::black_box(a());
         let once_a = start.elapsed();
-        // audit-allow(no-wallclock-outside-obs): per-side calibration timer of the bench harness
         let start = Instant::now();
         std::hint::black_box(b());
         let once_b = start.elapsed();
@@ -304,13 +304,11 @@ pub mod timing {
         let mut sa = [0.0f64; SAMPLES];
         let mut sb = [0.0f64; SAMPLES];
         for (ra, rb) in sa.iter_mut().zip(sb.iter_mut()) {
-            // audit-allow(no-wallclock-outside-obs): sample timer of the bench harness; reported, not fed back
             let start = Instant::now();
             for _ in 0..ia {
                 std::hint::black_box(a());
             }
             *ra = start.elapsed().as_secs_f64() * 1e9 / ia as f64;
-            // audit-allow(no-wallclock-outside-obs): sample timer of the bench harness; reported, not fed back
             let start = Instant::now();
             for _ in 0..ib {
                 std::hint::black_box(b());

@@ -25,6 +25,11 @@
 //!   per *root index* (never per thread), so results are bit-identical at
 //!   any thread count.
 
+// audit-allow-file(hot-path-alloc-reachability): finder construction (`vec!` CSR
+// columns) and the parallel frontier dispatch (per-task views, boxed closures)
+// allocate by design; the counting-allocator pins cover the steady-state
+// sequential sample_into/sample_one path, which writes into caller buffers.
+
 use benchtemp_tensor::init::SeededRng;
 use benchtemp_tensor::pool::pool;
 

@@ -29,6 +29,7 @@ pub fn enabled() -> bool {
         1 => false,
         2 => true,
         _ => *ENV_ENABLED
+            // audit-allow(determinism-taint-hot-path): read once via OnceLock and cached for the process lifetime; cannot vary within a run
             .get_or_init(|| !matches!(std::env::var("BENCHTEMP_FUSION"), Ok(v) if v.trim() == "0")),
     }
 }
