@@ -39,6 +39,10 @@ cargo test -q --offline --workspace
 echo "== ci: kernel smoke bench =="
 cargo run --release --offline -p benchtemp-bench --bin bench_kernels -- --smoke
 
+echo "== ci: paged store smoke (paged == resident, bounded cache, evictions) =="
+cargo run --release --offline -p benchtemp-bench --bin store_smoke | grep -q STORE_SMOKE_OK \
+    || { echo "store smoke failed"; exit 1; }
+
 echo "== ci: sanitize-mode smoke (slot claims + tape checks armed) =="
 BENCHTEMP_SANITIZE=1 \
     cargo run --release --offline -p benchtemp-bench --bin bench_kernels -- --smoke

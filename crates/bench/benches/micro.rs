@@ -12,6 +12,7 @@ use benchtemp_core::pipeline::StreamContext;
 use benchtemp_core::sampler::{EdgeSampler, NegativeStrategy};
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::neighbors::{NeighborFinder, SampleScratch, SamplingStrategy};
+use benchtemp_graph::paged::NeighborBackend;
 use benchtemp_models::walks::sample_walks;
 use benchtemp_tensor::{init, Tape};
 
@@ -117,7 +118,7 @@ fn bench_graph() {
 
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     let mut rng = init::rng(3);
     timing::run("graph/sample_temporal_walks_m4_l3", || {

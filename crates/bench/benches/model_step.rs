@@ -10,6 +10,7 @@ use std::hint::black_box;
 use benchtemp_bench::timing;
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::paged::NeighborBackend;
 use benchtemp_graph::NeighborFinder;
 use benchtemp_models::common::ModelConfig;
 use benchtemp_models::zoo;
@@ -21,7 +22,7 @@ fn main() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     let batch = &g.events[1_000..1_100];
     let negs: Vec<usize> = batch

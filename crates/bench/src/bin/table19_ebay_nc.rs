@@ -43,7 +43,9 @@ fn main() {
                 let ds = dataset.name();
                 auc.add(ds, model_name, run.auc);
                 runtime.add(ds, model_name, run.efficiency.runtime_per_epoch_secs);
-                rss.add(ds, model_name, run.efficiency.peak_rss_bytes as f64 / 1e6);
+                if let Some(b) = run.efficiency.peak_rss_bytes {
+                    rss.add(ds, model_name, b as f64 / 1e6);
+                }
                 state.add(
                     ds,
                     model_name,

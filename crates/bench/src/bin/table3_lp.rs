@@ -92,7 +92,9 @@ fn main() {
                 }
                 runtime.add(ds, model, run.efficiency.runtime_per_epoch_secs);
                 epochs.add(ds, model, run.efficiency.epochs_to_converge as f64);
-                rss.add(ds, model, run.efficiency.peak_rss_bytes as f64 / 1e6);
+                if let Some(b) = run.efficiency.peak_rss_bytes {
+                    rss.add(ds, model, b as f64 / 1e6);
+                }
                 state.add(ds, model, run.efficiency.model_state_bytes as f64 / 1e6);
                 util.add(ds, model, run.efficiency.compute_utilization * 100.0);
                 inference.add(ds, model, run.efficiency.inference_secs_per_100k);

@@ -51,7 +51,9 @@ fn main() {
                 auc.add(ds, model_name, run.auc);
                 runtime.add(ds, model_name, run.efficiency.runtime_per_epoch_secs);
                 epochs.add(ds, model_name, run.efficiency.epochs_to_converge as f64);
-                rss.add(ds, model_name, run.efficiency.peak_rss_bytes as f64 / 1e6);
+                if let Some(b) = run.efficiency.peak_rss_bytes {
+                    rss.add(ds, model_name, b as f64 / 1e6);
+                }
                 state.add(
                     ds,
                     model_name,

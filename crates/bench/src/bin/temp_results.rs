@@ -37,7 +37,9 @@ fn main() {
                 run.efficiency.runtime_per_epoch_secs,
             );
             eff.add(ds, "Epoch", run.efficiency.epochs_to_converge as f64);
-            eff.add(ds, "RSS (MB)", run.efficiency.peak_rss_bytes as f64 / 1e6);
+            if let Some(b) = run.efficiency.peak_rss_bytes {
+                eff.add(ds, "RSS (MB)", b as f64 / 1e6);
+            }
             eff.add(
                 ds,
                 "State (MB)",

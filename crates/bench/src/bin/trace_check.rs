@@ -55,6 +55,7 @@ fn main() {
         seed: 13,
         neg_strategy: NegativeStrategy::Random,
         rank_negatives: 0,
+        paged_store: None,
     };
     let run = train_link_prediction(model.as_mut(), &graph, &split, &cfg);
     assert!(run.transductive.n_edges > 0, "smoke job scored no edges");

@@ -138,6 +138,7 @@ impl Protocol {
             seed,
             neg_strategy: NegativeStrategy::Random,
             rank_negatives: self.rank_negatives,
+            paged_store: None,
         }
     }
 

@@ -18,6 +18,9 @@
 use std::time::{Duration, Instant};
 
 use benchtemp_graph::neighbors::NeighborFinder;
+use benchtemp_graph::paged::{
+    default_store_dir, NeighborBackend, OwnedNeighborBackend, PagedNeighborFinder, StoreOptions,
+};
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_obs as obs;
 use benchtemp_tensor::{pool, Matrix};
@@ -49,7 +52,7 @@ const PAR_EVAL_MIN_SCORES: usize = 1 << 15;
 /// always strictly-before-t, so no future leakage either way).
 pub struct StreamContext<'a> {
     pub graph: &'a TemporalGraph,
-    pub neighbors: &'a NeighborFinder,
+    pub neighbors: NeighborBackend<'a>,
 }
 
 /// Table 1 anatomy row.
@@ -148,6 +151,24 @@ pub struct TrainConfig {
     /// are built and no `score_candidates` calls happen, so AUC/AP-only
     /// runs cost exactly what they did before ranking existed.
     pub rank_negatives: usize,
+    /// Opt-in out-of-core adjacency (DESIGN.md §16): when set, the
+    /// trainers bulk-load the train/full event streams into paged stores
+    /// and sample through the byte-budgeted page cache instead of
+    /// resident CSR columns. Scores and losses are bit-identical to the
+    /// resident path; only memory/IO behaviour changes.
+    pub paged_store: Option<PagedStoreConfig>,
+}
+
+/// Where and how big the per-job paged stores are.
+#[derive(Clone, Debug, Default)]
+pub struct PagedStoreConfig {
+    /// Store directory; `None` creates a unique per-job subdirectory
+    /// under the `BENCHTEMP_STORE_DIR` default and removes it when the
+    /// job ends.
+    pub dir: Option<std::path::PathBuf>,
+    /// Page-cache budget per store in bytes; `None` defers to
+    /// `BENCHTEMP_PAGE_CACHE_MB`.
+    pub cache_budget_bytes: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -161,6 +182,80 @@ impl Default for TrainConfig {
             seed: 0,
             neg_strategy: NegativeStrategy::Random,
             rank_negatives: 0,
+            paged_store: None,
+        }
+    }
+}
+
+/// Removes an auto-created store directory when the job ends.
+struct StoreDirGuard(std::path::PathBuf);
+
+impl Drop for StoreDirGuard {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Monotonic per-process salt so concurrent jobs in one process never
+/// share an auto-created store directory.
+static STORE_JOB_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Owned sampler backends for one job. Field order matters: the backends
+/// (open page files) drop before the directory guard removes their dir.
+struct JobBackends {
+    train: OwnedNeighborBackend,
+    full: OwnedNeighborBackend,
+    _cleanup: Option<StoreDirGuard>,
+}
+
+/// Build the train/full sampler backends per `cfg.paged_store`: resident
+/// CSR by default, paged stores (bulk-loaded under the `setup` span) when
+/// the out-of-core path is opted in.
+fn job_backends(
+    graph: &TemporalGraph,
+    train_events: &[Interaction],
+    cfg: &TrainConfig,
+) -> JobBackends {
+    match &cfg.paged_store {
+        None => JobBackends {
+            train: OwnedNeighborBackend::Resident(NeighborFinder::from_events(
+                graph.num_nodes,
+                train_events,
+            )),
+            full: OwnedNeighborBackend::Resident(NeighborFinder::from_events(
+                graph.num_nodes,
+                &graph.events,
+            )),
+            _cleanup: None,
+        },
+        Some(ps) => {
+            let (base, guard) = match &ps.dir {
+                Some(d) => (d.clone(), None),
+                None => {
+                    let n = STORE_JOB_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let d = default_store_dir().join(format!("job-{}-{n}", std::process::id()));
+                    (d.clone(), Some(StoreDirGuard(d)))
+                }
+            };
+            let opts = StoreOptions {
+                cache_budget_bytes: ps.cache_budget_bytes,
+                ..Default::default()
+            };
+            let train = PagedNeighborFinder::bulk_load(
+                &base.join("train"),
+                graph.num_nodes,
+                train_events,
+                None,
+                &opts,
+            )
+            .expect("paged store: train bulk load failed");
+            let full = PagedNeighborFinder::bulk_load_graph(&base.join("full"), graph, &opts)
+                .expect("paged store: full bulk load failed");
+            JobBackends {
+                train: OwnedNeighborBackend::Paged(train),
+                full: OwnedNeighborBackend::Paged(full),
+                _cleanup: guard,
+            }
         }
     }
 }
@@ -247,15 +342,14 @@ pub fn train_link_prediction(
     let deadline = job_start + cfg.timeout;
 
     let setup_span = obs::span(stage::SETUP);
-    let train_nf = NeighborFinder::from_events(graph.num_nodes, &split.train);
-    let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
+    let backends = job_backends(graph, &split.train, cfg);
     let train_ctx = StreamContext {
         graph,
-        neighbors: &train_nf,
+        neighbors: backends.train.as_backend(),
     };
     let full_ctx = StreamContext {
         graph,
-        neighbors: &full_nf,
+        neighbors: backends.full.as_backend(),
     };
 
     let mut train_sampler = EdgeSampler::new(graph, &split.train, cfg.neg_strategy, cfg.seed);
@@ -636,10 +730,12 @@ pub fn train_node_classification(
         .expect("node classification needs labels");
     let setup_span = obs::span(stage::SETUP);
     let split = NodeClassSplit::new(graph);
-    let full_nf = NeighborFinder::from_events(graph.num_nodes, &graph.events);
+    // Node classification streams the full graph only; the train backend
+    // of the pair is an empty shell (cheap in both modes).
+    let backends = job_backends(graph, &[], cfg);
     let ctx = StreamContext {
         graph,
-        neighbors: &full_nf,
+        neighbors: backends.full.as_backend(),
     };
     drop(setup_span);
 

@@ -118,6 +118,7 @@ fn run_job(model: &mut SleepyModel, max_epochs: usize) -> benchtemp_core::LinkPr
         seed: 7,
         neg_strategy: NegativeStrategy::Random,
         rank_negatives: 0,
+        paged_store: None,
     };
     train_link_prediction(model, &g, &split, &cfg)
 }

@@ -247,6 +247,25 @@ impl BenchDataset {
         }
     }
 
+    /// Analytic estimate of the bytes a fully resident in-memory pipeline
+    /// holds for this preset at `scale`: the event stream
+    /// (`Interaction` = 32 B), both feature matrices (f32), and the
+    /// bidirectional CSR index (20 B per directed entry — u32 neighbor,
+    /// f64 ts, u32 event idx, u32 feature row — plus 8 B/node offsets).
+    /// This is what the paged store's cache budget is traded against — presets
+    /// whose estimate exceeds `BENCHTEMP_PAGE_CACHE_MB` will exercise
+    /// eviction when run through the paged backend.
+    pub fn resident_bytes_estimate(&self, scale: f64) -> usize {
+        let stats = self.paper_stats();
+        let edges = ((stats.edges as f64 * scale).round() as usize).max(400);
+        let nodes = ((stats.nodes as f64 * scale.powf(0.75)).round() as usize).max(24);
+        let events = edges * std::mem::size_of::<crate::temporal_graph::Interaction>();
+        let edge_feats = edges * self.edge_dim() * 4;
+        let node_feats = nodes * crate::features::STANDARD_NODE_DIM * 4;
+        let csr = 2 * edges * (4 + 8 + 4 + 4) + (nodes + 1) * 8;
+        events + edge_feats + node_feats + csr
+    }
+
     /// Build the generator configuration at the given scale and seed.
     pub fn config(&self, scale: f64, seed: u64) -> GeneratorConfig {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
@@ -300,6 +319,27 @@ impl BenchDataset {
             seed,
         }
     }
+}
+
+/// Aligned table of [`BenchDataset::resident_bytes_estimate`] for every
+/// preset (Table 2 + Table 16) at `scale`, largest first — capacity
+/// planning against a page-cache budget at a glance. Printed by the store
+/// smoke harness.
+pub fn resident_bytes_report(scale: f64) -> String {
+    let mut rows: Vec<(&'static str, usize)> = BenchDataset::all15()
+        .into_iter()
+        .chain(BenchDataset::new6())
+        .map(|d| (d.name(), d.resident_bytes_estimate(scale)))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut out = format!("resident-bytes estimates at scale {scale}\n");
+    for (name, bytes) in rows {
+        out.push_str(&format!(
+            "  {name:<22} {:>10.2} MiB\n",
+            bytes as f64 / (1 << 20) as f64
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -366,6 +406,22 @@ mod tests {
         ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         ts.dedup();
         assert!(ts.len() <= 14);
+    }
+
+    #[test]
+    fn resident_estimates_scale_and_rank_sensibly() {
+        // Full-scale SocialEvo (2.1M events) must dwarf UNVote's estimate
+        // scaled down 100×, and every preset appears in the report.
+        let big = BenchDataset::SocialEvo.resident_bytes_estimate(1.0);
+        let small = BenchDataset::UnVote.resident_bytes_estimate(0.01);
+        assert!(big > 50 * small, "{big} vs {small}");
+        let report = resident_bytes_report(0.05);
+        for d in BenchDataset::all15()
+            .into_iter()
+            .chain(BenchDataset::new6())
+        {
+            assert!(report.contains(d.name()), "{} missing", d.name());
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod features;
 pub mod generators;
 pub mod io;
 pub mod neighbors;
+pub mod paged;
 pub mod reindex;
 pub mod snapshots;
 pub mod stats;
@@ -20,8 +21,9 @@ pub use datasets::BenchDataset;
 pub use features::FeatureInit;
 pub use generators::GeneratorConfig;
 pub use neighbors::{
-    frontier_stream_seed, Frontier, FrontierHop, NeighborEvent, NeighborFinder, NeighborSlice,
-    SampleScratch, SamplingStrategy,
+    frontier_stream_seed, BackendScratch, Frontier, FrontierHop, HistoryScratch, NeighborEvent,
+    NeighborFinder, NeighborSlice, SampleScratch, SamplingStrategy,
 };
+pub use paged::{NeighborBackend, OwnedNeighborBackend, PagedNeighborFinder};
 pub use stats::DatasetStats;
 pub use temporal_graph::{EventLabels, Interaction, TemporalGraph};

@@ -131,6 +131,61 @@ pub struct SampleScratch {
     cum: Vec<f64>,
 }
 
+/// Reusable SoA buffers a paged backend materialises one node's history
+/// window into before sampling. The resident backend never touches it
+/// (its windows are borrowed CSR slices), so sharing one scratch type
+/// keeps both backends behind the same API without costing the resident
+/// path anything.
+#[derive(Default)]
+pub struct HistoryScratch {
+    pub(crate) neighbor: Vec<u32>,
+    pub(crate) ts: Vec<f64>,
+    pub(crate) event_idx: Vec<u32>,
+}
+
+impl HistoryScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.neighbor.clear();
+        self.ts.clear();
+        self.event_idx.clear();
+    }
+
+    /// View the materialised window as a [`NeighborSlice`] — the exact
+    /// type the shared sampling kernels consume, so the paged path runs
+    /// the same code on the same bytes as the resident path.
+    pub(crate) fn as_slice(&self) -> NeighborSlice<'_> {
+        NeighborSlice {
+            neighbor: &self.neighbor,
+            ts: &self.ts,
+            event_idx: &self.event_idx,
+        }
+    }
+
+    /// Heap footprint (efficiency accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.neighbor.capacity() * 4 + self.ts.capacity() * 8 + self.event_idx.capacity() * 4
+    }
+}
+
+/// Combined per-caller scratch for backend-agnostic sampling: the
+/// weighted cumulative column plus (paged backend only) the history
+/// window buffer.
+#[derive(Default)]
+pub struct BackendScratch {
+    pub sample: SampleScratch,
+    pub history: HistoryScratch,
+}
+
+impl BackendScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl SampleScratch {
     pub fn new() -> Self {
         Self::default()
@@ -226,6 +281,17 @@ impl FrontierHop {
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
+
+    /// Heap bytes held by this hop's six column arrays (capacities, not
+    /// lengths — this is what the allocator actually handed out).
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<usize>()
+            + self.times.capacity() * std::mem::size_of::<f64>()
+            + self.event_idx.capacity() * std::mem::size_of::<usize>()
+            + self.feat_idx.capacity() * std::mem::size_of::<usize>()
+            + self.dts.capacity() * std::mem::size_of::<f32>()
+            + self.mask.capacity() * std::mem::size_of::<bool>()
+    }
 }
 
 /// Result of [`NeighborFinder::sample_frontier`]: one [`FrontierHop`] per
@@ -233,6 +299,14 @@ impl FrontierHop {
 pub struct Frontier {
     pub k: usize,
     pub hops: Vec<FrontierHop>,
+}
+
+impl Frontier {
+    /// Heap bytes across every hop level (see [`FrontierHop::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.hops.capacity() * std::mem::size_of::<FrontierHop>()
+            + self.hops.iter().map(FrontierHop::heap_bytes).sum::<usize>()
+    }
 }
 
 /// A task-owned window of one hop level's arrays (all six columns split in
@@ -378,24 +452,7 @@ impl NeighborFinder {
     ) {
         out.clear();
         let hist = self.before(node, t);
-        if hist.is_empty() || k == 0 {
-            return;
-        }
-        match strategy {
-            SamplingStrategy::MostRecent => {
-                let start = hist.len().saturating_sub(k);
-                out.extend((start..hist.len()).map(|i| hist.get(i)));
-            }
-            SamplingStrategy::Uniform => fill_uniform(hist, k, rng, out),
-            SamplingStrategy::TemporalExp { alpha } => {
-                let acc = scratch.fill_cum(hist.ts(), |x| (alpha * (x - t)).exp());
-                fill_weighted(hist, &scratch.cum, acc, k, rng, out);
-            }
-            SamplingStrategy::TemporalSafe => {
-                let acc = scratch.fill_cum(hist.ts(), |x| safe_weight(t, x));
-                fill_weighted(hist, &scratch.cum, acc, k, rng, out);
-            }
-        }
+        sample_slice_into(hist, t, k, strategy, rng, scratch, out);
     }
 
     /// Scalar fast path for walk engines: one sample, no output buffer.
@@ -410,21 +467,7 @@ impl NeighborFinder {
         scratch: &mut SampleScratch,
     ) -> Option<NeighborEvent> {
         let hist = self.before(node, t);
-        if hist.is_empty() {
-            return None;
-        }
-        Some(match strategy {
-            SamplingStrategy::MostRecent => hist.get(hist.len() - 1),
-            SamplingStrategy::Uniform => hist.get(rng.gen_range(0..hist.len())),
-            SamplingStrategy::TemporalExp { alpha } => {
-                let acc = scratch.fill_cum(hist.ts(), |x| (alpha * (x - t)).exp());
-                pick_weighted(hist, &scratch.cum, acc, rng)
-            }
-            SamplingStrategy::TemporalSafe => {
-                let acc = scratch.fill_cum(hist.ts(), |x| safe_weight(t, x));
-                pick_weighted(hist, &scratch.cum, acc, rng)
-            }
-        })
+        sample_slice_one(hist, t, strategy, rng, scratch)
     }
 
     /// Batched multi-hop frontier expansion: expand every `(roots[i],
@@ -447,6 +490,75 @@ impl NeighborFinder {
         strategy: SamplingStrategy,
         seed: u64,
     ) -> Frontier {
+        expand_frontier(self, roots, times, k, hops, strategy, seed)
+    }
+
+    /// Heap footprint (efficiency accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.neighbor.capacity() * std::mem::size_of::<u32>()
+            + self.ts.capacity() * std::mem::size_of::<f64>()
+            + self.event_idx.capacity() * std::mem::size_of::<u32>()
+            + self.event_feat.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The surface a backend exposes to the shared frontier engine: per-root
+/// sampling (identical semantics to `sample_into`) plus the resident
+/// event-idx → edge-feature-row map. `Sync` because root ranges fan out
+/// over the worker pool sharing `&self`.
+pub(crate) trait FrontierBackend: Sync {
+    // Mirrors `sample_into`'s full parameter surface on purpose: the shared
+    // frontier engine forwards every knob verbatim.
+    #[allow(clippy::too_many_arguments)]
+    fn backend_sample_into(
+        &self,
+        node: usize,
+        t: f64,
+        k: usize,
+        strategy: SamplingStrategy,
+        rng: &mut SeededRng,
+        scratch: &mut BackendScratch,
+        out: &mut Vec<NeighborEvent>,
+    );
+
+    fn backend_event_feat(&self) -> &[u32];
+}
+
+impl FrontierBackend for NeighborFinder {
+    fn backend_sample_into(
+        &self,
+        node: usize,
+        t: f64,
+        k: usize,
+        strategy: SamplingStrategy,
+        rng: &mut SeededRng,
+        scratch: &mut BackendScratch,
+        out: &mut Vec<NeighborEvent>,
+    ) {
+        self.sample_into(node, t, k, strategy, rng, &mut scratch.sample, out);
+    }
+
+    fn backend_event_feat(&self) -> &[u32] {
+        &self.event_feat
+    }
+}
+
+/// Batched multi-hop frontier expansion, generic over the backend. One
+/// code path serves both the resident CSR and the paged store, so the
+/// schedule (per-root RNG streams, depth-complete expansion, lockstep
+/// column splits, pool claims) — and therefore every output bit — cannot
+/// drift between them.
+pub(crate) fn expand_frontier<B: FrontierBackend + ?Sized>(
+    backend: &B,
+    roots: &[usize],
+    times: &[f64],
+    k: usize,
+    hops: usize,
+    strategy: SamplingStrategy,
+    seed: u64,
+) -> Frontier {
+    {
         assert_eq!(roots.len(), times.len(), "roots/times length mismatch");
         let n = roots.len();
         let mut levels = Vec::with_capacity(hops);
@@ -526,7 +638,16 @@ impl NeighborFinder {
                 let start = ti * chunk;
                 let end = (start + chunk).min(n);
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    self.expand_root_range(roots, times, start..end, k, strategy, seed, &mut view);
+                    expand_root_range(
+                        backend,
+                        roots,
+                        times,
+                        start..end,
+                        k,
+                        strategy,
+                        seed,
+                        &mut view,
+                    );
                 });
                 task
             })
@@ -535,53 +656,111 @@ impl NeighborFinder {
 
         Frontier { k, hops: levels }
     }
+}
 
-    /// Expand roots `range` depth-complete, one private RNG stream per root.
-    #[allow(clippy::too_many_arguments)]
-    fn expand_root_range(
-        &self,
-        roots: &[usize],
-        times: &[f64],
-        range: std::ops::Range<usize>,
-        k: usize,
-        strategy: SamplingStrategy,
-        seed: u64,
-        view: &mut [HopChunk<'_>],
-    ) {
-        let mut scratch = SampleScratch::new();
-        let mut buf: Vec<NeighborEvent> = Vec::with_capacity(k);
-        let start = range.start;
-        for r in range {
-            let local = r - start;
-            let mut rng = SeededRng::seed_from_u64(frontier_stream_seed(seed, r as u64));
-            let mut parents = 1usize;
-            for l in 0..view.len() {
-                let (done, rest) = view.split_at_mut(l);
-                let cur = &mut rest[0];
-                for j in 0..parents {
-                    let slot = local * parents + j;
-                    let (pn, pt) = if l == 0 {
-                        (roots[r], times[r])
-                    } else {
-                        let prev = &done[l - 1];
-                        (prev.nodes[slot], prev.times[slot])
-                    };
-                    self.sample_into(pn, pt, k, strategy, &mut rng, &mut scratch, &mut buf);
-                    write_slots(&buf, &self.event_feat, pt, k, cur, slot * k);
-                }
-                parents *= k;
+/// Expand roots `range` depth-complete, one private RNG stream per root.
+#[allow(clippy::too_many_arguments)]
+fn expand_root_range<B: FrontierBackend + ?Sized>(
+    backend: &B,
+    roots: &[usize],
+    times: &[f64],
+    range: std::ops::Range<usize>,
+    k: usize,
+    strategy: SamplingStrategy,
+    seed: u64,
+    view: &mut [HopChunk<'_>],
+) {
+    let mut scratch = BackendScratch::new();
+    let mut buf: Vec<NeighborEvent> = Vec::with_capacity(k);
+    let start = range.start;
+    for r in range {
+        let local = r - start;
+        let mut rng = SeededRng::seed_from_u64(frontier_stream_seed(seed, r as u64));
+        let mut parents = 1usize;
+        for l in 0..view.len() {
+            let (done, rest) = view.split_at_mut(l);
+            let cur = &mut rest[0];
+            for j in 0..parents {
+                let slot = local * parents + j;
+                let (pn, pt) = if l == 0 {
+                    (roots[r], times[r])
+                } else {
+                    let prev = &done[l - 1];
+                    (prev.nodes[slot], prev.times[slot])
+                };
+                backend.backend_sample_into(pn, pt, k, strategy, &mut rng, &mut scratch, &mut buf);
+                write_slots(&buf, backend.backend_event_feat(), pt, k, cur, slot * k);
             }
+            parents *= k;
         }
     }
+}
 
-    /// Heap footprint (efficiency accounting).
-    pub fn heap_bytes(&self) -> usize {
-        self.offsets.capacity() * std::mem::size_of::<usize>()
-            + self.neighbor.capacity() * std::mem::size_of::<u32>()
-            + self.ts.capacity() * std::mem::size_of::<f64>()
-            + self.event_idx.capacity() * std::mem::size_of::<u32>()
-            + self.event_feat.capacity() * std::mem::size_of::<u32>()
+/// The strategy dispatch of [`NeighborFinder::sample_into`], over an
+/// already-cut history window. Both backends funnel through this one
+/// function — the resident path with a borrowed CSR slice, the paged path
+/// with a scratch-materialised copy of the same bytes — so identical
+/// window contents imply identical RNG consumption and identical output
+/// bits. That equality *is* the paged backend's bit-identity argument
+/// (DESIGN.md §16).
+///
+/// `hist` must be the full strictly-before-`t` window for the RNG-driven
+/// strategies (draw ranges depend on its length); for `MostRecent` (which
+/// consumes no randomness) a tail of at least `min(k, window_len)`
+/// entries yields the same output.
+pub(crate) fn sample_slice_into(
+    hist: NeighborSlice<'_>,
+    t: f64,
+    k: usize,
+    strategy: SamplingStrategy,
+    rng: &mut SeededRng,
+    scratch: &mut SampleScratch,
+    out: &mut Vec<NeighborEvent>,
+) {
+    if hist.is_empty() || k == 0 {
+        return;
     }
+    match strategy {
+        SamplingStrategy::MostRecent => {
+            let start = hist.len().saturating_sub(k);
+            out.extend((start..hist.len()).map(|i| hist.get(i)));
+        }
+        SamplingStrategy::Uniform => fill_uniform(hist, k, rng, out),
+        SamplingStrategy::TemporalExp { alpha } => {
+            let acc = scratch.fill_cum(hist.ts(), |x| (alpha * (x - t)).exp());
+            fill_weighted(hist, &scratch.cum, acc, k, rng, out);
+        }
+        SamplingStrategy::TemporalSafe => {
+            let acc = scratch.fill_cum(hist.ts(), |x| safe_weight(t, x));
+            fill_weighted(hist, &scratch.cum, acc, k, rng, out);
+        }
+    }
+}
+
+/// Scalar counterpart of [`sample_slice_into`] (k = 1, no output buffer);
+/// same backend-sharing contract.
+pub(crate) fn sample_slice_one(
+    hist: NeighborSlice<'_>,
+    t: f64,
+    strategy: SamplingStrategy,
+    rng: &mut SeededRng,
+    scratch: &mut SampleScratch,
+) -> Option<NeighborEvent> {
+    if hist.is_empty() {
+        return None;
+    }
+    Some(match strategy {
+        SamplingStrategy::MostRecent => hist.get(hist.len() - 1),
+        SamplingStrategy::Uniform => hist.get(rng.gen_range(0..hist.len())),
+        SamplingStrategy::TemporalExp { alpha } => {
+            let acc = scratch.fill_cum(hist.ts(), |x| (alpha * (x - t)).exp());
+            pick_weighted(hist, &scratch.cum, acc, rng)
+        }
+        SamplingStrategy::TemporalSafe => {
+            let acc = scratch.fill_cum(hist.ts(), |x| safe_weight(t, x));
+            pick_weighted(hist, &scratch.cum, acc, rng)
+        }
+    })
 }
 
 /// Appendix-C Eq. 2–3 overflow-safe weight for a history timestamp `x < t`.

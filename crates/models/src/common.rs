@@ -327,6 +327,7 @@ pub fn ranking_rng(batch: &[Interaction], cand_dsts: &[usize]) -> SeededRng {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
 
     #[test]
@@ -358,7 +359,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut rng = init::rng(1);
         // One query at t=0 (no history) and one late query (some history).

@@ -158,6 +158,7 @@ impl TgnnModel for EdgeBank {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
 
     fn ctx_graph() -> benchtemp_graph::TemporalGraph {
@@ -170,7 +171,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut eb = EdgeBank::unlimited();
         // First pass: observe.
@@ -187,7 +188,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut eb = EdgeBank::unlimited();
         let negs: Vec<usize> = vec![g.num_nodes - 1; 10];
@@ -222,7 +223,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut eb = EdgeBank::unlimited();
         let half = g.num_events() / 2;

@@ -395,6 +395,7 @@ impl TgnnModel for Nat {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
 
     #[test]
@@ -435,7 +436,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut nat = Nat::new(
             ModelConfig {
@@ -460,7 +461,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut nat = Nat::new(
             ModelConfig {

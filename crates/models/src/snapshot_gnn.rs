@@ -276,6 +276,7 @@ impl TgnnModel for SnapshotGnn {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
 
     fn setup() -> benchtemp_graph::TemporalGraph {
@@ -288,7 +289,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = SnapshotGnn::new(
             ModelConfig {
@@ -314,7 +315,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = SnapshotGnn::new(
             ModelConfig {
@@ -344,7 +345,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = SnapshotGnn::new(
             ModelConfig {

@@ -17,6 +17,7 @@
 
 use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
+use benchtemp_graph::neighbors::HistoryScratch;
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_obs as obs;
 use benchtemp_tensor::nn::{GruCell, Linear, MergeLayer, TimeEncode};
@@ -87,8 +88,14 @@ impl Temp {
 
     /// Adaptive reference timestamp: the mean of the node's history
     /// timestamps before `t` (falls back to `t` with empty history).
-    fn reference_time(&self, ctx: &StreamContext, node: usize, t: f64) -> f64 {
-        let hist = ctx.neighbors.before(node, t);
+    fn reference_time(
+        &self,
+        ctx: &StreamContext,
+        node: usize,
+        t: f64,
+        scratch: &mut HistoryScratch,
+    ) -> f64 {
+        let hist = ctx.neighbors.before_into(node, t, scratch);
         if hist.is_empty() {
             return t;
         }
@@ -114,10 +121,13 @@ impl Temp {
         let mut lpa = Matrix::zeros(nodes.len(), d);
         let mut msg = Matrix::zeros(nodes.len(), edge_dim);
         let mut ref_dts = vec![0.0f32; nodes.len()];
+        // One window scratch for the whole batch: only the paged backend
+        // writes into it, and both `before_into` calls per node refill it.
+        let mut scratch = HistoryScratch::new();
         for (i, (&node, &t)) in nodes.iter().zip(times).enumerate() {
-            let ref_t = self.reference_time(ctx, node, t);
+            let ref_t = self.reference_time(ctx, node, t, &mut scratch);
             ref_dts[i] = (t - ref_t).max(0.0) as f32;
-            let hist = ctx.neighbors.before(node, t);
+            let hist = ctx.neighbors.before_into(node, t, &mut scratch);
             if hist.is_empty() {
                 continue;
             }
@@ -351,6 +361,7 @@ impl TgnnModel for Temp {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
 
     fn setup() -> benchtemp_graph::TemporalGraph {
@@ -363,7 +374,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = Temp::new(
             ModelConfig {
@@ -389,18 +400,19 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let m = Temp::new(ModelConfig::default(), &g);
         let node = g.events[0].src;
         let t = 1e9;
         let hist = nf.before(node, t);
         let mean = hist.iter().map(|e| e.t).sum::<f64>() / hist.len() as f64;
-        assert!((m.reference_time(&ctx, node, t) - mean).abs() < 1e-9);
+        let mut scratch = HistoryScratch::new();
+        assert!((m.reference_time(&ctx, node, t, &mut scratch) - mean).abs() < 1e-9);
         // No history → the query time itself.
         let lonely = (0..g.num_nodes).find(|&n| nf.degree(n) == 0);
         if let Some(n) = lonely {
-            assert_eq!(m.reference_time(&ctx, n, 42.0), 42.0);
+            assert_eq!(m.reference_time(&ctx, n, 42.0, &mut scratch), 42.0);
         }
     }
 
@@ -410,7 +422,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = Temp::new(
             ModelConfig {
@@ -440,7 +452,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = Temp::new(
             ModelConfig {

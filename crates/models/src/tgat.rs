@@ -314,6 +314,7 @@ impl TgnnModel for Tgat {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
 
     #[test]
@@ -322,7 +323,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let cfg = ModelConfig {
             embed_dim: 16,
@@ -359,7 +360,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = Tgat::new(
             ModelConfig {
@@ -382,7 +383,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = Tgat::new(
             ModelConfig {

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 
 use benchtemp_core::efficiency::stage;
 use benchtemp_core::pipeline::{Anatomy, StreamContext, TgnnModel};
-use benchtemp_graph::neighbors::{SampleScratch, SamplingStrategy};
+use benchtemp_graph::neighbors::{BackendScratch, SamplingStrategy};
 use benchtemp_graph::temporal_graph::{Interaction, TemporalGraph};
 use benchtemp_obs as obs;
 use benchtemp_tensor::init::SeededRng;
@@ -71,7 +71,7 @@ pub struct WalkModel {
     l: usize,
     hidden: usize,
     /// Reused weighted-sampling buffers — walk hops allocate nothing.
-    scratch: SampleScratch,
+    scratch: BackendScratch,
 }
 
 impl WalkModel {
@@ -112,7 +112,7 @@ impl WalkModel {
             m: cfg.walks.max(1),
             l,
             hidden: h,
-            scratch: SampleScratch::new(),
+            scratch: BackendScratch::new(),
         }
     }
 
@@ -145,7 +145,7 @@ impl WalkModel {
         l: usize,
         strategy: SamplingStrategy,
         rng: &mut SeededRng,
-        scratch: &mut SampleScratch,
+        scratch: &mut BackendScratch,
     ) -> WalkSets {
         let mut sample_role = |nodes: &[usize], rng: &mut SeededRng| -> Vec<Vec<TemporalWalk>> {
             nodes
@@ -501,6 +501,7 @@ impl TgnnModel for WalkModel {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
 
     fn setup() -> benchtemp_graph::TemporalGraph {
@@ -523,7 +524,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = WalkModel::cawn(small_cfg(), &g);
         let batch = &g.events[800..830];
@@ -540,7 +541,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let batch = &g.events[800..820];
         let negs: Vec<usize> = batch.iter().map(|_| g.num_users + 2).collect();
@@ -559,7 +560,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = WalkModel::cawn(
             ModelConfig {
@@ -584,7 +585,7 @@ mod tests {
         let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut m = WalkModel::neurtw(small_cfg(), &g);
         let emb = m.embed_events(&ctx, &g.events[500..510]);

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use benchtemp_core::pipeline::StreamContext;
-use benchtemp_graph::neighbors::{SampleScratch, SamplingStrategy};
+use benchtemp_graph::neighbors::{BackendScratch, SamplingStrategy};
 use benchtemp_tensor::init::SeededRng;
 
 /// One backward temporal walk of fixed budget `L` steps; dead ends are
@@ -43,7 +43,7 @@ impl TemporalWalk {
 /// Sample `m` backward walks of `l` hops from `start` at time `t`.
 ///
 /// Convenience wrapper over [`sample_walks_with`] that allocates a fresh
-/// [`SampleScratch`]; hot loops should hold one and call the `_with` form.
+/// [`BackendScratch`]; hot loops should hold one and call the `_with` form.
 pub fn sample_walks(
     ctx: &StreamContext,
     start: usize,
@@ -53,7 +53,7 @@ pub fn sample_walks(
     strategy: SamplingStrategy,
     rng: &mut SeededRng,
 ) -> Vec<TemporalWalk> {
-    let mut scratch = SampleScratch::new();
+    let mut scratch = BackendScratch::new();
     sample_walks_with(ctx, start, t, m, l, strategy, rng, &mut scratch)
 }
 
@@ -70,7 +70,7 @@ pub fn sample_walks_with(
     l: usize,
     strategy: SamplingStrategy,
     rng: &mut SeededRng,
-    scratch: &mut SampleScratch,
+    scratch: &mut BackendScratch,
 ) -> Vec<TemporalWalk> {
     (0..m)
         .map(|_| {
@@ -161,6 +161,7 @@ pub fn anon_dim(l: usize) -> usize {
 mod tests {
     use super::*;
     use benchtemp_graph::generators::GeneratorConfig;
+    use benchtemp_graph::paged::NeighborBackend;
     use benchtemp_graph::NeighborFinder;
     use benchtemp_tensor::init;
 
@@ -175,7 +176,7 @@ mod tests {
         let (g, nf) = setup();
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut rng = init::rng(1);
         let start = g.events.last().unwrap().src;
@@ -206,7 +207,7 @@ mod tests {
         let (g, nf) = setup();
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut rng = init::rng(2);
         // t=0: no history anywhere → every hop invalid.
@@ -222,7 +223,7 @@ mod tests {
         let (g, nf) = setup();
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut rng = init::rng(3);
         let start = g.events.last().unwrap().src;
@@ -286,7 +287,7 @@ mod tests {
         let (g, nf) = setup();
         let ctx = StreamContext {
             graph: &g,
-            neighbors: &nf,
+            neighbors: NeighborBackend::Resident(&nf),
         };
         let mut rng = init::rng(4);
         let mut pos_overlap = 0usize;

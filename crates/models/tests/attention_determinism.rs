@@ -14,6 +14,7 @@ use std::process::Command;
 
 use benchtemp_core::pipeline::{StreamContext, TgnnModel};
 use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::paged::NeighborBackend;
 use benchtemp_graph::NeighborFinder;
 use benchtemp_models::common::ModelConfig;
 use benchtemp_models::tgat::Tgat;
@@ -35,7 +36,7 @@ fn tgat_trajectory_digest() -> u64 {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     let cfg = ModelConfig {
         embed_dim: 16,

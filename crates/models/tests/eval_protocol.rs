@@ -7,6 +7,7 @@
 
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::paged::NeighborBackend;
 use benchtemp_graph::NeighborFinder;
 use benchtemp_models::common::ModelConfig;
 use benchtemp_models::zoo::{self, ALL_MODELS};
@@ -34,7 +35,7 @@ fn eval_never_mutates_parameters() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     for name in ALL_MODELS {
         let mut model = zoo::build(name, cfg(), &g);
@@ -56,7 +57,7 @@ fn train_does_mutate_parameters() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     for name in ALL_MODELS {
         if name == "EdgeBank" {
@@ -80,7 +81,7 @@ fn reset_state_restores_initial_scores_for_stateful_models() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     for name in ["TGN", "JODIE", "NAT", "TeMP", "EdgeBank"] {
         let mut model = zoo::build(name, cfg(), &g);
@@ -105,7 +106,7 @@ fn embed_events_shape_contract() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     for name in ALL_MODELS {
         let mut model = zoo::build(name, cfg(), &g);
@@ -127,7 +128,7 @@ fn scores_are_finite_under_extreme_time_gaps() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     for name in ALL_MODELS {
         let mut model = zoo::build(name, cfg(), &g);

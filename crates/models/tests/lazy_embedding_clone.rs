@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use benchtemp_core::pipeline::{StreamContext, TgnnModel};
 use benchtemp_graph::generators::GeneratorConfig;
+use benchtemp_graph::paged::NeighborBackend;
 use benchtemp_graph::NeighborFinder;
 use benchtemp_models::common::ModelConfig;
 use benchtemp_models::tgat::Tgat;
@@ -69,7 +70,7 @@ fn eval_batch_skips_the_embedding_clone() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     let cfg = ModelConfig {
         embed_dim: EMBED_DIM,

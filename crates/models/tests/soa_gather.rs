@@ -17,6 +17,7 @@ use std::sync::Mutex;
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::neighbors::SamplingStrategy;
+use benchtemp_graph::paged::NeighborBackend;
 use benchtemp_graph::NeighborFinder;
 use benchtemp_models::common::{NeighborBatch, NodeMemory};
 use benchtemp_tensor::{fusion, init, Graph, Matrix, ParamStore};
@@ -41,7 +42,7 @@ fn frontier_gathers_match_scalar_baselines_bitwise() {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     let store = ParamStore::new();
 

@@ -14,6 +14,7 @@ use std::process::Command;
 use benchtemp_core::pipeline::StreamContext;
 use benchtemp_graph::generators::GeneratorConfig;
 use benchtemp_graph::neighbors::{NeighborFinder, SamplingStrategy};
+use benchtemp_graph::paged::NeighborBackend;
 use benchtemp_models::walks::{anonymize, position_counts, sample_walks};
 use benchtemp_tensor::init;
 
@@ -36,7 +37,7 @@ fn walk_feature_digest() -> u64 {
     let nf = NeighborFinder::from_events(g.num_nodes, &g.events);
     let ctx = StreamContext {
         graph: &g,
-        neighbors: &nf,
+        neighbors: NeighborBackend::Resident(&nf),
     };
     let mut rng = init::rng(5);
     let mut bytes: Vec<u8> = Vec::new();

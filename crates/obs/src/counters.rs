@@ -101,15 +101,29 @@ pub static TIME_ENCODE_MEMO_HITS: Counter = Counter::new("time_encode_memo_hits"
 /// pure function of the gather index lists, so thread-count-invariant.
 pub static GATHER_COALESCED_RUNS: Counter = Counter::new("tape.gather_coalesced_runs");
 
+/// Page-cache lookups served from a resident frame (`benchtemp-store`).
+pub static STORE_PAGE_HITS: Counter = Counter::new("store.page_hits");
+/// Page-cache lookups that faulted a page in from disk.
+pub static STORE_PAGE_MISSES: Counter = Counter::new("store.page_misses");
+/// CLOCK victims evicted to stay inside the page-cache byte budget.
+pub static STORE_PAGE_EVICTIONS: Counter = Counter::new("store.page_evictions");
+/// Write-ahead-log records replayed during store open/seal.
+pub static STORE_WAL_RECORDS: Counter = Counter::new("store.wal_records_replayed");
+/// Events folded into CSR pages by the external-sort bulk loader.
+pub static STORE_BULK_EVENTS: Counter = Counter::new("store.bulk_events");
+
 /// Peak resident set size observed (bytes).
 pub static PEAK_RSS_BYTES: Gauge = Gauge::new("peak_rss_bytes");
+/// Bytes held by `benchtemp-store` page-cache frames (bounded by the
+/// `BENCHTEMP_PAGE_CACHE_MB` budget; high-water mark).
+pub static STORE_CACHE_RESIDENT_BYTES: Gauge = Gauge::new("store.cache_resident_bytes");
 /// Bytes held by the tape's recycled matrix buffers after the last trim.
 pub static TAPE_POOL_RESIDENT_BYTES: Gauge = Gauge::new("tape.pool_resident_bytes");
 
 /// All counters, in a fixed order ([`crate::Recorder`] baselines index into
 /// this slice, so the order is part of the recorder contract).
 pub fn all() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 14] = [
+    static ALL: [&Counter; 19] = [
         &NEGATIVES_SAMPLED,
         &FRONTIER_NODES_EXPANDED,
         &TAPE_NODES_ALLOCATED,
@@ -124,13 +138,22 @@ pub fn all() -> &'static [&'static Counter] {
         &TAPE_POOL_MISSES,
         &TIME_ENCODE_MEMO_HITS,
         &GATHER_COALESCED_RUNS,
+        &STORE_PAGE_HITS,
+        &STORE_PAGE_MISSES,
+        &STORE_PAGE_EVICTIONS,
+        &STORE_WAL_RECORDS,
+        &STORE_BULK_EVENTS,
     ];
     &ALL
 }
 
 /// All gauges, in a fixed order.
 pub fn gauges() -> &'static [&'static Gauge] {
-    static GAUGES: [&Gauge; 2] = [&PEAK_RSS_BYTES, &TAPE_POOL_RESIDENT_BYTES];
+    static GAUGES: [&Gauge; 3] = [
+        &PEAK_RSS_BYTES,
+        &TAPE_POOL_RESIDENT_BYTES,
+        &STORE_CACHE_RESIDENT_BYTES,
+    ];
     &GAUGES
 }
 

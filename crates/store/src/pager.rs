@@ -1,0 +1,154 @@
+//! Raw paged file: fixed-size pages addressed by [`PageId`], with a free
+//! list so rebuilt columns can recycle space instead of growing the file.
+//!
+//! The pager is deliberately dumb — it reads and writes whole pages at
+//! absolute offsets and tracks which page ids are allocatable. Caching,
+//! eviction, and dirty tracking live one layer up in [`crate::cache`];
+//! durability of the free list lives in the manifest
+//! ([`crate::snapshot`]), which persists it alongside the column page
+//! tables so a reopened store sees the same allocation state it flushed.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// Fixed page size. 8 KiB keeps a whole CSR run for most nodes on one or
+/// two pages while staying small enough that a few-hundred-KiB cache
+/// budget still holds tens of pages.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Index of a page within the store file (byte offset = id × PAGE_SIZE).
+pub type PageId = u64;
+
+/// A page-granular file with an in-memory free list.
+pub struct Pager {
+    file: File,
+    num_pages: u64,
+    free: Vec<PageId>,
+}
+
+impl Pager {
+    /// Create (truncate) a fresh page file.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Pager {
+            file,
+            num_pages: 0,
+            free: Vec::new(),
+        })
+    }
+
+    /// Open an existing page file with allocation state recovered from the
+    /// manifest.
+    pub fn open(path: &Path, num_pages: u64, free: Vec<PageId>) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Pager {
+            file,
+            num_pages,
+            free,
+        })
+    }
+
+    /// Allocate a page id: recycle from the free list, else extend the file.
+    pub fn alloc(&mut self) -> PageId {
+        if let Some(id) = self.free.pop() {
+            return id;
+        }
+        let id = self.num_pages;
+        self.num_pages += 1;
+        id
+    }
+
+    /// Return a page to the free list for reuse by a later [`Pager::alloc`].
+    pub fn free_page(&mut self, id: PageId) {
+        debug_assert!(id < self.num_pages, "freeing unallocated page {id}");
+        self.free.push(id);
+    }
+
+    /// Read one whole page into `buf`. Pages that were allocated but never
+    /// written read back as zeroes (short read past EOF is zero-filled), so
+    /// a fresh column is all-zero without an explicit clear pass.
+    pub fn read_page(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let off = id * PAGE_SIZE as u64;
+        let mut done = 0usize;
+        while done < PAGE_SIZE {
+            match self.file.read_at(&mut buf[done..], off + done as u64) {
+                Ok(0) => break, // EOF: rest stays zero
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        buf[done..].fill(0);
+        Ok(())
+    }
+
+    /// Write one whole page.
+    pub fn write_page(&self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        self.file.write_all_at(buf, id * PAGE_SIZE as u64)
+    }
+
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    pub fn free_list(&self) -> &[PageId] {
+        &self.free
+    }
+
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("benchtemp-pager-{}-{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("pages.bin")
+    }
+
+    #[test]
+    fn roundtrip_and_zero_fill() {
+        let path = tmp("rt");
+        let mut p = Pager::create(&path).unwrap();
+        let a = p.alloc();
+        let b = p.alloc();
+        assert_eq!((a, b), (0, 1));
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        p.write_page(b, &page).unwrap();
+        let mut back = vec![0xFFu8; PAGE_SIZE];
+        p.read_page(b, &mut back).unwrap();
+        assert_eq!(back, page);
+        // Page `a` was allocated but never written: reads as zeroes.
+        p.read_page(a, &mut back).unwrap();
+        assert!(back.iter().all(|&x| x == 0));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn free_list_recycles() {
+        let path = tmp("fl");
+        let mut p = Pager::create(&path).unwrap();
+        let a = p.alloc();
+        let _b = p.alloc();
+        p.free_page(a);
+        assert_eq!(p.alloc(), a, "freed page must be recycled first");
+        assert_eq!(p.alloc(), 2, "then the file grows");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

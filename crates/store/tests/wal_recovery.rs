@@ -1,0 +1,101 @@
+//! WAL crash recovery: truncating the log anywhere must replay exactly
+//! the longest valid record prefix — never a torn record, never a panic.
+
+use std::path::PathBuf;
+
+use benchtemp_store::wal::{Wal, WAL_RECORD_BYTES};
+use benchtemp_store::StoreEvent;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("benchtemp-walrec-{}-{}", name, std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_events(n: usize) -> Vec<StoreEvent> {
+    (0..n as u32)
+        .map(|i| StoreEvent {
+            src: i,
+            dst: i + 1,
+            t: 10.5 * i as f64,
+            feat: 3 * i,
+        })
+        .collect()
+}
+
+fn write_log(path: &std::path::Path, events: &[StoreEvent]) {
+    let mut wal = Wal::open_append(path).unwrap();
+    wal.append_batch(events).unwrap();
+    wal.sync().unwrap();
+}
+
+/// Truncate the log at *every record boundary* and assert the replay is
+/// exactly the surviving prefix (prefix-consistency).
+#[test]
+fn truncation_at_every_record_boundary_replays_prefix() {
+    let dir = tmpdir("boundary");
+    let path = dir.join("wal.log");
+    let events = sample_events(17);
+    for keep in (0..=events.len()).rev() {
+        write_log(&path, &events);
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len((keep * WAL_RECORD_BYTES) as u64).unwrap();
+        drop(file);
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.events.len(), keep, "keep={keep}");
+        assert_eq!(&replay.events[..], &events[..keep], "keep={keep}");
+        assert_eq!(replay.valid_bytes, (keep * WAL_RECORD_BYTES) as u64);
+        assert!(!replay.truncated_tail, "a clean boundary cut has no tail");
+        std::fs::remove_file(&path).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Mid-record truncation (a torn append) discards only the torn tail.
+#[test]
+fn mid_record_truncation_discards_torn_tail() {
+    let dir = tmpdir("torn");
+    let path = dir.join("wal.log");
+    let events = sample_events(5);
+    for torn_bytes in 1..WAL_RECORD_BYTES {
+        write_log(&path, &events);
+        let keep_bytes = 3 * WAL_RECORD_BYTES + torn_bytes;
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(keep_bytes as u64).unwrap();
+        drop(file);
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(&replay.events[..], &events[..3], "torn_bytes={torn_bytes}");
+        assert!(replay.truncated_tail, "torn tail must be reported");
+        std::fs::remove_file(&path).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupted byte anywhere in a record invalidates that record and
+/// everything after it (replay never resynchronises past corruption).
+#[test]
+fn corruption_stops_replay_at_prefix() {
+    let dir = tmpdir("corrupt");
+    let path = dir.join("wal.log");
+    let events = sample_events(9);
+    write_log(&path, &events);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4 * WAL_RECORD_BYTES + 2] ^= 0x10; // flip a bit inside record 4
+    std::fs::write(&path, &bytes).unwrap();
+    let replay = Wal::replay(&path).unwrap();
+    assert_eq!(&replay.events[..], &events[..4]);
+    assert!(replay.truncated_tail);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A missing log replays as empty — a store that never ingested.
+#[test]
+fn missing_log_is_empty() {
+    let dir = tmpdir("missing");
+    let replay = Wal::replay(&dir.join("absent.log")).unwrap();
+    assert!(replay.events.is_empty());
+    assert!(!replay.truncated_tail);
+    std::fs::remove_dir_all(&dir).ok();
+}
